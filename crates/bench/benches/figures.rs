@@ -1,0 +1,136 @@
+//! Criterion benches: one group per paper table/figure, exercising the
+//! exact code path that regenerates it at a CI-friendly scale.
+//!
+//! These measure the *simulator's* wall-clock cost; the simulated results
+//! themselves (the paper's numbers) come from the `experiments` binary,
+//! which runs the same functions at full surrogate scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use grow_core::experiments::{self, DatasetEval};
+use grow_core::{
+    Accelerator, GammaEngine, GcnaxEngine, GrowConfig, GrowEngine, MatRaptorEngine,
+};
+use grow_model::DatasetKey;
+use grow_sparse::analysis::{self, FIG5A_BOUNDS};
+use grow_sparse::RowMajorSparse;
+
+fn bench_eval() -> DatasetEval {
+    DatasetEval::from_spec(DatasetKey::Pubmed.spec().scaled_to(4000), 42)
+}
+
+fn table1_datasets(c: &mut Criterion) {
+    c.bench_function("table1_dataset_generation", |b| {
+        b.iter(|| {
+            let spec = DatasetKey::Cora.spec().scaled_to(1000);
+            black_box(spec.instantiate(7).graph.directed_edges())
+        })
+    });
+}
+
+fn fig2_mac_counts(c: &mut Criterion) {
+    let eval = bench_eval();
+    c.bench_function("fig2_mac_counts", |b| {
+        b.iter(|| {
+            let l = &eval.workload.layers[0];
+            black_box(analysis::gcn_mac_counts(&eval.base.adjacency, &l.x.view(), l.f_out))
+        })
+    });
+}
+
+fn fig5_tile_histogram(c: &mut Criterion) {
+    let eval = bench_eval();
+    c.bench_function("fig5_tile_histogram", |b| {
+        b.iter(|| {
+            black_box(analysis::tile_nnz_histogram(
+                &RowMajorSparse::Pattern(&eval.base.adjacency),
+                128,
+                128,
+                FIG5A_BOUNDS,
+            ))
+        })
+    });
+}
+
+fn fig6_fig7_gcnax(c: &mut Criterion) {
+    let eval = bench_eval();
+    let engine = GcnaxEngine::default();
+    c.bench_function("fig6_fig7_gcnax_run", |b| {
+        b.iter(|| black_box(engine.run(&eval.base).total_cycles()))
+    });
+}
+
+fn fig17_fig18_fig20_grow(c: &mut Criterion) {
+    let eval = bench_eval();
+    let engine = GrowEngine::default();
+    let mut g = c.benchmark_group("fig17_fig18_fig20_grow");
+    g.bench_function("without_partitioning", |b| {
+        b.iter(|| black_box(engine.run(&eval.base).total_cycles()))
+    });
+    g.bench_function("with_partitioning", |b| {
+        b.iter(|| black_box(engine.run(&eval.partitioned).total_cycles()))
+    });
+    g.finish();
+}
+
+fn fig19_fig21_ablations(c: &mut Criterion) {
+    let eval = bench_eval();
+    c.bench_function("fig19_traffic_ablation", |b| {
+        b.iter(|| black_box(experiments::traffic_ablation(&eval, &GrowConfig::default())))
+    });
+}
+
+fn fig24_multi_pe(c: &mut Criterion) {
+    let eval = bench_eval();
+    let profiles = GrowEngine::default().run(&eval.partitioned).cluster_profiles();
+    c.bench_function("fig24_multi_pe_fluid", |b| {
+        b.iter(|| black_box(grow_core::multi_pe::simulate(&profiles, 16, 128.0)))
+    });
+}
+
+fn fig25_sweeps(c: &mut Criterion) {
+    let eval = bench_eval();
+    c.bench_function("fig25a_runahead_point", |b| {
+        let cfg = GrowConfig { runahead: 4, ldn_entries: 4, ..GrowConfig::default() };
+        let engine = GrowEngine::new(cfg);
+        b.iter(|| black_box(engine.run(&eval.partitioned).total_cycles()))
+    });
+}
+
+fn fig26_spsp(c: &mut Criterion) {
+    let eval = bench_eval();
+    let mat = MatRaptorEngine::default();
+    let gamma = GammaEngine::default();
+    let mut g = c.benchmark_group("fig26_spsp_baselines");
+    g.bench_function("matraptor", |b| b.iter(|| black_box(mat.run(&eval.base).total_cycles())));
+    g.bench_function("gamma", |b| b.iter(|| black_box(gamma.run(&eval.base).total_cycles())));
+    g.finish();
+}
+
+fn preprocessing(c: &mut Criterion) {
+    // The one-time software cost of Section V-C (not charged to inference).
+    let w = DatasetKey::Pubmed.spec().scaled_to(4000).instantiate(42);
+    c.bench_function("fig13_partition_preprocessing", |b| {
+        b.iter(|| {
+            black_box(grow_core::prepare(
+                &w,
+                grow_core::PartitionStrategy::Multilevel { cluster_nodes: 512 },
+                4096,
+            ))
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = configure();
+    targets = table1_datasets, fig2_mac_counts, fig5_tile_histogram, fig6_fig7_gcnax,
+        fig17_fig18_fig20_grow, fig19_fig21_ablations, fig24_multi_pe, fig25_sweeps,
+        fig26_spsp, preprocessing
+}
+criterion_main!(figures);

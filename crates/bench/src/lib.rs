@@ -1,0 +1,255 @@
+//! Benchmark-harness support: plain-text table rendering, CSV emission,
+//! and the shared experiment context used by the `experiments` binary and
+//! the Criterion benches.
+//!
+//! Results are written both to stdout (aligned tables mirroring the
+//! paper's figures) and to `results/<experiment>.csv` for archival; no
+//! external serialization crates are needed for either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use grow_core::experiments::DatasetEval;
+use grow_model::DatasetKey;
+
+/// A simple aligned table with CSV export.
+///
+/// ```
+/// use grow_bench::Table;
+///
+/// let mut t = Table::new("demo", &["dataset", "speedup"]);
+/// t.row(&["cora".into(), "2.31".into()]);
+/// assert!(t.render().contains("cora"));
+/// assert_eq!(t.to_csv(), "dataset,speedup\ncora,2.31\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// The table name (used for the CSV file name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Serializes as CSV (header line + rows; cells containing commas are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<name>.csv` (directory created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.csv", self.name)), self.to_csv())
+    }
+}
+
+/// Numeric cell helpers used across experiment printers.
+pub mod cell {
+    /// Formats a ratio with two decimals (`"2.83"`).
+    pub fn ratio(v: f64) -> String {
+        format!("{v:.2}")
+    }
+
+    /// Formats a fraction as a percentage (`"79.1%"`).
+    pub fn percent(v: f64) -> String {
+        format!("{:.1}%", 100.0 * v)
+    }
+
+    /// Formats a byte count in mebibytes.
+    pub fn mib(bytes: u64) -> String {
+        format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+    }
+
+    /// Formats a large count with engineering notation.
+    pub fn count(v: u64) -> String {
+        if v >= 1_000_000_000 {
+            format!("{:.2}G", v as f64 / 1e9)
+        } else if v >= 1_000_000 {
+            format!("{:.2}M", v as f64 / 1e6)
+        } else if v >= 10_000 {
+            format!("{:.1}K", v as f64 / 1e3)
+        } else {
+            v.to_string()
+        }
+    }
+}
+
+/// The shared experiment context: dataset selection, seed, scaling, and
+/// lazily instantiated [`DatasetEval`]s (generation + partitioning are the
+/// expensive parts and are reused across experiments).
+pub struct Context {
+    /// Selected datasets.
+    pub keys: Vec<DatasetKey>,
+    /// Generation seed.
+    pub seed: u64,
+    /// Optional node-count override (CI-scale smoke runs).
+    pub max_nodes: Option<usize>,
+    /// Use the paper's unscaled node counts.
+    pub full_scale: bool,
+    evals: Vec<Option<DatasetEval>>,
+}
+
+impl Context {
+    /// Creates a context over the given datasets.
+    pub fn new(keys: Vec<DatasetKey>, seed: u64) -> Self {
+        let n = keys.len();
+        Context { keys, seed, max_nodes: None, full_scale: false, evals: vec![None; n] }
+    }
+
+    /// The evaluation for dataset `i`, instantiating it on first use.
+    pub fn eval(&mut self, i: usize) -> &DatasetEval {
+        if self.evals[i].is_none() {
+            let mut spec = self.keys[i].spec();
+            if self.full_scale {
+                spec = spec.paper_scale();
+            }
+            if let Some(cap) = self.max_nodes {
+                if spec.nodes > cap {
+                    spec = spec.scaled_to(cap);
+                }
+            }
+            eprintln!(
+                "[setup] instantiating {} ({} nodes) ...",
+                spec.key.name(),
+                spec.nodes
+            );
+            self.evals[i] = Some(DatasetEval::from_spec(spec, self.seed));
+        }
+        self.evals[i].as_ref().expect("just instantiated")
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no datasets were selected.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("x", &["a", "longer"]);
+        t.row(&["1".into(), "2".into()]);
+        let text = t.render();
+        assert!(text.contains("== x =="));
+        assert!(text.contains("longer"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["v,w".into()]);
+        assert!(t.to_csv().contains("\"v,w\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn cells_format() {
+        assert_eq!(cell::ratio(2.834), "2.83");
+        assert_eq!(cell::percent(0.791), "79.1%");
+        assert_eq!(cell::count(1234), "1234");
+        assert_eq!(cell::count(2_500_000), "2.50M");
+    }
+
+    #[test]
+    fn context_lazily_instantiates() {
+        let mut ctx = Context::new(vec![DatasetKey::Cora], 1);
+        ctx.max_nodes = Some(200);
+        let eval = ctx.eval(0);
+        assert!(eval.workload.graph.nodes() <= 200);
+    }
+}

@@ -1,0 +1,570 @@
+//! The GROW accelerator model (Section V of the paper).
+//!
+//! GROW executes both GCN phases on one unified row-stationary SpDeGEMM
+//! engine (Figure 8): a 16-lane MAC vector unit, an I-BUF for the CSR
+//! stream of the sparse LHS, an I-BUF_dense split into the HDN cache and a
+//! CAM-based HDN ID list, an O-BUF for in-flight output rows, and a DMA
+//! unit. Aggregation walks the adjacency rows (Gustavson's algorithm,
+//! Figure 9(b)); each non-zero's column is looked up in the HDN ID list —
+//! hits read the pinned RHS row from the HDN cache, misses allocate
+//! LDN/LHS-ID table entries and run ahead across up to `runahead` output
+//! rows (Figures 15/16).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use grow_sim::{
+    Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
+    RunaheadTables, TrafficClass, Waiter, ELEMENT_BYTES, HDN_ID_BYTES, INDEX_BYTES,
+};
+use grow_sparse::RowMajorSparse;
+
+use crate::{
+    Accelerator, ClusterProfile, LayerReport, PhaseKind, PhaseReport, PreparedWorkload,
+    RunReport,
+};
+
+/// HDN cache replacement policy (the Section VIII discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Statically pin the per-cluster top-N high-degree nodes (the paper's
+    /// proposal, found to yield "the most robust speedups").
+    Pinned,
+    /// Demand-filled LRU (the alternative the paper rejects).
+    Lru,
+}
+
+/// GROW configuration (Table III defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowConfig {
+    /// MAC lanes (Table III: 16 MACs, 64-bit).
+    pub mac_lanes: usize,
+    /// HDN cache capacity in bytes (Table III: 512 KB).
+    pub hdn_cache_bytes: u64,
+    /// HDN ID list entries (Table III: 12 KB at 3 B/entry = 4096).
+    pub hdn_id_entries: usize,
+    /// I-BUF_sparse capacity in bytes (Table III: 12 KB).
+    pub ibuf_sparse_bytes: u64,
+    /// O-BUF_dense capacity in bytes (Table III: 2 KB).
+    pub obuf_bytes: u64,
+    /// Runahead execution degree: output rows concurrently in flight
+    /// (Table III: 16).
+    pub runahead: usize,
+    /// LDN table entries (Section V-D: M = 16).
+    pub ldn_entries: usize,
+    /// LHS-ID table entries (Section V-D: N = 64).
+    pub lhs_id_entries: usize,
+    /// Off-chip memory parameters (Table III: 128 GB/s).
+    pub dram: DramConfig,
+    /// Enables HDN caching (disable to reproduce the "GROW w/o HDN
+    /// caching" bar of Figure 19).
+    pub hdn_caching: bool,
+    /// Replacement policy of the HDN cache.
+    pub replacement: ReplacementPolicy,
+}
+
+impl Default for GrowConfig {
+    fn default() -> Self {
+        GrowConfig {
+            mac_lanes: 16,
+            hdn_cache_bytes: 512 * 1024,
+            hdn_id_entries: 4096,
+            ibuf_sparse_bytes: 12 * 1024,
+            obuf_bytes: 2 * 1024,
+            runahead: 16,
+            ldn_entries: 16,
+            lhs_id_entries: 64,
+            dram: DramConfig::default(),
+            hdn_caching: true,
+            replacement: ReplacementPolicy::Pinned,
+        }
+    }
+}
+
+/// The GROW accelerator timing model.
+#[derive(Debug, Clone, Default)]
+pub struct GrowEngine {
+    config: GrowConfig,
+}
+
+impl GrowEngine {
+    /// Creates an engine with an explicit configuration.
+    pub fn new(config: GrowConfig) -> Self {
+        GrowEngine { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &GrowConfig {
+        &self.config
+    }
+
+    /// HDN cache capacity in RHS rows for an `f`-wide dense matrix.
+    fn cache_rows(&self, f: usize) -> usize {
+        (self.config.hdn_cache_bytes / (f as u64 * ELEMENT_BYTES)) as usize
+    }
+
+    /// Simulates the combination phase `X * W`. `W` (f_in x f_out) is
+    /// pinned on-chip — every Table I configuration fits in the 512 KB
+    /// I-BUF_dense; larger weight matrices are processed in column chunks.
+    fn run_combination(&self, x: &RowMajorSparse<'_>, f_out: usize, clusters: &[Range<usize>]) -> PhaseReport {
+        let cfg = &self.config;
+        let f_in = x.cols();
+        let mut report = PhaseReport::new(PhaseKind::Combination);
+        let mut dram = Dram::new(cfg.dram);
+        let mut mac = MacArray::new(cfg.mac_lanes);
+
+        // Column-chunk W so each chunk fits in the dense buffer.
+        let w_row_bytes = f_out as u64 * ELEMENT_BYTES;
+        let w_bytes = f_in as u64 * w_row_bytes;
+        let passes = w_bytes.div_ceil(cfg.hdn_cache_bytes).max(1) as usize;
+        let chunk_f = f_out.div_ceil(passes);
+
+        let mut now: Cycle = 0;
+        for pass in 0..passes {
+            let this_f = chunk_f.min(f_out.saturating_sub(pass * chunk_f));
+            if this_f == 0 {
+                break;
+            }
+            // Preload the W chunk: contiguous when it is the whole matrix,
+            // otherwise one strided read per W row.
+            let preload_done = if passes == 1 {
+                let done = dram.read_stream(now, w_bytes, TrafficClass::Weights);
+                dram.round_burst(w_bytes, TrafficClass::Weights);
+                done
+            } else {
+                dram.read_many(now, f_in as u64, this_f as u64 * ELEMENT_BYTES, TrafficClass::Weights)
+            };
+            report.sram_writes_8b += f_in as u64 * this_f as u64;
+            now = now.max(preload_done);
+
+            // Stream X rows; every non-zero hits the on-chip W.
+            for cluster in clusters {
+                let compute0 = mac.busy_cycles();
+                let fetched0 = dram.stats().total_fetched();
+                let mut burst = 0u64;
+                for row in cluster.clone() {
+                    let nnz = x.row_nnz(row) as u64;
+                    if nnz == 0 {
+                        continue;
+                    }
+                    let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
+                    dram.read_stream(now, stream, TrafficClass::LhsSparse);
+                    burst += stream;
+                    mac.scalar_vector_bulk(now, this_f, nnz);
+                    report.sram_reads_8b += nnz * (1 + this_f as u64); // X elem + W row
+                    report.sram_writes_8b += nnz * this_f as u64; // O-BUF accumulate
+                    // Output row write-back for this chunk.
+                    dram.write(now, this_f as u64 * ELEMENT_BYTES, TrafficClass::Output);
+                    report.sram_reads_8b += this_f as u64;
+                }
+                dram.round_burst(burst, TrafficClass::LhsSparse);
+                report.cluster_profiles.push(ClusterProfile {
+                    compute_cycles: mac.busy_cycles() - compute0,
+                    mem_bytes: dram.stats().total_fetched() - fetched0,
+                });
+            }
+            now = now.max(mac.busy_until()).max(dram.busy_until());
+        }
+        report.cycles = now.max(mac.busy_until()).max(dram.busy_until());
+        report.compute_busy = mac.busy_cycles();
+        report.mac_ops = mac.mac_ops();
+        report.traffic = dram.stats().clone();
+        report
+    }
+
+    /// Simulates the aggregation phase `A * XW` with HDN caching and
+    /// multi-row-stationary runahead execution.
+    fn run_aggregation(&self, workload: &PreparedWorkload, f_out: usize) -> PhaseReport {
+        let cfg = &self.config;
+        let adjacency = &workload.adjacency;
+        let n = adjacency.rows();
+        let row_bytes = f_out as u64 * ELEMENT_BYTES;
+        let f_words = f_out as u64;
+        let cache_rows = self.cache_rows(f_out);
+
+        let mut report = PhaseReport::new(PhaseKind::Aggregation);
+        let mut dram = Dram::new(cfg.dram);
+        let mut mac = MacArray::new(cfg.mac_lanes);
+        let mut tables = RunaheadTables::new(cfg.ldn_entries, cfg.lhs_id_entries);
+        let mut pinned = PinnedRowCache::new(cache_rows, n);
+        let mut lru = LruRowCache::new(cache_rows);
+        let use_lru = matches!(cfg.replacement, ReplacementPolicy::Lru);
+
+        // Multi-row window: rows retire in order (Figure 15's head/tail).
+        let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.runahead);
+        let mut pending: Vec<u32> = vec![0; n];
+        let mut now: Cycle = 0;
+
+        for (ci, cluster) in workload.clusters.iter().enumerate() {
+            let compute0 = mac.busy_cycles();
+            let fetched0 = dram.stats().total_fetched();
+
+            if cfg.hdn_caching && !use_lru {
+                // Cluster prologue: fetch the HDN ID list, then pin the
+                // corresponding RHS rows (Section V-C).
+                let list = &workload.hdn_lists[ci];
+                let take = list.len().min(cfg.hdn_id_entries).min(cache_rows);
+                let ids = &list[..take];
+                let id_done = dram.read(now, take as u64 * HDN_ID_BYTES, TrafficClass::HdnIdList);
+                let fills = pinned.load(ids);
+                let done =
+                    dram.read_many(id_done, fills as u64, row_bytes, TrafficClass::RhsPreload);
+                report.sram_writes_8b += fills as u64 * f_words;
+                now = now.max(done);
+            }
+
+            let mut burst = 0u64;
+            for row in cluster.clone() {
+                // Window admission (in-order retirement).
+                while window.len() >= cfg.runahead {
+                    self.retire_ready(&mut window, &mut pending, now, &mut dram, f_out, &mut report);
+                    if window.len() < cfg.runahead {
+                        break;
+                    }
+                    now = self.drain_one(
+                        &mut tables, &mut mac, &mut pending, &mut lru, use_lru, now, f_out,
+                        &mut report,
+                    );
+                }
+
+                // Stream this A row's CSR segment.
+                let nnz = adjacency.row_nnz(row) as u64;
+                let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
+                dram.read_stream(now, stream, TrafficClass::LhsSparse);
+                burst += stream;
+                report.sram_writes_8b += stream.div_ceil(8);
+                report.sram_reads_8b += stream.div_ceil(8);
+
+                // Enter the window with an issue-in-progress token: stalls
+                // while issuing this row's own non-zeros may drain some of
+                // *its* waiters, so the pending counter must be live before
+                // the first miss is registered (and the token keeps the row
+                // from retiring before all its non-zeros are issued).
+                window.push_back(row as u32);
+                pending[row] = 1;
+                for &k in adjacency.row_indices(row) {
+                    let hit = if !cfg.hdn_caching {
+                        false
+                    } else if use_lru {
+                        lru.probe(k)
+                    } else {
+                        pinned.probe(k)
+                    };
+                    if hit {
+                        mac.scalar_vector(now, f_out);
+                        report.sram_reads_8b += f_words; // cached RHS row
+                        report.sram_writes_8b += f_words; // O-BUF accumulate
+                    } else {
+                        let waiter = Waiter { output_row: row as u32, lhs_value: 1.0 };
+                        loop {
+                            match tables.issue(k, waiter) {
+                                IssueOutcome::Allocated => {
+                                    let done = dram.read(now, row_bytes, TrafficClass::RhsRows);
+                                    tables.set_completion(k, done);
+                                    pending[row] += 1;
+                                    break;
+                                }
+                                IssueOutcome::Coalesced => {
+                                    pending[row] += 1;
+                                    break;
+                                }
+                                IssueOutcome::LdnFull | IssueOutcome::LhsFull => {
+                                    now = self.drain_one(
+                                        &mut tables, &mut mac, &mut pending, &mut lru, use_lru,
+                                        now, f_out, &mut report,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                // Release the issue token; the row can now retire once all
+                // of its outstanding misses return.
+                pending[row] -= 1;
+                self.retire_ready(&mut window, &mut pending, now, &mut dram, f_out, &mut report);
+            }
+            dram.round_burst(burst, TrafficClass::LhsSparse);
+
+            // Drain the cluster before swapping the pinned set.
+            while !tables.is_empty() {
+                now = self.drain_one(
+                    &mut tables, &mut mac, &mut pending, &mut lru, use_lru, now, f_out,
+                    &mut report,
+                );
+            }
+            self.retire_ready(&mut window, &mut pending, now, &mut dram, f_out, &mut report);
+            debug_assert!(window.is_empty(), "all rows retire at cluster end");
+
+            // One profile entry per cluster. (Splitting out the HDN
+            // preload burst as a separate pure-memory task was evaluated
+            // and rejected: it adds channel contention at high PE counts
+            // without the compensating single-PE slowdown, moving the
+            // Figure 24 curve away from the paper's near/super-linear
+            // shape. The fluid model overlaps each cluster's memory and
+            // compute exactly like the detailed simulator does.)
+            report.cluster_profiles.push(ClusterProfile {
+                compute_cycles: mac.busy_cycles() - compute0,
+                mem_bytes: dram.stats().total_fetched() - fetched0,
+            });
+        }
+
+        report.cycles = now.max(mac.busy_until()).max(dram.busy_until());
+        report.compute_busy = mac.busy_cycles();
+        report.mac_ops = mac.mac_ops();
+        report.traffic = dram.stats().clone();
+        report.cache = if use_lru { *lru.stats() } else { *pinned.stats() };
+        report
+    }
+
+    /// Services the earliest outstanding RHS-row fetch: advances time,
+    /// fires the waiting MACs, and (under LRU) installs the row.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_one(
+        &self,
+        tables: &mut RunaheadTables,
+        mac: &mut MacArray,
+        pending: &mut [u32],
+        lru: &mut LruRowCache,
+        use_lru: bool,
+        now: Cycle,
+        f_out: usize,
+        report: &mut PhaseReport,
+    ) -> Cycle {
+        let Some((done, rhs, waiters)) = tables.pop_earliest() else {
+            return now;
+        };
+        let now = now.max(done);
+        for w in waiters {
+            mac.scalar_vector(now, f_out);
+            report.sram_writes_8b += f_out as u64; // O-BUF accumulate
+            pending[w.output_row as usize] = pending[w.output_row as usize].saturating_sub(1);
+        }
+        if use_lru && self.config.hdn_caching {
+            lru.insert(rhs);
+            report.sram_writes_8b += f_out as u64;
+        }
+        now
+    }
+
+    /// Retires completed rows from the window head, writing their output
+    /// rows back to DRAM (in-order retirement per Figure 15).
+    fn retire_ready(
+        &self,
+        window: &mut VecDeque<u32>,
+        pending: &mut [u32],
+        now: Cycle,
+        dram: &mut Dram,
+        f_out: usize,
+        report: &mut PhaseReport,
+    ) {
+        while let Some(&front) = window.front() {
+            if pending[front as usize] > 0 {
+                break;
+            }
+            window.pop_front();
+            dram.write(now, f_out as u64 * ELEMENT_BYTES, TrafficClass::Output);
+            report.sram_reads_8b += f_out as u64; // O-BUF drain
+        }
+    }
+}
+
+impl Accelerator for GrowEngine {
+    fn name(&self) -> &'static str {
+        "GROW"
+    }
+
+    fn run(&self, workload: &PreparedWorkload) -> RunReport {
+        let layers = workload
+            .layers
+            .iter()
+            .map(|layer| {
+                let combination =
+                    self.run_combination(&layer.x.view(), layer.f_out, &workload.clusters);
+                let aggregation = self.run_aggregation(workload, layer.f_out);
+                LayerReport { combination, aggregation }
+            })
+            .collect();
+        RunReport { engine: self.name(), layers }
+    }
+
+    fn sram_kb(&self) -> f64 {
+        (self.config.hdn_cache_bytes
+            + self.config.ibuf_sparse_bytes
+            + self.config.obuf_bytes
+            + self.config.hdn_id_entries as u64 * HDN_ID_BYTES) as f64
+            / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, PartitionStrategy};
+    use grow_model::DatasetKey;
+
+    fn prepared(nodes: usize, strategy: PartitionStrategy) -> PreparedWorkload {
+        let w = DatasetKey::Pubmed.spec().scaled_to(nodes).instantiate(3);
+        prepare(&w, strategy, 4096)
+    }
+
+    #[test]
+    fn run_produces_two_layers() {
+        let p = prepared(500, PartitionStrategy::None);
+        let r = GrowEngine::default().run(&p);
+        assert_eq!(r.layers.len(), 2);
+        assert!(r.total_cycles() > 0);
+        assert!(r.dram_bytes() > 0);
+    }
+
+    #[test]
+    fn mac_ops_match_workload_invariant() {
+        // Combination: nnz(X) * f_out; aggregation: nnz(A) * f_out; summed
+        // over both layers.
+        let p = prepared(500, PartitionStrategy::None);
+        let r = GrowEngine::default().run(&p);
+        let a_nnz = p.adjacency.nnz() as u64;
+        let expected: u64 = p
+            .layers
+            .iter()
+            .map(|l| (l.x.nnz() as u64 + a_nnz) * l.f_out as u64)
+            .sum();
+        assert_eq!(r.mac_ops(), expected);
+    }
+
+    #[test]
+    fn small_graph_cache_hit_rate_is_high() {
+        // Section VII-A: for small graphs the HDN cache stashes nearly
+        // everything (Cora hit rates ~80%+ even without partitioning).
+        let p = prepared(400, PartitionStrategy::None);
+        let r = GrowEngine::default().run(&p);
+        let hr = r.aggregation_cache().hit_rate().unwrap();
+        assert!(hr > 0.9, "hit rate {hr}");
+    }
+
+    #[test]
+    fn hit_plus_miss_equals_adjacency_nnz() {
+        let p = prepared(600, PartitionStrategy::None);
+        let r = GrowEngine::default().run(&p);
+        let c = r.aggregation_cache();
+        assert_eq!(c.hits + c.misses, 2 * p.adjacency.nnz() as u64);
+    }
+
+    #[test]
+    fn disabling_cache_increases_traffic() {
+        let p = prepared(800, PartitionStrategy::None);
+        let with = GrowEngine::default().run(&p);
+        let without = GrowEngine::new(GrowConfig { hdn_caching: false, ..GrowConfig::default() })
+            .run(&p);
+        assert!(
+            without.dram_bytes() > with.dram_bytes(),
+            "no-cache {} vs cache {}",
+            without.dram_bytes(),
+            with.dram_bytes()
+        );
+        assert_eq!(without.mac_ops(), with.mac_ops(), "MACs are dataflow-invariant");
+    }
+
+    #[test]
+    fn runahead_reduces_cycles() {
+        // Figure 25(a): 1-way vs 16-way runahead.
+        let p = prepared(2000, PartitionStrategy::None);
+        let narrow = GrowEngine::new(GrowConfig {
+            runahead: 1,
+            hdn_cache_bytes: 4 * 1024, // force misses
+            hdn_id_entries: 32,
+            ..GrowConfig::default()
+        })
+        .run(&p);
+        let wide = GrowEngine::new(GrowConfig {
+            runahead: 16,
+            hdn_cache_bytes: 4 * 1024,
+            hdn_id_entries: 32,
+            ..GrowConfig::default()
+        })
+        .run(&p);
+        assert!(
+            wide.total_cycles() < narrow.total_cycles(),
+            "16-way {} vs 1-way {}",
+            wide.total_cycles(),
+            narrow.total_cycles()
+        );
+    }
+
+    #[test]
+    fn output_traffic_is_exact() {
+        let p = prepared(500, PartitionStrategy::None);
+        let r = GrowEngine::default().run(&p);
+        // Output: n rows per phase, f_out*8 useful bytes each, both phases
+        // of both layers.
+        let n = p.nodes as u64;
+        let expected_useful: u64 =
+            p.layers.iter().map(|l| 2 * n * l.f_out as u64 * 8).sum();
+        assert_eq!(r.total_traffic().useful_bytes(TrafficClass::Output), expected_useful);
+    }
+
+    #[test]
+    fn partitioned_run_covers_same_work() {
+        let p0 = prepared(1500, PartitionStrategy::None);
+        let p1 = prepared(1500, PartitionStrategy::Multilevel { cluster_nodes: 300 });
+        let r0 = GrowEngine::default().run(&p0);
+        let r1 = GrowEngine::default().run(&p1);
+        assert_eq!(r0.mac_ops(), r1.mac_ops());
+        let c0 = r0.aggregation_cache();
+        let c1 = r1.aggregation_cache();
+        assert_eq!(c0.hits + c0.misses, c1.hits + c1.misses);
+    }
+
+    #[test]
+    fn lru_replacement_runs_and_reports() {
+        let p = prepared(800, PartitionStrategy::None);
+        let r = GrowEngine::new(GrowConfig {
+            replacement: ReplacementPolicy::Lru,
+            ..GrowConfig::default()
+        })
+        .run(&p);
+        let c = r.aggregation_cache();
+        assert!(c.hits + c.misses > 0);
+        assert_eq!(
+            r.total_traffic().fetched_bytes(TrafficClass::RhsPreload),
+            0,
+            "LRU mode does not preload"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let p = prepared(700, PartitionStrategy::None);
+        let e = GrowEngine::default();
+        assert_eq!(e.run(&p), e.run(&p));
+    }
+
+    #[test]
+    fn sram_capacity_matches_table3() {
+        let kb = GrowEngine::default().sram_kb();
+        assert!((kb - 538.0) < 1.0, "SRAM {kb} KB vs Table III's 538 KB");
+    }
+
+    #[test]
+    fn request_overhead_ablation_favors_streaming() {
+        // DESIGN.md §2.6: the per-request activation overhead penalizes
+        // scattered fetches, not streams. Raising it must slow GROW less
+        // (high hit rate => few random requests) than a cacheless GROW
+        // (every non-zero is a random fetch).
+        let p = prepared(2000, PartitionStrategy::None);
+        let run = |overhead: u64, caching: bool| {
+            let dram = grow_sim::DramConfig {
+                request_overhead_cycles: overhead,
+                ..grow_sim::DramConfig::default()
+            };
+            GrowEngine::new(GrowConfig { dram, hdn_caching: caching, ..GrowConfig::default() })
+                .run(&p)
+                .total_cycles() as f64
+        };
+        let cached_slowdown = run(48, true) / run(0, true);
+        let uncached_slowdown = run(48, false) / run(0, false);
+        assert!(
+            uncached_slowdown > cached_slowdown,
+            "cacheless {uncached_slowdown} vs cached {cached_slowdown}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! The GROW accelerator model and its baselines — the primary contribution
+//! of the paper, plus every comparator its evaluation uses.
+//!
+//! * [`GrowEngine`] — GROW itself (Section V): a unified row-stationary
+//!   SpDeGEMM engine with HDN caching, graph-partitioned cluster
+//!   scheduling, and multi-row-stationary runahead execution;
+//! * [`GcnaxEngine`] — the state-of-the-art baseline (Li et al., HPCA'21):
+//!   outer-product dataflow over 2D tiles with CSC-compressed sparse
+//!   operands (Section IV's characterization target);
+//! * [`MatRaptorEngine`] / [`GammaEngine`] — the row-wise-product
+//!   sparse-*sparse* accelerators compared in Section VII-H;
+//! * [`prepare`] / [`PreparedWorkload`] — the software preprocessing stack
+//!   (partitioning, relabeling, HDN list extraction);
+//! * [`multi_pe`] — the multi-PE scaling model of Figure 24;
+//! * [`experiments`] — drivers that regenerate each figure/table of the
+//!   evaluation (Section VII).
+//!
+//! # Example
+//!
+//! ```
+//! use grow_core::{prepare, Accelerator, GrowEngine, PartitionStrategy};
+//! use grow_model::DatasetKey;
+//!
+//! let workload = DatasetKey::Cora.spec().scaled_to(300).instantiate(7);
+//! let prepared = prepare(&workload, PartitionStrategy::None, 4096);
+//! let report = GrowEngine::default().run(&prepared);
+//! assert!(report.total_cycles() > 0);
+//! assert_eq!(report.layers.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gamma;
+mod gcnax;
+mod grow;
+mod matraptor;
+mod prepare;
+mod report;
+mod spsp;
+
+pub mod experiments;
+pub mod extensions;
+pub mod multi_pe;
+
+pub use gamma::{GammaConfig, GammaEngine};
+pub use gcnax::{GcnaxConfig, GcnaxEngine};
+pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy};
+pub use matraptor::{MatRaptorConfig, MatRaptorEngine};
+pub use prepare::{prepare, PartitionStrategy, PreparedWorkload};
+pub use report::{ClusterProfile, LayerReport, PhaseKind, PhaseReport, RunReport};
+
+/// Common interface of all four accelerator models.
+///
+/// Engines are timing models: given a prepared workload they return cycle,
+/// traffic, cache, and activity statistics. All engines execute the same
+/// `A*(X*W)` dataflow and therefore the same number of MAC operations —
+/// the paper's comparison is entirely about data movement.
+pub trait Accelerator {
+    /// Engine name as used in the paper's figures (e.g. `"GROW"`).
+    fn name(&self) -> &'static str;
+
+    /// Simulates 2-layer GCN inference and returns the full report.
+    fn run(&self, workload: &PreparedWorkload) -> RunReport;
+
+    /// Total on-chip SRAM capacity in KB (for leakage/energy accounting).
+    fn sram_kb(&self) -> f64;
+}

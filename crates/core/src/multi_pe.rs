@@ -1,0 +1,218 @@
+//! Multi-PE scaling model (Figure 24 / Section VII-F).
+//!
+//! The paper sweeps GROW from 1 to 16 processing engines "with a
+//! proportional increase in memory bandwidth"; each PE processes different
+//! graph clusters, and because "different PEs exhibit different memory
+//! intensive phases at different times", PEs opportunistically use more
+//! than their average bandwidth share — producing super-linear speedups on
+//! the large graphs.
+//!
+//! This module reproduces that mechanism with a fluid (processor-sharing)
+//! co-simulation over the per-cluster execution profiles that the detailed
+//! single-PE simulator emits: every cluster-task needs `compute_cycles` of
+//! MAC time and `mem_bytes` of DRAM transfer (overlapped); at any instant
+//! the memory-demanding PEs split the shared channel by water-filling,
+//! while compute-bound PEs leave their share to others.
+
+use crate::ClusterProfile;
+
+/// One point of the Figure 24 scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of processing engines (memory bandwidth scales with it).
+    pub pes: usize,
+    /// Makespan in cycles under the fluid model.
+    pub cycles: f64,
+    /// Throughput normalized to the 1-PE configuration.
+    pub normalized_throughput: f64,
+}
+
+/// Simulates `pes` PEs working through `profiles` (round-robin cluster
+/// assignment, preserving order) against a shared memory channel of
+/// `pes * per_pe_bytes_per_cycle`. Returns the makespan in cycles.
+///
+/// # Panics
+///
+/// Panics if `pes == 0` or the bandwidth is not positive.
+pub fn simulate(profiles: &[ClusterProfile], pes: usize, per_pe_bytes_per_cycle: f64) -> f64 {
+    assert!(pes > 0, "at least one PE");
+    assert!(per_pe_bytes_per_cycle > 0.0, "bandwidth must be positive");
+    let total_bw = pes as f64 * per_pe_bytes_per_cycle;
+
+    // Round-robin assignment: PE p gets clusters p, p+pes, p+2*pes, ...
+    // (clusters retain their program order within a PE, so heterogeneous
+    // phases interleave across PEs — the source of super-linearity).
+    let mut queues: Vec<std::collections::VecDeque<ClusterProfile>> =
+        vec![std::collections::VecDeque::new(); pes];
+    for (i, c) in profiles.iter().enumerate() {
+        queues[i % pes].push_back(*c);
+    }
+
+    // Active task per PE: (compute total, mem total, fraction remaining).
+    struct Task {
+        c: f64,
+        m: f64,
+        w: f64,
+    }
+    let mut active: Vec<Option<Task>> = queues
+        .iter_mut()
+        .map(|q| q.pop_front().map(|p| Task { c: p.compute_cycles as f64, m: p.mem_bytes as f64, w: 1.0 }))
+        .collect();
+
+    let mut t = 0.0f64;
+    loop {
+        // Collect live tasks and their bandwidth demands.
+        let live: Vec<usize> =
+            (0..pes).filter(|&p| active[p].is_some()).collect();
+        if live.is_empty() {
+            break;
+        }
+        // Demand: bandwidth at which the task becomes compute-bound.
+        let mut order: Vec<(f64, usize)> = live
+            .iter()
+            .map(|&p| {
+                let task = active[p].as_ref().expect("live");
+                let demand = if task.c <= 0.0 { f64::INFINITY } else { task.m / task.c };
+                (demand, p)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite-ish demands"));
+
+        // Water-fill the shared channel.
+        let mut alloc = vec![0.0f64; pes];
+        let mut remaining = total_bw;
+        let mut left = order.len();
+        for &(demand, p) in &order {
+            let share = remaining / left as f64;
+            let a = demand.min(share);
+            alloc[p] = a;
+            remaining -= a;
+            left -= 1;
+        }
+
+        // Per-task completion rate and the next completion event.
+        let mut dt = f64::INFINITY;
+        let mut rates = vec![0.0f64; pes];
+        for &p in &live {
+            let task = active[p].as_ref().expect("live");
+            let mem_time = if task.m <= 0.0 {
+                0.0
+            } else if alloc[p] <= 0.0 {
+                f64::INFINITY
+            } else {
+                task.m / alloc[p]
+            };
+            let duration = task.c.max(mem_time).max(1e-9);
+            rates[p] = 1.0 / duration;
+            dt = dt.min(task.w / rates[p]);
+        }
+
+        t += dt;
+        for &p in &live {
+            let task = active[p].as_mut().expect("live");
+            task.w -= rates[p] * dt;
+            if task.w <= 1e-9 {
+                active[p] = queues[p].pop_front().map(|c| Task {
+                    c: c.compute_cycles as f64,
+                    m: c.mem_bytes as f64,
+                    w: 1.0,
+                });
+            }
+        }
+    }
+    t
+}
+
+/// Produces the Figure 24 scaling curve for the given PE counts.
+pub fn scaling_curve(
+    profiles: &[ClusterProfile],
+    pe_counts: &[usize],
+    per_pe_bytes_per_cycle: f64,
+) -> Vec<ScalingPoint> {
+    let base = simulate(profiles, 1, per_pe_bytes_per_cycle);
+    pe_counts
+        .iter()
+        .map(|&pes| {
+            let cycles = simulate(profiles, pes, per_pe_bytes_per_cycle);
+            ScalingPoint {
+                pes,
+                cycles,
+                normalized_throughput: if cycles > 0.0 { base / cycles } else { f64::INFINITY },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(c: u64, m: u64) -> ClusterProfile {
+        ClusterProfile { compute_cycles: c, mem_bytes: m }
+    }
+
+    #[test]
+    fn single_pe_is_sum_of_maxima() {
+        let profiles = [task(100, 50), task(10, 400)];
+        // bw = 2 B/cycle: durations max(100, 25) = 100 and max(10, 200).
+        let t = simulate(&profiles, 1, 2.0);
+        assert!((t - 300.0).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn scaling_is_at_least_near_linear_for_homogeneous_tasks() {
+        let profiles: Vec<ClusterProfile> = (0..64).map(|_| task(100, 100)).collect();
+        let curve = scaling_curve(&profiles, &[1, 2, 4, 8], 2.0);
+        for point in &curve[1..] {
+            let eff = point.normalized_throughput / point.pes as f64;
+            assert!(eff > 0.9, "pes {} efficiency {eff}", point.pes);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_phases_scale_super_linearly() {
+        // Compute-bound and memory-bound clusters interleaved so that at
+        // any instant half the PEs need bandwidth and half do not: a single
+        // PE wastes whichever resource the current cluster does not need,
+        // while co-running PEs overlap them and memory-bound clusters
+        // borrow idle bandwidth (Section VII-F's explanation of the
+        // super-linear speedups). Task assignment is round-robin over 16
+        // PEs, so tasks 0..16 are the PEs' first tasks and 16..32 their
+        // second; give even PEs (compute, memory) and odd PEs the reverse.
+        let first: Vec<ClusterProfile> =
+            (0..16).map(|p| if p % 2 == 0 { task(1000, 10) } else { task(10, 1000) }).collect();
+        let second: Vec<ClusterProfile> =
+            (0..16).map(|p| if p % 2 == 0 { task(10, 1000) } else { task(1000, 10) }).collect();
+        let profiles: Vec<ClusterProfile> = first.into_iter().chain(second).collect();
+        let curve = scaling_curve(&profiles, &[16], 1.0);
+        let speedup = curve[0].normalized_throughput;
+        assert!(
+            speedup > 16.5,
+            "expected super-linear scaling, got {speedup} at 16 PEs"
+        );
+    }
+
+    #[test]
+    fn zero_work_tasks_complete() {
+        let profiles = [task(0, 0), task(5, 5)];
+        let t = simulate(&profiles, 2, 1.0);
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn more_pes_never_slower() {
+        let profiles: Vec<ClusterProfile> =
+            (0..40).map(|i| task(50 + i * 3, 40 * (i % 5))).collect();
+        let t1 = simulate(&profiles, 1, 4.0);
+        let t4 = simulate(&profiles, 4, 4.0);
+        let t16 = simulate(&profiles, 16, 4.0);
+        assert!(t4 <= t1 && t16 <= t4, "t1 {t1}, t4 {t4}, t16 {t16}");
+    }
+
+    #[test]
+    fn curve_normalizes_to_one_pe() {
+        let profiles = [task(10, 10), task(20, 5)];
+        let curve = scaling_curve(&profiles, &[1], 1.0);
+        assert!((curve[0].normalized_throughput - 1.0).abs() < 1e-9);
+    }
+}

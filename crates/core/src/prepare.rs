@@ -1,0 +1,218 @@
+use std::ops::Range;
+
+use grow_model::{GcnWorkload, LayerWorkload};
+use grow_partition::{
+    hdn_lists, label_propagation_partition, multilevel_partition, ClusterLayout,
+    LabelPropagationConfig, MultilevelConfig, Partitioning,
+};
+use grow_sparse::CsrPattern;
+
+/// How to preprocess the adjacency matrix before simulation.
+///
+/// Partitioning is GROW's software preprocessing (Section V-C): a one-time
+/// cost amortized over all inference runs, so it is not charged to the
+/// simulated execution time. Baseline engines always run with
+/// [`PartitionStrategy::None`] (original node order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// No partitioning: original node order, one cluster spanning the whole
+    /// graph ("GROW w/o G.P." and all baselines).
+    None,
+    /// METIS-class multilevel partitioning into clusters of about
+    /// `cluster_nodes` nodes, then cluster-sorted relabeling (Figure 13).
+    Multilevel {
+        /// Target nodes per cluster.
+        cluster_nodes: usize,
+    },
+    /// Label-propagation clustering (faster preprocessing, slightly lower
+    /// locality).
+    LabelPropagation {
+        /// Target nodes per cluster.
+        cluster_nodes: usize,
+    },
+}
+
+impl PartitionStrategy {
+    /// The default clustering granularity used throughout the evaluation:
+    /// clusters of ~4096 nodes, matching the 4096-entry HDN ID list of
+    /// Table III.
+    pub fn multilevel_default() -> Self {
+        PartitionStrategy::Multilevel { cluster_nodes: 4096 }
+    }
+}
+
+/// A workload after software preprocessing, ready for any engine.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// Dataset name (for reports).
+    pub name: &'static str,
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// Pattern of the normalized adjacency matrix `A + I` (self-loops
+    /// included, per the GCN normalization), relabeled by the partitioning
+    /// permutation when one is used.
+    pub adjacency: CsrPattern,
+    /// Contiguous row ranges of the clusters (a single full-range cluster
+    /// when unpartitioned).
+    pub clusters: Vec<Range<usize>>,
+    /// Per-cluster HDN ID lists, ranked by intra-cluster reference count,
+    /// up to `hdn_id_entries` long. Engines take the prefix their cache
+    /// capacity allows.
+    pub hdn_lists: Vec<Vec<u32>>,
+    /// The two GCN layers (feature patterns + shapes).
+    pub layers: Vec<LayerWorkload>,
+    /// Intra-cluster edge fraction achieved by the preprocessing (1.0 when
+    /// unpartitioned).
+    pub intra_edge_fraction: f64,
+}
+
+impl PreparedWorkload {
+    /// Non-zeros of the (normalized) adjacency.
+    pub fn adjacency_nnz(&self) -> usize {
+        self.adjacency.nnz()
+    }
+}
+
+/// Builds the adjacency pattern `A + I` (neighbors plus a self-loop per
+/// node) without materializing normalization values, which the timing
+/// models do not need.
+fn adjacency_with_self_loops(graph: &grow_graph::Graph) -> CsrPattern {
+    let n = graph.nodes();
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::with_capacity(graph.directed_edges() + n);
+    indptr.push(0usize);
+    for v in 0..n {
+        let row = graph.neighbors(v);
+        let self_id = v as u32;
+        let pos = row.partition_point(|&c| c < self_id);
+        indices.extend_from_slice(&row[..pos]);
+        indices.push(self_id);
+        indices.extend_from_slice(&row[pos..]);
+        indptr.push(indices.len());
+    }
+    CsrPattern::from_raw(n, n, indptr, indices)
+        .expect("adjacency with self-loops is structurally valid")
+}
+
+/// Runs the software preprocessing stack: (optionally) partition the graph,
+/// relabel nodes cluster-by-cluster, and extract per-cluster HDN ID lists.
+///
+/// `hdn_id_entries` bounds the per-cluster list length (Table III: a 12 KB
+/// list buffer = 4096 entries of 3 bytes).
+pub fn prepare(
+    workload: &GcnWorkload,
+    strategy: PartitionStrategy,
+    hdn_id_entries: usize,
+) -> PreparedWorkload {
+    let graph = &workload.graph;
+    let n = graph.nodes();
+    let (layout, partitioning) = match strategy {
+        PartitionStrategy::None => (ClusterLayout::single(n), None),
+        PartitionStrategy::Multilevel { cluster_nodes } => {
+            let parts = n.div_ceil(cluster_nodes.max(1)).max(1);
+            let p = multilevel_partition(graph, parts, &MultilevelConfig::default());
+            (ClusterLayout::from_partitioning(&p), Some(p))
+        }
+        PartitionStrategy::LabelPropagation { cluster_nodes } => {
+            let parts = n.div_ceil(cluster_nodes.max(1)).max(1);
+            let p = label_propagation_partition(graph, parts, &LabelPropagationConfig::default());
+            (ClusterLayout::from_partitioning(&p), Some(p))
+        }
+    };
+    let intra = partitioning
+        .as_ref()
+        .map(|p: &Partitioning| p.intra_edge_fraction(graph))
+        .unwrap_or(1.0);
+    let relabeled;
+    let graph_ref = if matches!(strategy, PartitionStrategy::None) {
+        graph
+    } else {
+        relabeled = layout.relabel(graph);
+        &relabeled
+    };
+    let adjacency = adjacency_with_self_loops(graph_ref);
+    let clusters: Vec<Range<usize>> = layout.ranges().to_vec();
+    let lists = hdn_lists(&adjacency, &clusters, hdn_id_entries);
+    PreparedWorkload {
+        name: workload.spec.key.name(),
+        nodes: n,
+        adjacency,
+        clusters,
+        hdn_lists: lists,
+        layers: workload.layers.clone(),
+        intra_edge_fraction: intra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grow_model::DatasetKey;
+
+    fn small() -> GcnWorkload {
+        DatasetKey::Cora.spec().scaled_to(400).instantiate(11)
+    }
+
+    #[test]
+    fn unpartitioned_has_single_cluster() {
+        let p = prepare(&small(), PartitionStrategy::None, 4096);
+        assert_eq!(p.clusters.len(), 1);
+        assert_eq!(p.clusters[0], 0..400);
+        assert_eq!(p.intra_edge_fraction, 1.0);
+        assert_eq!(p.hdn_lists.len(), 1);
+    }
+
+    #[test]
+    fn adjacency_includes_self_loops() {
+        let w = small();
+        let p = prepare(&w, PartitionStrategy::None, 4096);
+        assert_eq!(p.adjacency.nnz(), w.graph.directed_edges() + w.graph.nodes());
+        for v in 0..10 {
+            assert!(p.adjacency.row_indices(v).contains(&(v as u32)), "row {v} self-loop");
+        }
+    }
+
+    #[test]
+    fn partitioned_clusters_cover_all_rows() {
+        let p = prepare(
+            &small(),
+            PartitionStrategy::Multilevel { cluster_nodes: 100 },
+            4096,
+        );
+        assert!(p.clusters.len() >= 3);
+        let covered: usize = p.clusters.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 400);
+        // Ranges are contiguous and ascending.
+        let mut expect = 0;
+        for r in &p.clusters {
+            assert_eq!(r.start, expect);
+            expect = r.end;
+        }
+    }
+
+    #[test]
+    fn partitioning_improves_locality_metric() {
+        let spec = DatasetKey::Pubmed.spec().scaled_to(3000);
+        let w = spec.instantiate(13);
+        let p = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 400 }, 4096);
+        assert!(
+            p.intra_edge_fraction > 0.4,
+            "intra fraction {}",
+            p.intra_edge_fraction
+        );
+    }
+
+    #[test]
+    fn hdn_lists_bounded_by_entry_count() {
+        let p = prepare(&small(), PartitionStrategy::None, 16);
+        assert!(p.hdn_lists[0].len() <= 16);
+    }
+
+    #[test]
+    fn relabeling_preserves_nnz() {
+        let w = small();
+        let a = prepare(&w, PartitionStrategy::None, 64);
+        let b = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 100 }, 64);
+        assert_eq!(a.adjacency.nnz(), b.adjacency.nnz());
+    }
+}

@@ -1,0 +1,236 @@
+use std::fmt;
+
+use grow_energy::ActivityCounts;
+use grow_sim::{CacheStats, Cycle, TrafficStats};
+
+/// Which of the two GCN SpDeGEMM phases a report covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// `X * W` — the dense-ish combination GEMM.
+    Combination,
+    /// `A * (XW)` — the sparse aggregation GEMM that dominates runtime
+    /// (Figure 7).
+    Aggregation,
+}
+
+/// Per-cluster execution profile, used by the multi-PE fluid model of
+/// Figure 24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterProfile {
+    /// MAC-array busy cycles contributed by this cluster.
+    pub compute_cycles: u64,
+    /// DRAM bytes moved by this cluster (granularity-rounded).
+    pub mem_bytes: u64,
+}
+
+/// Timing/traffic/cache statistics of one SpDeGEMM phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Which phase this is.
+    pub kind: PhaseKind,
+    /// End-to-end cycles of the phase.
+    pub cycles: Cycle,
+    /// Cycles the MAC array was busy.
+    pub compute_busy: u64,
+    /// Multiply-accumulate operations executed.
+    pub mac_ops: u64,
+    /// Off-chip traffic, by class.
+    pub traffic: TrafficStats,
+    /// Row-cache statistics (zeros for engines without a cache).
+    pub cache: CacheStats,
+    /// 8-byte on-chip SRAM reads.
+    pub sram_reads_8b: u64,
+    /// 8-byte on-chip SRAM writes.
+    pub sram_writes_8b: u64,
+    /// Per-cluster profiles (GROW only; empty elsewhere).
+    pub cluster_profiles: Vec<ClusterProfile>,
+}
+
+impl PhaseReport {
+    /// An empty report for `kind`.
+    pub fn new(kind: PhaseKind) -> Self {
+        PhaseReport {
+            kind,
+            cycles: 0,
+            compute_busy: 0,
+            mac_ops: 0,
+            traffic: TrafficStats::new(),
+            cache: CacheStats::default(),
+            sram_reads_8b: 0,
+            sram_writes_8b: 0,
+            cluster_profiles: Vec::new(),
+        }
+    }
+
+    /// Total DRAM bytes moved (granularity-rounded).
+    pub fn dram_bytes(&self) -> u64 {
+        self.traffic.total_fetched()
+    }
+}
+
+/// Reports for the two phases of one GCN layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Combination (`X*W`) phase.
+    pub combination: PhaseReport,
+    /// Aggregation (`A*XW`) phase.
+    pub aggregation: PhaseReport,
+}
+
+impl LayerReport {
+    /// Cycles of both phases.
+    pub fn cycles(&self) -> Cycle {
+        self.combination.cycles + self.aggregation.cycles
+    }
+}
+
+/// Full report of a 2-layer GCN inference run on one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Engine name (paper figure labels).
+    pub engine: &'static str,
+    /// Per-layer reports.
+    pub layers: Vec<LayerReport>,
+}
+
+impl RunReport {
+    /// End-to-end inference cycles.
+    pub fn total_cycles(&self) -> Cycle {
+        self.layers.iter().map(LayerReport::cycles).sum()
+    }
+
+    /// Cycles spent in aggregation across layers (Figure 7/20(b)).
+    pub fn aggregation_cycles(&self) -> Cycle {
+        self.layers.iter().map(|l| l.aggregation.cycles).sum()
+    }
+
+    /// Cycles spent in combination across layers (Figure 7/20(b)).
+    pub fn combination_cycles(&self) -> Cycle {
+        self.layers.iter().map(|l| l.combination.cycles).sum()
+    }
+
+    /// Merged traffic statistics across phases and layers.
+    pub fn total_traffic(&self) -> TrafficStats {
+        let mut t = TrafficStats::new();
+        for l in &self.layers {
+            t.merge(&l.combination.traffic);
+            t.merge(&l.aggregation.traffic);
+        }
+        t
+    }
+
+    /// Total DRAM bytes moved (Figure 18's metric).
+    pub fn dram_bytes(&self) -> u64 {
+        self.total_traffic().total_fetched()
+    }
+
+    /// Total MAC operations (must be engine-invariant for a workload).
+    pub fn mac_ops(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.combination.mac_ops + l.aggregation.mac_ops)
+            .sum()
+    }
+
+    /// Merged cache statistics (aggregation phases only, where the HDN
+    /// cache operates — Figure 17's metric).
+    pub fn aggregation_cache(&self) -> CacheStats {
+        let mut c = CacheStats::default();
+        for l in &self.layers {
+            c.merge(&l.aggregation.cache);
+        }
+        c
+    }
+
+    /// Activity counts for the energy model (Figure 22), with the engine's
+    /// total SRAM capacity supplied by the caller.
+    pub fn activity(&self, sram_kb: f64) -> ActivityCounts {
+        let mut a = ActivityCounts { sram_kb, ..ActivityCounts::default() };
+        for l in &self.layers {
+            for p in [&l.combination, &l.aggregation] {
+                a.mac_ops += p.mac_ops;
+                a.sram_reads_8b += p.sram_reads_8b;
+                a.sram_writes_8b += p.sram_writes_8b;
+                a.dram_bytes += p.traffic.total_fetched();
+            }
+        }
+        // Three register-file touches per MAC (two operand reads, one
+        // accumulator write), the usual vector-MAC bookkeeping.
+        a.rf_accesses = 3 * a.mac_ops;
+        a.cycles = self.total_cycles();
+        a
+    }
+
+    /// Per-cluster profiles concatenated across layers (multi-PE model).
+    pub fn cluster_profiles(&self) -> Vec<ClusterProfile> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend(l.combination.cluster_profiles.iter().copied());
+            out.extend(l.aggregation.cluster_profiles.iter().copied());
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} cycles ({} aggregation / {} combination), {} DRAM bytes, {} MACs",
+            self.engine,
+            self.total_cycles(),
+            self.aggregation_cycles(),
+            self.combination_cycles(),
+            self.dram_bytes(),
+            self.mac_ops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(kind: PhaseKind, cycles: Cycle, macs: u64) -> PhaseReport {
+        PhaseReport { cycles, mac_ops: macs, ..PhaseReport::new(kind) }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            engine: "test",
+            layers: vec![
+                LayerReport {
+                    combination: phase(PhaseKind::Combination, 10, 100),
+                    aggregation: phase(PhaseKind::Aggregation, 40, 200),
+                },
+                LayerReport {
+                    combination: phase(PhaseKind::Combination, 5, 50),
+                    aggregation: phase(PhaseKind::Aggregation, 20, 80),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_layers_and_phases() {
+        let r = report();
+        assert_eq!(r.total_cycles(), 75);
+        assert_eq!(r.aggregation_cycles(), 60);
+        assert_eq!(r.combination_cycles(), 15);
+        assert_eq!(r.mac_ops(), 430);
+    }
+
+    #[test]
+    fn activity_derives_rf_from_macs() {
+        let a = report().activity(538.0);
+        assert_eq!(a.mac_ops, 430);
+        assert_eq!(a.rf_accesses, 3 * 430);
+        assert_eq!(a.cycles, 75);
+        assert_eq!(a.sram_kb, 538.0);
+    }
+
+    #[test]
+    fn display_contains_engine_name() {
+        assert!(format!("{}", report()).contains("test"));
+    }
+}

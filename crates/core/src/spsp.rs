@@ -1,0 +1,199 @@
+//! Shared model of the row-wise-product sparse-*sparse* GEMM accelerators
+//! (MatRaptor and GAMMA, compared against GROW in Section VII-H).
+//!
+//! Both use Gustavson's algorithm like GROW, but as generic sparse-sparse
+//! engines they differ in exactly the three ways the paper identifies:
+//!
+//! 1. the RHS matrix is CSR-compressed, adding index metadata to every RHS
+//!    row fetch ("additional indexing overheads as well as more memory
+//!    traffic to fetch metadata associated with CSR");
+//! 2. partial-sum merging hardware occupies the pipeline for every
+//!    contribution ("a complicated and costly partial-sum merging process,
+//!    which is entirely redundant for SpDeGEMM");
+//! 3. caching: MatRaptor has none; GAMMA has a demand-filled LRU
+//!    fiber cache "not optimized for the power-law distribution of graphs".
+
+use grow_sim::{Dram, DramConfig, LruRowCache, MacArray, TrafficClass, INDEX_BYTES};
+use grow_sparse::RowMajorSparse;
+
+use crate::{LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
+
+/// Bytes per element of a CSR-compressed row: value + column index.
+const CSR_ELEM_BYTES: u64 = 8 + INDEX_BYTES;
+
+/// Parameters of a row-wise sparse-sparse engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SpSpParams {
+    pub name: &'static str,
+    pub mac_lanes: usize,
+    pub dram: DramConfig,
+    /// Fiber-cache capacity in bytes (0 = no cache, i.e. MatRaptor).
+    pub fiber_cache_bytes: u64,
+    /// Merge occupancy per scalar x vector contribution, as a multiple of
+    /// the MAC occupancy (MatRaptor's sorting queues ~1.0; GAMMA's
+    /// high-radix pipelined merger ~0.5).
+    pub merge_factor: f64,
+    /// Total on-chip SRAM in KB (for energy accounting).
+    pub sram_kb: f64,
+}
+
+pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunReport {
+    let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
+    let layers = workload
+        .layers
+        .iter()
+        .map(|layer| LayerReport {
+            combination: run_phase(params, PhaseKind::Combination, &layer.x.view(), layer.f_out),
+            aggregation: run_phase(params, PhaseKind::Aggregation, &adjacency, layer.f_out),
+        })
+        .collect();
+    RunReport { engine: params.name, layers }
+}
+
+/// One SpDeGEMM phase executed as if both operands were sparse.
+fn run_phase(
+    params: &SpSpParams,
+    kind: PhaseKind,
+    lhs: &RowMajorSparse<'_>,
+    f: usize,
+) -> PhaseReport {
+    let mut report = PhaseReport::new(kind);
+    let mut dram = Dram::new(params.dram);
+    let mut mac = MacArray::new(params.mac_lanes);
+
+    // The RHS (dense in reality) is stored and fetched as CSR by these
+    // engines: f elements of 12 bytes per row.
+    let rhs_row_bytes = f as u64 * CSR_ELEM_BYTES;
+    let cache_rows = (params.fiber_cache_bytes / rhs_row_bytes) as usize;
+    let mut cache = LruRowCache::new(cache_rows);
+    let merge_cycles = ((f as f64 * params.merge_factor).ceil() as u64)
+        .div_ceil(params.mac_lanes as u64);
+
+    let rhs_class = match kind {
+        PhaseKind::Combination => TrafficClass::Weights,
+        PhaseKind::Aggregation => TrafficClass::RhsRows,
+    };
+
+    let n = lhs.rows();
+    let k_dim = lhs.cols();
+    let mut lhs_burst = 0u64;
+    match *lhs {
+        RowMajorSparse::Dense { rows, cols } => {
+            // Dense LHS rows touch RHS rows 0..cols sequentially. Under LRU
+            // a cyclic sequential scan either fits entirely (all hits after
+            // the first row) or thrashes (all misses) — handled in bulk.
+            let fits = cache_rows >= cols;
+            for row in 0..rows {
+                let nnz = cols as u64;
+                lhs_burst += nnz * CSR_ELEM_BYTES + INDEX_BYTES as u64;
+                let (hits, misses) = if cache_rows == 0 {
+                    (0, nnz)
+                } else if fits {
+                    if row == 0 {
+                        (0, nnz)
+                    } else {
+                        (nnz, 0)
+                    }
+                } else {
+                    (0, nnz)
+                };
+                record_row(
+                    &mut report, &mut dram, &mut mac, rhs_class, f, rhs_row_bytes,
+                    merge_cycles, hits, misses,
+                );
+            }
+            report.cache.hits += if fits && rows > 1 { (rows as u64 - 1) * cols as u64 } else { 0 };
+            report.cache.misses += if fits { cols as u64 } else { rows as u64 * cols as u64 };
+            if cache_rows == 0 {
+                report.cache.hits = 0;
+                report.cache.misses = (rows * cols) as u64;
+            }
+        }
+        RowMajorSparse::Pattern(p) => {
+            for row in 0..n {
+                let mut hits = 0u64;
+                let mut misses = 0u64;
+                for &c in p.row_indices(row) {
+                    if cache_rows > 0 && cache.probe(c) {
+                        hits += 1;
+                    } else if cache_rows > 0 {
+                        cache.insert(c);
+                        misses += 1;
+                    } else {
+                        misses += 1;
+                    }
+                }
+                lhs_burst += p.row_nnz(row) as u64 * CSR_ELEM_BYTES + INDEX_BYTES as u64;
+                record_row(
+                    &mut report, &mut dram, &mut mac, rhs_class, f, rhs_row_bytes,
+                    merge_cycles, hits, misses,
+                );
+            }
+            report.cache.merge(cache.stats());
+        }
+    }
+    let _ = k_dim;
+    // The LHS CSR stream (C2SR in MatRaptor's terms) is contiguous.
+    dram.read_stream(0, lhs_burst, TrafficClass::LhsSparse);
+    dram.round_burst(lhs_burst, TrafficClass::LhsSparse);
+    report.sram_reads_8b += lhs_burst.div_ceil(8);
+    report.sram_writes_8b += lhs_burst.div_ceil(8);
+
+    // Output written in compressed form (12 B/element) — these engines
+    // produce sparse outputs even when the result is dense.
+    let out_bytes = n as u64 * f as u64 * CSR_ELEM_BYTES;
+    dram.write(mac.busy_until(), out_bytes, TrafficClass::Output);
+    report.sram_reads_8b += out_bytes.div_ceil(8);
+
+    report.cycles = mac.busy_until().max(dram.busy_until()) + params.dram.latency_cycles;
+    report.compute_busy = mac.busy_cycles();
+    report.mac_ops = mac.mac_ops();
+    report.traffic = dram.stats().clone();
+    report
+}
+
+/// Accounts one LHS row's worth of RHS fetches, MACs, and merge occupancy.
+#[allow(clippy::too_many_arguments)]
+fn record_row(
+    report: &mut PhaseReport,
+    dram: &mut Dram,
+    mac: &mut MacArray,
+    rhs_class: TrafficClass,
+    f: usize,
+    rhs_row_bytes: u64,
+    merge_cycles: u64,
+    hits: u64,
+    misses: u64,
+) {
+    if misses > 0 {
+        dram.read_many(0, misses, rhs_row_bytes, rhs_class);
+        report.sram_writes_8b += misses * rhs_row_bytes.div_ceil(8);
+    }
+    let contributions = hits + misses;
+    if contributions > 0 {
+        mac.scalar_vector_bulk(0, f, contributions);
+        mac.occupy(0, merge_cycles * contributions);
+        report.sram_reads_8b += contributions * (1 + rhs_row_bytes.div_ceil(8));
+        report.sram_writes_8b += contributions * f as u64;
+    }
+}
+
+/// Implements [`Accelerator`] for a thin wrapper around [`SpSpParams`].
+macro_rules! spsp_engine {
+    ($engine:ident, $config:ident) => {
+        impl Accelerator for $engine {
+            fn name(&self) -> &'static str {
+                self.params().name
+            }
+
+            fn run(&self, workload: &PreparedWorkload) -> RunReport {
+                run_spsp(&self.params(), workload)
+            }
+
+            fn sram_kb(&self) -> f64 {
+                self.params().sram_kb
+            }
+        }
+    };
+}
+pub(crate) use spsp_engine;

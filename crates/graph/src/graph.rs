@@ -1,0 +1,198 @@
+use std::fmt;
+
+use grow_sparse::{CooMatrix, CsrPattern};
+
+/// An undirected graph stored as a symmetric CSR adjacency pattern.
+///
+/// This is the `A` of the GCN layer `X' = sigma(A X W)` before
+/// normalization: rows are nodes, and row `i` lists the neighbors of node
+/// `i` in ascending order. Self-loops and duplicate edges are removed at
+/// construction; both directions of every edge are stored, so
+/// [`Graph::directed_edges`] equals `2 * undirected edge count`.
+///
+/// ```
+/// use grow_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.nodes(), 4);
+/// assert_eq!(g.undirected_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: CsrPattern,
+}
+
+impl Graph {
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Self-loops are dropped and duplicate edges merged. Each input pair
+    /// `(u, v)` is inserted in both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= nodes`.
+    pub fn from_edges(nodes: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut coo = CooMatrix::new(nodes, nodes);
+        for (u, v) in edges {
+            assert!(
+                (u as usize) < nodes && (v as usize) < nodes,
+                "edge ({u}, {v}) out of bounds for {nodes} nodes"
+            );
+            if u == v {
+                continue;
+            }
+            coo.push(u as usize, v as usize, 1.0).expect("checked bounds");
+            coo.push(v as usize, u as usize, 1.0).expect("checked bounds");
+        }
+        // to_csr sums duplicates; the values are irrelevant, only structure.
+        Graph { adj: coo.to_csr().into_pattern() }
+    }
+
+    /// Wraps an existing symmetric adjacency pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is not square. Symmetry is the caller's
+    /// responsibility (checked in debug builds).
+    pub fn from_adjacency(adj: CsrPattern) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        debug_assert_eq!(adj, adj.transpose(), "adjacency must be symmetric");
+        Graph { adj }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of stored directed edges (`2x` the undirected count).
+    ///
+    /// This matches the "# of Edges" convention of the paper's Table I,
+    /// which counts adjacency-matrix non-zeros.
+    pub fn directed_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// Number of undirected edges.
+    pub fn undirected_edges(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.nodes()`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj.row_nnz(v)
+    }
+
+    /// Neighbors of node `v`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.nodes()`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        self.adj.row_indices(v)
+    }
+
+    /// Average node degree (`directed_edges / nodes`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.nodes() == 0 {
+            return 0.0;
+        }
+        self.directed_edges() as f64 / self.nodes() as f64
+    }
+
+    /// Density of the adjacency matrix, as reported in Table I.
+    pub fn adjacency_density(&self) -> f64 {
+        self.adj.density()
+    }
+
+    /// Borrows the adjacency pattern.
+    pub fn adjacency(&self) -> &CsrPattern {
+        &self.adj
+    }
+
+    /// Consumes the graph and returns the adjacency pattern.
+    pub fn into_adjacency(self) -> CsrPattern {
+        self.adj
+    }
+
+    /// Returns the graph with node IDs relabeled by `perm`
+    /// (`perm[old] = new`).
+    ///
+    /// This is the preprocessing step of Figure 13: graph partitioning "only
+    /// changes the way a particular node is assigned with its node ID".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..nodes`.
+    pub fn relabel(&self, perm: &[u32]) -> Graph {
+        let m = self.adj.clone().with_unit_values().permute_symmetric(perm);
+        Graph { adj: m.into_pattern() }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph: {} nodes, {} undirected edges, avg degree {:.2}",
+            self.nodes(),
+            self.undirected_edges(),
+            self.avg_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetrizes() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.directed_edges(), 2);
+    }
+
+    #[test]
+    fn from_edges_drops_self_loops_and_duplicates() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (2, 2)]);
+        assert_eq!(g.undirected_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn degrees_and_density() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.avg_degree(), 1.5);
+        assert!((g.adjacency_density() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = g.relabel(&[2, 1, 0]);
+        assert_eq!(r.degree(1), 2);
+        assert_eq!(r.neighbors(2), &[1]);
+        assert_eq!(r.undirected_edges(), g.undirected_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_edges_checks_bounds() {
+        Graph::from_edges(2, [(0, 5)]);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        assert!(format!("{g}").contains("2 nodes"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Graph substrate for the GROW reproduction: adjacency structures,
+//! synthetic dataset generators, degree statistics, and GCN normalization.
+//!
+//! The paper evaluates on eight graph datasets from PyTorch Geometric, SNAP
+//! and OGB (Table I). Those datasets are not available offline, so this
+//! crate provides seeded synthetic generators that reproduce the properties
+//! GROW's evaluation actually depends on:
+//!
+//! * **power-law degree distributions** (Figure 11) — the basis of GROW's
+//!   high-degree-node (HDN) caching;
+//! * **community structure** (Figures 13/14) — the structure METIS-class
+//!   graph partitioning discovers and GROW's HDN cache exploits;
+//! * **node/edge counts and densities** matching Table I (scaled variants
+//!   for the largest graphs; see `DESIGN.md` §3–4).
+//!
+//! # Example
+//!
+//! ```
+//! use grow_graph::{CommunityGraphSpec, Graph};
+//!
+//! let spec = CommunityGraphSpec {
+//!     nodes: 500,
+//!     avg_degree: 8.0,
+//!     communities: 10,
+//!     intra_fraction: 0.8,
+//!     power_law_exponent: 2.3,
+//!     shuffle_fraction: 1.0,
+//! };
+//! let graph = spec.generate(42);
+//! assert_eq!(graph.nodes(), 500);
+//! assert!(graph.avg_degree() > 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod graph;
+mod normalize;
+pub mod stats;
+
+pub use generate::{CommunityGraphSpec, RmatGraphSpec};
+pub use graph::Graph;
+pub use normalize::normalized_adjacency;

@@ -1,0 +1,104 @@
+use grow_sparse::{CooMatrix, CsrMatrix};
+
+use crate::Graph;
+
+/// Computes the symmetrically normalized adjacency matrix with self-loops,
+/// `A_hat = D^{-1/2} (A + I) D^{-1/2}`.
+///
+/// The paper (Section II-A) notes that `A` is "typically normalized to
+/// prevent it from changing its scale" and that normalization happens
+/// offline as a one-time preprocessing step; the matrix called `A`
+/// throughout the evaluation is this normalized version. Self-loops are the
+/// Kipf & Welling renormalization-trick convention.
+///
+/// ```
+/// use grow_graph::{normalized_adjacency, Graph};
+///
+/// let g = Graph::from_edges(2, [(0, 1)]);
+/// let a = normalized_adjacency(&g);
+/// assert_eq!(a.nnz(), 4); // two edges + two self-loops
+/// // Row sums of D^{-1/2}(A+I)D^{-1/2} for a symmetric 2-cycle are 1.
+/// let row_sum: f64 = a.row_values(0).iter().sum();
+/// assert!((row_sum - 1.0).abs() < 1e-12);
+/// ```
+pub fn normalized_adjacency(graph: &Graph) -> CsrMatrix {
+    let n = graph.nodes();
+    let inv_sqrt: Vec<f64> =
+        (0..n).map(|v| 1.0 / ((graph.degree(v) + 1) as f64).sqrt()).collect();
+    let mut coo = CooMatrix::with_capacity(n, n, graph.directed_edges() + n);
+    for v in 0..n {
+        coo.push(v, v, inv_sqrt[v] * inv_sqrt[v]).expect("diagonal in bounds");
+        for &u in graph.neighbors(v) {
+            coo.push(v, u as usize, inv_sqrt[v] * inv_sqrt[u as usize])
+                .expect("edge in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_self_loops() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let a = normalized_adjacency(&g);
+        // isolated node 2 still gets a self-loop of weight 1.
+        assert_eq!(a.row_entries(2).collect::<Vec<_>>(), vec![(2, 1.0)]);
+        assert_eq!(a.nnz(), 2 + 3);
+    }
+
+    #[test]
+    fn normalization_is_symmetric() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let a = normalized_adjacency(&g);
+        let t = a.transpose();
+        assert!(a.to_dense().approx_eq(&t.to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn values_match_degree_formula() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]);
+        let a = normalized_adjacency(&g);
+        // deg(0)=2, deg(1)=1 -> weight(0,1) = 1/sqrt(3*2).
+        let expected = 1.0 / (3.0f64 * 2.0).sqrt();
+        let got = a
+            .row_entries(0)
+            .find(|&(c, _)| c == 1)
+            .map(|(_, v)| v)
+            .expect("edge present");
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_radius_at_most_one() {
+        // Power iteration: the normalized adjacency with self-loops has
+        // spectral radius <= 1, which is why GCNs use it (features cannot
+        // blow up across layers).
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let a = normalized_adjacency(&g);
+        let mut v = vec![1.0f64; 5];
+        for _ in 0..50 {
+            let mut next = vec![0.0f64; 5];
+            for r in 0..5 {
+                for (c, w) in a.row_entries(r) {
+                    next[r] += w * v[c as usize];
+                }
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            for x in &mut next {
+                *x /= norm;
+            }
+            v = next;
+        }
+        let mut av = vec![0.0f64; 5];
+        for r in 0..5 {
+            for (c, w) in a.row_entries(r) {
+                av[r] += w * v[c as usize];
+            }
+        }
+        let lambda = av.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>();
+        assert!(lambda <= 1.0 + 1e-9, "spectral radius {lambda} > 1");
+    }
+}

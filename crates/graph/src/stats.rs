@@ -1,0 +1,137 @@
+//! Degree statistics: the power-law characterization behind GROW's
+//! high-degree-node (HDN) caching (Figure 11 of the paper).
+
+use crate::Graph;
+
+/// Degrees of all nodes sorted descending — the x-axis of Figure 11.
+pub fn sorted_degrees(graph: &Graph) -> Vec<usize> {
+    let mut d: Vec<usize> = (0..graph.nodes()).map(|v| graph.degree(v)).collect();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    d
+}
+
+/// Node IDs of the `k` highest-degree nodes (ties broken by ID).
+///
+/// This is the global (no graph partitioning) HDN selection of
+/// Section V-C: "caching without graph partitioning simply caches the
+/// top-N high-degree nodes" (Figure 17 caption).
+pub fn top_degree_nodes(graph: &Graph, k: usize) -> Vec<u32> {
+    let mut nodes: Vec<u32> = (0..graph.nodes() as u32).collect();
+    nodes.sort_unstable_by_key(|&v| (std::cmp::Reverse(graph.degree(v as usize)), v));
+    nodes.truncate(k);
+    nodes
+}
+
+/// Fraction of directed edges whose *target* lies in the `k` highest-degree
+/// nodes: the upper bound of the no-partitioning HDN cache hit rate.
+pub fn top_k_edge_coverage(graph: &Graph, k: usize) -> f64 {
+    if graph.directed_edges() == 0 {
+        return 0.0;
+    }
+    let covered: usize =
+        top_degree_nodes(graph, k).iter().map(|&v| graph.degree(v as usize)).sum();
+    covered as f64 / graph.directed_edges() as f64
+}
+
+/// Log-binned degree histogram: `(bin lower bound, node count)` pairs with
+/// power-of-two bins, suitable for printing Figure 11's distribution.
+pub fn degree_histogram_log2(graph: &Graph) -> Vec<(usize, usize)> {
+    let mut bins: Vec<usize> = Vec::new();
+    for v in 0..graph.nodes() {
+        let d = graph.degree(v);
+        let bin = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        if bins.len() <= bin {
+            bins.resize(bin + 1, 0);
+        }
+        bins[bin] += 1;
+    }
+    bins.into_iter()
+        .enumerate()
+        .map(|(bin, count)| (if bin == 0 { 0 } else { 1usize << (bin - 1) }, count))
+        .filter(|&(_, count)| count > 0)
+        .collect()
+}
+
+/// Maximum-likelihood estimate of the power-law exponent `gamma` for the
+/// degree tail `d >= d_min` (Clauset–Shalizi–Newman estimator).
+///
+/// Returns `None` if fewer than two nodes reach `d_min`.
+pub fn power_law_alpha(graph: &Graph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let mut count = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in 0..graph.nodes() {
+        let d = graph.degree(v);
+        if d >= d_min {
+            count += 1;
+            log_sum += (d as f64 / (d_min as f64 - 0.5)).ln();
+        }
+    }
+    if count < 2 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + count as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommunityGraphSpec;
+
+    fn star(n: usize) -> Graph {
+        Graph::from_edges(n, (1..n as u32).map(|v| (0, v)))
+    }
+
+    #[test]
+    fn sorted_degrees_descending() {
+        let g = star(5);
+        assert_eq!(sorted_degrees(&g), vec![4, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn top_degree_nodes_finds_hub() {
+        let g = star(5);
+        assert_eq!(top_degree_nodes(&g, 1), vec![0]);
+        assert_eq!(top_degree_nodes(&g, 2).len(), 2);
+    }
+
+    #[test]
+    fn coverage_of_hub_is_half_in_star() {
+        // In a star, the hub is an endpoint of every edge, so targeting the
+        // hub covers half of all directed entries.
+        let g = star(9);
+        assert!((top_k_edge_coverage(&g, 1) - 0.5).abs() < 1e-12);
+        assert!((top_k_edge_coverage(&g, 9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_all_nodes() {
+        let g = star(10);
+        let total: usize = degree_histogram_log2(&g).iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn alpha_estimate_near_generator_exponent() {
+        let spec = CommunityGraphSpec {
+            nodes: 5000,
+            avg_degree: 12.0,
+            communities: 10,
+            intra_fraction: 0.8,
+            power_law_exponent: 2.4,
+            shuffle_fraction: 1.0,
+        };
+        let g = spec.generate(13);
+        let alpha = power_law_alpha(&g, 12).expect("enough tail nodes");
+        assert!(
+            (1.6..3.4).contains(&alpha),
+            "estimated alpha {alpha} not in a plausible power-law band"
+        );
+    }
+
+    #[test]
+    fn alpha_returns_none_for_tiny_graphs() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        assert!(power_law_alpha(&g, 100).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+use std::ops::Range;
+
+use grow_sparse::CsrPattern;
+
+/// Extracts the per-cluster high-degree-node (HDN) ID lists.
+///
+/// For every cluster (a contiguous row range of the — already relabeled —
+/// adjacency matrix), this counts how often each column is referenced by
+/// the cluster's rows and returns the `top_n` most-referenced column IDs.
+/// Those are exactly the RHS dense-matrix rows GROW pins in its HDN cache
+/// while computing the cluster (Section V-C: "choose the top-N high-degree
+/// nodes subject for HDN caching only within the cluster"). Counting
+/// *references from the cluster* rather than global degree also captures
+/// global hubs that a cluster touches across its boundary.
+///
+/// The returned lists are ordered by descending reference count (ties by
+/// ascending ID) and contain at most `top_n` entries each.
+///
+/// # Panics
+///
+/// Panics if a range exceeds the matrix bounds.
+///
+/// ```
+/// use grow_sparse::{CooMatrix, CsrPattern};
+/// use grow_partition::hdn_lists;
+///
+/// // Rows 0-1 reference column 3 twice and column 0 once.
+/// let mut coo = CooMatrix::new(4, 4);
+/// for (r, c) in [(0, 3), (1, 3), (1, 0)] { coo.push(r, c, 1.0).unwrap(); }
+/// let adj = coo.to_csr().into_pattern();
+/// let lists = hdn_lists(&adj, &[0..2], 1);
+/// assert_eq!(lists, vec![vec![3]]);
+/// ```
+pub fn hdn_lists(
+    adjacency: &CsrPattern,
+    cluster_ranges: &[Range<usize>],
+    top_n: usize,
+) -> Vec<Vec<u32>> {
+    let n_cols = adjacency.cols();
+    let mut counts: Vec<u32> = vec![0; n_cols];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut lists = Vec::with_capacity(cluster_ranges.len());
+    for range in cluster_ranges {
+        assert!(range.end <= adjacency.rows(), "cluster range exceeds matrix");
+        for r in range.clone() {
+            for &c in adjacency.row_indices(r) {
+                if counts[c as usize] == 0 {
+                    touched.push(c);
+                }
+                counts[c as usize] += 1;
+            }
+        }
+        // Top-N by (count desc, id asc).
+        touched.sort_unstable_by_key(|&c| (std::cmp::Reverse(counts[c as usize]), c));
+        let take = touched.len().min(top_n);
+        let list: Vec<u32> = touched[..take].to_vec();
+        for &c in &touched {
+            counts[c as usize] = 0;
+        }
+        touched.clear();
+        lists.push(list);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grow_sparse::CooMatrix;
+
+    fn pattern(rows: usize, cols: usize, entries: &[(usize, usize)]) -> CsrPattern {
+        let mut coo = CooMatrix::new(rows, cols);
+        for &(r, c) in entries {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        coo.to_csr().into_pattern()
+    }
+
+    #[test]
+    fn figure12_example_top3() {
+        // Figure 12 of the paper: a 6x6 adjacency where nodes 0, 3, 4 are
+        // the top-3 referenced columns. Reference counts (column sums):
+        // node 0: 5, node 3: 4, node 4: 4 per Figure 12(a)'s degree table.
+        let entries = [
+            (0, 0), (0, 2), (0, 3), (0, 4), (0, 5),
+            (1, 0), (1, 1), (1, 2), (1, 3), (1, 4),
+            (2, 0), (2, 3), (2, 4), (2, 1),
+            (3, 0), (3, 1), (3, 4), (3, 5),
+            (4, 0), (4, 1), (4, 3), (4, 5),
+            (5, 2), (5, 3), (5, 4),
+        ];
+        let adj = pattern(6, 6, &entries);
+        let lists = hdn_lists(&adj, &[0..6], 3);
+        assert_eq!(lists.len(), 1);
+        assert_eq!(lists[0][0], 0, "node 0 has the highest reference count");
+        let mut rest = lists[0][1..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![3, 4]);
+    }
+
+    #[test]
+    fn per_cluster_lists_differ() {
+        // Cluster 0 (rows 0-1) hammers column 1; cluster 1 (rows 2-3)
+        // hammers column 2.
+        let adj = pattern(4, 4, &[(0, 1), (1, 1), (0, 3), (2, 2), (3, 2), (3, 0)]);
+        let lists = hdn_lists(&adj, &[0..2, 2..4], 1);
+        assert_eq!(lists, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn cross_cluster_hubs_are_captured() {
+        // Rows 0-1 mostly reference column 5, which lies outside any
+        // 0..2-style "own" range — the list must still include it.
+        let adj = pattern(4, 8, &[(0, 5), (1, 5), (1, 0)]);
+        let lists = hdn_lists(&adj, &[0..2], 2);
+        assert_eq!(lists[0][0], 5);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let adj = pattern(1, 6, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let lists = hdn_lists(&adj, &[0..1], 2);
+        assert_eq!(lists[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_cluster_yields_empty_list() {
+        let adj = pattern(3, 3, &[(0, 1)]);
+        let lists = hdn_lists(&adj, &[1..1, 1..3], 4);
+        assert!(lists[0].is_empty());
+        assert_eq!(lists[1], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let adj = pattern(2, 4, &[(0, 2), (1, 3)]);
+        let lists = hdn_lists(&adj, &[0..2], 1);
+        assert_eq!(lists[0], vec![2]);
+    }
+}

@@ -1,0 +1,130 @@
+use std::ops::Range;
+
+use grow_graph::Graph;
+
+use crate::Partitioning;
+
+/// The cluster-sorted node relabeling of Figure 13.
+///
+/// Graph partitioning "only changes the way a particular node is assigned
+/// with its node ID": nodes of cluster 0 receive the lowest IDs, cluster 1
+/// the next block, and so on. The layout records both the permutation
+/// (`perm[old] = new`) and the resulting contiguous row range of every
+/// cluster, which the GROW engine uses to schedule per-cluster execution
+/// and HDN-cache refills.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterLayout {
+    perm: Vec<u32>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl ClusterLayout {
+    /// Builds the layout from a partitioning. Relative node order inside a
+    /// cluster follows the original IDs (stable), so the permutation is
+    /// deterministic.
+    pub fn from_partitioning(partitioning: &Partitioning) -> Self {
+        let n = partitioning.nodes();
+        let parts = partitioning.parts();
+        let sizes = partitioning.part_sizes();
+        let mut starts = vec![0usize; parts + 1];
+        for p in 0..parts {
+            starts[p + 1] = starts[p] + sizes[p];
+        }
+        let mut cursor = starts.clone();
+        let mut perm = vec![0u32; n];
+        for v in 0..n {
+            let p = partitioning.part_of(v) as usize;
+            perm[v] = cursor[p] as u32;
+            cursor[p] += 1;
+        }
+        let ranges = (0..parts)
+            .map(|p| starts[p]..starts[p + 1])
+            .filter(|r| !r.is_empty())
+            .collect();
+        ClusterLayout { perm, ranges }
+    }
+
+    /// The identity layout: a single cluster spanning all nodes (the
+    /// "GROW w/o G.P." configuration of Figures 17–22).
+    pub fn single(nodes: usize) -> Self {
+        ClusterLayout {
+            perm: (0..nodes as u32).collect(),
+            ranges: if nodes == 0 { Vec::new() } else { vec![0..nodes] },
+        }
+    }
+
+    /// The node relabeling, `perm[old] = new`.
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Row ranges of the clusters in the relabeled matrix, ascending and
+    /// contiguous. Empty clusters are dropped.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of (non-empty) clusters.
+    pub fn clusters(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Applies the relabeling to a graph.
+    pub fn relabel(&self, graph: &Graph) -> Graph {
+        graph.relabel(&self.perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_groups_clusters_contiguously() {
+        let p = Partitioning::new(vec![1, 0, 1, 0], 2);
+        let layout = ClusterLayout::from_partitioning(&p);
+        // Cluster 0 = old nodes {1,3} -> new IDs {0,1}; cluster 1 = {0,2} -> {2,3}.
+        assert_eq!(layout.permutation(), &[2, 0, 3, 1]);
+        assert_eq!(layout.ranges(), &[0..2, 2..4]);
+    }
+
+    #[test]
+    fn empty_clusters_are_dropped() {
+        let p = Partitioning::new(vec![0, 0, 2], 4);
+        let layout = ClusterLayout::from_partitioning(&p);
+        assert_eq!(layout.clusters(), 2);
+        assert_eq!(layout.ranges(), &[0..2, 2..3]);
+    }
+
+    #[test]
+    fn relabel_moves_cluster_edges_to_diagonal_blocks() {
+        // Figure 13: after relabeling, intra-cluster edges form diagonal
+        // blocks of the adjacency matrix.
+        let g = Graph::from_edges(4, [(0, 2), (1, 3)]);
+        let p = Partitioning::new(vec![0, 1, 0, 1], 2);
+        let layout = ClusterLayout::from_partitioning(&p);
+        let r = layout.relabel(&g);
+        // New IDs: 0->0, 2->1 (cluster 0); 1->2, 3->3 (cluster 1).
+        assert_eq!(r.neighbors(0), &[1]);
+        assert_eq!(r.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn single_layout_covers_everything() {
+        let layout = ClusterLayout::single(5);
+        assert_eq!(layout.clusters(), 1);
+        assert_eq!(layout.ranges(), &[0..5]);
+        assert_eq!(layout.permutation(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let p = Partitioning::new(vec![2, 0, 1, 2, 1, 0], 3);
+        let layout = ClusterLayout::from_partitioning(&p);
+        let mut seen = vec![false; 6];
+        for &x in layout.permutation() {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! METIS-class multilevel recursive-bisection partitioner.
+//!
+//! The paper's preprocessing uses METIS (Karypis–Kumar [20]); this module
+//! implements the same three-phase multilevel scheme natively:
+//!
+//! 1. **Coarsening** — heavy-edge matching collapses matched node pairs
+//!    into weighted super-nodes until the graph is small;
+//! 2. **Initial partitioning** — greedy region growing on the coarsest
+//!    graph, best of several seeded trials;
+//! 3. **Uncoarsening + refinement** — the bisection is projected back level
+//!    by level, applying Fiduccia–Mattheyses-style boundary passes.
+//!
+//! k-way partitions are produced by recursive bisection with proportional
+//! weight targets, exactly as classic METIS `pmetis`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grow_graph::Graph;
+
+use crate::Partitioning;
+
+/// Tuning knobs of the multilevel partitioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultilevelConfig {
+    /// RNG seed for matching order and initial-partition trials.
+    pub seed: u64,
+    /// Stop coarsening when the graph has at most this many nodes.
+    pub coarsen_until: usize,
+    /// FM refinement passes per level.
+    pub refine_passes: usize,
+    /// Allowed imbalance: each side may deviate from its weight target by
+    /// this fraction.
+    pub balance_tolerance: f64,
+    /// Number of seeded greedy-growing trials for the initial bisection.
+    pub init_trials: usize,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            seed: 0x6d65746973, // "metis"
+            coarsen_until: 96,
+            refine_passes: 4,
+            balance_tolerance: 0.10,
+            init_trials: 6,
+        }
+    }
+}
+
+/// Partitions `graph` into `parts` balanced parts by multilevel recursive
+/// bisection.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+///
+/// ```
+/// use grow_graph::Graph;
+/// use grow_partition::{multilevel_partition, MultilevelConfig};
+///
+/// // Two triangles joined by one edge: the natural bisection cuts it.
+/// let g = Graph::from_edges(6, [(0,1),(1,2),(2,0),(3,4),(4,5),(5,3),(2,3)]);
+/// let p = multilevel_partition(&g, 2, &MultilevelConfig::default());
+/// assert_eq!(p.edge_cut(&g), 1);
+/// ```
+pub fn multilevel_partition(
+    graph: &Graph,
+    parts: usize,
+    config: &MultilevelConfig,
+) -> Partitioning {
+    assert!(parts > 0, "parts must be positive");
+    let n = graph.nodes();
+    if parts == 1 || n == 0 {
+        return Partitioning::single(n);
+    }
+    if parts >= n {
+        // Degenerate: one node per part (extra parts stay empty).
+        let assignment = (0..n as u32).collect();
+        return Partitioning::new(assignment, parts);
+    }
+    let wg = WGraph::from_graph(graph);
+    let globals: Vec<u32> = (0..n as u32).collect();
+    let mut assignment = vec![0u32; n];
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    bisect_recursive(wg, globals, parts, 0, &mut assignment, config, &mut rng);
+    Partitioning::new(assignment, parts)
+}
+
+/// Internal weighted graph (CSR with node and edge weights), the working
+/// representation across coarsening levels.
+#[derive(Debug, Clone)]
+struct WGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    adjwgt: Vec<u64>,
+    vwgt: Vec<u64>,
+}
+
+impl WGraph {
+    fn from_graph(graph: &Graph) -> Self {
+        let adj = graph.adjacency();
+        WGraph {
+            xadj: adj.indptr().to_vec(),
+            adjncy: adj.indices().to_vec(),
+            adjwgt: vec![1; adj.nnz()],
+            vwgt: vec![1; graph.nodes()],
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let range = self.xadj[v]..self.xadj[v + 1];
+        self.adjncy[range.clone()].iter().copied().zip(self.adjwgt[range].iter().copied())
+    }
+}
+
+fn bisect_recursive(
+    wg: WGraph,
+    globals: Vec<u32>,
+    parts: usize,
+    part_offset: u32,
+    assignment: &mut [u32],
+    config: &MultilevelConfig,
+    rng: &mut StdRng,
+) {
+    if parts == 1 {
+        for &g in &globals {
+            assignment[g as usize] = part_offset;
+        }
+        return;
+    }
+    let left_parts = parts / 2;
+    let right_parts = parts - left_parts;
+    let target_left =
+        (wg.total_weight() as f64 * left_parts as f64 / parts as f64).round() as u64;
+
+    let side = bisect(&wg, target_left, config, rng);
+
+    let (left_wg, left_globals, right_wg, right_globals) = split(&wg, &globals, &side);
+    bisect_recursive(left_wg, left_globals, left_parts, part_offset, assignment, config, rng);
+    bisect_recursive(
+        right_wg,
+        right_globals,
+        right_parts,
+        part_offset + left_parts as u32,
+        assignment,
+        config,
+        rng,
+    );
+}
+
+/// One complete multilevel bisection: returns `side[v] == true` for nodes
+/// assigned to the left half (weight target `target_left`).
+fn bisect(wg: &WGraph, target_left: u64, config: &MultilevelConfig, rng: &mut StdRng) -> Vec<bool> {
+    // Coarsening phase: remember each level and its fine-to-coarse map.
+    // Super-node weight is capped (as in METIS) so one coarse node cannot
+    // dominate a side and wreck the balance of the initial partition.
+    let max_vwgt = ((1.5 * wg.total_weight() as f64 / config.coarsen_until.max(8) as f64)
+        .ceil() as u64)
+        .max(2);
+    let mut levels: Vec<(WGraph, Vec<u32>)> = Vec::new();
+    let mut current = wg.clone();
+    while current.nodes() > config.coarsen_until.max(8) {
+        let (coarse, map) = coarsen(&current, max_vwgt, rng);
+        let reduction = 1.0 - coarse.nodes() as f64 / current.nodes() as f64;
+        levels.push((std::mem::replace(&mut current, coarse), map));
+        if reduction < 0.05 {
+            break;
+        }
+    }
+
+    // Initial partition on the coarsest graph.
+    let mut side = initial_bisection(&current, target_left, config, rng);
+    refine(&current, &mut side, target_left, config);
+
+    // Uncoarsen: project and refine at every level.
+    while let Some((fine, map)) = levels.pop() {
+        let mut fine_side = vec![false; fine.nodes()];
+        for (v, s) in fine_side.iter_mut().enumerate() {
+            *s = side[map[v] as usize];
+        }
+        side = fine_side;
+        refine(&fine, &mut side, target_left, config);
+        current = fine;
+    }
+    let _ = current;
+    side
+}
+
+/// Heavy-edge matching: each unmatched node pairs with its unmatched
+/// neighbor of maximum edge weight, subject to the super-node weight cap.
+/// Returns the coarse graph and the fine-to-coarse node map.
+fn coarsen(wg: &WGraph, max_vwgt: u64, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
+    let n = wg.nodes();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Fisher-Yates shuffle for a random visit order.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut map = vec![UNMATCHED; n];
+    let mut coarse_count = 0u32;
+    for &v in &order {
+        let v = v as usize;
+        if map[v] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for (u, w) in wg.neighbors(v) {
+            if map[u as usize] == UNMATCHED
+                && u as usize != v
+                && wg.vwgt[v] + wg.vwgt[u as usize] <= max_vwgt
+            {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        map[v] = coarse_count;
+        if let Some((u, _)) = best {
+            map[u as usize] = coarse_count;
+        }
+        coarse_count += 1;
+    }
+
+    // Build the coarse weighted graph with a scratch accumulator.
+    let nc = coarse_count as usize;
+    let mut vwgt = vec![0u64; nc];
+    for v in 0..n {
+        vwgt[map[v] as usize] += wg.vwgt[v];
+    }
+    let mut xadj = Vec::with_capacity(nc + 1);
+    let mut adjncy: Vec<u32> = Vec::new();
+    let mut adjwgt: Vec<u64> = Vec::new();
+    // Group fine nodes by coarse id.
+    let mut members_start = vec![0usize; nc + 1];
+    for v in 0..n {
+        members_start[map[v] as usize + 1] += 1;
+    }
+    for c in 0..nc {
+        members_start[c + 1] += members_start[c];
+    }
+    let mut members = vec![0u32; n];
+    let mut cursor = members_start.clone();
+    for v in 0..n {
+        members[cursor[map[v] as usize]] = v as u32;
+        cursor[map[v] as usize] += 1;
+    }
+
+    let mut accum = vec![0u64; nc];
+    let mut touched: Vec<u32> = Vec::new();
+    xadj.push(0);
+    for c in 0..nc {
+        for &v in &members[members_start[c]..members_start[c + 1]] {
+            for (u, w) in wg.neighbors(v as usize) {
+                let cu = map[u as usize];
+                if cu as usize == c {
+                    continue;
+                }
+                if accum[cu as usize] == 0 {
+                    touched.push(cu);
+                }
+                accum[cu as usize] += w;
+            }
+        }
+        touched.sort_unstable();
+        for &cu in &touched {
+            adjncy.push(cu);
+            adjwgt.push(accum[cu as usize]);
+            accum[cu as usize] = 0;
+        }
+        touched.clear();
+        xadj.push(adjncy.len());
+    }
+    (WGraph { xadj, adjncy, adjwgt, vwgt }, map)
+}
+
+/// Greedy region growing: BFS from a random seed, always absorbing the
+/// frontier node with the highest gain, until the left side reaches its
+/// weight target. Best cut over `init_trials` trials wins.
+fn initial_bisection(
+    wg: &WGraph,
+    target_left: u64,
+    config: &MultilevelConfig,
+    rng: &mut StdRng,
+) -> Vec<bool> {
+    let n = wg.nodes();
+    let total = wg.total_weight();
+    let target = target_left.min(total);
+    let mut best: Option<(u64, Vec<bool>)> = None;
+    for _ in 0..config.init_trials.max(1) {
+        let mut side = vec![false; n];
+        let mut weight = 0u64;
+        let mut heap: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
+        while weight < target {
+            let v = match heap.pop() {
+                Some((_, v)) if !side[v as usize] => v as usize,
+                Some(_) => continue, // stale entry: node already absorbed
+                None => {
+                    // Frontier exhausted (disconnected component): restart
+                    // from a random unassigned node.
+                    let mut v = rng.random_range(0..n);
+                    let mut guard = 0;
+                    while side[v] && guard < 4 * n {
+                        v = (v + 1) % n;
+                        guard += 1;
+                    }
+                    v
+                }
+            };
+            side[v] = true;
+            weight += wg.vwgt[v];
+            // Re-push every outside neighbor with its refreshed gain;
+            // duplicates are harmless (stale entries are skipped above) and
+            // keeping gains fresh is what makes region growing track
+            // community boundaries.
+            for (u, _) in wg.neighbors(v) {
+                let u = u as usize;
+                if !side[u] {
+                    let gain: i64 = wg
+                        .neighbors(u)
+                        .map(|(x, w)| if side[x as usize] { w as i64 } else { -(w as i64) })
+                        .sum();
+                    heap.push((gain, u as u32));
+                }
+            }
+        }
+        let cut = cut_weight(wg, &side);
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
+            best = Some((cut, side));
+        }
+    }
+    best.expect("at least one trial").1
+}
+
+fn cut_weight(wg: &WGraph, side: &[bool]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..wg.nodes() {
+        for (u, w) in wg.neighbors(v) {
+            if side[v] != side[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2
+}
+
+/// FM-style boundary refinement: a balance-repair sweep (needed only right
+/// after the initial partition, where region growing may overshoot its
+/// target), then several passes of greedy positive-gain moves within the
+/// balance window.
+fn refine(wg: &WGraph, side: &mut [bool], target_left: u64, config: &MultilevelConfig) {
+    let total = wg.total_weight();
+    let smaller_side = target_left.min(total - target_left).max(1);
+    let tol = ((smaller_side as f64 * config.balance_tolerance) as u64).max(1);
+    let mut left_weight: u64 =
+        (0..wg.nodes()).filter(|&v| side[v]).map(|v| wg.vwgt[v]).sum();
+    let min_left = target_left.saturating_sub(tol);
+    let max_left = (target_left + tol).min(total);
+
+    // Balance repair: if outside the window, shed weight from the heavy
+    // side, taking the least-damaging (highest-gain) movable nodes first.
+    if left_weight > max_left || left_weight < min_left {
+        let heavy_is_left = left_weight > max_left;
+        let mut candidates: Vec<(i64, u32)> = (0..wg.nodes())
+            .filter(|&v| side[v] == heavy_is_left)
+            .map(|v| {
+                let mut gain = 0i64;
+                for (u, w) in wg.neighbors(v) {
+                    if side[u as usize] == side[v] {
+                        gain -= w as i64;
+                    } else {
+                        gain += w as i64;
+                    }
+                }
+                (gain, v as u32)
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for (_, v) in candidates {
+            if left_weight <= max_left && left_weight >= min_left {
+                break;
+            }
+            let v = v as usize;
+            side[v] = !side[v];
+            if heavy_is_left {
+                left_weight -= wg.vwgt[v];
+            } else {
+                left_weight += wg.vwgt[v];
+            }
+        }
+    }
+
+    for _ in 0..config.refine_passes {
+        // Gains of boundary nodes: moving v to the other side changes the
+        // cut by external - internal edge weight.
+        let mut moves: Vec<(i64, u32)> = Vec::new();
+        for v in 0..wg.nodes() {
+            let mut internal = 0i64;
+            let mut external = 0i64;
+            for (u, w) in wg.neighbors(v) {
+                if side[u as usize] == side[v] {
+                    internal += w as i64;
+                } else {
+                    external += w as i64;
+                }
+            }
+            if external > 0 {
+                moves.push((external - internal, v as u32));
+            }
+        }
+        moves.sort_unstable_by(|a, b| b.cmp(a));
+        let mut applied = 0usize;
+        for (gain, v) in moves {
+            if gain <= 0 {
+                break;
+            }
+            let v = v as usize;
+            // Recompute the gain: earlier moves in this pass may have
+            // changed it.
+            let mut internal = 0i64;
+            let mut external = 0i64;
+            for (u, w) in wg.neighbors(v) {
+                if side[u as usize] == side[v] {
+                    internal += w as i64;
+                } else {
+                    external += w as i64;
+                }
+            }
+            if external - internal <= 0 {
+                continue;
+            }
+            let new_left = if side[v] {
+                left_weight.checked_sub(wg.vwgt[v]).unwrap_or(0)
+            } else {
+                left_weight + wg.vwgt[v]
+            };
+            if new_left < min_left || new_left > max_left {
+                continue;
+            }
+            side[v] = !side[v];
+            left_weight = new_left;
+            applied += 1;
+        }
+        if applied == 0 {
+            break;
+        }
+    }
+}
+
+/// Splits a weighted graph into the two side-induced subgraphs, dropping
+/// cut edges, and maps local node IDs back to the caller's globals.
+fn split(
+    wg: &WGraph,
+    globals: &[u32],
+    side: &[bool],
+) -> (WGraph, Vec<u32>, WGraph, Vec<u32>) {
+    let n = wg.nodes();
+    let mut local = vec![0u32; n];
+    let mut left_globals = Vec::new();
+    let mut right_globals = Vec::new();
+    for v in 0..n {
+        if side[v] {
+            local[v] = left_globals.len() as u32;
+            left_globals.push(globals[v]);
+        } else {
+            local[v] = right_globals.len() as u32;
+            right_globals.push(globals[v]);
+        }
+    }
+    let build = |want: bool| {
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::new();
+        for v in 0..n {
+            if side[v] != want {
+                continue;
+            }
+            for (u, w) in wg.neighbors(v) {
+                if side[u as usize] == want {
+                    adjncy.push(local[u as usize]);
+                    adjwgt.push(w);
+                }
+            }
+            xadj.push(adjncy.len());
+            vwgt.push(wg.vwgt[v]);
+        }
+        WGraph { xadj, adjncy, adjwgt, vwgt }
+    };
+    (build(true), left_globals, build(false), right_globals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grow_graph::CommunityGraphSpec;
+
+    #[test]
+    fn bisects_two_cliques() {
+        // Two 5-cliques connected by a single edge.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((0, 5));
+        let g = Graph::from_edges(10, edges);
+        let p = multilevel_partition(&g, 2, &MultilevelConfig::default());
+        assert_eq!(p.edge_cut(&g), 1);
+        assert_eq!(p.balance(), 1.0);
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let spec = CommunityGraphSpec {
+            nodes: 1200,
+            avg_degree: 10.0,
+            communities: 6,
+            intra_fraction: 0.9,
+            power_law_exponent: 2.5,
+            shuffle_fraction: 1.0,
+        };
+        let gen = spec.generate_detailed(21);
+        let p = multilevel_partition(&gen.graph, 6, &MultilevelConfig::default());
+        // The recovered partition keeps most edges internal (planted
+        // intra-fraction is 0.9 of endpoints => ~0.8 of edges).
+        let frac = p.intra_edge_fraction(&gen.graph);
+        assert!(frac > 0.6, "intra fraction {frac} too low");
+        assert!(p.balance() < 1.35, "balance {} too skewed", p.balance());
+    }
+
+    #[test]
+    fn kway_parts_cover_all_nodes() {
+        let spec = CommunityGraphSpec {
+            nodes: 640,
+            avg_degree: 8.0,
+            communities: 8,
+            intra_fraction: 0.85,
+            power_law_exponent: 2.5,
+            shuffle_fraction: 1.0,
+        };
+        let g = spec.generate(3);
+        let p = multilevel_partition(&g, 8, &MultilevelConfig::default());
+        assert_eq!(p.parts(), 8);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 640);
+        assert!(sizes.iter().all(|&s| s > 0), "empty part in {sizes:?}");
+    }
+
+    #[test]
+    fn one_part_is_trivial() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let p = multilevel_partition(&g, 1, &MultilevelConfig::default());
+        assert_eq!(p.parts(), 1);
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+
+    #[test]
+    fn more_parts_than_nodes_degenerates() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let p = multilevel_partition(&g, 10, &MultilevelConfig::default());
+        assert_eq!(p.parts(), 10);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = CommunityGraphSpec {
+            nodes: 500,
+            avg_degree: 8.0,
+            communities: 4,
+            intra_fraction: 0.85,
+            power_law_exponent: 2.5,
+            shuffle_fraction: 1.0,
+        };
+        let g = spec.generate(17);
+        let cfg = MultilevelConfig::default();
+        let p1 = multilevel_partition(&g, 4, &cfg);
+        let p2 = multilevel_partition(&g, 4, &cfg);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Graph::from_edges(8, [(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let p = multilevel_partition(&g, 2, &MultilevelConfig::default());
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 8);
+    }
+}

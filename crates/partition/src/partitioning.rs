@@ -1,0 +1,165 @@
+use std::fmt;
+
+use grow_graph::Graph;
+
+/// A node-to-part assignment produced by a partitioner.
+///
+/// Quality is characterized by the classic partitioning metrics the paper's
+/// preprocessing relies on: edge cut (equivalently, the intra-cluster edge
+/// fraction — "intra-cluster nodes have much larger number of edges than
+/// inter-cluster nodes", Section V-C) and balance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    assignment: Vec<u32>,
+    parts: usize,
+}
+
+impl Partitioning {
+    /// Creates a partitioning from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any part ID is `>= parts` or `parts == 0`.
+    pub fn new(assignment: Vec<u32>, parts: usize) -> Self {
+        assert!(parts > 0, "at least one part required");
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < parts),
+            "assignment references a part >= parts"
+        );
+        Partitioning { assignment, parts }
+    }
+
+    /// The trivial single-part partitioning (used by "GROW w/o G.P.").
+    pub fn single(nodes: usize) -> Self {
+        Partitioning { assignment: vec![0; nodes], parts: 1 }
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Part of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn part_of(&self, v: usize) -> u32 {
+        self.assignment[v]
+    }
+
+    /// The full node-to-part assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Node count of every part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of undirected edges crossing part boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's node count differs from the assignment length.
+    pub fn edge_cut(&self, graph: &Graph) -> usize {
+        assert_eq!(graph.nodes(), self.assignment.len());
+        let mut cut = 0usize;
+        for v in 0..graph.nodes() {
+            for &u in graph.neighbors(v) {
+                if self.assignment[v] != self.assignment[u as usize] {
+                    cut += 1;
+                }
+            }
+        }
+        cut / 2
+    }
+
+    /// Fraction of directed adjacency entries that stay within a part.
+    pub fn intra_edge_fraction(&self, graph: &Graph) -> f64 {
+        if graph.directed_edges() == 0 {
+            return 1.0;
+        }
+        1.0 - (2 * self.edge_cut(graph)) as f64 / graph.directed_edges() as f64
+    }
+
+    /// Balance factor: largest part size over the ideal (`nodes / parts`).
+    /// `1.0` is perfect; METIS-quality partitioners stay below ~1.05.
+    pub fn balance(&self) -> f64 {
+        let sizes = self.part_sizes();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        let ideal = self.assignment.len() as f64 / self.parts as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Partitioning: {} nodes into {} parts (balance {:.3})",
+            self.assignment.len(),
+            self.parts,
+            self.balance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|v| (v, v + 1)))
+    }
+
+    #[test]
+    fn new_validates_part_ids() {
+        assert!(std::panic::catch_unwind(|| Partitioning::new(vec![0, 3], 2)).is_err());
+    }
+
+    #[test]
+    fn edge_cut_of_split_path() {
+        let g = path_graph(4);
+        // parts {0,1} and {2,3}: exactly one edge (1,2) crosses.
+        let p = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(p.edge_cut(&g), 1);
+        assert!((p.intra_edge_fraction(&g) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_part_has_no_cut() {
+        let g = path_graph(5);
+        let p = Partitioning::single(5);
+        assert_eq!(p.edge_cut(&g), 0);
+        assert_eq!(p.intra_edge_fraction(&g), 1.0);
+    }
+
+    #[test]
+    fn balance_detects_skew() {
+        let p = Partitioning::new(vec![0, 0, 0, 1], 2);
+        assert_eq!(p.balance(), 1.5);
+        let q = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(q.balance(), 1.0);
+    }
+
+    #[test]
+    fn part_sizes_sum_to_nodes() {
+        let p = Partitioning::new(vec![0, 2, 1, 2, 2], 3);
+        assert_eq!(p.part_sizes(), vec![1, 1, 3]);
+    }
+}

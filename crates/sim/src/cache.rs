@@ -1,0 +1,419 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// Hit/miss counters for a row cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probe hits.
+    pub hits: u64,
+    /// Probe misses.
+    pub misses: u64,
+    /// Rows installed by preloading (pinned fills) or demand insertion.
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all probes; `None` before the first probe.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fills += other.fills;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {} / misses {} (hit rate {:.1}%)",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate().unwrap_or(0.0)
+        )
+    }
+}
+
+/// GROW's HDN cache: a scratchpad that pins a fixed set of row IDs.
+///
+/// The paper statically pins the per-cluster top-N high-degree nodes and
+/// found this beats demand-based replacement ("statically pinning the
+/// high-degree nodes within the cache yielded the most robust speedups",
+/// Section VIII). Misses stream to the processing engine directly from
+/// DRAM and are *not* installed.
+///
+/// ```
+/// use grow_sim::PinnedRowCache;
+///
+/// let mut cache = PinnedRowCache::new(2, 10);
+/// cache.load(&[3, 7, 9]); // capacity 2: only 3 and 7 fit
+/// assert!(cache.probe(3));
+/// assert!(!cache.probe(9));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PinnedRowCache {
+    capacity_rows: usize,
+    resident: Vec<bool>,
+    loaded: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl PinnedRowCache {
+    /// Creates a cache holding up to `capacity_rows` rows out of a universe
+    /// of `universe` row IDs.
+    pub fn new(capacity_rows: usize, universe: usize) -> Self {
+        PinnedRowCache {
+            capacity_rows,
+            resident: vec![false; universe],
+            loaded: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Row capacity.
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Replaces the pinned set with (a capacity-truncated prefix of) `ids`,
+    /// as happens at each cluster boundary. Returns how many rows were
+    /// actually pinned — the number of preload fills the DMA must fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ID is outside the universe.
+    pub fn load(&mut self, ids: &[u32]) -> usize {
+        for &id in &self.loaded {
+            self.resident[id as usize] = false;
+        }
+        self.loaded.clear();
+        for &id in ids.iter().take(self.capacity_rows) {
+            if !self.resident[id as usize] {
+                self.resident[id as usize] = true;
+                self.loaded.push(id);
+            }
+        }
+        self.stats.fills += self.loaded.len() as u64;
+        self.loaded.len()
+    }
+
+    /// Number of rows currently pinned.
+    pub fn resident_rows(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// Probes for `id`, recording a hit or miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn probe(&mut self, id: u32) -> bool {
+        let hit = self.resident[id as usize];
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Checks residency without touching statistics.
+    pub fn peek(&self, id: u32) -> bool {
+        self.resident[id as usize]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+/// A demand-filled LRU row cache.
+///
+/// Models GAMMA's fiber cache (Section VII-H: "GAMMA's fiber cache is not
+/// optimized for the power-law distribution of graphs") and the
+/// alternative eviction policies of the Section VIII discussion.
+///
+/// ```
+/// use grow_sim::LruRowCache;
+///
+/// let mut cache = LruRowCache::new(2);
+/// assert!(!cache.probe(1));
+/// cache.insert(1);
+/// cache.insert(2);
+/// cache.probe(1);      // touch 1 so 2 becomes LRU
+/// cache.insert(3);     // evicts 2
+/// assert!(cache.peek(1) && !cache.peek(2) && cache.peek(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruRowCache {
+    capacity_rows: usize,
+    /// id -> slot index in the intrusive list.
+    map: HashMap<u32, usize>,
+    /// Slot storage: (id, prev, next); usize::MAX is the null link.
+    slots: Vec<(u32, usize, usize)>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    stats: CacheStats,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruRowCache {
+    /// Creates an empty cache holding up to `capacity_rows` rows.
+    pub fn new(capacity_rows: usize) -> Self {
+        LruRowCache {
+            capacity_rows,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Row capacity.
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Number of resident rows.
+    pub fn resident_rows(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Probes for `id`, recording a hit (and touching the entry) or a miss.
+    pub fn probe(&mut self, id: u32) -> bool {
+        if let Some(&slot) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.unlink(slot);
+            self.push_front(slot);
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Checks residency without touching statistics or recency.
+    pub fn peek(&self, id: u32) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Installs `id` as most-recently-used, evicting the LRU row if full.
+    /// No-op if already resident (the entry is just touched).
+    pub fn insert(&mut self, id: u32) {
+        if self.capacity_rows == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&id) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        self.stats.fills += 1;
+        let slot = if self.map.len() >= self.capacity_rows {
+            let victim = self.tail;
+            let old_id = self.slots[victim].0;
+            self.map.remove(&old_id);
+            self.unlink(victim);
+            self.slots[victim].0 = id;
+            victim
+        } else {
+            self.slots.push((id, NIL, NIL));
+            self.slots.len() - 1
+        };
+        self.map.insert(id, slot);
+        self.push_front(slot);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (_, prev, next) = self.slots[slot];
+        if prev != NIL {
+            self.slots[prev].2 = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].1 = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].1 = NIL;
+        self.slots[slot].2 = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].1 = NIL;
+        self.slots[slot].2 = self.head;
+        if self.head != NIL {
+            self.slots[self.head].1 = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_cache_respects_capacity() {
+        let mut c = PinnedRowCache::new(3, 100);
+        assert_eq!(c.load(&[1, 2, 3, 4, 5]), 3);
+        assert!(c.peek(3));
+        assert!(!c.peek(4));
+    }
+
+    #[test]
+    fn pinned_cache_reload_swaps_cluster_sets() {
+        // Figure 13: cluster 0 pins {0,1,2}, cluster 1 pins {3,4,5}.
+        let mut c = PinnedRowCache::new(3, 6);
+        c.load(&[0, 1, 2]);
+        assert!(c.probe(0) && c.probe(1) && c.probe(2));
+        c.load(&[3, 4, 5]);
+        assert!(!c.peek(0));
+        assert!(c.probe(3) && c.probe(4) && c.probe(5));
+        assert_eq!(c.stats().hits, 6);
+        assert_eq!(c.stats().fills, 6);
+    }
+
+    #[test]
+    fn pinned_cache_misses_are_not_installed() {
+        let mut c = PinnedRowCache::new(2, 10);
+        c.load(&[1]);
+        assert!(!c.probe(5));
+        assert!(!c.probe(5), "miss twice: streaming, not caching");
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn pinned_cache_dedups_load_list() {
+        let mut c = PinnedRowCache::new(4, 10);
+        assert_eq!(c.load(&[7, 7, 8]), 2);
+    }
+
+    #[test]
+    fn figure12_hit_count() {
+        // Figure 12 of the paper: node degrees (column counts) are
+        // [5, 3, 3, 4, 4, 3]; pinning the top-3 nodes {0, 3, 4} yields
+        // exactly 5 + 4 + 4 = 13 HDN cache hits over the six output rows.
+        let rows: [&[u32]; 6] = [
+            &[0, 2, 3, 4, 5],
+            &[0, 1, 3, 4],
+            &[0, 1, 3, 4],
+            &[0, 2, 4, 5],
+            &[0, 1, 3, 5],
+            &[2],
+        ];
+        let mut c = PinnedRowCache::new(3, 6);
+        c.load(&[0, 3, 4]);
+        for row in rows {
+            for &col in row {
+                c.probe(col);
+            }
+        }
+        assert_eq!(c.stats().hits, 13, "Figure 12 promises 13 hits");
+    }
+
+    #[test]
+    fn figure13_hit_count_with_partitioning() {
+        // Figure 13: after graph partitioning, pinning each cluster's own
+        // nodes {0,1,2} then {3,4,5} yields 18 hits on the clustered
+        // adjacency.
+        let rows: [&[u32]; 6] = [
+            &[0, 1, 2, 5],
+            &[0, 1, 2, 3, 4],
+            &[0, 1, 2, 5],
+            &[1, 3, 4, 5],
+            &[1, 3, 4, 5],
+            &[0, 2, 3, 4, 5],
+        ];
+        let mut c = PinnedRowCache::new(3, 6);
+        c.load(&[0, 1, 2]);
+        for row in rows.iter().take(3) {
+            for &col in *row {
+                c.probe(col);
+            }
+        }
+        c.load(&[3, 4, 5]);
+        for row in rows.iter().skip(3) {
+            for &col in *row {
+                c.probe(col);
+            }
+        }
+        assert_eq!(c.stats().hits, 18, "Figure 13 promises 18 hits");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruRowCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        c.probe(1);
+        c.insert(3);
+        assert!(c.peek(1));
+        assert!(!c.peek(2));
+        assert!(c.peek(3));
+        assert_eq!(c.resident_rows(), 2);
+    }
+
+    #[test]
+    fn lru_insert_existing_is_touch() {
+        let mut c = LruRowCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        c.insert(1); // touch, no fill
+        c.insert(3); // evicts 2
+        assert!(c.peek(1) && c.peek(3) && !c.peek(2));
+        assert_eq!(c.stats().fills, 3);
+    }
+
+    #[test]
+    fn lru_zero_capacity_never_hits() {
+        let mut c = LruRowCache::new(0);
+        c.insert(1);
+        assert!(!c.probe(1));
+        assert_eq!(c.resident_rows(), 0);
+    }
+
+    #[test]
+    fn lru_heavy_churn_is_consistent() {
+        let mut c = LruRowCache::new(8);
+        for i in 0..1000u32 {
+            c.probe(i % 16);
+            c.insert(i % 16);
+        }
+        assert_eq!(c.resident_rows(), 8);
+        let resident: Vec<u32> = (0..16).filter(|&i| c.peek(i)).collect();
+        assert_eq!(resident.len(), 8);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut c = LruRowCache::new(4);
+        assert!(c.stats().hit_rate().is_none());
+        c.insert(9);
+        c.probe(9);
+        c.probe(10);
+        assert_eq!(c.stats().hit_rate(), Some(0.5));
+    }
+}

@@ -1,0 +1,245 @@
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::Cycle;
+
+/// One pending LHS non-zero waiting for an in-flight RHS row (an entry of
+/// the LHS-ID table of Figure 16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waiter {
+    /// The O-BUF output row this non-zero accumulates into.
+    pub output_row: u32,
+    /// The LHS sparse value to multiply with the returning RHS row.
+    pub lhs_value: f64,
+}
+
+/// Outcome of trying to issue an HDN-cache-missed RHS row request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueOutcome {
+    /// A new LDN-table entry was allocated; the caller must start the DRAM
+    /// fetch and then call [`RunaheadTables::set_completion`].
+    Allocated,
+    /// The row was already in flight; the waiter piggy-backs on the
+    /// existing LDN entry (MSHR-style coalescing).
+    Coalesced,
+    /// The LDN table is full: runahead must stall until a fetch returns.
+    LdnFull,
+    /// The LHS-ID table is full: runahead must stall until a fetch returns.
+    LhsFull,
+}
+
+/// The runahead-execution bookkeeping of Section V-D: an `M`-entry LDN
+/// table tracking HDN-cache-missed RHS rows in flight, and an `N`-entry
+/// LHS-ID table holding the sparse values waiting on them (Figure 16;
+/// defaults `M = 16`, `N = 64`).
+///
+/// ```
+/// use grow_sim::{IssueOutcome, RunaheadTables, Waiter};
+///
+/// let mut t = RunaheadTables::new(16, 64);
+/// let w = Waiter { output_row: 0, lhs_value: 1.5 };
+/// assert_eq!(t.issue(7, w), IssueOutcome::Allocated);
+/// t.set_completion(7, 120);
+/// // Same row again from another output row: coalesced, no new fetch.
+/// assert_eq!(t.issue(7, Waiter { output_row: 2, lhs_value: -0.5 }), IssueOutcome::Coalesced);
+/// let (done, row, waiters) = t.pop_earliest().unwrap();
+/// assert_eq!((done, row, waiters.len()), (120, 7, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunaheadTables {
+    ldn_capacity: usize,
+    lhs_capacity: usize,
+    in_flight: HashMap<u32, Entry>,
+    lhs_used: usize,
+    /// Min-heap of (completion, rhs row) for entries whose completion is known.
+    completions: BinaryHeap<std::cmp::Reverse<(Cycle, u32)>>,
+    peak_ldn: usize,
+    peak_lhs: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    complete_at: Option<Cycle>,
+    waiters: Vec<Waiter>,
+}
+
+impl RunaheadTables {
+    /// Creates empty tables with the given capacities (Table III defaults
+    /// are 16 and 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(ldn_capacity: usize, lhs_capacity: usize) -> Self {
+        assert!(ldn_capacity > 0 && lhs_capacity > 0, "table capacities must be positive");
+        RunaheadTables {
+            ldn_capacity,
+            lhs_capacity,
+            in_flight: HashMap::new(),
+            lhs_used: 0,
+            completions: BinaryHeap::new(),
+            peak_ldn: 0,
+            peak_lhs: 0,
+        }
+    }
+
+    /// LDN-table entries currently allocated.
+    pub fn ldn_used(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// LHS-ID-table entries currently allocated.
+    pub fn lhs_used(&self) -> usize {
+        self.lhs_used
+    }
+
+    /// Largest simultaneous LDN occupancy observed.
+    pub fn peak_ldn(&self) -> usize {
+        self.peak_ldn
+    }
+
+    /// Largest simultaneous LHS occupancy observed.
+    pub fn peak_lhs(&self) -> usize {
+        self.peak_lhs
+    }
+
+    /// True if no fetches are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Attempts to register `waiter` for RHS row `rhs_row`.
+    ///
+    /// On [`IssueOutcome::Allocated`] the caller must perform the DRAM read
+    /// and report its completion via [`RunaheadTables::set_completion`].
+    /// On `LdnFull`/`LhsFull` nothing is recorded; the caller should drain
+    /// one completion ([`RunaheadTables::pop_earliest`]) and retry.
+    pub fn issue(&mut self, rhs_row: u32, waiter: Waiter) -> IssueOutcome {
+        if self.lhs_used >= self.lhs_capacity {
+            return IssueOutcome::LhsFull;
+        }
+        if let Some(entry) = self.in_flight.get_mut(&rhs_row) {
+            entry.waiters.push(waiter);
+            self.lhs_used += 1;
+            self.peak_lhs = self.peak_lhs.max(self.lhs_used);
+            return IssueOutcome::Coalesced;
+        }
+        if self.in_flight.len() >= self.ldn_capacity {
+            return IssueOutcome::LdnFull;
+        }
+        self.in_flight.insert(rhs_row, Entry { complete_at: None, waiters: vec![waiter] });
+        self.lhs_used += 1;
+        self.peak_ldn = self.peak_ldn.max(self.in_flight.len());
+        self.peak_lhs = self.peak_lhs.max(self.lhs_used);
+        IssueOutcome::Allocated
+    }
+
+    /// Records the DRAM completion cycle of a newly allocated entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs_row` has no allocated entry or already has a
+    /// completion time.
+    pub fn set_completion(&mut self, rhs_row: u32, complete_at: Cycle) {
+        let entry = self.in_flight.get_mut(&rhs_row).expect("entry must be allocated");
+        assert!(entry.complete_at.is_none(), "completion already set");
+        entry.complete_at = Some(complete_at);
+        self.completions.push(std::cmp::Reverse((complete_at, rhs_row)));
+    }
+
+    /// Removes and returns the in-flight row with the earliest completion:
+    /// `(completion cycle, rhs row, waiters)`. Returns `None` when nothing
+    /// is in flight.
+    pub fn pop_earliest(&mut self) -> Option<(Cycle, u32, Vec<Waiter>)> {
+        let std::cmp::Reverse((done, row)) = self.completions.pop()?;
+        let entry = self.in_flight.remove(&row).expect("heap and map in sync");
+        self.lhs_used -= entry.waiters.len();
+        Some((done, row, entry.waiters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(row: u32) -> Waiter {
+        Waiter { output_row: row, lhs_value: 1.0 }
+    }
+
+    #[test]
+    fn allocate_then_drain() {
+        let mut t = RunaheadTables::new(4, 8);
+        assert_eq!(t.issue(10, w(0)), IssueOutcome::Allocated);
+        t.set_completion(10, 50);
+        assert_eq!(t.ldn_used(), 1);
+        let (done, row, waiters) = t.pop_earliest().unwrap();
+        assert_eq!((done, row), (50, 10));
+        assert_eq!(waiters.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.lhs_used(), 0);
+    }
+
+    #[test]
+    fn coalescing_shares_one_fetch() {
+        // Figure 16's example: LDN nodes 1 and 2 miss; output rows 0, 2, 3
+        // wait on them via three LHS-ID entries but only two LDN entries.
+        let mut t = RunaheadTables::new(16, 64);
+        assert_eq!(t.issue(1, w(0)), IssueOutcome::Allocated);
+        t.set_completion(1, 100);
+        assert_eq!(t.issue(2, w(2)), IssueOutcome::Allocated);
+        t.set_completion(2, 110);
+        assert_eq!(t.issue(1, w(3)), IssueOutcome::Coalesced);
+        assert_eq!(t.ldn_used(), 2, "two LDN entries as in Figure 16");
+        assert_eq!(t.lhs_used(), 3, "three LHS-ID entries as in Figure 16");
+    }
+
+    #[test]
+    fn completions_drain_in_time_order() {
+        let mut t = RunaheadTables::new(4, 8);
+        t.issue(1, w(0));
+        t.set_completion(1, 200);
+        t.issue(2, w(1));
+        t.set_completion(2, 150);
+        assert_eq!(t.pop_earliest().unwrap().1, 2);
+        assert_eq!(t.pop_earliest().unwrap().1, 1);
+        assert!(t.pop_earliest().is_none());
+    }
+
+    #[test]
+    fn ldn_capacity_blocks_new_rows() {
+        let mut t = RunaheadTables::new(2, 8);
+        t.issue(1, w(0));
+        t.issue(2, w(0));
+        assert_eq!(t.issue(3, w(0)), IssueOutcome::LdnFull);
+        // Existing rows can still coalesce.
+        assert_eq!(t.issue(1, w(1)), IssueOutcome::Coalesced);
+    }
+
+    #[test]
+    fn lhs_capacity_blocks_everything() {
+        let mut t = RunaheadTables::new(4, 2);
+        t.issue(1, w(0));
+        t.issue(1, w(1));
+        assert_eq!(t.issue(1, w(2)), IssueOutcome::LhsFull);
+        assert_eq!(t.issue(9, w(2)), IssueOutcome::LhsFull);
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut t = RunaheadTables::new(4, 8);
+        t.issue(1, w(0));
+        t.issue(2, w(0));
+        t.issue(2, w(1));
+        t.set_completion(1, 10);
+        t.set_completion(2, 20);
+        while t.pop_earliest().is_some() {}
+        assert_eq!(t.peak_ldn(), 2);
+        assert_eq!(t.peak_lhs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry must be allocated")]
+    fn completion_requires_allocation() {
+        let mut t = RunaheadTables::new(2, 2);
+        t.set_completion(5, 10);
+    }
+}

@@ -1,0 +1,272 @@
+//! Workload analyses over sparsity patterns.
+//!
+//! These functions regenerate the *matrix-level* characterizations of the
+//! paper, independent of any accelerator model:
+//!
+//! * [`gcn_mac_counts`] — Figure 2, the number of MAC operations of the two
+//!   GCN execution orders `(A*X)*W` vs `A*(X*W)`;
+//! * [`tile_nnz_histogram`] — Figure 5, the distribution of non-zeros per
+//!   2D tile under GCNAX's tiling.
+
+use crate::{CsrPattern, RowMajorSparse};
+
+/// MAC-operation counts for the two GCN execution orders (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacCounts {
+    /// MACs of `A * (X * W)`: two consecutive sparse-dense GEMMs.
+    pub a_xw: u64,
+    /// MACs of `(A * X) * W`: a sparse-sparse GEMM followed by a dense GEMM.
+    pub ax_w: u64,
+}
+
+impl MacCounts {
+    /// `ax_w / a_xw`: how many times more MACs the `(A*X)*W` order costs.
+    pub fn ratio(&self) -> f64 {
+        self.ax_w as f64 / self.a_xw as f64
+    }
+}
+
+/// Counts the MAC operations of both GCN execution orders (Figure 2).
+///
+/// * `A*(X*W)`: `nnz(X) * f_out` MACs for the combination SpDeGEMM plus
+///   `nnz(A) * f_out` for the aggregation SpDeGEMM — exact.
+/// * `(A*X)*W`: the sparse-sparse `A*X` costs
+///   `sum_k indegree_A(k) * row_nnz(X, k)` MACs — exact, computed from the
+///   column counts of `A`. The subsequent `(AX)*W` dense GEMM costs
+///   `nnz(AX) * f_out`; `nnz(AX)` is estimated under the standard
+///   independence assumption (`E[nnz(AX_row_i)] = f_in * (1 - prod_k (1 -
+///   d_k))`) because materializing `AX`'s pattern for the large graphs is
+///   intractable — it is nearly dense, which is the paper's very point.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != x.rows()`.
+pub fn gcn_mac_counts(a: &CsrPattern, x: &RowMajorSparse<'_>, f_out: usize) -> MacCounts {
+    assert_eq!(a.cols(), x.rows(), "A columns must match X rows");
+    let f_in = x.cols();
+    let a_xw = (x.nnz() as u64 + a.nnz() as u64) * f_out as u64;
+
+    // Column counts of A = in-degrees of the graph nodes.
+    let mut indeg = vec![0u64; a.cols()];
+    for &c in a.indices() {
+        indeg[c as usize] += 1;
+    }
+    // Row densities of X, and per-node log(1 - density) for the union bound.
+    let mut row_density = vec![0.0f64; x.rows()];
+    let mut spgemm_macs = 0u64;
+    for k in 0..x.rows() {
+        let nnz_k = x.row_nnz(k) as u64;
+        spgemm_macs += indeg[k] * nnz_k;
+        row_density[k] = nnz_k as f64 / f_in.max(1) as f64;
+    }
+    // E[nnz(AX)] = sum_i f_in * (1 - prod_{k in row i} (1 - d_k)).
+    let mut nnz_ax = 0.0f64;
+    for i in 0..a.rows() {
+        let mut log_empty = 0.0f64;
+        let mut certain = false;
+        for &k in a.row_indices(i) {
+            let d = row_density[k as usize];
+            if d >= 1.0 {
+                certain = true;
+                break;
+            }
+            log_empty += (1.0 - d).ln();
+        }
+        let fill = if certain { 1.0 } else { 1.0 - log_empty.exp() };
+        nnz_ax += f_in as f64 * fill;
+    }
+    let ax_w = spgemm_macs + (nnz_ax * f_out as f64).round() as u64;
+    MacCounts { a_xw, ax_w }
+}
+
+/// Histogram of non-zeros per non-empty 2D tile (Figure 5).
+///
+/// GCNAX fetches the sparse operand in `tile_rows x tile_cols` tiles; the
+/// number of non-zeros that land in each *fetched* (i.e. non-empty) tile
+/// determines how much of every 64-byte DRAM access is useful. Buckets are
+/// defined by inclusive upper bounds, e.g. `[1, 2, 8, 16]` produces buckets
+/// `1`, `2`, `3..=8`, `9..=16`, `>16` (the paper's Figure 5(a) buckets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileHistogram {
+    /// Inclusive upper bounds of each bucket; one extra overflow bucket is
+    /// appended for values above the last bound.
+    pub bounds: Vec<usize>,
+    /// Tile counts per bucket (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total number of non-empty tiles.
+    pub nonempty_tiles: u64,
+}
+
+impl TileHistogram {
+    /// Fraction of non-empty tiles in each bucket.
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.nonempty_tiles.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Mean number of non-zeros per non-empty tile, from the raw stream.
+    pub fn bucket_label(&self, idx: usize) -> String {
+        if idx == 0 {
+            format!("{}", self.bounds[0])
+        } else if idx < self.bounds.len() {
+            if self.bounds[idx] == self.bounds[idx - 1] + 1 {
+                format!("{}", self.bounds[idx])
+            } else {
+                format!("{}~{}", self.bounds[idx - 1] + 1, self.bounds[idx])
+            }
+        } else {
+            format!(">{}", self.bounds[self.bounds.len() - 1])
+        }
+    }
+}
+
+/// Computes the per-tile non-zero histogram of Figure 5.
+///
+/// Processes the matrix strip by strip so memory stays `O(cols /
+/// tile_cols)` even for multi-million-edge graphs.
+///
+/// # Panics
+///
+/// Panics if `tile_rows`, `tile_cols`, or `bounds` is empty/zero, or if
+/// `bounds` is not strictly increasing.
+pub fn tile_nnz_histogram(
+    view: &RowMajorSparse<'_>,
+    tile_rows: usize,
+    tile_cols: usize,
+    bounds: &[usize],
+) -> TileHistogram {
+    assert!(tile_rows > 0 && tile_cols > 0, "tile dimensions must be positive");
+    assert!(!bounds.is_empty(), "at least one bucket bound is required");
+    assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+
+    let mut counts = vec![0u64; bounds.len() + 1];
+    let mut nonempty = 0u64;
+    let n_col_tiles = view.cols().div_ceil(tile_cols);
+
+    let bucket_of = |nnz: usize, counts: &mut [u64]| {
+        let idx = bounds.iter().position(|&b| nnz <= b).unwrap_or(bounds.len());
+        counts[idx] += 1;
+    };
+
+    if let RowMajorSparse::Dense { rows, cols } = *view {
+        // Every tile is full; compute the grid analytically.
+        for tr in 0..rows.div_ceil(tile_rows) {
+            let h = tile_rows.min(rows - tr * tile_rows);
+            for tc in 0..n_col_tiles {
+                let w = tile_cols.min(cols - tc * tile_cols);
+                bucket_of(h * w, &mut counts);
+                nonempty += 1;
+            }
+        }
+        return TileHistogram { bounds: bounds.to_vec(), counts, nonempty_tiles: nonempty };
+    }
+
+    let mut strip = vec![0u32; n_col_tiles];
+    let mut row = 0;
+    while row < view.rows() {
+        let strip_end = (row + tile_rows).min(view.rows());
+        for r in row..strip_end {
+            for c in view.row_iter(r) {
+                strip[c as usize / tile_cols] += 1;
+            }
+        }
+        for slot in &mut strip {
+            if *slot > 0 {
+                bucket_of(*slot as usize, &mut counts);
+                nonempty += 1;
+                *slot = 0;
+            }
+        }
+        row = strip_end;
+    }
+    TileHistogram { bounds: bounds.to_vec(), counts, nonempty_tiles: nonempty }
+}
+
+/// The Figure 5(a) bucket bounds for the aggregation matrix `A`.
+pub const FIG5A_BOUNDS: &[usize] = &[1, 2, 8, 16];
+
+/// The Figure 5(b) bucket bounds for the combination matrix `X`.
+pub const FIG5B_BOUNDS: &[usize] = &[1, 2, 8, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, CsrPattern};
+
+    fn diag_pattern(n: usize) -> CsrPattern {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        coo.to_csr().into_pattern()
+    }
+
+    #[test]
+    fn mac_counts_identity_a_dense_x() {
+        // A = I(4), X dense 4x3, f_out = 2.
+        let a = diag_pattern(4);
+        let x = RowMajorSparse::Dense { rows: 4, cols: 3 };
+        let m = gcn_mac_counts(&a, &x, 2);
+        // A*(XW): nnz(X)=12, nnz(A)=4 -> (12+4)*2 = 32.
+        assert_eq!(m.a_xw, 32);
+        // (A*X): indeg=1 per node, row_nnz(X)=3 -> 12 MACs; AX is dense
+        // (12 nnz) -> 12*2=24 more; total 36.
+        assert_eq!(m.ax_w, 36);
+    }
+
+    #[test]
+    fn mac_ratio_grows_with_dense_x_and_sparse_a() {
+        // Sparse A (diag) with wide dense X: (A*X)*W must cost much more.
+        let a = diag_pattern(50);
+        let x = RowMajorSparse::Dense { rows: 50, cols: 200 };
+        let m = gcn_mac_counts(&a, &x, 8);
+        assert!(m.ratio() > 1.0, "ratio = {}", m.ratio());
+    }
+
+    #[test]
+    fn tile_histogram_counts_single_nnz_tiles() {
+        // 4x4 matrix, 2x2 tiles, nonzeros on the diagonal: each of the two
+        // diagonal tiles holds 2 nnz.
+        let p = diag_pattern(4);
+        let h = tile_nnz_histogram(&RowMajorSparse::from(&p), 2, 2, &[1, 2]);
+        assert_eq!(h.nonempty_tiles, 2);
+        assert_eq!(h.counts, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn tile_histogram_dense_view() {
+        let v = RowMajorSparse::Dense { rows: 4, cols: 4 };
+        let h = tile_nnz_histogram(&v, 2, 2, &[1, 2]);
+        assert_eq!(h.nonempty_tiles, 4);
+        // every tile has 4 nnz -> overflow bucket
+        assert_eq!(h.counts, vec![0, 0, 4]);
+    }
+
+    #[test]
+    fn tile_histogram_ragged_edges() {
+        // 3x3 with 2x2 tiles: edge tiles are smaller but still counted.
+        let v = RowMajorSparse::Dense { rows: 3, cols: 3 };
+        let h = tile_nnz_histogram(&v, 2, 2, &[1, 2, 8]);
+        assert_eq!(h.nonempty_tiles, 4);
+        // tiles: 4, 2, 2, 1 nnz
+        assert_eq!(h.counts, vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bucket_labels_match_paper_style() {
+        let h = TileHistogram { bounds: vec![1, 2, 8, 16], counts: vec![0; 5], nonempty_tiles: 0 };
+        assert_eq!(h.bucket_label(0), "1");
+        assert_eq!(h.bucket_label(1), "2");
+        assert_eq!(h.bucket_label(2), "3~8");
+        assert_eq!(h.bucket_label(3), "9~16");
+        assert_eq!(h.bucket_label(4), ">16");
+    }
+
+    #[test]
+    fn fractions_sum_to_one_for_nonempty() {
+        let p = diag_pattern(8);
+        let h = tile_nnz_histogram(&RowMajorSparse::from(&p), 4, 4, FIG5A_BOUNDS);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

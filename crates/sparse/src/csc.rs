@@ -1,0 +1,185 @@
+use std::fmt;
+
+use crate::{CsrMatrix, DenseMatrix, SparseError};
+
+/// A CSC (compressed sparse column) matrix with `f64` values.
+///
+/// CSC is the compression format used by GCNAX and HyGCN (Table II of the
+/// paper): the sparse operand of each 2D tile is stored column-major so the
+/// outer-product dataflow can walk whole columns. Internally this type wraps
+/// the CSR representation of the transpose, which keeps the two formats
+/// trivially consistent.
+///
+/// ```
+/// use grow_sparse::{CooMatrix, CscMatrix};
+///
+/// # fn main() -> Result<(), grow_sparse::SparseError> {
+/// let mut coo = CooMatrix::new(2, 3);
+/// coo.push(0, 2, 4.0)?;
+/// coo.push(1, 2, 5.0)?;
+/// let csc = coo.to_csr().to_csc();
+/// assert_eq!(csc.col_entries(2).collect::<Vec<_>>(), vec![(0, 4.0), (1, 5.0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    /// CSR of the transpose: row r of `transposed` is column r of `self`.
+    transposed: CsrMatrix,
+}
+
+impl CscMatrix {
+    /// Creates a CSC matrix from raw column-compressed arrays.
+    ///
+    /// `colptr` has `cols + 1` entries; `indices` stores row indices sorted
+    /// ascending within each column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if the arrays violate the
+    /// compressed-format invariants.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        colptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        // The transpose of this CSC matrix is a CSR matrix with the same arrays.
+        let transposed = CsrMatrix::from_raw(cols, rows, colptr, indices, values)?;
+        Ok(CscMatrix { transposed })
+    }
+
+    pub(crate) fn from_transposed_csr(transposed: CsrMatrix) -> Self {
+        CscMatrix { transposed }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.transposed.cols()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.transposed.rows()
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// Total number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.transposed.nnz()
+    }
+
+    /// Fraction of non-zero positions, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.transposed.density()
+    }
+
+    /// The row indices of column `col`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_indices(&self, col: usize) -> &[u32] {
+        self.transposed.row_indices(col)
+    }
+
+    /// The values of column `col`, aligned with [`CscMatrix::col_indices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_values(&self, col: usize) -> &[f64] {
+        self.transposed.row_values(col)
+    }
+
+    /// Iterates over `(row, value)` pairs of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_entries(&self, col: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.transposed.row_entries(col)
+    }
+
+    /// Number of non-zeros in column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_nnz(&self, col: usize) -> usize {
+        self.transposed.pattern().row_nnz(col)
+    }
+
+    /// Converts to CSR format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        self.transposed.transpose()
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        self.to_csr().to_dense()
+    }
+}
+
+impl fmt::Display for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CscMatrix {}x{}, nnz = {}, density = {:.3e}",
+            self.rows(),
+            self.cols(),
+            self.nnz(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 2);
+        coo.extend([(0, 0, 1.0), (2, 0, 2.0), (1, 1, 3.0)]);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_to_csc_round_trips() {
+        let csr = sample();
+        let back = csr.to_csc().to_csr();
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn column_access_matches_dense() {
+        let csc = sample().to_csc();
+        assert_eq!(csc.col_entries(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(csc.col_entries(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
+        assert_eq!(csc.col_nnz(0), 2);
+    }
+
+    #[test]
+    fn from_raw_mirrors_paper_figure4_example() {
+        // Figure 4(b) of the paper: a 3x4 matrix in CSC with
+        // colptr = [0, 2, 4, 7], values packed column-major.
+        // We reproduce the structure class: 2 columns, first has rows {0,1}.
+        let csc =
+            CscMatrix::from_raw(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![0.2, 1.2, 0.8]).unwrap();
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csc.col_values(0), &[0.2, 1.2]);
+        assert_eq!(csc.to_dense().get(1, 1), 0.8);
+    }
+
+    #[test]
+    fn shape_is_not_transposed() {
+        let csc = sample().to_csc();
+        assert_eq!(csc.shape(), (3, 2));
+    }
+}

@@ -1,0 +1,175 @@
+use std::ops::Range;
+
+use crate::CsrPattern;
+
+/// A borrowed, row-major view of a sparse operand's structure.
+///
+/// The cycle-level simulators only need to *walk* the non-zero column
+/// indices of each LHS row. Several Table I feature matrices are 100% dense
+/// (Reddit, Yelp) — materializing a `CsrPattern` for a dense 90k x 300
+/// matrix would waste hundreds of megabytes, so engines accept this view,
+/// which synthesizes dense rows on the fly.
+///
+/// ```
+/// use grow_sparse::RowMajorSparse;
+///
+/// let view = RowMajorSparse::Dense { rows: 2, cols: 3 };
+/// let cols: Vec<u32> = view.row_iter(1).collect();
+/// assert_eq!(cols, vec![0, 1, 2]);
+/// assert_eq!(view.nnz(), 6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum RowMajorSparse<'a> {
+    /// A genuinely sparse operand backed by a CSR pattern.
+    Pattern(&'a CsrPattern),
+    /// A fully dense operand of the given shape; every column of every row
+    /// is a non-zero.
+    Dense {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+}
+
+impl<'a> RowMajorSparse<'a> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            RowMajorSparse::Pattern(p) => p.rows(),
+            RowMajorSparse::Dense { rows, .. } => *rows,
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            RowMajorSparse::Pattern(p) => p.cols(),
+            RowMajorSparse::Dense { cols, .. } => *cols,
+        }
+    }
+
+    /// Total number of non-zero positions.
+    pub fn nnz(&self) -> usize {
+        match self {
+            RowMajorSparse::Pattern(p) => p.nnz(),
+            RowMajorSparse::Dense { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Number of non-zeros in row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        match self {
+            RowMajorSparse::Pattern(p) => p.row_nnz(row),
+            RowMajorSparse::Dense { rows, cols } => {
+                assert!(row < *rows, "row {row} out of bounds");
+                *cols
+            }
+        }
+    }
+
+    /// Iterates over the non-zero column indices of row `row`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_iter(&self, row: usize) -> SparseRowIter<'a> {
+        match self {
+            RowMajorSparse::Pattern(p) => SparseRowIter::Slice(p.row_indices(row).iter()),
+            RowMajorSparse::Dense { rows, cols } => {
+                assert!(row < *rows, "row {row} out of bounds");
+                SparseRowIter::Range(0..*cols as u32)
+            }
+        }
+    }
+
+    /// Fraction of non-zero positions, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        match self {
+            RowMajorSparse::Pattern(p) => p.density(),
+            RowMajorSparse::Dense { rows, cols } => {
+                if *rows == 0 || *cols == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a CsrPattern> for RowMajorSparse<'a> {
+    fn from(p: &'a CsrPattern) -> Self {
+        RowMajorSparse::Pattern(p)
+    }
+}
+
+/// Iterator over the non-zero column indices of one row of a
+/// [`RowMajorSparse`] view.
+#[derive(Debug, Clone)]
+pub enum SparseRowIter<'a> {
+    /// Backed by a CSR index slice.
+    Slice(std::slice::Iter<'a, u32>),
+    /// Backed by a synthetic dense range.
+    Range(Range<u32>),
+}
+
+impl Iterator for SparseRowIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            SparseRowIter::Slice(it) => it.next().copied(),
+            SparseRowIter::Range(r) => r.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SparseRowIter::Slice(it) => it.size_hint(),
+            SparseRowIter::Range(r) => r.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for SparseRowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn pattern_view_iterates_rows() {
+        let mut coo = CooMatrix::new(2, 4);
+        coo.extend([(0, 1, 1.0), (0, 3, 1.0)]);
+        let csr = coo.to_csr();
+        let view = RowMajorSparse::from(csr.pattern());
+        assert_eq!(view.row_iter(0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(view.row_iter(1).count(), 0);
+        assert_eq!(view.nnz(), 2);
+    }
+
+    #[test]
+    fn dense_view_synthesizes_full_rows() {
+        let view = RowMajorSparse::Dense { rows: 3, cols: 2 };
+        assert_eq!(view.row_nnz(2), 2);
+        assert_eq!(view.density(), 1.0);
+        assert_eq!(view.row_iter(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dense_view_bounds_checked() {
+        RowMajorSparse::Dense { rows: 1, cols: 1 }.row_iter(1);
+    }
+
+    #[test]
+    fn empty_dense_view_density_is_zero() {
+        assert_eq!(RowMajorSparse::Dense { rows: 0, cols: 5 }.density(), 0.0);
+    }
+}

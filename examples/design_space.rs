@@ -1,0 +1,65 @@
+//! Architectural design-space exploration with the GROW model: sweep the
+//! HDN cache capacity and the runahead degree, and report how cycles,
+//! traffic, and estimated area trade off.
+//!
+//! This reproduces the *kind* of study Sections VII-F/G perform (PE count,
+//! runahead degree, bandwidth) and shows how a downstream user would
+//! evaluate their own configuration before committing to RTL.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use grow::accel::{prepare, Accelerator, GrowConfig, GrowEngine, PartitionStrategy};
+use grow::energy::{AreaModel, TECH_SCALE_65_TO_40};
+use grow::model::DatasetKey;
+
+fn main() {
+    let spec = DatasetKey::Flickr.spec().scaled_to(20_000);
+    let workload = spec.instantiate(5);
+    let prepared = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
+    println!("workload: {}", workload.graph);
+    println!(
+        "\n{:>10} {:>9} {:>12} {:>12} {:>10} {:>9}",
+        "cache", "runahead", "cycles", "DRAM MiB", "hit rate", "mm2@40nm"
+    );
+
+    let area_model = AreaModel::default();
+    let mut best: Option<(f64, String)> = None;
+    for cache_kb in [64u64, 128, 256, 512, 1024] {
+        for runahead in [1usize, 4, 16] {
+            let config = GrowConfig {
+                hdn_cache_bytes: cache_kb * 1024,
+                runahead,
+                ldn_entries: runahead.max(1),
+                ..GrowConfig::default()
+            };
+            let report = GrowEngine::new(config).run(&prepared);
+            let area = area_model
+                .grow_65nm(16, 12.0, 4096, cache_kb as f64, 2.0)
+                .scaled(TECH_SCALE_65_TO_40)
+                .total();
+            let cycles = report.total_cycles();
+            let hit = report.aggregation_cache().hit_rate().unwrap_or(0.0);
+            println!(
+                "{:>8}KB {:>9} {:>12} {:>12.1} {:>9.1}% {:>9.3}",
+                cache_kb,
+                runahead,
+                cycles,
+                report.dram_bytes() as f64 / (1 << 20) as f64,
+                100.0 * hit,
+                area
+            );
+            // A simple perf/area figure of merit (Section VII-E reports
+            // performance per mm2).
+            let merit = 1.0 / (cycles as f64 * area);
+            let label = format!("{cache_kb} KB cache, {runahead}-way runahead");
+            if best.as_ref().is_none_or(|(m, _)| merit > *m) {
+                best = Some((merit, label));
+            }
+        }
+    }
+    let (_, label) = best.expect("sweep is non-empty");
+    println!("\nbest performance/mm2 in this sweep: {label}");
+    println!("(the paper's Table III point is 512 KB / 16-way)");
+}

@@ -1,0 +1,52 @@
+//! # GROW — a row-stationary sparse-dense GEMM accelerator for GCNs
+//!
+//! A from-scratch Rust reproduction of **GROW** (Hwang et al., HPCA 2023,
+//! arXiv:2203.00158): a graph convolutional network inference accelerator
+//! built on Gustavson's (row-wise product) algorithm, together with the
+//! complete evaluation stack of the paper — cycle-level simulators for
+//! GROW and its three baselines (GCNAX, MatRaptor, GAMMA), a METIS-class
+//! graph partitioner, synthetic Table I dataset surrogates, and
+//! energy/area models.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sparse`] | `grow-sparse` | CSR/CSC/COO/dense formats, reference kernels, workload analyses |
+//! | [`graph`] | `grow-graph` | graphs, power-law community generators, GCN normalization |
+//! | [`partition`] | `grow-partition` | multilevel + label-propagation partitioning, HDN lists |
+//! | [`sim`] | `grow-sim` | DRAM channel, MAC array, HDN/LRU caches, runahead tables |
+//! | [`energy`] | `grow-energy` | Horowitz/CACTI-style energy model, Table IV area model |
+//! | [`model`] | `grow-model` | Table I dataset registry, feature synthesis, functional GCN |
+//! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use grow::accel::{prepare, Accelerator, GcnaxEngine, GrowEngine, PartitionStrategy};
+//! use grow::model::DatasetKey;
+//!
+//! // A small Cora-like workload.
+//! let workload = DatasetKey::Cora.spec().scaled_to(500).instantiate(42);
+//!
+//! // GROW's software preprocessing: partition + relabel + HDN lists.
+//! let base = prepare(&workload, PartitionStrategy::None, 4096);
+//! let partitioned = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
+//!
+//! // Simulate both accelerators.
+//! let grow = GrowEngine::default().run(&partitioned);
+//! let gcnax = GcnaxEngine::default().run(&base);
+//! assert_eq!(grow.mac_ops(), gcnax.mac_ops(), "same work, different movement");
+//! assert!(grow.dram_bytes() < gcnax.dram_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use grow_core as accel;
+pub use grow_energy as energy;
+pub use grow_graph as graph;
+pub use grow_model as model;
+pub use grow_partition as partition;
+pub use grow_sim as sim;
+pub use grow_sparse as sparse;

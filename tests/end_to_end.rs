@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: dataset generation -> partitioning ->
+//! all four accelerator models, checking the paper's headline invariants.
+
+use grow::accel::{
+    prepare, Accelerator, GammaEngine, GcnaxEngine, GrowConfig, GrowEngine, MatRaptorEngine,
+    PartitionStrategy,
+};
+use grow::model::DatasetKey;
+use grow::sim::TrafficClass;
+
+fn workload(nodes: usize) -> grow::model::GcnWorkload {
+    DatasetKey::Pubmed.spec().scaled_to(nodes).instantiate(2024)
+}
+
+#[test]
+fn all_engines_execute_identical_mac_work() {
+    // Section VI: engines are configured for iso-computation; the paper's
+    // comparison is purely about data movement. Every engine must report
+    // exactly (nnz(X_l) + nnz(A)) * f_out MACs per layer.
+    let w = workload(1200);
+    let base = prepare(&w, PartitionStrategy::None, 4096);
+    let expected: u64 = base
+        .layers
+        .iter()
+        .map(|l| (l.x.nnz() as u64 + base.adjacency.nnz() as u64) * l.f_out as u64)
+        .sum();
+    let engines: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(GrowEngine::default()),
+        Box::new(GcnaxEngine::default()),
+        Box::new(MatRaptorEngine::default()),
+        Box::new(GammaEngine::default()),
+    ];
+    for engine in engines {
+        let report = engine.run(&base);
+        assert_eq!(report.mac_ops(), expected, "{} MAC count", engine.name());
+    }
+}
+
+#[test]
+fn traffic_ordering_matches_paper() {
+    // Figures 18 and 26: GROW < GCNAX and GROW << MatRaptor on DRAM bytes;
+    // GAMMA sits between GROW and MatRaptor. The workload must be in the
+    // paper's regime: XW larger than GCNAX's dense buffer (so it is not
+    // resident) and an adjacency sparse enough that 2D tiles are mostly
+    // empty — node-scaled surrogates are denser than the originals, so use
+    // a low-degree 8000-node graph.
+    let mut spec = DatasetKey::Pubmed.spec().scaled_to(8000);
+    spec.avg_degree = 4.0;
+    let w = spec.instantiate(2024);
+    let base = prepare(&w, PartitionStrategy::None, 4096);
+    let partitioned = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 1000 }, 4096);
+    let grow = GrowEngine::default().run(&partitioned).dram_bytes();
+    let gcnax = GcnaxEngine::default().run(&base).dram_bytes();
+    let gamma = GammaEngine::default().run(&base).dram_bytes();
+    let matraptor = MatRaptorEngine::default().run(&base).dram_bytes();
+    assert!(grow < gcnax, "GROW {grow} vs GCNAX {gcnax}");
+    assert!(grow < gamma, "GROW {grow} vs GAMMA {gamma}");
+    assert!(gamma < matraptor, "GAMMA {gamma} vs MatRaptor {matraptor}");
+}
+
+#[test]
+fn speedup_ordering_matches_paper() {
+    // Same paper-regime workload as the traffic test: XW not resident in
+    // GCNAX's buffer and a paper-like tile sparsity.
+    let mut spec = DatasetKey::Pubmed.spec().scaled_to(8000);
+    spec.avg_degree = 4.0;
+    let w = spec.instantiate(2024);
+    let base = prepare(&w, PartitionStrategy::None, 4096);
+    let partitioned = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 1000 }, 4096);
+    let grow = GrowEngine::default().run(&partitioned).total_cycles();
+    let gcnax = GcnaxEngine::default().run(&base).total_cycles();
+    let matraptor = MatRaptorEngine::default().run(&base).total_cycles();
+    assert!(grow < gcnax, "GROW {grow} vs GCNAX {gcnax}");
+    assert!(grow < matraptor, "GROW {grow} vs MatRaptor {matraptor}");
+}
+
+#[test]
+fn useful_bytes_never_exceed_fetched() {
+    // Traffic conservation: granularity rounding and metadata can only add
+    // bytes, never remove them.
+    let w = workload(900);
+    let base = prepare(&w, PartitionStrategy::None, 4096);
+    for engine in [&GrowEngine::default() as &dyn Accelerator, &GcnaxEngine::default()] {
+        let t = engine.run(&base).total_traffic();
+        for class in TrafficClass::ALL {
+            assert!(
+                t.useful_bytes(class) <= t.fetched_bytes(class),
+                "{} class {}",
+                engine.name(),
+                class.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn grow_probe_count_equals_adjacency_nnz_per_layer() {
+    let w = workload(800);
+    let partitioned = prepare(&w, PartitionStrategy::multilevel_default(), 4096);
+    let r = GrowEngine::default().run(&partitioned);
+    let c = r.aggregation_cache();
+    assert_eq!(c.hits + c.misses, 2 * partitioned.adjacency.nnz() as u64);
+}
+
+#[test]
+fn partitioning_never_hurts_hit_rate_much_and_usually_helps() {
+    let w = workload(3000);
+    let base = prepare(&w, PartitionStrategy::None, 4096);
+    // Cluster size must be below the graph size for partitioning to exist
+    // (the default 4096-node clusters would leave this graph whole).
+    let partitioned = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 500 }, 4096);
+    // Force a small cache so the global top-N cannot cover the graph.
+    let cfg = GrowConfig { hdn_cache_bytes: 16 * 1024, ..GrowConfig::default() };
+    let engine = GrowEngine::new(cfg);
+    let without = engine.run(&base).aggregation_cache().hit_rate().unwrap();
+    let with = engine.run(&partitioned).aggregation_cache().hit_rate().unwrap();
+    assert!(
+        with > without,
+        "partitioning should raise the constrained-cache hit rate: {without} -> {with}"
+    );
+}
+
+#[test]
+fn label_propagation_strategy_also_works() {
+    let w = workload(1500);
+    let lp = prepare(&w, PartitionStrategy::LabelPropagation { cluster_nodes: 300 }, 4096);
+    assert!(lp.clusters.len() >= 2);
+    let r = GrowEngine::default().run(&lp);
+    assert!(r.total_cycles() > 0);
+}
+
+#[test]
+fn output_write_traffic_is_identical_for_dense_writers() {
+    // GROW and GCNAX both write the dense output matrix once per phase.
+    let w = workload(700);
+    let base = prepare(&w, PartitionStrategy::None, 4096);
+    let grow = GrowEngine::default().run(&base).total_traffic();
+    let gcnax = GcnaxEngine::default().run(&base).total_traffic();
+    assert_eq!(
+        grow.useful_bytes(TrafficClass::Output),
+        gcnax.useful_bytes(TrafficClass::Output)
+    );
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over the full pipeline: random community graphs
+//! through preparation and both primary engines, checking conservation
+//! invariants that must hold for *any* input.
+
+use grow::accel::{
+    prepare, Accelerator, GcnaxEngine, GrowConfig, GrowEngine, PartitionStrategy,
+};
+use grow::graph::CommunityGraphSpec;
+use grow::model::{DatasetKey, GcnWorkload};
+use grow::sim::TrafficClass;
+use proptest::prelude::*;
+
+/// Strategy: a small random dataset spec (nodes, degree, densities, seed).
+fn arb_workload() -> impl Strategy<Value = GcnWorkload> {
+    (60usize..400, 2.0f64..12.0, 0.02f64..1.0, 0.3f64..1.0, 0u64..1000).prop_map(
+        |(nodes, degree, x0, x1, seed)| {
+            let mut spec = DatasetKey::Pubmed.spec().scaled_to(nodes);
+            spec.avg_degree = degree;
+            spec.x0_density = x0;
+            spec.x1_density = x1;
+            spec.instantiate(seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mac_invariance_across_engines(w in arb_workload()) {
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        let grow = GrowEngine::default().run(&base);
+        let gcnax = GcnaxEngine::default().run(&base);
+        prop_assert_eq!(grow.mac_ops(), gcnax.mac_ops());
+    }
+
+    #[test]
+    fn probe_conservation(w in arb_workload()) {
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        let r = GrowEngine::default().run(&base);
+        let c = r.aggregation_cache();
+        prop_assert_eq!(c.hits + c.misses, 2 * base.adjacency.nnz() as u64);
+    }
+
+    #[test]
+    fn traffic_conservation(w in arb_workload()) {
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        for report in [GrowEngine::default().run(&base), GcnaxEngine::default().run(&base)] {
+            let t = report.total_traffic();
+            for class in TrafficClass::ALL {
+                prop_assert!(t.useful_bytes(class) <= t.fetched_bytes(class));
+            }
+            prop_assert!(t.total_fetched() > 0);
+        }
+    }
+
+    #[test]
+    fn partitioning_preserves_work(w in arb_workload()) {
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        let parted = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 64 }, 4096);
+        prop_assert_eq!(base.adjacency.nnz(), parted.adjacency.nnz());
+        let r0 = GrowEngine::default().run(&base);
+        let r1 = GrowEngine::default().run(&parted);
+        prop_assert_eq!(r0.mac_ops(), r1.mac_ops());
+        // Output traffic (useful) identical: same rows written.
+        prop_assert_eq!(
+            r0.total_traffic().useful_bytes(TrafficClass::Output),
+            r1.total_traffic().useful_bytes(TrafficClass::Output)
+        );
+    }
+
+    #[test]
+    fn smaller_cache_never_hits_more(w in arb_workload()) {
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        let big = GrowEngine::new(GrowConfig {
+            hdn_cache_bytes: 256 * 1024, ..GrowConfig::default()
+        }).run(&base);
+        let small = GrowEngine::new(GrowConfig {
+            hdn_cache_bytes: 8 * 1024, ..GrowConfig::default()
+        }).run(&base);
+        let hb = big.aggregation_cache().hits;
+        let hs = small.aggregation_cache().hits;
+        prop_assert!(hs <= hb, "small cache hits {hs} > big cache hits {hb}");
+    }
+
+    #[test]
+    fn cluster_layouts_partition_the_node_set(
+        (nodes, parts, seed) in (50usize..300, 2usize..12, 0u64..500)
+    ) {
+        use grow::partition::{multilevel_partition, ClusterLayout, MultilevelConfig};
+        let g = CommunityGraphSpec {
+            nodes,
+            avg_degree: 6.0,
+            communities: parts,
+            intra_fraction: 0.8,
+            power_law_exponent: 2.5,
+            shuffle_fraction: 1.0,
+        }
+        .generate(seed);
+        let p = multilevel_partition(&g, parts, &MultilevelConfig::default());
+        let layout = ClusterLayout::from_partitioning(&p);
+        let covered: usize = layout.ranges().iter().map(|r| r.len()).sum();
+        prop_assert_eq!(covered, nodes);
+        let mut seen = vec![false; nodes];
+        for &x in layout.permutation() {
+            prop_assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+}
