@@ -1,0 +1,76 @@
+//! Wall-clock speedup of the parallel cluster path over the forced-serial
+//! path, on a partitioned Reddit-scale workload (the acceptance benchmark
+//! of the workspace bring-up). Run with:
+//!
+//! ```text
+//! cargo bench -p grow-bench --bench parallel_speedup
+//! ```
+
+use grow_bench::timing;
+use grow_core::{
+    prepare, Accelerator, GammaEngine, GcnaxEngine, GrowEngine, MatRaptorEngine, PartitionStrategy,
+};
+use grow_model::DatasetKey;
+use grow_sim::exec::{with_mode, ExecMode};
+
+fn time_runs(engine: &dyn Accelerator, p: &grow_core::PreparedWorkload, iters: u32) -> f64 {
+    timing::sample(iters, || {
+        std::hint::black_box(engine.run(p));
+    })
+    .min_secs()
+}
+
+fn main() {
+    // A Reddit-like spec scaled to stay CI-friendly while keeping enough
+    // clusters (~40) for the fan-out to matter.
+    let spec = DatasetKey::Reddit.spec().scaled_to(40_000);
+    eprintln!("generating {} nodes ...", spec.nodes);
+    let workload = spec.instantiate(42);
+    eprintln!("partitioning ...");
+    let p = prepare(
+        &workload,
+        PartitionStrategy::Multilevel {
+            cluster_nodes: 1024,
+        },
+        4096,
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "workload: {} nodes, {} clusters; {} hardware threads\n",
+        p.nodes,
+        p.clusters.len(),
+        threads
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}",
+        "engine", "serial ms", "parallel ms", "speedup"
+    );
+
+    let engines: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(GrowEngine::default()),
+        Box::new(GcnaxEngine::default()),
+        Box::new(MatRaptorEngine::default()),
+        Box::new(GammaEngine::default()),
+    ];
+    for engine in &engines {
+        let serial = with_mode(ExecMode::Serial, || time_runs(engine.as_ref(), &p, 3));
+        let parallel = with_mode(ExecMode::Parallel, || time_runs(engine.as_ref(), &p, 3));
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>8.2}x",
+            engine.name(),
+            serial * 1e3,
+            parallel * 1e3,
+            serial / parallel
+        );
+        let par_report = with_mode(ExecMode::Parallel, || engine.run(&p));
+        let ser_report = with_mode(ExecMode::Serial, || engine.run(&p));
+        assert_eq!(
+            par_report,
+            ser_report,
+            "{} must stay bit-identical",
+            engine.name()
+        );
+    }
+}

@@ -10,8 +10,10 @@
 //!
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
 //! fig18 fig19 fig20 fig21 fig22 table4 fig24 fig25a fig25b fig26
-//! replacement`. Each prints an aligned table and writes
-//! `results/<id>.csv`.
+//! replacement nonpowerlaw preprocessing extensions engines`. Each prints
+//! an aligned table and writes `results/<id>.csv` plus a machine-readable
+//! `results/<id>.json`; a run summary with per-experiment wall-clock times
+//! lands in `results/BENCH_experiments.json` for cross-PR perf tracking.
 
 use std::path::PathBuf;
 
@@ -51,7 +53,11 @@ fn main() {
                     .collect();
             }
             "--max-nodes" => {
-                max_nodes = Some(it.next().and_then(|v| v.parse().ok()).expect("--max-nodes N"))
+                max_nodes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-nodes N"),
+                )
             }
             "--full" => full = true,
             "--out" => out_dir = PathBuf::from(it.next().expect("--out DIR")),
@@ -67,9 +73,30 @@ fn main() {
         std::process::exit(2);
     }
     let all_ids = [
-        "table1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig11", "fig14", "fig17", "fig18",
-        "fig19", "fig20", "fig21", "fig22", "table4", "fig24", "fig25a", "fig25b", "fig26",
-        "replacement", "nonpowerlaw", "preprocessing", "extensions",
+        "table1",
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig11",
+        "fig14",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "table4",
+        "fig24",
+        "fig25a",
+        "fig25b",
+        "fig26",
+        "replacement",
+        "nonpowerlaw",
+        "preprocessing",
+        "extensions",
+        "engines",
     ];
     if ids.len() == 1 && ids[0] == "all" {
         ids = all_ids.iter().map(|s| s.to_string()).collect();
@@ -79,7 +106,9 @@ fn main() {
     ctx.max_nodes = max_nodes;
     ctx.full_scale = full;
 
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for id in &ids {
+        let started = std::time::Instant::now();
         let table = match id.as_str() {
             "table1" => table1(&mut ctx),
             "fig2" => fig2(&mut ctx),
@@ -104,16 +133,99 @@ fn main() {
             "nonpowerlaw" => nonpowerlaw(),
             "preprocessing" => preprocessing(&mut ctx),
             "extensions" => extensions(&mut ctx),
+            "engines" => engines(&mut ctx),
             other => {
-                eprintln!("unknown experiment '{other}' (known: {})", all_ids.join(" "));
+                eprintln!(
+                    "unknown experiment '{other}' (known: {})",
+                    all_ids.join(" ")
+                );
                 std::process::exit(2);
             }
         };
+        timings.push((id.clone(), started.elapsed().as_secs_f64() * 1e3));
         println!("{}", table.render());
         if let Err(e) = table.write_csv(&out_dir) {
             eprintln!("warning: could not write {}: {e}", table.name());
         }
+        if let Err(e) = table.write_json(&out_dir) {
+            eprintln!("warning: could not write {} json: {e}", table.name());
+        }
     }
+    write_bench_summary(&out_dir, seed, &timings);
+}
+
+/// Writes `BENCH_experiments.json`: per-experiment wall-clock times of this
+/// run, so successive PRs accumulate a perf trajectory of the simulator
+/// itself.
+fn write_bench_summary(out_dir: &std::path::Path, seed: u64, timings: &[(String, f64)]) {
+    use grow_bench::json;
+    let entries: Vec<String> = timings
+        .iter()
+        .map(|(id, ms)| json::object(&[("id", json::string(id)), ("wall_ms", json::number(*ms))]))
+        .collect();
+    let total_ms: f64 = timings.iter().map(|(_, ms)| ms).sum();
+    let doc = json::object(&[
+        ("seed", json::uint(seed)),
+        (
+            "threads",
+            json::string(&std::env::var("GROW_THREADS").unwrap_or_default()),
+        ),
+        (
+            "serial",
+            json::string(&std::env::var("GROW_SERIAL").unwrap_or_default()),
+        ),
+        ("total_wall_ms", json::number(total_ms)),
+        ("experiments", json::array(entries)),
+    ]);
+    if let Err(e) = std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("BENCH_experiments.json"), doc))
+    {
+        eprintln!("warning: could not write BENCH_experiments.json: {e}");
+    }
+}
+
+/// All four registry engines, dispatched by name through the shared
+/// `SimSession`-style entry point, on every selected dataset.
+fn engines(ctx: &mut Context) -> Table {
+    use grow_core::registry;
+    let mut t = Table::new(
+        "engines",
+        &[
+            "dataset",
+            "engine",
+            "cycles",
+            "DRAM MiB",
+            "MACs",
+            "agg hit rate",
+        ],
+    );
+    for i in 0..ctx.len() {
+        let eval = ctx.eval(i);
+        eprintln!(
+            "[run] {}: registry sweep over {:?}",
+            eval.key.name(),
+            registry::ENGINE_NAMES
+        );
+        for name in registry::ENGINE_NAMES {
+            // GROW runs on its partitioned workload, baselines on the
+            // original node order (Section VI's setup).
+            let prepared = if name == "grow" {
+                &eval.partitioned
+            } else {
+                &eval.base
+            };
+            let r = registry::run_named(name, prepared).expect("registered engine");
+            t.row(&[
+                eval.key.name().into(),
+                r.engine.into(),
+                cell::count(r.total_cycles()),
+                cell::mib(r.dram_bytes()),
+                cell::count(r.mac_ops()),
+                cell::percent(r.aggregation_cache().hit_rate().unwrap_or(0.0)),
+            ]);
+        }
+    }
+    t
 }
 
 /// Runs the three-configuration comparison once per dataset, memoized
@@ -124,15 +236,23 @@ struct SpeedupCache {
 
 impl SpeedupCache {
     fn new(n: usize) -> Self {
-        SpeedupCache { rows: vec![None; n] }
+        SpeedupCache {
+            rows: vec![None; n],
+        }
     }
 
     fn row(&mut self, ctx: &mut Context, i: usize) -> &SpeedupRow {
         if self.rows[i].is_none() {
             let eval = ctx.eval(i);
-            eprintln!("[run] {}: GCNAX / GROW w-o G.P. / GROW with G.P.", eval.key.name());
-            self.rows[i] =
-                Some(experiments::speedup_row(eval, &GrowConfig::default(), &GcnaxEngine::default()));
+            eprintln!(
+                "[run] {}: GCNAX / GROW w-o G.P. / GROW with G.P.",
+                eval.key.name()
+            );
+            self.rows[i] = Some(experiments::speedup_row(
+                eval,
+                &GrowConfig::default(),
+                &GcnaxEngine::default(),
+            ));
         }
         self.rows[i].as_ref().expect("just computed")
     }
@@ -142,8 +262,15 @@ fn table1(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "table1",
         &[
-            "dataset", "nodes", "edges", "avg-deg", "deg(paper)", "density-A", "X0-density",
-            "X1-density", "alpha",
+            "dataset",
+            "nodes",
+            "edges",
+            "avg-deg",
+            "deg(paper)",
+            "density-A",
+            "X0-density",
+            "X1-density",
+            "alpha",
         ],
     );
     for i in 0..ctx.len() {
@@ -176,8 +303,7 @@ fn fig2(ctx: &mut Context) -> Table {
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
         let l = &eval.workload.layers[0];
-        let counts =
-            analysis::gcn_mac_counts(&eval.base.adjacency, &l.x.view(), l.f_out);
+        let counts = analysis::gcn_mac_counts(&eval.base.adjacency, &l.x.view(), l.f_out);
         t.row(&[
             eval.key.name().into(),
             cell::count(counts.a_xw),
@@ -191,7 +317,14 @@ fn fig2(ctx: &mut Context) -> Table {
 fn fig3(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig3",
-        &["dataset", "density-A", "density-X0", "density-X1", "density-XW", "density-W"],
+        &[
+            "dataset",
+            "density-A",
+            "density-X0",
+            "density-X1",
+            "density-XW",
+            "density-W",
+        ],
     );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
@@ -247,14 +380,18 @@ fn fig6(ctx: &mut Context) -> Table {
             .layers
             .iter()
             .filter_map(|l| {
-                l.aggregation.traffic.utilization(grow_sim::TrafficClass::LhsSparse)
+                l.aggregation
+                    .traffic
+                    .utilization(grow_sim::TrafficClass::LhsSparse)
             })
             .collect();
         let comb_util: Vec<f64> = r
             .layers
             .iter()
             .filter_map(|l| {
-                l.combination.traffic.utilization(grow_sim::TrafficClass::LhsSparse)
+                l.combination
+                    .traffic
+                    .utilization(grow_sim::TrafficClass::LhsSparse)
             })
             .collect();
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -284,7 +421,10 @@ fn fig7(ctx: &mut Context) -> Table {
 }
 
 fn fig11(ctx: &mut Context) -> Table {
-    let mut t = Table::new("fig11", &["dataset", "deg>=bin", "nodes", "top4096-coverage"]);
+    let mut t = Table::new(
+        "fig11",
+        &["dataset", "deg>=bin", "nodes", "top4096-coverage"],
+    );
     for i in 0..ctx.len() {
         if ctx.keys[i] != DatasetKey::Reddit && ctx.len() > 1 {
             continue;
@@ -306,7 +446,10 @@ fn fig11(ctx: &mut Context) -> Table {
 fn fig14(ctx: &mut Context) -> Table {
     // Block-density map after 8-way partitioning (the paper's
     // visualization grain), printed as per-block densities.
-    let mut t = Table::new("fig14", &["dataset", "block-row", "densities (x1e-3, 8 cols)"]);
+    let mut t = Table::new(
+        "fig14",
+        &["dataset", "block-row", "densities (x1e-3, 8 cols)"],
+    );
     for i in 0..ctx.len() {
         if !matches!(
             ctx.keys[i],
@@ -350,7 +493,10 @@ fn fig14(ctx: &mut Context) -> Table {
 
 fn fig17(ctx: &mut Context) -> Table {
     let mut cache = SpeedupCache::new(ctx.len());
-    let mut t = Table::new("fig17", &["dataset", "hit-rate w/o G.P.", "hit-rate with G.P."]);
+    let mut t = Table::new(
+        "fig17",
+        &["dataset", "hit-rate w/o G.P.", "hit-rate with G.P."],
+    );
     for i in 0..ctx.len() {
         let row = cache.row(ctx, i);
         let (no_gp, gp) = row.hit_rates();
@@ -363,7 +509,14 @@ fn fig18(ctx: &mut Context) -> Table {
     let mut cache = SpeedupCache::new(ctx.len());
     let mut t = Table::new(
         "fig18",
-        &["dataset", "GCNAX", "GROW w/o G.P.", "GROW with G.P.", "GCNAX MiB", "GROW MiB"],
+        &[
+            "dataset",
+            "GCNAX",
+            "GROW w/o G.P.",
+            "GROW with G.P.",
+            "GCNAX MiB",
+            "GROW MiB",
+        ],
     );
     let mut ratios = Vec::new();
     for i in 0..ctx.len() {
@@ -392,13 +545,21 @@ fn fig18(ctx: &mut Context) -> Table {
 fn fig19(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig19",
-        &["dataset", "no-cache", "w/ HDN caching", "w/ HDN caching + G.P."],
+        &[
+            "dataset",
+            "no-cache",
+            "w/ HDN caching",
+            "w/ HDN caching + G.P.",
+        ],
     );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
         eprintln!("[run] {}: traffic ablation", eval.key.name());
-        let TrafficAblation { no_cache, cache, cache_gp } =
-            experiments::traffic_ablation(eval, &GrowConfig::default());
+        let TrafficAblation {
+            no_cache,
+            cache,
+            cache_gp,
+        } = experiments::traffic_ablation(eval, &GrowConfig::default());
         // Normalized to no-cache, reported as reduction factors (higher is
         // better, as in Figure 19).
         t.row(&[
@@ -416,17 +577,19 @@ fn fig20(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig20",
         &[
-            "dataset", "speedup w/o G.P.", "speedup with G.P.", "GCNAX agg%", "GROW agg%",
+            "dataset",
+            "speedup w/o G.P.",
+            "speedup with G.P.",
+            "GCNAX agg%",
+            "GROW agg%",
         ],
     );
     let mut speedups = Vec::new();
     for i in 0..ctx.len() {
         let row = cache.row(ctx, i);
         speedups.push(row.speedup_gp());
-        let gcnax_agg =
-            row.gcnax.aggregation_cycles() as f64 / row.gcnax.total_cycles() as f64;
-        let grow_agg =
-            row.grow_gp.aggregation_cycles() as f64 / row.grow_gp.total_cycles() as f64;
+        let gcnax_agg = row.gcnax.aggregation_cycles() as f64 / row.gcnax.total_cycles() as f64;
+        let grow_agg = row.grow_gp.aggregation_cycles() as f64 / row.grow_gp.total_cycles() as f64;
         t.row(&[
             row.dataset.into(),
             cell::ratio(row.speedup_no_gp()),
@@ -448,7 +611,12 @@ fn fig20(ctx: &mut Context) -> Table {
 fn fig21(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig21",
-        &["dataset", "HDN cache only", "+ runahead", "+ graph partition"],
+        &[
+            "dataset",
+            "HDN cache only",
+            "+ runahead",
+            "+ graph partition",
+        ],
     );
     let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
     for i in 0..ctx.len() {
@@ -480,7 +648,14 @@ fn fig22(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig22",
         &[
-            "dataset", "config", "MAC", "RF", "SRAM", "DRAM", "leak", "total (norm GCNAX)",
+            "dataset",
+            "config",
+            "MAC",
+            "RF",
+            "SRAM",
+            "DRAM",
+            "leak",
+            "total (norm GCNAX)",
         ],
     );
     let mut effs = Vec::new();
@@ -529,12 +704,23 @@ fn table4() -> Table {
     let model = AreaModel::default();
     let grow65 = model.grow_default_65nm();
     let grow40 = grow65.scaled(TECH_SCALE_65_TO_40);
-    let mut t = Table::new("table4", &["component", "40nm est (mm2)", "65nm meas (mm2)"]);
+    let mut t = Table::new(
+        "table4",
+        &["component", "40nm est (mm2)", "65nm meas (mm2)"],
+    );
     for ((name, a65), (_, a40)) in grow65.components.iter().zip(&grow40.components) {
         t.row(&[(*name).into(), format!("{a40:.3}"), format!("{a65:.3}")]);
     }
-    t.row(&["Total".into(), format!("{:.3}", grow40.total()), format!("{:.3}", grow65.total())]);
-    t.row(&["GCNAX total".into(), format!("{GCNAX_AREA_40NM:.2}"), "-".into()]);
+    t.row(&[
+        "Total".into(),
+        format!("{:.3}", grow40.total()),
+        format!("{:.3}", grow65.total()),
+    ]);
+    t.row(&[
+        "GCNAX total".into(),
+        format!("{GCNAX_AREA_40NM:.2}"),
+        "-".into(),
+    ]);
     t
 }
 
@@ -559,7 +745,9 @@ fn fig25a(ctx: &mut Context) -> Table {
     let degrees = [1usize, 2, 4, 8, 16, 32];
     let mut t = Table::new(
         "fig25a",
-        &["dataset", "1-way", "2-way", "4-way", "8-way", "16-way", "32-way"],
+        &[
+            "dataset", "1-way", "2-way", "4-way", "8-way", "16-way", "32-way",
+        ],
     );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
@@ -577,7 +765,9 @@ fn fig25b(ctx: &mut Context) -> Table {
     let bws = [16.0, 32.0, 64.0, 128.0, 256.0];
     let mut t = Table::new(
         "fig25b",
-        &["dataset", "engine", "16GB/s", "32GB/s", "64GB/s", "128GB/s", "256GB/s"],
+        &[
+            "dataset", "engine", "16GB/s", "32GB/s", "64GB/s", "128GB/s", "256GB/s",
+        ],
     );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
@@ -588,10 +778,16 @@ fn fig25b(ctx: &mut Context) -> Table {
         let grow_base = pts[2].grow_cycles as f64;
         let gcnax_base = pts[2].gcnax_cycles as f64;
         let mut grow_cells = vec![eval.key.name().to_string(), "GROW".into()];
-        grow_cells.extend(pts.iter().map(|p| cell::ratio(grow_base / p.grow_cycles as f64)));
+        grow_cells.extend(
+            pts.iter()
+                .map(|p| cell::ratio(grow_base / p.grow_cycles as f64)),
+        );
         t.row(&grow_cells);
         let mut gcnax_cells = vec![eval.key.name().to_string(), "GCNAX".into()];
-        gcnax_cells.extend(pts.iter().map(|p| cell::ratio(gcnax_base / p.gcnax_cycles as f64)));
+        gcnax_cells.extend(
+            pts.iter()
+                .map(|p| cell::ratio(gcnax_base / p.gcnax_cycles as f64)),
+        );
         t.row(&gcnax_cells);
     }
     t
@@ -601,7 +797,12 @@ fn fig26(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "fig26",
         &[
-            "dataset", "GCNAX", "MatRaptor", "GAMMA", "GROW", "traffic vs MatRaptor",
+            "dataset",
+            "GCNAX",
+            "MatRaptor",
+            "GAMMA",
+            "GROW",
+            "traffic vs MatRaptor",
             "traffic vs GAMMA",
         ],
     );
@@ -613,9 +814,7 @@ fn fig26(ctx: &mut Context) -> Table {
         let c = experiments::spsp_comparison(eval);
         let grow = c.grow.total_cycles() as f64;
         let speedup = |r: &grow_core::RunReport| r.total_cycles() as f64 / grow;
-        let traffic = |r: &grow_core::RunReport| {
-            r.dram_bytes() as f64 / c.grow.dram_bytes() as f64
-        };
+        let traffic = |r: &grow_core::RunReport| r.dram_bytes() as f64 / c.grow.dram_bytes() as f64;
         s_mat.push(speedup(&c.matraptor));
         s_gam.push(speedup(&c.gamma));
         t_mat.push(traffic(&c.matraptor));
@@ -647,21 +846,32 @@ fn extensions(ctx: &mut Context) -> Table {
     use grow_core::extensions::{run_with_aggregation, AggregationKind};
     let variants: [(&str, AggregationKind); 5] = [
         ("gcn-sum", AggregationKind::GcnSum),
-        ("sage-mean-25", AggregationKind::SageMean { sample: Some(25) }),
-        ("sage-pool-25", AggregationKind::SagePool { sample: Some(25) }),
+        (
+            "sage-mean-25",
+            AggregationKind::SageMean { sample: Some(25) },
+        ),
+        (
+            "sage-pool-25",
+            AggregationKind::SagePool { sample: Some(25) },
+        ),
         ("gin", AggregationKind::Gin),
         ("gat", AggregationKind::Gat),
     ];
     let engine = GrowEngine::default();
     let mut t = Table::new(
         "extensions",
-        &["dataset", "aggregator", "cycles", "vs gcn-sum", "area overhead"],
+        &[
+            "dataset",
+            "aggregator",
+            "cycles",
+            "vs gcn-sum",
+            "area overhead",
+        ],
     );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
         eprintln!("[run] {}: aggregator variants", eval.key.name());
-        let base =
-            run_with_aggregation(&engine, &eval.partitioned, AggregationKind::GcnSum);
+        let base = run_with_aggregation(&engine, &eval.partitioned, AggregationKind::GcnSum);
         for (name, kind) in variants {
             let r = run_with_aggregation(&engine, &eval.partitioned, kind);
             t.row(&[
@@ -698,7 +908,10 @@ fn nonpowerlaw() -> Table {
 fn preprocessing(ctx: &mut Context) -> Table {
     // Section V-C: one-time graph preprocessing cost, amortized over all
     // future inference runs.
-    let mut t = Table::new("preprocessing", &["dataset", "nodes", "edges", "partition-time"]);
+    let mut t = Table::new(
+        "preprocessing",
+        &["dataset", "nodes", "edges", "partition-time"],
+    );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);
         let d = experiments::preprocessing_cost(&eval.workload);
@@ -715,7 +928,14 @@ fn preprocessing(ctx: &mut Context) -> Table {
 fn replacement(ctx: &mut Context) -> Table {
     let mut t = Table::new(
         "replacement",
-        &["dataset", "pinned cycles", "LRU cycles", "pinned hit", "LRU hit", "pinned speedup"],
+        &[
+            "dataset",
+            "pinned cycles",
+            "LRU cycles",
+            "pinned hit",
+            "LRU hit",
+            "pinned speedup",
+        ],
     );
     for i in 0..ctx.len() {
         let eval = ctx.eval(i);

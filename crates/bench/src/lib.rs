@@ -106,9 +106,21 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -121,6 +133,109 @@ impl Table {
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         fs::write(dir.join(format!("{}.csv", self.name)), self.to_csv())
+    }
+
+    /// Serializes as JSON: an object with the table name and one object per
+    /// row, keyed by column header. All cells stay strings — they are
+    /// already formatted for presentation; downstream tooling parses the
+    /// ones it needs.
+    ///
+    /// ```
+    /// use grow_bench::Table;
+    ///
+    /// let mut t = Table::new("demo", &["dataset", "speedup"]);
+    /// t.row(&["cora".into(), "2.31".into()]);
+    /// assert_eq!(
+    ///     t.to_json(),
+    ///     "{\"name\":\"demo\",\"rows\":[{\"dataset\":\"cora\",\"speedup\":\"2.31\"}]}"
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<(&str, String)> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| (h.as_str(), json::string(c)))
+                    .collect();
+                json::object(&fields)
+            })
+            .collect();
+        json::object(&[
+            ("name", json::string(&self.name)),
+            ("rows", json::array(rows)),
+        ])
+    }
+
+    /// Writes the JSON into `dir/<name>.json` (directory created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.json", self.name)), self.to_json())
+    }
+}
+
+/// Minimal JSON construction (no external serialization crates in the
+/// offline build). Values are pre-rendered strings produced by the helpers
+/// here, composed into objects and arrays.
+pub mod json {
+    /// Escapes and quotes a string value.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Renders an unsigned integer exactly (no f64 round-trip — u64 values
+    /// above 2^53 would lose precision through [`number`]).
+    pub fn uint(v: u64) -> String {
+        v.to_string()
+    }
+
+    /// Renders a finite number (JSON has no NaN/inf; those become `null`).
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            // Integral values print without a trailing ".0" noise.
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Composes pre-rendered values into an object.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", string(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Composes pre-rendered values into an array.
+    pub fn array(items: Vec<String>) -> String {
+        format!("[{}]", items.join(","))
     }
 }
 
@@ -155,6 +270,48 @@ pub mod cell {
     }
 }
 
+/// Wall-clock measurement shared by the offline (no-Criterion) benches.
+pub mod timing {
+    use std::time::Instant;
+
+    /// One benchmark entry's measurements, in nanoseconds per iteration.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Timing {
+        /// Iterations measured (after the warm-up run).
+        pub iters: u32,
+        /// Mean time per iteration.
+        pub mean_ns: f64,
+        /// Fastest single iteration.
+        pub min_ns: f64,
+    }
+
+    impl Timing {
+        /// Fastest iteration in seconds.
+        pub fn min_secs(&self) -> f64 {
+            self.min_ns / 1e9
+        }
+    }
+
+    /// Runs `f` once to warm up, then `iters` timed times.
+    pub fn sample(iters: u32, mut f: impl FnMut()) -> Timing {
+        f(); // warm-up: keep the cold first run out of the measurements
+        let mut min_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        for _ in 0..iters.max(1) {
+            let t0 = Instant::now();
+            f();
+            let ns = t0.elapsed().as_nanos() as f64;
+            min_ns = min_ns.min(ns);
+            total_ns += ns;
+        }
+        Timing {
+            iters: iters.max(1),
+            mean_ns: total_ns / iters.max(1) as f64,
+            min_ns,
+        }
+    }
+}
+
 /// The shared experiment context: dataset selection, seed, scaling, and
 /// lazily instantiated [`DatasetEval`]s (generation + partitioning are the
 /// expensive parts and are reused across experiments).
@@ -174,7 +331,13 @@ impl Context {
     /// Creates a context over the given datasets.
     pub fn new(keys: Vec<DatasetKey>, seed: u64) -> Self {
         let n = keys.len();
-        Context { keys, seed, max_nodes: None, full_scale: false, evals: vec![None; n] }
+        Context {
+            keys,
+            seed,
+            max_nodes: None,
+            full_scale: false,
+            evals: vec![None; n],
+        }
     }
 
     /// The evaluation for dataset `i`, instantiating it on first use.

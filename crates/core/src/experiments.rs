@@ -37,7 +37,12 @@ impl DatasetEval {
         let workload = spec.instantiate(seed);
         let base = prepare(&workload, PartitionStrategy::None, 4096);
         let partitioned = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
-        DatasetEval { key: spec.key, workload, base, partitioned }
+        DatasetEval {
+            key: spec.key,
+            workload,
+            base,
+            partitioned,
+        }
     }
 }
 
@@ -78,7 +83,10 @@ impl SpeedupRow {
     /// HDN cache hit rates without/with partitioning (Figure 17).
     pub fn hit_rates(&self) -> (f64, f64) {
         (
-            self.grow_no_gp.aggregation_cache().hit_rate().unwrap_or(0.0),
+            self.grow_no_gp
+                .aggregation_cache()
+                .hit_rate()
+                .unwrap_or(0.0),
             self.grow_gp.aggregation_cache().hit_rate().unwrap_or(0.0),
         )
     }
@@ -109,11 +117,16 @@ pub struct TrafficAblation {
 
 /// Runs the Figure 19 traffic ablation on one dataset.
 pub fn traffic_ablation(eval: &DatasetEval, base_config: &GrowConfig) -> TrafficAblation {
-    let no_cache_cfg = GrowConfig { hdn_caching: false, ..*base_config };
+    let no_cache_cfg = GrowConfig {
+        hdn_caching: false,
+        ..*base_config
+    };
     TrafficAblation {
         no_cache: GrowEngine::new(no_cache_cfg).run(&eval.base).dram_bytes(),
         cache: GrowEngine::new(*base_config).run(&eval.base).dram_bytes(),
-        cache_gp: GrowEngine::new(*base_config).run(&eval.partitioned).dram_bytes(),
+        cache_gp: GrowEngine::new(*base_config)
+            .run(&eval.partitioned)
+            .dram_bytes(),
     }
 }
 
@@ -133,10 +146,15 @@ pub struct SpeedupAblation {
 /// Runs the Figure 21 ablation on one dataset.
 pub fn speedup_ablation(eval: &DatasetEval, config: &GrowConfig) -> SpeedupAblation {
     let gcnax = GcnaxEngine::default().run(&eval.base).total_cycles() as f64;
-    let hdn_only_cfg = GrowConfig { runahead: 1, ..*config };
+    let hdn_only_cfg = GrowConfig {
+        runahead: 1,
+        ..*config
+    };
     let hdn_only = GrowEngine::new(hdn_only_cfg).run(&eval.base).total_cycles() as f64;
     let runahead = GrowEngine::new(*config).run(&eval.base).total_cycles() as f64;
-    let full = GrowEngine::new(*config).run(&eval.partitioned).total_cycles() as f64;
+    let full = GrowEngine::new(*config)
+        .run(&eval.partitioned)
+        .total_cycles() as f64;
     SpeedupAblation {
         hdn_only: gcnax / hdn_only,
         plus_runahead: gcnax / runahead,
@@ -150,8 +168,15 @@ pub fn runahead_sweep(eval: &DatasetEval, degrees: &[usize]) -> Vec<(usize, u64)
     degrees
         .iter()
         .map(|&d| {
-            let cfg = GrowConfig { runahead: d, ldn_entries: d.max(1), ..GrowConfig::default() };
-            (d, GrowEngine::new(cfg).run(&eval.partitioned).total_cycles())
+            let cfg = GrowConfig {
+                runahead: d,
+                ldn_entries: d.max(1),
+                ..GrowConfig::default()
+            };
+            (
+                d,
+                GrowEngine::new(cfg).run(&eval.partitioned).total_cycles(),
+            )
         })
         .collect()
 }
@@ -172,8 +197,14 @@ pub fn bandwidth_sweep(eval: &DatasetEval, gbps: &[f64]) -> Vec<BandwidthPoint> 
     gbps.iter()
         .map(|&bw| {
             let dram = DramConfig::with_bandwidth_gbps(bw);
-            let grow = GrowEngine::new(GrowConfig { dram, ..GrowConfig::default() });
-            let gcnax = GcnaxEngine::new(crate::GcnaxConfig { dram, ..Default::default() });
+            let grow = GrowEngine::new(GrowConfig {
+                dram,
+                ..GrowConfig::default()
+            });
+            let gcnax = GcnaxEngine::new(crate::GcnaxConfig {
+                dram,
+                ..Default::default()
+            });
             BandwidthPoint {
                 gbps: bw,
                 grow_cycles: grow.run(&eval.partitioned).total_cycles(),
@@ -211,7 +242,11 @@ pub fn spsp_comparison(eval: &DatasetEval) -> SpSpComparison {
 pub fn pe_scaling(eval: &DatasetEval, pe_counts: &[usize]) -> Vec<multi_pe::ScalingPoint> {
     let report = GrowEngine::default().run(&eval.partitioned);
     let profiles = report.cluster_profiles();
-    multi_pe::scaling_curve(&profiles, pe_counts, GrowConfig::default().dram.bytes_per_cycle)
+    multi_pe::scaling_curve(
+        &profiles,
+        pe_counts,
+        GrowConfig::default().dram.bytes_per_cycle,
+    )
 }
 
 /// The pinned-vs-LRU replacement study of the Section VIII discussion.
@@ -230,8 +265,10 @@ pub struct ReplacementStudy {
 /// Runs the replacement-policy study on one dataset.
 pub fn replacement_study(eval: &DatasetEval) -> ReplacementStudy {
     let pinned = GrowEngine::default().run(&eval.partitioned);
-    let lru_cfg =
-        GrowConfig { replacement: ReplacementPolicy::Lru, ..GrowConfig::default() };
+    let lru_cfg = GrowConfig {
+        replacement: ReplacementPolicy::Lru,
+        ..GrowConfig::default()
+    };
     let lru = GrowEngine::new(lru_cfg).run(&eval.partitioned);
     ReplacementStudy {
         pinned_cycles: pinned.total_cycles(),
@@ -271,7 +308,9 @@ pub fn non_power_law_study(scale: u32, avg_degree: f64, seed: u64) -> NonPowerLa
     let base = prepare(&workload, PartitionStrategy::None, 4096);
     let partitioned = prepare(
         &workload,
-        PartitionStrategy::Multilevel { cluster_nodes: (workload.graph.nodes() / 8).max(64) },
+        PartitionStrategy::Multilevel {
+            cluster_nodes: (workload.graph.nodes() / 8).max(64),
+        },
         4096,
     );
     let grow = GrowEngine::default().run(&partitioned);
@@ -381,11 +420,19 @@ mod tests {
             crate::PartitionStrategy::Multilevel { cluster_nodes: 200 },
             4096,
         );
-        let eval = DatasetEval { key: DatasetKey::Pubmed, workload, base, partitioned };
+        let eval = DatasetEval {
+            key: DatasetKey::Pubmed,
+            workload,
+            base,
+            partitioned,
+        };
         let curve = pe_scaling(&eval, &[1, 4, 16]);
         assert!((curve[0].normalized_throughput - 1.0).abs() < 1e-9);
         assert!(curve[1].normalized_throughput > 2.0, "{curve:?}");
-        assert!(curve[2].normalized_throughput > curve[1].normalized_throughput, "{curve:?}");
+        assert!(
+            curve[2].normalized_throughput > curve[1].normalized_throughput,
+            "{curve:?}"
+        );
     }
 
     #[test]
@@ -406,7 +453,10 @@ mod tests {
             "uniform {} vs power-law {power_law}",
             uniform.hit_rate
         );
-        assert!(uniform.speedup > 0.5, "GROW should stay competitive: {uniform:?}");
+        assert!(
+            uniform.speedup > 0.5,
+            "GROW should stay competitive: {uniform:?}"
+        );
     }
 
     #[test]
@@ -414,7 +464,10 @@ mod tests {
         let w = DatasetKey::Pubmed.spec().scaled_to(1000).instantiate(3);
         let d = preprocessing_cost(&w);
         assert!(d.as_nanos() > 0);
-        assert!(d.as_secs() < 60, "preprocessing should be fast at this scale");
+        assert!(
+            d.as_secs() < 60,
+            "preprocessing should be fast at this scale"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use grow_sim::{Dram, MacArray, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
 use grow_sparse::CsrPattern;
 
-use crate::{Accelerator, GrowEngine, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
+use crate::{
+    Accelerator, GrowEngine, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport,
+};
 
 /// Which aggregation function the GCN layers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,8 +113,7 @@ pub fn run_with_aggregation(
             // f_out on the MAC array plus a softmax pass per row on the
             // dedicated unit (off the critical MAC path).
             for layer in &mut report.layers {
-                let extra =
-                    gat_attention_phase(engine, &effective.adjacency, layer_f_out(layer));
+                let extra = gat_attention_phase(engine, &effective.adjacency, layer_f_out(layer));
                 merge_extra_phase(&mut layer.aggregation, extra);
             }
         }
@@ -126,11 +127,11 @@ fn layer_f_out(layer: &LayerReport) -> usize {
     // bytes = rows * f_out * 8 per phase; mac ops per nnz = f_out. The
     // aggregation phase's MAC count / probe count gives it directly.
     let probes = layer.aggregation.cache.hits + layer.aggregation.cache.misses;
-    if probes > 0 {
-        (layer.aggregation.mac_ops / probes) as usize
-    } else {
-        16
-    }
+    layer
+        .aggregation
+        .mac_ops
+        .checked_div(probes)
+        .map_or(16, |f| f as usize)
 }
 
 fn gin_mlp_phase(engine: &GrowEngine, nodes: usize, f_out: usize) -> PhaseReport {
@@ -142,7 +143,11 @@ fn gin_mlp_phase(engine: &GrowEngine, nodes: usize, f_out: usize) -> PhaseReport
     let bytes = nodes as u64 * f_out as u64 * ELEMENT_BYTES;
     dram.read_stream(0, bytes, TrafficClass::LhsSparse);
     dram.round_burst(bytes, TrafficClass::LhsSparse);
-    dram.read_stream(0, (f_out * f_out) as u64 * ELEMENT_BYTES, TrafficClass::Weights);
+    dram.read_stream(
+        0,
+        (f_out * f_out) as u64 * ELEMENT_BYTES,
+        TrafficClass::Weights,
+    );
     mac.scalar_vector_bulk(0, f_out, nodes as u64 * f_out as u64);
     dram.write(mac.busy_until(), bytes, TrafficClass::Output);
     phase.cycles = mac.busy_until().max(dram.busy_until());
@@ -152,11 +157,7 @@ fn gin_mlp_phase(engine: &GrowEngine, nodes: usize, f_out: usize) -> PhaseReport
     phase
 }
 
-fn gat_attention_phase(
-    engine: &GrowEngine,
-    adjacency: &CsrPattern,
-    f_out: usize,
-) -> PhaseReport {
+fn gat_attention_phase(engine: &GrowEngine, adjacency: &CsrPattern, f_out: usize) -> PhaseReport {
     let mut phase = PhaseReport::new(PhaseKind::Aggregation);
     let mut dram = Dram::new(engine.config().dram);
     let mut mac = MacArray::new(engine.config().mac_lanes);
@@ -201,7 +202,10 @@ mod tests {
     #[test]
     fn area_overheads_match_section8() {
         assert_eq!(AggregationKind::GcnSum.area_overhead_fraction(), 0.0);
-        assert_eq!(AggregationKind::SagePool { sample: None }.area_overhead_fraction(), 0.014);
+        assert_eq!(
+            AggregationKind::SagePool { sample: None }.area_overhead_fraction(),
+            0.014
+        );
         assert_eq!(AggregationKind::Gat.area_overhead_fraction(), 0.017);
         assert_eq!(AggregationKind::Gin.area_overhead_fraction(), 0.0);
     }
@@ -222,8 +226,7 @@ mod tests {
         let p = prepared();
         let engine = GrowEngine::default();
         let full = run_with_aggregation(&engine, &p, AggregationKind::GcnSum);
-        let sage =
-            run_with_aggregation(&engine, &p, AggregationKind::SageMean { sample: Some(3) });
+        let sage = run_with_aggregation(&engine, &p, AggregationKind::SageMean { sample: Some(3) });
         assert!(sage.total_cycles() <= full.total_cycles());
         assert!(sage.mac_ops() < full.mac_ops());
     }
@@ -232,7 +235,10 @@ mod tests {
     fn gcn_sum_matches_plain_engine() {
         let p = prepared();
         let engine = GrowEngine::default();
-        assert_eq!(run_with_aggregation(&engine, &p, AggregationKind::GcnSum), engine.run(&p));
+        assert_eq!(
+            run_with_aggregation(&engine, &p, AggregationKind::GcnSum),
+            engine.run(&p)
+        );
     }
 
     #[test]

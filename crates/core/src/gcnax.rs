@@ -16,9 +16,12 @@
 //!   substantial, which is why GCNAX beats GROW on Reddit's traffic
 //!   (Section VII-A).
 
-use grow_sim::{Cycle, Dram, DramConfig, MacArray, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
+use std::ops::Range;
+
+use grow_sim::{Cycle, DramConfig, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
+use crate::pipeline::{self, PhaseCtx};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
 /// GCNAX configuration.
@@ -85,41 +88,67 @@ impl GcnaxEngine {
 
     /// Simulates one SpDeGEMM phase `C[n x f] = LHS[n x k] * RHS[k x f]`.
     ///
-    /// `rhs_resident` marks a RHS small enough to pin on-chip for the whole
-    /// phase (the weight matrix in combination); otherwise each strip
-    /// fetches the RHS rows of its distinct non-zero columns.
-    fn run_phase(&self, kind: PhaseKind, lhs: &RowMajorSparse<'_>, f: usize) -> PhaseReport {
+    /// A resident RHS (small enough to pin on-chip for the whole phase —
+    /// the weight matrix in combination) is preloaded once in a prologue;
+    /// otherwise each strip fetches the RHS rows of its distinct non-zero
+    /// columns. The strip walk runs cluster by cluster through the shared
+    /// harness, in parallel across clusters.
+    fn run_phase(
+        &self,
+        kind: PhaseKind,
+        lhs: &RowMajorSparse<'_>,
+        f: usize,
+        clusters: &[Range<usize>],
+    ) -> PhaseReport {
         let cfg = &self.config;
-        let mut report = PhaseReport::new(kind);
-        let mut dram = Dram::new(cfg.dram);
-        let mut mac = MacArray::new(cfg.mac_lanes);
+        let mut phase = PhaseReport::new(kind);
+        let rhs_bytes = lhs.cols() as u64 * f as u64 * ELEMENT_BYTES;
+        let rhs_resident = rhs_bytes <= cfg.dense_buffer_bytes;
+
+        if rhs_resident {
+            // One-time weight preload (contiguous).
+            let mut pre = PhaseCtx::new(kind, cfg.dram, cfg.mac_lanes);
+            pre.now = pre.dram.read_stream(0, rhs_bytes, TrafficClass::Weights);
+            pre.dram.round_burst(rhs_bytes, TrafficClass::Weights);
+            pre.report.sram_writes_8b += rhs_bytes / 8;
+            phase.absorb_sequential(pre.finish());
+        }
+
+        let clustered = pipeline::run_clusters(kind, clusters, |_, cluster| {
+            self.run_strips(kind, lhs, f, cluster, rhs_resident)
+        });
+        phase.absorb_sequential(clustered);
+        phase
+    }
+
+    /// Walks one cluster's output strips in an isolated context.
+    fn run_strips(
+        &self,
+        kind: PhaseKind,
+        lhs: &RowMajorSparse<'_>,
+        f: usize,
+        rows: Range<usize>,
+        rhs_resident: bool,
+    ) -> PhaseReport {
+        let cfg = &self.config;
+        let mut ctx = PhaseCtx::new(kind, cfg.dram, cfg.mac_lanes);
 
         let k_dim = lhs.cols();
         let row_bytes = f as u64 * ELEMENT_BYTES;
-        let rhs_bytes = k_dim as u64 * row_bytes;
-        let rhs_resident = rhs_bytes <= cfg.dense_buffer_bytes;
 
         // Double buffering: strip s+1's fetches start once strip s's
         // fetches have drained into the compute buffer; the FIFO channel
         // serializes the transfers themselves.
         let mut issue_at: Cycle = 0;
 
-        if rhs_resident {
-            // One-time weight preload (contiguous).
-            let done = dram.read_stream(0, rhs_bytes, TrafficClass::Weights);
-            dram.round_burst(rhs_bytes, TrafficClass::Weights);
-            report.sram_writes_8b += rhs_bytes / 8;
-            issue_at = done;
-        }
-
         let n_tiles_k = k_dim.div_ceil(cfg.tile_cols);
         let mut tile_nnz: Vec<u32> = vec![0; n_tiles_k];
         // Distinct-column stamps: stamp[col] == strip index + 1 when seen.
         let mut stamp: Vec<u32> = vec![0; k_dim];
 
-        let n = lhs.rows();
+        let n = rows.end;
         let mut strip_idx = 0u32;
-        let mut row = 0usize;
+        let mut row = rows.start;
         while row < n {
             strip_idx += 1;
             let strip_end = (row + cfg.tile_rows).min(n);
@@ -183,48 +212,52 @@ impl GcnaxEngine {
                 };
                 let payload = *slot as u64 * (ELEMENT_BYTES + INDEX_BYTES);
                 let tile_done =
-                    dram.read_with_overhead(gate, payload, meta, TrafficClass::LhsSparse);
-                report.sram_writes_8b += (payload + meta).div_ceil(8);
+                    ctx.dram
+                        .read_with_overhead(gate, payload, meta, TrafficClass::LhsSparse);
+                ctx.report.sram_writes_8b += (payload + meta).div_ceil(8);
                 *slot = 0;
                 let mut done = tile_done;
                 if !rhs_resident && rows_remaining > 0 {
                     // This tile's share of the strip's distinct RHS rows,
                     // issued once its column list is known.
-                    let rows = (avg_rows_per_tile.round() as u64).min(rows_remaining).max(1);
+                    let rows = (avg_rows_per_tile.round() as u64)
+                        .min(rows_remaining)
+                        .max(1);
                     rows_remaining -= rows;
-                    done = dram.read_many(tile_done, rows, row_bytes, class);
-                    report.sram_writes_8b += rows * f as u64;
+                    done = ctx.dram.read_many(tile_done, rows, row_bytes, class);
+                    ctx.report.sram_writes_8b += rows * f as u64;
                 }
                 in_flight.push_back(done);
                 fetch_done = fetch_done.max(done);
             }
             if !rhs_resident && rows_remaining > 0 {
-                fetch_done =
-                    fetch_done.max(dram.read_many(fetch_done, rows_remaining, row_bytes, class));
-                report.sram_writes_8b += rows_remaining * f as u64;
+                fetch_done = fetch_done.max(ctx.dram.read_many(
+                    fetch_done,
+                    rows_remaining,
+                    row_bytes,
+                    class,
+                ));
+                ctx.report.sram_writes_8b += rows_remaining * f as u64;
             }
 
             // Compute the strip (outer product: every non-zero multiplies
             // an f-wide RHS row), double-buffered against the next strip's
             // fetches.
-            let compute_done = mac.scalar_vector_bulk(fetch_done, f, strip_nnz);
-            report.sram_reads_8b += strip_nnz * (1 + f as u64);
-            report.sram_writes_8b += strip_nnz * f as u64;
+            let compute_done = ctx.mac.scalar_vector_bulk(fetch_done, f, strip_nnz);
+            ctx.report.sram_reads_8b += strip_nnz * (1 + f as u64);
+            ctx.report.sram_writes_8b += strip_nnz * f as u64;
 
             // Write the finished output strip back (contiguous).
             let out_bytes = ((strip_end - row) * f) as u64 * ELEMENT_BYTES;
-            dram.write(compute_done, out_bytes, TrafficClass::Output);
-            report.sram_reads_8b += out_bytes / 8;
+            ctx.dram
+                .write(compute_done, out_bytes, TrafficClass::Output);
+            ctx.report.sram_reads_8b += out_bytes / 8;
 
             issue_at = fetch_done.max(issue_at);
             row = strip_end;
         }
 
-        report.cycles = mac.busy_until().max(dram.busy_until());
-        report.compute_busy = mac.busy_cycles();
-        report.mac_ops = mac.mac_ops();
-        report.traffic = dram.stats().clone();
-        report
+        ctx.finish_cluster()
     }
 }
 
@@ -235,17 +268,20 @@ impl Accelerator for GcnaxEngine {
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
         let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
-        let layers = workload
-            .layers
-            .iter()
-            .map(|layer| {
-                let combination =
-                    self.run_phase(PhaseKind::Combination, &layer.x.view(), layer.f_out);
-                let aggregation = self.run_phase(PhaseKind::Aggregation, &adjacency, layer.f_out);
-                LayerReport { combination, aggregation }
-            })
-            .collect();
-        RunReport { engine: self.name(), layers }
+        pipeline::run_layers(self.name(), workload, |layer| LayerReport {
+            combination: self.run_phase(
+                PhaseKind::Combination,
+                &layer.x.view(),
+                layer.f_out,
+                &workload.clusters,
+            ),
+            aggregation: self.run_phase(
+                PhaseKind::Aggregation,
+                &adjacency,
+                layer.f_out,
+                &workload.clusters,
+            ),
+        })
     }
 
     fn sram_kb(&self) -> f64 {
@@ -302,8 +338,16 @@ mod tests {
         // Figure 6: X tiles are dense (black bars high), A tiles are not.
         let p = prepared(2000);
         let r = GcnaxEngine::default().run(&p);
-        let comb = r.layers[1].combination.traffic.utilization(TrafficClass::LhsSparse).unwrap();
-        let agg = r.layers[1].aggregation.traffic.utilization(TrafficClass::LhsSparse).unwrap();
+        let comb = r.layers[1]
+            .combination
+            .traffic
+            .utilization(TrafficClass::LhsSparse)
+            .unwrap();
+        let agg = r.layers[1]
+            .aggregation
+            .traffic
+            .utilization(TrafficClass::LhsSparse)
+            .unwrap();
         assert!(comb > agg, "combination {comb} vs aggregation {agg}");
     }
 
@@ -312,7 +356,10 @@ mod tests {
         let p = prepared(500);
         let r = GcnaxEngine::default().run(&p);
         // Pubmed layer 1: W is 500x16x8 = 64 KB < 512 KB buffer.
-        let useful = r.layers[0].combination.traffic.useful_bytes(TrafficClass::Weights);
+        let useful = r.layers[0]
+            .combination
+            .traffic
+            .useful_bytes(TrafficClass::Weights);
         assert_eq!(useful, 500 * 16 * 8);
     }
 
@@ -342,7 +389,13 @@ mod tests {
         let p = prepared(1000);
         let r = GcnaxEngine::default().run(&p);
         // Pubmed layer 1: XW is 1000 x 16 x 8 B = 128 KB < 512 KB.
-        assert_eq!(r.layers[0].aggregation.traffic.requests(TrafficClass::RhsRows), 0);
+        assert_eq!(
+            r.layers[0]
+                .aggregation
+                .traffic
+                .requests(TrafficClass::RhsRows),
+            0
+        );
     }
 
     #[test]
@@ -362,29 +415,53 @@ mod tests {
         let w = spec.instantiate(3);
         let p = prepare(&w, PartitionStrategy::None, 4096);
         let run = |depth: usize| {
-            GcnaxEngine::new(GcnaxConfig { tile_fetch_depth: depth, ..GcnaxConfig::default() })
-                .run(&p)
+            GcnaxEngine::new(GcnaxConfig {
+                tile_fetch_depth: depth,
+                ..GcnaxConfig::default()
+            })
+            .run(&p)
         };
         let d1 = run(1);
         let d2 = run(2);
         let d8 = run(8);
-        assert!(d1.total_cycles() >= d2.total_cycles(), "{} < {}", d1.total_cycles(), d2.total_cycles());
-        assert!(d2.total_cycles() >= d8.total_cycles(), "{} < {}", d2.total_cycles(), d8.total_cycles());
-        assert!(d1.total_cycles() > d8.total_cycles(), "depth must matter on sparse tiles");
-        assert_eq!(d1.dram_bytes(), d8.dram_bytes(), "traffic is depth-invariant");
+        assert!(
+            d1.total_cycles() >= d2.total_cycles(),
+            "{} < {}",
+            d1.total_cycles(),
+            d2.total_cycles()
+        );
+        assert!(
+            d2.total_cycles() >= d8.total_cycles(),
+            "{} < {}",
+            d2.total_cycles(),
+            d8.total_cycles()
+        );
+        assert!(
+            d1.total_cycles() > d8.total_cycles(),
+            "depth must matter on sparse tiles"
+        );
+        assert_eq!(
+            d1.dram_bytes(),
+            d8.dram_bytes(),
+            "traffic is depth-invariant"
+        );
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // single-cluster range list is intentional
     fn dense_fast_path_matches_pattern_path() {
         // A fully dense X simulated via the Dense view must produce the
         // same traffic/compute as the equivalent explicit pattern.
         let cfg = GcnaxConfig::default();
         let engine = GcnaxEngine::new(cfg);
-        let dense_view = RowMajorSparse::Dense { rows: 300, cols: 70 };
+        let dense_view = RowMajorSparse::Dense {
+            rows: 300,
+            cols: 70,
+        };
         let pattern = grow_sparse::CsrPattern::dense(300, 70);
         let pattern_view = RowMajorSparse::Pattern(&pattern);
-        let a = engine.run_phase(PhaseKind::Combination, &dense_view, 16);
-        let b = engine.run_phase(PhaseKind::Combination, &pattern_view, 16);
+        let a = engine.run_phase(PhaseKind::Combination, &dense_view, 16, &[0..300]);
+        let b = engine.run_phase(PhaseKind::Combination, &pattern_view, 16, &[0..300]);
         assert_eq!(a.mac_ops, b.mac_ops);
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.cycles, b.cycles);

@@ -9,20 +9,22 @@
 //! hits read the pinned RHS row from the HDN cache, misses allocate
 //! LDN/LHS-ID table entries and run ahead across up to `runahead` output
 //! rows (Figures 15/16).
+//!
+//! Clusters are simulated independently through the shared
+//! [`pipeline`](crate::pipeline) harness — in parallel across threads,
+//! merged deterministically in cluster order.
 
 use std::collections::VecDeque;
 use std::ops::Range;
 
 use grow_sim::{
-    Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
+    CacheStats, Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
     RunaheadTables, TrafficClass, Waiter, ELEMENT_BYTES, HDN_ID_BYTES, INDEX_BYTES,
 };
 use grow_sparse::RowMajorSparse;
 
-use crate::{
-    Accelerator, ClusterProfile, LayerReport, PhaseKind, PhaseReport, PreparedWorkload,
-    RunReport,
-};
+use crate::pipeline::{self, PhaseCtx};
+use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
 /// HDN cache replacement policy (the Section VIII discussion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +32,10 @@ pub enum ReplacementPolicy {
     /// Statically pin the per-cluster top-N high-degree nodes (the paper's
     /// proposal, found to yield "the most robust speedups").
     Pinned,
-    /// Demand-filled LRU (the alternative the paper rejects).
+    /// Demand-filled LRU (the alternative the paper rejects). The demand
+    /// cache persists across cluster boundaries — it has no hardware
+    /// reason to flush the way the pinned set is swapped — so this mode
+    /// simulates clusters serially instead of in parallel.
     Lru,
 }
 
@@ -106,12 +111,15 @@ impl GrowEngine {
     /// Simulates the combination phase `X * W`. `W` (f_in x f_out) is
     /// pinned on-chip — every Table I configuration fits in the 512 KB
     /// I-BUF_dense; larger weight matrices are processed in column chunks.
-    fn run_combination(&self, x: &RowMajorSparse<'_>, f_out: usize, clusters: &[Range<usize>]) -> PhaseReport {
+    fn run_combination(
+        &self,
+        x: &RowMajorSparse<'_>,
+        f_out: usize,
+        clusters: &[Range<usize>],
+    ) -> PhaseReport {
         let cfg = &self.config;
         let f_in = x.cols();
-        let mut report = PhaseReport::new(PhaseKind::Combination);
-        let mut dram = Dram::new(cfg.dram);
-        let mut mac = MacArray::new(cfg.mac_lanes);
+        let mut phase = PhaseReport::new(PhaseKind::Combination);
 
         // Column-chunk W so each chunk fits in the dense buffer.
         let w_row_bytes = f_out as u64 * ELEMENT_BYTES;
@@ -119,85 +127,128 @@ impl GrowEngine {
         let passes = w_bytes.div_ceil(cfg.hdn_cache_bytes).max(1) as usize;
         let chunk_f = f_out.div_ceil(passes);
 
-        let mut now: Cycle = 0;
         for pass in 0..passes {
             let this_f = chunk_f.min(f_out.saturating_sub(pass * chunk_f));
             if this_f == 0 {
                 break;
             }
-            // Preload the W chunk: contiguous when it is the whole matrix,
-            // otherwise one strided read per W row.
-            let preload_done = if passes == 1 {
-                let done = dram.read_stream(now, w_bytes, TrafficClass::Weights);
-                dram.round_burst(w_bytes, TrafficClass::Weights);
+            // Prologue: preload the W chunk — contiguous when it is the
+            // whole matrix, otherwise one strided read per W row.
+            let mut pre = PhaseCtx::new(PhaseKind::Combination, cfg.dram, cfg.mac_lanes);
+            pre.now = if passes == 1 {
+                let done = pre.dram.read_stream(0, w_bytes, TrafficClass::Weights);
+                pre.dram.round_burst(w_bytes, TrafficClass::Weights);
                 done
             } else {
-                dram.read_many(now, f_in as u64, this_f as u64 * ELEMENT_BYTES, TrafficClass::Weights)
+                pre.dram.read_many(
+                    0,
+                    f_in as u64,
+                    this_f as u64 * ELEMENT_BYTES,
+                    TrafficClass::Weights,
+                )
             };
-            report.sram_writes_8b += f_in as u64 * this_f as u64;
-            now = now.max(preload_done);
+            pre.report.sram_writes_8b += f_in as u64 * this_f as u64;
+            phase.absorb_sequential(pre.finish());
 
-            // Stream X rows; every non-zero hits the on-chip W.
-            for cluster in clusters {
-                let compute0 = mac.busy_cycles();
-                let fetched0 = dram.stats().total_fetched();
-                let mut burst = 0u64;
-                for row in cluster.clone() {
-                    let nnz = x.row_nnz(row) as u64;
-                    if nnz == 0 {
-                        continue;
+            // Stream X rows cluster by cluster; every non-zero hits the
+            // on-chip W.
+            let clustered =
+                pipeline::run_clusters(PhaseKind::Combination, clusters, |_, cluster| {
+                    let mut ctx = PhaseCtx::new(PhaseKind::Combination, cfg.dram, cfg.mac_lanes);
+                    let mut burst = 0u64;
+                    for row in cluster {
+                        let nnz = x.row_nnz(row) as u64;
+                        if nnz == 0 {
+                            continue;
+                        }
+                        let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
+                        ctx.dram.read_stream(0, stream, TrafficClass::LhsSparse);
+                        burst += stream;
+                        ctx.mac.scalar_vector_bulk(0, this_f, nnz);
+                        ctx.report.sram_reads_8b += nnz * (1 + this_f as u64); // X elem + W row
+                        ctx.report.sram_writes_8b += nnz * this_f as u64; // O-BUF accumulate
+                                                                          // Output row write-back for this chunk.
+                        ctx.dram
+                            .write(0, this_f as u64 * ELEMENT_BYTES, TrafficClass::Output);
+                        ctx.report.sram_reads_8b += this_f as u64;
                     }
-                    let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
-                    dram.read_stream(now, stream, TrafficClass::LhsSparse);
-                    burst += stream;
-                    mac.scalar_vector_bulk(now, this_f, nnz);
-                    report.sram_reads_8b += nnz * (1 + this_f as u64); // X elem + W row
-                    report.sram_writes_8b += nnz * this_f as u64; // O-BUF accumulate
-                    // Output row write-back for this chunk.
-                    dram.write(now, this_f as u64 * ELEMENT_BYTES, TrafficClass::Output);
-                    report.sram_reads_8b += this_f as u64;
-                }
-                dram.round_burst(burst, TrafficClass::LhsSparse);
-                report.cluster_profiles.push(ClusterProfile {
-                    compute_cycles: mac.busy_cycles() - compute0,
-                    mem_bytes: dram.stats().total_fetched() - fetched0,
+                    ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
+                    ctx.finish_cluster()
                 });
-            }
-            now = now.max(mac.busy_until()).max(dram.busy_until());
+            phase.absorb_sequential(clustered);
         }
-        report.cycles = now.max(mac.busy_until()).max(dram.busy_until());
-        report.compute_busy = mac.busy_cycles();
-        report.mac_ops = mac.mac_ops();
-        report.traffic = dram.stats().clone();
-        report
+        phase
     }
 
     /// Simulates the aggregation phase `A * XW` with HDN caching and
-    /// multi-row-stationary runahead execution.
+    /// multi-row-stationary runahead execution. Each cluster runs in its
+    /// own context (prologue preload, runahead tables, window, cache) —
+    /// they were already drained and re-pinned at cluster boundaries, which
+    /// is exactly what makes them independent.
     fn run_aggregation(&self, workload: &PreparedWorkload, f_out: usize) -> PhaseReport {
+        let cfg = &self.config;
+        let cache_rows = self.cache_rows(f_out);
+        let use_lru = matches!(cfg.replacement, ReplacementPolicy::Lru);
+
+        if use_lru {
+            // The demand-filled LRU study (Section VIII): a demand cache
+            // has no hardware reason to flush at cluster boundaries the
+            // way the pinned set is swapped, so the cache is shared across
+            // clusters — which also means the clusters are *not*
+            // independent and must run serially. Only the paper's default
+            // pinned mode gets the parallel path.
+            let mut lru = LruRowCache::new(cache_rows);
+            let mut merged = PhaseReport::new(PhaseKind::Aggregation);
+            for (ci, cluster) in workload.clusters.iter().enumerate() {
+                merged.absorb_sequential(self.aggregate_cluster(
+                    workload,
+                    f_out,
+                    ci,
+                    cluster.clone(),
+                    &mut lru,
+                ));
+            }
+            return merged;
+        }
+
+        pipeline::run_clusters(PhaseKind::Aggregation, &workload.clusters, |ci, cluster| {
+            // Unused in pinned/no-cache modes; per-cluster to keep the
+            // closure `Fn`.
+            let mut lru = LruRowCache::new(0);
+            self.aggregate_cluster(workload, f_out, ci, cluster, &mut lru)
+        })
+    }
+
+    /// Simulates one cluster of the aggregation phase in an isolated
+    /// context. Under LRU replacement the caller passes the shared demand
+    /// cache; this report's cache statistics are the cluster's delta.
+    fn aggregate_cluster(
+        &self,
+        workload: &PreparedWorkload,
+        f_out: usize,
+        ci: usize,
+        cluster: Range<usize>,
+        lru: &mut LruRowCache,
+    ) -> PhaseReport {
         let cfg = &self.config;
         let adjacency = &workload.adjacency;
         let n = adjacency.rows();
         let row_bytes = f_out as u64 * ELEMENT_BYTES;
         let f_words = f_out as u64;
         let cache_rows = self.cache_rows(f_out);
-
-        let mut report = PhaseReport::new(PhaseKind::Aggregation);
-        let mut dram = Dram::new(cfg.dram);
-        let mut mac = MacArray::new(cfg.mac_lanes);
-        let mut tables = RunaheadTables::new(cfg.ldn_entries, cfg.lhs_id_entries);
-        let mut pinned = PinnedRowCache::new(cache_rows, n);
-        let mut lru = LruRowCache::new(cache_rows);
         let use_lru = matches!(cfg.replacement, ReplacementPolicy::Lru);
+        let lru_stats_before = *lru.stats();
+        {
+            let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, cfg.dram, cfg.mac_lanes);
+            let mut tables = RunaheadTables::new(cfg.ldn_entries, cfg.lhs_id_entries);
+            let mut pinned = PinnedRowCache::new(cache_rows, n);
 
-        // Multi-row window: rows retire in order (Figure 15's head/tail).
-        let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.runahead);
-        let mut pending: Vec<u32> = vec![0; n];
-        let mut now: Cycle = 0;
-
-        for (ci, cluster) in workload.clusters.iter().enumerate() {
-            let compute0 = mac.busy_cycles();
-            let fetched0 = dram.stats().total_fetched();
+            // Multi-row window: rows retire in order (Figure 15's
+            // head/tail). Pending counters are cluster-local, indexed from
+            // the cluster's first row.
+            let start = cluster.start;
+            let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.runahead);
+            let mut pending: Vec<u32> = vec![0; cluster.len()];
 
             if cfg.hdn_caching && !use_lru {
                 // Cluster prologue: fetch the HDN ID list, then pin the
@@ -205,35 +256,54 @@ impl GrowEngine {
                 let list = &workload.hdn_lists[ci];
                 let take = list.len().min(cfg.hdn_id_entries).min(cache_rows);
                 let ids = &list[..take];
-                let id_done = dram.read(now, take as u64 * HDN_ID_BYTES, TrafficClass::HdnIdList);
+                let id_done = ctx
+                    .dram
+                    .read(0, take as u64 * HDN_ID_BYTES, TrafficClass::HdnIdList);
                 let fills = pinned.load(ids);
                 let done =
-                    dram.read_many(id_done, fills as u64, row_bytes, TrafficClass::RhsPreload);
-                report.sram_writes_8b += fills as u64 * f_words;
-                now = now.max(done);
+                    ctx.dram
+                        .read_many(id_done, fills as u64, row_bytes, TrafficClass::RhsPreload);
+                ctx.report.sram_writes_8b += fills as u64 * f_words;
+                ctx.now = ctx.now.max(done);
             }
 
             let mut burst = 0u64;
             for row in cluster.clone() {
                 // Window admission (in-order retirement).
                 while window.len() >= cfg.runahead {
-                    self.retire_ready(&mut window, &mut pending, now, &mut dram, f_out, &mut report);
+                    self.retire_ready(
+                        &mut window,
+                        &mut pending,
+                        start,
+                        ctx.now,
+                        &mut ctx.dram,
+                        f_out,
+                        &mut ctx.report,
+                    );
                     if window.len() < cfg.runahead {
                         break;
                     }
-                    now = self.drain_one(
-                        &mut tables, &mut mac, &mut pending, &mut lru, use_lru, now, f_out,
-                        &mut report,
+                    ctx.now = self.drain_one(
+                        &mut tables,
+                        &mut ctx.mac,
+                        &mut pending,
+                        start,
+                        lru,
+                        use_lru,
+                        ctx.now,
+                        f_out,
+                        &mut ctx.report,
                     );
                 }
 
                 // Stream this A row's CSR segment.
                 let nnz = adjacency.row_nnz(row) as u64;
                 let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
-                dram.read_stream(now, stream, TrafficClass::LhsSparse);
+                ctx.dram
+                    .read_stream(ctx.now, stream, TrafficClass::LhsSparse);
                 burst += stream;
-                report.sram_writes_8b += stream.div_ceil(8);
-                report.sram_reads_8b += stream.div_ceil(8);
+                ctx.report.sram_writes_8b += stream.div_ceil(8);
+                ctx.report.sram_reads_8b += stream.div_ceil(8);
 
                 // Enter the window with an issue-in-progress token: stalls
                 // while issuing this row's own non-zeros may drain some of
@@ -241,7 +311,7 @@ impl GrowEngine {
                 // the first miss is registered (and the token keeps the row
                 // from retiring before all its non-zeros are issued).
                 window.push_back(row as u32);
-                pending[row] = 1;
+                pending[row - start] = 1;
                 for &k in adjacency.row_indices(row) {
                     let hit = if !cfg.hdn_caching {
                         false
@@ -251,27 +321,38 @@ impl GrowEngine {
                         pinned.probe(k)
                     };
                     if hit {
-                        mac.scalar_vector(now, f_out);
-                        report.sram_reads_8b += f_words; // cached RHS row
-                        report.sram_writes_8b += f_words; // O-BUF accumulate
+                        ctx.mac.scalar_vector(ctx.now, f_out);
+                        ctx.report.sram_reads_8b += f_words; // cached RHS row
+                        ctx.report.sram_writes_8b += f_words; // O-BUF accumulate
                     } else {
-                        let waiter = Waiter { output_row: row as u32, lhs_value: 1.0 };
+                        let waiter = Waiter {
+                            output_row: row as u32,
+                            lhs_value: 1.0,
+                        };
                         loop {
                             match tables.issue(k, waiter) {
                                 IssueOutcome::Allocated => {
-                                    let done = dram.read(now, row_bytes, TrafficClass::RhsRows);
+                                    let done =
+                                        ctx.dram.read(ctx.now, row_bytes, TrafficClass::RhsRows);
                                     tables.set_completion(k, done);
-                                    pending[row] += 1;
+                                    pending[row - start] += 1;
                                     break;
                                 }
                                 IssueOutcome::Coalesced => {
-                                    pending[row] += 1;
+                                    pending[row - start] += 1;
                                     break;
                                 }
                                 IssueOutcome::LdnFull | IssueOutcome::LhsFull => {
-                                    now = self.drain_one(
-                                        &mut tables, &mut mac, &mut pending, &mut lru, use_lru,
-                                        now, f_out, &mut report,
+                                    ctx.now = self.drain_one(
+                                        &mut tables,
+                                        &mut ctx.mac,
+                                        &mut pending,
+                                        start,
+                                        lru,
+                                        use_lru,
+                                        ctx.now,
+                                        f_out,
+                                        &mut ctx.report,
                                     );
                                 }
                             }
@@ -280,40 +361,56 @@ impl GrowEngine {
                 }
                 // Release the issue token; the row can now retire once all
                 // of its outstanding misses return.
-                pending[row] -= 1;
-                self.retire_ready(&mut window, &mut pending, now, &mut dram, f_out, &mut report);
-            }
-            dram.round_burst(burst, TrafficClass::LhsSparse);
-
-            // Drain the cluster before swapping the pinned set.
-            while !tables.is_empty() {
-                now = self.drain_one(
-                    &mut tables, &mut mac, &mut pending, &mut lru, use_lru, now, f_out,
-                    &mut report,
+                pending[row - start] -= 1;
+                self.retire_ready(
+                    &mut window,
+                    &mut pending,
+                    start,
+                    ctx.now,
+                    &mut ctx.dram,
+                    f_out,
+                    &mut ctx.report,
                 );
             }
-            self.retire_ready(&mut window, &mut pending, now, &mut dram, f_out, &mut report);
+            ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
+
+            // Drain the cluster before handing the channel to the next one.
+            while !tables.is_empty() {
+                ctx.now = self.drain_one(
+                    &mut tables,
+                    &mut ctx.mac,
+                    &mut pending,
+                    start,
+                    lru,
+                    use_lru,
+                    ctx.now,
+                    f_out,
+                    &mut ctx.report,
+                );
+            }
+            self.retire_ready(
+                &mut window,
+                &mut pending,
+                start,
+                ctx.now,
+                &mut ctx.dram,
+                f_out,
+                &mut ctx.report,
+            );
             debug_assert!(window.is_empty(), "all rows retire at cluster end");
 
-            // One profile entry per cluster. (Splitting out the HDN
-            // preload burst as a separate pure-memory task was evaluated
-            // and rejected: it adds channel contention at high PE counts
-            // without the compensating single-PE slowdown, moving the
-            // Figure 24 curve away from the paper's near/super-linear
-            // shape. The fluid model overlaps each cluster's memory and
-            // compute exactly like the detailed simulator does.)
-            report.cluster_profiles.push(ClusterProfile {
-                compute_cycles: mac.busy_cycles() - compute0,
-                mem_bytes: dram.stats().total_fetched() - fetched0,
-            });
+            ctx.report.cache = if use_lru {
+                let after = *lru.stats();
+                CacheStats {
+                    hits: after.hits - lru_stats_before.hits,
+                    misses: after.misses - lru_stats_before.misses,
+                    fills: after.fills - lru_stats_before.fills,
+                }
+            } else {
+                *pinned.stats()
+            };
+            ctx.finish_cluster()
         }
-
-        report.cycles = now.max(mac.busy_until()).max(dram.busy_until());
-        report.compute_busy = mac.busy_cycles();
-        report.mac_ops = mac.mac_ops();
-        report.traffic = dram.stats().clone();
-        report.cache = if use_lru { *lru.stats() } else { *pinned.stats() };
-        report
     }
 
     /// Services the earliest outstanding RHS-row fetch: advances time,
@@ -324,6 +421,7 @@ impl GrowEngine {
         tables: &mut RunaheadTables,
         mac: &mut MacArray,
         pending: &mut [u32],
+        cluster_start: usize,
         lru: &mut LruRowCache,
         use_lru: bool,
         now: Cycle,
@@ -337,7 +435,8 @@ impl GrowEngine {
         for w in waiters {
             mac.scalar_vector(now, f_out);
             report.sram_writes_8b += f_out as u64; // O-BUF accumulate
-            pending[w.output_row as usize] = pending[w.output_row as usize].saturating_sub(1);
+            let slot = &mut pending[w.output_row as usize - cluster_start];
+            *slot = slot.saturating_sub(1);
         }
         if use_lru && self.config.hdn_caching {
             lru.insert(rhs);
@@ -348,17 +447,19 @@ impl GrowEngine {
 
     /// Retires completed rows from the window head, writing their output
     /// rows back to DRAM (in-order retirement per Figure 15).
+    #[allow(clippy::too_many_arguments)]
     fn retire_ready(
         &self,
         window: &mut VecDeque<u32>,
         pending: &mut [u32],
+        cluster_start: usize,
         now: Cycle,
         dram: &mut Dram,
         f_out: usize,
         report: &mut PhaseReport,
     ) {
         while let Some(&front) = window.front() {
-            if pending[front as usize] > 0 {
+            if pending[front as usize - cluster_start] > 0 {
                 break;
             }
             window.pop_front();
@@ -374,17 +475,10 @@ impl Accelerator for GrowEngine {
     }
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
-        let layers = workload
-            .layers
-            .iter()
-            .map(|layer| {
-                let combination =
-                    self.run_combination(&layer.x.view(), layer.f_out, &workload.clusters);
-                let aggregation = self.run_aggregation(workload, layer.f_out);
-                LayerReport { combination, aggregation }
-            })
-            .collect();
-        RunReport { engine: self.name(), layers }
+        pipeline::run_layers(self.name(), workload, |layer| LayerReport {
+            combination: self.run_combination(&layer.x.view(), layer.f_out, &workload.clusters),
+            aggregation: self.run_aggregation(workload, layer.f_out),
+        })
     }
 
     fn sram_kb(&self) -> f64 {
@@ -453,15 +547,22 @@ mod tests {
     fn disabling_cache_increases_traffic() {
         let p = prepared(800, PartitionStrategy::None);
         let with = GrowEngine::default().run(&p);
-        let without = GrowEngine::new(GrowConfig { hdn_caching: false, ..GrowConfig::default() })
-            .run(&p);
+        let without = GrowEngine::new(GrowConfig {
+            hdn_caching: false,
+            ..GrowConfig::default()
+        })
+        .run(&p);
         assert!(
             without.dram_bytes() > with.dram_bytes(),
             "no-cache {} vs cache {}",
             without.dram_bytes(),
             with.dram_bytes()
         );
-        assert_eq!(without.mac_ops(), with.mac_ops(), "MACs are dataflow-invariant");
+        assert_eq!(
+            without.mac_ops(),
+            with.mac_ops(),
+            "MACs are dataflow-invariant"
+        );
     }
 
     #[test]
@@ -497,9 +598,11 @@ mod tests {
         // Output: n rows per phase, f_out*8 useful bytes each, both phases
         // of both layers.
         let n = p.nodes as u64;
-        let expected_useful: u64 =
-            p.layers.iter().map(|l| 2 * n * l.f_out as u64 * 8).sum();
-        assert_eq!(r.total_traffic().useful_bytes(TrafficClass::Output), expected_useful);
+        let expected_useful: u64 = p.layers.iter().map(|l| 2 * n * l.f_out as u64 * 8).sum();
+        assert_eq!(
+            r.total_traffic().useful_bytes(TrafficClass::Output),
+            expected_useful
+        );
     }
 
     #[test]
@@ -539,6 +642,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_clusters_match_serial_exactly() {
+        // The headline property of the shared harness: fanning clusters
+        // across threads must not change a single counter.
+        let p = prepared(3000, PartitionStrategy::Multilevel { cluster_nodes: 250 });
+        assert!(
+            p.clusters.len() > 4,
+            "needs real parallelism to be meaningful"
+        );
+        let e = GrowEngine::default();
+        // Oversubscribe so threads really interleave, even on one core.
+        let parallel = grow_sim::exec::with_workers(4, || e.run(&p));
+        let serial = grow_sim::exec::with_mode(grow_sim::ExecMode::Serial, || e.run(&p));
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
     fn sram_capacity_matches_table3() {
         let kb = GrowEngine::default().sram_kb();
         assert!((kb - 538.0) < 1.0, "SRAM {kb} KB vs Table III's 538 KB");
@@ -556,9 +675,13 @@ mod tests {
                 request_overhead_cycles: overhead,
                 ..grow_sim::DramConfig::default()
             };
-            GrowEngine::new(GrowConfig { dram, hdn_caching: caching, ..GrowConfig::default() })
-                .run(&p)
-                .total_cycles() as f64
+            GrowEngine::new(GrowConfig {
+                dram,
+                hdn_caching: caching,
+                ..GrowConfig::default()
+            })
+            .run(&p)
+            .total_cycles() as f64
         };
         let cached_slowdown = run(48, true) / run(0, true);
         let uncached_slowdown = run(48, false) / run(0, false);

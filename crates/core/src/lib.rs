@@ -42,6 +42,8 @@ mod spsp;
 pub mod experiments;
 pub mod extensions;
 pub mod multi_pe;
+pub mod pipeline;
+pub mod registry;
 
 pub use gamma::{GammaConfig, GammaEngine};
 pub use gcnax::{GcnaxConfig, GcnaxEngine};

@@ -26,7 +26,11 @@ pub struct MatRaptorConfig {
 
 impl Default for MatRaptorConfig {
     fn default() -> Self {
-        MatRaptorConfig { mac_lanes: 16, dram: DramConfig::default(), merge_factor: 1.0 }
+        MatRaptorConfig {
+            mac_lanes: 16,
+            dram: DramConfig::default(),
+            merge_factor: 1.0,
+        }
     }
 }
 
@@ -103,7 +107,11 @@ mod tests {
         let grow = GrowEngine::default().run(&p);
         let ratio = mat.dram_bytes() as f64 / grow.dram_bytes() as f64;
         assert!(ratio > 4.0, "traffic ratio {ratio}");
-        assert_eq!(mat.mac_ops(), grow.mac_ops(), "same MACs, different movement");
+        assert_eq!(
+            mat.mac_ops(),
+            grow.mac_ops(),
+            "same MACs, different movement"
+        );
     }
 
     #[test]

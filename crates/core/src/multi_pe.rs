@@ -56,14 +56,19 @@ pub fn simulate(profiles: &[ClusterProfile], pes: usize, per_pe_bytes_per_cycle:
     }
     let mut active: Vec<Option<Task>> = queues
         .iter_mut()
-        .map(|q| q.pop_front().map(|p| Task { c: p.compute_cycles as f64, m: p.mem_bytes as f64, w: 1.0 }))
+        .map(|q| {
+            q.pop_front().map(|p| Task {
+                c: p.compute_cycles as f64,
+                m: p.mem_bytes as f64,
+                w: 1.0,
+            })
+        })
         .collect();
 
     let mut t = 0.0f64;
     loop {
         // Collect live tasks and their bandwidth demands.
-        let live: Vec<usize> =
-            (0..pes).filter(|&p| active[p].is_some()).collect();
+        let live: Vec<usize> = (0..pes).filter(|&p| active[p].is_some()).collect();
         if live.is_empty() {
             break;
         }
@@ -72,7 +77,11 @@ pub fn simulate(profiles: &[ClusterProfile], pes: usize, per_pe_bytes_per_cycle:
             .iter()
             .map(|&p| {
                 let task = active[p].as_ref().expect("live");
-                let demand = if task.c <= 0.0 { f64::INFINITY } else { task.m / task.c };
+                let demand = if task.c <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    task.m / task.c
+                };
                 (demand, p)
             })
             .collect();
@@ -137,7 +146,11 @@ pub fn scaling_curve(
             ScalingPoint {
                 pes,
                 cycles,
-                normalized_throughput: if cycles > 0.0 { base / cycles } else { f64::INFINITY },
+                normalized_throughput: if cycles > 0.0 {
+                    base / cycles
+                } else {
+                    f64::INFINITY
+                },
             }
         })
         .collect()
@@ -148,7 +161,10 @@ mod tests {
     use super::*;
 
     fn task(c: u64, m: u64) -> ClusterProfile {
-        ClusterProfile { compute_cycles: c, mem_bytes: m }
+        ClusterProfile {
+            compute_cycles: c,
+            mem_bytes: m,
+        }
     }
 
     #[test]
@@ -179,10 +195,24 @@ mod tests {
         // super-linear speedups). Task assignment is round-robin over 16
         // PEs, so tasks 0..16 are the PEs' first tasks and 16..32 their
         // second; give even PEs (compute, memory) and odd PEs the reverse.
-        let first: Vec<ClusterProfile> =
-            (0..16).map(|p| if p % 2 == 0 { task(1000, 10) } else { task(10, 1000) }).collect();
-        let second: Vec<ClusterProfile> =
-            (0..16).map(|p| if p % 2 == 0 { task(10, 1000) } else { task(1000, 10) }).collect();
+        let first: Vec<ClusterProfile> = (0..16)
+            .map(|p| {
+                if p % 2 == 0 {
+                    task(1000, 10)
+                } else {
+                    task(10, 1000)
+                }
+            })
+            .collect();
+        let second: Vec<ClusterProfile> = (0..16)
+            .map(|p| {
+                if p % 2 == 0 {
+                    task(10, 1000)
+                } else {
+                    task(1000, 10)
+                }
+            })
+            .collect();
         let profiles: Vec<ClusterProfile> = first.into_iter().chain(second).collect();
         let curve = scaling_curve(&profiles, &[16], 1.0);
         let speedup = curve[0].normalized_throughput;

@@ -13,7 +13,7 @@ use grow_sparse::CsrPattern;
 /// cost amortized over all inference runs, so it is not charged to the
 /// simulated execution time. Baseline engines always run with
 /// [`PartitionStrategy::None`] (original node order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionStrategy {
     /// No partitioning: original node order, one cluster spanning the whole
     /// graph ("GROW w/o G.P." and all baselines).
@@ -37,7 +37,9 @@ impl PartitionStrategy {
     /// clusters of ~4096 nodes, matching the 4096-entry HDN ID list of
     /// Table III.
     pub fn multilevel_default() -> Self {
-        PartitionStrategy::Multilevel { cluster_nodes: 4096 }
+        PartitionStrategy::Multilevel {
+            cluster_nodes: 4096,
+        }
     }
 }
 
@@ -166,9 +168,15 @@ mod tests {
     fn adjacency_includes_self_loops() {
         let w = small();
         let p = prepare(&w, PartitionStrategy::None, 4096);
-        assert_eq!(p.adjacency.nnz(), w.graph.directed_edges() + w.graph.nodes());
+        assert_eq!(
+            p.adjacency.nnz(),
+            w.graph.directed_edges() + w.graph.nodes()
+        );
         for v in 0..10 {
-            assert!(p.adjacency.row_indices(v).contains(&(v as u32)), "row {v} self-loop");
+            assert!(
+                p.adjacency.row_indices(v).contains(&(v as u32)),
+                "row {v} self-loop"
+            );
         }
     }
 
@@ -194,7 +202,11 @@ mod tests {
     fn partitioning_improves_locality_metric() {
         let spec = DatasetKey::Pubmed.spec().scaled_to(3000);
         let w = spec.instantiate(13);
-        let p = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 400 }, 4096);
+        let p = prepare(
+            &w,
+            PartitionStrategy::Multilevel { cluster_nodes: 400 },
+            4096,
+        );
         assert!(
             p.intra_edge_fraction > 0.4,
             "intra fraction {}",

@@ -1,0 +1,351 @@
+//! Engine registry: construct and run any accelerator model by name, with
+//! configuration supplied as plain key-value overrides.
+//!
+//! This is the single entry point the bench harness, the examples, and
+//! future serving layers drive engines through:
+//!
+//! ```
+//! use grow_core::registry::{self, run_named};
+//! use grow_core::{prepare, PartitionStrategy};
+//! use grow_model::DatasetKey;
+//!
+//! let workload = DatasetKey::Cora.spec().scaled_to(300).instantiate(7);
+//! let prepared = prepare(&workload, PartitionStrategy::None, 4096);
+//! let report = run_named("grow", &prepared).unwrap();
+//! assert_eq!(report.engine, "GROW");
+//!
+//! // Key-value overrides, e.g. straight from a CLI or a config file:
+//! let engine = registry::engine_from_overrides(
+//!     "grow",
+//!     &[("hdn_cache_kb", "256"), ("runahead", "4")],
+//! )
+//! .unwrap();
+//! assert!(engine.run(&prepared).total_cycles() > 0);
+//! ```
+
+use std::fmt;
+
+use grow_sim::DramConfig;
+
+use crate::{
+    Accelerator, GammaConfig, GammaEngine, GcnaxConfig, GcnaxEngine, GrowConfig, GrowEngine,
+    MatRaptorConfig, MatRaptorEngine, PreparedWorkload, ReplacementPolicy, RunReport,
+};
+
+/// Canonical lower-case names of the registered engines, in the paper's
+/// comparison order.
+pub const ENGINE_NAMES: [&str; 4] = ["grow", "gcnax", "matraptor", "gamma"];
+
+/// Errors from engine construction or dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The engine name is not one of [`ENGINE_NAMES`].
+    UnknownEngine(String),
+    /// The override key is not recognized by the named engine.
+    UnknownKey {
+        /// Engine that rejected the key.
+        engine: &'static str,
+        /// The offending key.
+        key: String,
+    },
+    /// The override value did not parse for its key.
+    InvalidValue {
+        /// Key whose value failed to parse.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownEngine(name) => {
+                write!(
+                    f,
+                    "unknown engine '{name}' (known: {})",
+                    ENGINE_NAMES.join(", ")
+                )
+            }
+            RegistryError::UnknownKey { engine, key } => {
+                write!(f, "engine '{engine}' has no configuration key '{key}'")
+            }
+            RegistryError::InvalidValue { key, value } => {
+                write!(f, "invalid value '{value}' for key '{key}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, RegistryError> {
+    value.parse().map_err(|_| RegistryError::InvalidValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    })
+}
+
+/// Applies the DRAM keys shared by every engine; returns `true` if `key`
+/// was one of them.
+fn apply_dram_key(dram: &mut DramConfig, key: &str, value: &str) -> Result<bool, RegistryError> {
+    match key {
+        "dram_gbps" => dram.bytes_per_cycle = parse(key, value)?,
+        "dram_latency_cycles" => dram.latency_cycles = parse(key, value)?,
+        "dram_request_overhead_cycles" => dram.request_overhead_cycles = parse(key, value)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
+    let mut cfg = GrowConfig::default();
+    for &(key, value) in overrides {
+        if apply_dram_key(&mut cfg.dram, key, value)? {
+            continue;
+        }
+        match key {
+            "mac_lanes" => cfg.mac_lanes = parse(key, value)?,
+            "hdn_cache_kb" => cfg.hdn_cache_bytes = parse::<u64>(key, value)? * 1024,
+            "hdn_id_entries" => cfg.hdn_id_entries = parse(key, value)?,
+            "ibuf_sparse_kb" => cfg.ibuf_sparse_bytes = parse::<u64>(key, value)? * 1024,
+            "obuf_kb" => cfg.obuf_bytes = parse::<u64>(key, value)? * 1024,
+            "runahead" => cfg.runahead = parse(key, value)?,
+            "ldn_entries" => cfg.ldn_entries = parse(key, value)?,
+            "lhs_id_entries" => cfg.lhs_id_entries = parse(key, value)?,
+            "hdn_caching" => cfg.hdn_caching = parse(key, value)?,
+            "replacement" => {
+                cfg.replacement = match value.to_ascii_lowercase().as_str() {
+                    "pinned" => ReplacementPolicy::Pinned,
+                    "lru" => ReplacementPolicy::Lru,
+                    _ => {
+                        return Err(RegistryError::InvalidValue {
+                            key: key.to_string(),
+                            value: value.to_string(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(RegistryError::UnknownKey {
+                    engine: "grow",
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    Ok(GrowEngine::new(cfg))
+}
+
+fn gcnax_from(overrides: &[(&str, &str)]) -> Result<GcnaxEngine, RegistryError> {
+    let mut cfg = GcnaxConfig::default();
+    for &(key, value) in overrides {
+        if apply_dram_key(&mut cfg.dram, key, value)? {
+            continue;
+        }
+        match key {
+            "mac_lanes" => cfg.mac_lanes = parse(key, value)?,
+            "tile_rows" => cfg.tile_rows = parse(key, value)?,
+            "tile_cols" => cfg.tile_cols = parse(key, value)?,
+            "dense_buffer_kb" => cfg.dense_buffer_bytes = parse::<u64>(key, value)? * 1024,
+            "tile_fetch_depth" => cfg.tile_fetch_depth = parse(key, value)?,
+            _ => {
+                return Err(RegistryError::UnknownKey {
+                    engine: "gcnax",
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    Ok(GcnaxEngine::new(cfg))
+}
+
+fn matraptor_from(overrides: &[(&str, &str)]) -> Result<MatRaptorEngine, RegistryError> {
+    let mut cfg = MatRaptorConfig::default();
+    for &(key, value) in overrides {
+        if apply_dram_key(&mut cfg.dram, key, value)? {
+            continue;
+        }
+        match key {
+            "mac_lanes" => cfg.mac_lanes = parse(key, value)?,
+            "merge_factor" => cfg.merge_factor = parse(key, value)?,
+            _ => {
+                return Err(RegistryError::UnknownKey {
+                    engine: "matraptor",
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    Ok(MatRaptorEngine::new(cfg))
+}
+
+fn gamma_from(overrides: &[(&str, &str)]) -> Result<GammaEngine, RegistryError> {
+    let mut cfg = GammaConfig::default();
+    for &(key, value) in overrides {
+        if apply_dram_key(&mut cfg.dram, key, value)? {
+            continue;
+        }
+        match key {
+            "mac_lanes" => cfg.mac_lanes = parse(key, value)?,
+            "fiber_cache_kb" => cfg.fiber_cache_bytes = parse::<u64>(key, value)? * 1024,
+            "merge_factor" => cfg.merge_factor = parse(key, value)?,
+            _ => {
+                return Err(RegistryError::UnknownKey {
+                    engine: "gamma",
+                    key: key.to_string(),
+                })
+            }
+        }
+    }
+    Ok(GammaEngine::new(cfg))
+}
+
+/// Builds an engine by (case-insensitive) name with its default
+/// configuration modified by `overrides`.
+///
+/// # Errors
+///
+/// Returns [`RegistryError`] for unknown names, unknown keys, or values
+/// that fail to parse.
+pub fn engine_from_overrides(
+    name: &str,
+    overrides: &[(&str, &str)],
+) -> Result<Box<dyn Accelerator>, RegistryError> {
+    match name.to_ascii_lowercase().as_str() {
+        "grow" => Ok(Box::new(grow_from(overrides)?)),
+        "gcnax" => Ok(Box::new(gcnax_from(overrides)?)),
+        "matraptor" => Ok(Box::new(matraptor_from(overrides)?)),
+        "gamma" => Ok(Box::new(gamma_from(overrides)?)),
+        _ => Err(RegistryError::UnknownEngine(name.to_string())),
+    }
+}
+
+/// Builds a default-configured engine by (case-insensitive) name.
+///
+/// # Errors
+///
+/// Returns [`RegistryError::UnknownEngine`] for unknown names.
+pub fn engine_by_name(name: &str) -> Result<Box<dyn Accelerator>, RegistryError> {
+    engine_from_overrides(name, &[])
+}
+
+/// Runs the named engine (default configuration) on a prepared workload.
+///
+/// # Errors
+///
+/// Returns [`RegistryError::UnknownEngine`] for unknown names.
+pub fn run_named(name: &str, workload: &PreparedWorkload) -> Result<RunReport, RegistryError> {
+    Ok(engine_by_name(name)?.run(workload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, PartitionStrategy};
+    use grow_model::DatasetKey;
+
+    fn prepared() -> PreparedWorkload {
+        let w = DatasetKey::Pubmed.spec().scaled_to(400).instantiate(3);
+        prepare(&w, PartitionStrategy::None, 4096)
+    }
+
+    #[test]
+    fn all_names_resolve_and_run() {
+        let p = prepared();
+        for name in ENGINE_NAMES {
+            let report = run_named(name, &p).unwrap();
+            assert!(report.total_cycles() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        assert_eq!(engine_by_name("GROW").unwrap().name(), "GROW");
+        assert_eq!(engine_by_name("MatRaptor").unwrap().name(), "MatRaptor");
+    }
+
+    #[test]
+    fn unknown_engine_is_reported() {
+        let err = engine_by_name("tpu").err().expect("unknown engine");
+        assert_eq!(err, RegistryError::UnknownEngine("tpu".into()));
+        assert!(err.to_string().contains("grow"));
+    }
+
+    #[test]
+    fn overrides_change_behavior() {
+        let p = prepared();
+        let slow = engine_from_overrides("grow", &[("dram_gbps", "8")])
+            .unwrap()
+            .run(&p);
+        let fast = engine_from_overrides("grow", &[("dram_gbps", "256")])
+            .unwrap()
+            .run(&p);
+        assert!(slow.total_cycles() > fast.total_cycles());
+        assert_eq!(slow.mac_ops(), fast.mac_ops());
+    }
+
+    #[test]
+    fn overrides_match_typed_config() {
+        let p = prepared();
+        let via_registry = engine_from_overrides(
+            "grow",
+            &[
+                ("hdn_cache_kb", "64"),
+                ("runahead", "4"),
+                ("replacement", "lru"),
+            ],
+        )
+        .unwrap()
+        .run(&p);
+        let typed = GrowEngine::new(GrowConfig {
+            hdn_cache_bytes: 64 * 1024,
+            runahead: 4,
+            replacement: ReplacementPolicy::Lru,
+            ..GrowConfig::default()
+        })
+        .run(&p);
+        assert_eq!(via_registry, typed);
+    }
+
+    #[test]
+    fn unknown_key_and_bad_value_are_reported() {
+        assert_eq!(
+            engine_from_overrides("gcnax", &[("runahead", "4")])
+                .err()
+                .expect("must fail"),
+            RegistryError::UnknownKey {
+                engine: "gcnax",
+                key: "runahead".into()
+            }
+        );
+        assert_eq!(
+            engine_from_overrides("grow", &[("runahead", "many")])
+                .err()
+                .expect("must fail"),
+            RegistryError::InvalidValue {
+                key: "runahead".into(),
+                value: "many".into()
+            }
+        );
+        assert_eq!(
+            engine_from_overrides("grow", &[("replacement", "fifo")])
+                .err()
+                .expect("must fail"),
+            RegistryError::InvalidValue {
+                key: "replacement".into(),
+                value: "fifo".into()
+            }
+        );
+    }
+
+    #[test]
+    fn every_engine_accepts_shared_dram_keys() {
+        for name in ENGINE_NAMES {
+            assert!(
+                engine_from_overrides(name, &[("dram_gbps", "64"), ("mac_lanes", "32")]).is_ok(),
+                "{name}"
+            );
+        }
+    }
+}

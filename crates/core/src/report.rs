@@ -66,6 +66,24 @@ impl PhaseReport {
     pub fn dram_bytes(&self) -> u64 {
         self.traffic.total_fetched()
     }
+
+    /// Absorbs a phase fragment that executes *after* everything already
+    /// accumulated: cycle counts add (the single PE processes fragments
+    /// back to back), traffic/cache/SRAM counters sum, and cluster
+    /// profiles append in order. This is the merge step of the parallel
+    /// cluster path — folding per-cluster reports in cluster order makes
+    /// the parallel result bit-identical to a serial run.
+    pub fn absorb_sequential(&mut self, fragment: PhaseReport) {
+        debug_assert_eq!(self.kind, fragment.kind, "fragments belong to one phase");
+        self.cycles += fragment.cycles;
+        self.compute_busy += fragment.compute_busy;
+        self.mac_ops += fragment.mac_ops;
+        self.traffic.merge(&fragment.traffic);
+        self.cache.merge(&fragment.cache);
+        self.sram_reads_8b += fragment.sram_reads_8b;
+        self.sram_writes_8b += fragment.sram_writes_8b;
+        self.cluster_profiles.extend(fragment.cluster_profiles);
+    }
 }
 
 /// Reports for the two phases of one GCN layer.
@@ -145,7 +163,10 @@ impl RunReport {
     /// Activity counts for the energy model (Figure 22), with the engine's
     /// total SRAM capacity supplied by the caller.
     pub fn activity(&self, sram_kb: f64) -> ActivityCounts {
-        let mut a = ActivityCounts { sram_kb, ..ActivityCounts::default() };
+        let mut a = ActivityCounts {
+            sram_kb,
+            ..ActivityCounts::default()
+        };
         for l in &self.layers {
             for p in [&l.combination, &l.aggregation] {
                 a.mac_ops += p.mac_ops;
@@ -192,7 +213,11 @@ mod tests {
     use super::*;
 
     fn phase(kind: PhaseKind, cycles: Cycle, macs: u64) -> PhaseReport {
-        PhaseReport { cycles, mac_ops: macs, ..PhaseReport::new(kind) }
+        PhaseReport {
+            cycles,
+            mac_ops: macs,
+            ..PhaseReport::new(kind)
+        }
     }
 
     fn report() -> RunReport {

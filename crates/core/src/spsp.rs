@@ -11,11 +11,19 @@
 //!    contribution ("a complicated and costly partial-sum merging process,
 //!    which is entirely redundant for SpDeGEMM");
 //! 3. caching: MatRaptor has none; GAMMA has a demand-filled LRU
-//!    fiber cache "not optimized for the power-law distribution of graphs".
+//!    fiber cache "not optimized for the power-law distribution of graphs"
+//!    (flushed at cluster boundaries, like every other per-cluster state).
+//!
+//! Like the other engines, the row walk runs cluster by cluster through
+//! the shared [`pipeline`](crate::pipeline) harness, in parallel across
+//! clusters.
 
-use grow_sim::{Dram, DramConfig, LruRowCache, MacArray, TrafficClass, INDEX_BYTES};
+use std::ops::Range;
+
+use grow_sim::{DramConfig, LruRowCache, TrafficClass, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
+use crate::pipeline::{self, PhaseCtx};
 use crate::{LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
 /// Bytes per element of a CSR-compressed row: value + column index.
@@ -39,15 +47,22 @@ pub(crate) struct SpSpParams {
 
 pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunReport {
     let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
-    let layers = workload
-        .layers
-        .iter()
-        .map(|layer| LayerReport {
-            combination: run_phase(params, PhaseKind::Combination, &layer.x.view(), layer.f_out),
-            aggregation: run_phase(params, PhaseKind::Aggregation, &adjacency, layer.f_out),
-        })
-        .collect();
-    RunReport { engine: params.name, layers }
+    pipeline::run_layers(params.name, workload, |layer| LayerReport {
+        combination: run_phase(
+            params,
+            PhaseKind::Combination,
+            &layer.x.view(),
+            layer.f_out,
+            &workload.clusters,
+        ),
+        aggregation: run_phase(
+            params,
+            PhaseKind::Aggregation,
+            &adjacency,
+            layer.f_out,
+            &workload.clusters,
+        ),
+    })
 }
 
 /// One SpDeGEMM phase executed as if both operands were sparse.
@@ -56,61 +71,73 @@ fn run_phase(
     kind: PhaseKind,
     lhs: &RowMajorSparse<'_>,
     f: usize,
+    clusters: &[Range<usize>],
 ) -> PhaseReport {
-    let mut report = PhaseReport::new(kind);
-    let mut dram = Dram::new(params.dram);
-    let mut mac = MacArray::new(params.mac_lanes);
+    pipeline::run_clusters(kind, clusters, |_, cluster| {
+        run_rows(params, kind, lhs, f, cluster)
+    })
+}
+
+/// Simulates one cluster's rows in an isolated context.
+fn run_rows(
+    params: &SpSpParams,
+    kind: PhaseKind,
+    lhs: &RowMajorSparse<'_>,
+    f: usize,
+    rows: Range<usize>,
+) -> PhaseReport {
+    let mut ctx = PhaseCtx::new(kind, params.dram, params.mac_lanes);
 
     // The RHS (dense in reality) is stored and fetched as CSR by these
     // engines: f elements of 12 bytes per row.
     let rhs_row_bytes = f as u64 * CSR_ELEM_BYTES;
     let cache_rows = (params.fiber_cache_bytes / rhs_row_bytes) as usize;
     let mut cache = LruRowCache::new(cache_rows);
-    let merge_cycles = ((f as f64 * params.merge_factor).ceil() as u64)
-        .div_ceil(params.mac_lanes as u64);
+    let merge_cycles =
+        ((f as f64 * params.merge_factor).ceil() as u64).div_ceil(params.mac_lanes as u64);
 
     let rhs_class = match kind {
         PhaseKind::Combination => TrafficClass::Weights,
         PhaseKind::Aggregation => TrafficClass::RhsRows,
     };
 
-    let n = lhs.rows();
-    let k_dim = lhs.cols();
+    let row_count = rows.len() as u64;
     let mut lhs_burst = 0u64;
     match *lhs {
-        RowMajorSparse::Dense { rows, cols } => {
+        RowMajorSparse::Dense { cols, .. } => {
             // Dense LHS rows touch RHS rows 0..cols sequentially. Under LRU
             // a cyclic sequential scan either fits entirely (all hits after
             // the first row) or thrashes (all misses) — handled in bulk.
             let fits = cache_rows >= cols;
-            for row in 0..rows {
+            for (i, _row) in rows.clone().enumerate() {
                 let nnz = cols as u64;
-                lhs_burst += nnz * CSR_ELEM_BYTES + INDEX_BYTES as u64;
-                let (hits, misses) = if cache_rows == 0 {
+                lhs_burst += nnz * CSR_ELEM_BYTES + INDEX_BYTES;
+                let (hits, misses) = if cache_rows == 0 || !fits || i == 0 {
                     (0, nnz)
-                } else if fits {
-                    if row == 0 {
-                        (0, nnz)
-                    } else {
-                        (nnz, 0)
-                    }
                 } else {
-                    (0, nnz)
+                    (nnz, 0)
                 };
                 record_row(
-                    &mut report, &mut dram, &mut mac, rhs_class, f, rhs_row_bytes,
-                    merge_cycles, hits, misses,
+                    &mut ctx,
+                    rhs_class,
+                    f,
+                    rhs_row_bytes,
+                    merge_cycles,
+                    hits,
+                    misses,
                 );
             }
-            report.cache.hits += if fits && rows > 1 { (rows as u64 - 1) * cols as u64 } else { 0 };
-            report.cache.misses += if fits { cols as u64 } else { rows as u64 * cols as u64 };
-            if cache_rows == 0 {
-                report.cache.hits = 0;
-                report.cache.misses = (rows * cols) as u64;
+            if row_count > 0 {
+                if cache_rows > 0 && fits {
+                    ctx.report.cache.hits += (row_count - 1) * cols as u64;
+                    ctx.report.cache.misses += cols as u64;
+                } else {
+                    ctx.report.cache.misses += row_count * cols as u64;
+                }
             }
         }
         RowMajorSparse::Pattern(p) => {
-            for row in 0..n {
+            for row in rows.clone() {
                 let mut hits = 0u64;
                 let mut misses = 0u64;
                 for &c in p.row_indices(row) {
@@ -123,41 +150,41 @@ fn run_phase(
                         misses += 1;
                     }
                 }
-                lhs_burst += p.row_nnz(row) as u64 * CSR_ELEM_BYTES + INDEX_BYTES as u64;
+                lhs_burst += p.row_nnz(row) as u64 * CSR_ELEM_BYTES + INDEX_BYTES;
                 record_row(
-                    &mut report, &mut dram, &mut mac, rhs_class, f, rhs_row_bytes,
-                    merge_cycles, hits, misses,
+                    &mut ctx,
+                    rhs_class,
+                    f,
+                    rhs_row_bytes,
+                    merge_cycles,
+                    hits,
+                    misses,
                 );
             }
-            report.cache.merge(cache.stats());
+            ctx.report.cache.merge(cache.stats());
         }
     }
-    let _ = k_dim;
     // The LHS CSR stream (C2SR in MatRaptor's terms) is contiguous.
-    dram.read_stream(0, lhs_burst, TrafficClass::LhsSparse);
-    dram.round_burst(lhs_burst, TrafficClass::LhsSparse);
-    report.sram_reads_8b += lhs_burst.div_ceil(8);
-    report.sram_writes_8b += lhs_burst.div_ceil(8);
+    ctx.dram.read_stream(0, lhs_burst, TrafficClass::LhsSparse);
+    ctx.dram.round_burst(lhs_burst, TrafficClass::LhsSparse);
+    ctx.report.sram_reads_8b += lhs_burst.div_ceil(8);
+    ctx.report.sram_writes_8b += lhs_burst.div_ceil(8);
 
     // Output written in compressed form (12 B/element) — these engines
     // produce sparse outputs even when the result is dense.
-    let out_bytes = n as u64 * f as u64 * CSR_ELEM_BYTES;
-    dram.write(mac.busy_until(), out_bytes, TrafficClass::Output);
-    report.sram_reads_8b += out_bytes.div_ceil(8);
+    let out_bytes = row_count * f as u64 * CSR_ELEM_BYTES;
+    ctx.dram
+        .write(ctx.mac.busy_until(), out_bytes, TrafficClass::Output);
+    ctx.report.sram_reads_8b += out_bytes.div_ceil(8);
 
-    report.cycles = mac.busy_until().max(dram.busy_until()) + params.dram.latency_cycles;
-    report.compute_busy = mac.busy_cycles();
-    report.mac_ops = mac.mac_ops();
-    report.traffic = dram.stats().clone();
+    let mut report = ctx.finish_cluster();
+    report.cycles += params.dram.latency_cycles;
     report
 }
 
 /// Accounts one LHS row's worth of RHS fetches, MACs, and merge occupancy.
-#[allow(clippy::too_many_arguments)]
 fn record_row(
-    report: &mut PhaseReport,
-    dram: &mut Dram,
-    mac: &mut MacArray,
+    ctx: &mut PhaseCtx,
     rhs_class: TrafficClass,
     f: usize,
     rhs_row_bytes: u64,
@@ -166,15 +193,15 @@ fn record_row(
     misses: u64,
 ) {
     if misses > 0 {
-        dram.read_many(0, misses, rhs_row_bytes, rhs_class);
-        report.sram_writes_8b += misses * rhs_row_bytes.div_ceil(8);
+        ctx.dram.read_many(0, misses, rhs_row_bytes, rhs_class);
+        ctx.report.sram_writes_8b += misses * rhs_row_bytes.div_ceil(8);
     }
     let contributions = hits + misses;
     if contributions > 0 {
-        mac.scalar_vector_bulk(0, f, contributions);
-        mac.occupy(0, merge_cycles * contributions);
-        report.sram_reads_8b += contributions * (1 + rhs_row_bytes.div_ceil(8));
-        report.sram_writes_8b += contributions * f as u64;
+        ctx.mac.scalar_vector_bulk(0, f, contributions);
+        ctx.mac.occupy(0, merge_cycles * contributions);
+        ctx.report.sram_reads_8b += contributions * (1 + rhs_row_bytes.div_ceil(8));
+        ctx.report.sram_writes_8b += contributions * f as u64;
     }
 }
 

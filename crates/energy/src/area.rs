@@ -37,13 +37,20 @@ impl AreaBreakdown {
     /// Scales every component by `factor` (e.g. [`TECH_SCALE_65_TO_40`]).
     pub fn scaled(&self, factor: f64) -> AreaBreakdown {
         AreaBreakdown {
-            components: self.components.iter().map(|&(n, a)| (n, a * factor)).collect(),
+            components: self
+                .components
+                .iter()
+                .map(|&(n, a)| (n, a * factor))
+                .collect(),
         }
     }
 
     /// Area of a named component, if present.
     pub fn component(&self, name: &str) -> Option<f64> {
-        self.components.iter().find(|&&(n, _)| n == name).map(|&(_, a)| a)
+        self.components
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, a)| a)
     }
 }
 
@@ -108,7 +115,10 @@ impl AreaModel {
         AreaBreakdown {
             components: vec![
                 ("MAC array", self.mac_lane_mm2 * macs as f64),
-                ("I-BUF_sparse", self.sram_dual_port_mm2_per_kb * ibuf_sparse_kb),
+                (
+                    "I-BUF_sparse",
+                    self.sram_dual_port_mm2_per_kb * ibuf_sparse_kb,
+                ),
                 ("HDN ID list", self.cam_entry_mm2 * hdn_id_entries as f64),
                 ("HDN cache", self.sram_single_port_mm2_per_kb * hdn_cache_kb),
                 ("O-BUF_dense", self.flipflop_mm2_per_kb * obuf_kb),
@@ -139,21 +149,33 @@ mod tests {
                 "{name}: got {got}, Table IV says {expected}"
             );
         }
-        assert!((area.total() - 5.785).abs() < 1e-9, "total {}", area.total());
+        assert!(
+            (area.total() - 5.785).abs() < 1e-9,
+            "total {}",
+            area.total()
+        );
     }
 
     #[test]
     fn scaling_reproduces_table4_estimated_column() {
-        let area = AreaModel::default().grow_default_65nm().scaled(TECH_SCALE_65_TO_40);
+        let area = AreaModel::default()
+            .grow_default_65nm()
+            .scaled(TECH_SCALE_65_TO_40);
         // Table IV estimated 40 nm numbers (rounded to 3 decimals in print).
         assert!((area.component("MAC array").unwrap() - 0.232).abs() < 2e-3);
         assert!((area.component("HDN cache").unwrap() - 1.352).abs() < 2e-3);
-        assert!((area.total() - 2.191).abs() < 1e-2, "total {}", area.total());
+        assert!(
+            (area.total() - 2.191).abs() < 1e-2,
+            "total {}",
+            area.total()
+        );
     }
 
     #[test]
     fn grow_beats_gcnax_area_at_40nm() {
-        let grow = AreaModel::default().grow_default_65nm().scaled(TECH_SCALE_65_TO_40);
+        let grow = AreaModel::default()
+            .grow_default_65nm()
+            .scaled(TECH_SCALE_65_TO_40);
         assert!(grow.total() < GCNAX_AREA_40NM);
     }
 
@@ -188,7 +210,10 @@ mod tests {
         let model = AreaModel::default();
         let half = model.grow_65nm(8, 12.0, 4096, 256.0, 2.0);
         let full = model.grow_default_65nm();
-        assert!(half.component("MAC array").unwrap() * 2.0 - full.component("MAC array").unwrap() < 1e-9);
+        assert!(
+            half.component("MAC array").unwrap() * 2.0 - full.component("MAC array").unwrap()
+                < 1e-9
+        );
         assert!(half.total() < full.total());
     }
 }

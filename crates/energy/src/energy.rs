@@ -45,7 +45,13 @@ impl EnergyBreakdown {
     /// Each category as a fraction of the total.
     pub fn fractions(&self) -> [f64; 5] {
         let t = self.total().max(f64::MIN_POSITIVE);
-        [self.mac / t, self.rf / t, self.sram / t, self.dram / t, self.leakage / t]
+        [
+            self.mac / t,
+            self.rf / t,
+            self.sram / t,
+            self.dram / t,
+            self.leakage / t,
+        ]
     }
 }
 
@@ -125,14 +131,18 @@ impl EnergyModel {
         let mac = counts.mac_ops as f64 * self.mac_pj * PJ;
         let rf = counts.rf_accesses as f64 * self.rf_access_pj * PJ;
         let sram_pj = self.sram_access_pj(self.sram_fit_kb);
-        let sram =
-            (counts.sram_reads_8b + counts.sram_writes_8b) as f64 * sram_pj * PJ;
+        let sram = (counts.sram_reads_8b + counts.sram_writes_8b) as f64 * sram_pj * PJ;
         let dram = counts.dram_bytes as f64 * 8.0 * self.dram_pj_per_bit * PJ;
         let seconds = counts.cycles as f64 / self.clock_hz;
-        let leak_w =
-            (counts.sram_kb * self.sram_leak_mw_per_kb + self.logic_leak_mw) * 1e-3;
+        let leak_w = (counts.sram_kb * self.sram_leak_mw_per_kb + self.logic_leak_mw) * 1e-3;
         let leakage = leak_w * seconds;
-        EnergyBreakdown { mac, rf, sram, dram, leakage }
+        EnergyBreakdown {
+            mac,
+            rf,
+            sram,
+            dram,
+            leakage,
+        }
     }
 }
 

@@ -64,7 +64,10 @@ impl CommunityGraphSpec {
         assert!(self.communities > 0 && self.communities <= self.nodes);
         assert!((0.0..=1.0).contains(&self.intra_fraction));
         assert!((0.0..=1.0).contains(&self.shuffle_fraction));
-        assert!(self.power_law_exponent > 1.0, "power-law exponent must exceed 1");
+        assert!(
+            self.power_law_exponent > 1.0,
+            "power-law exponent must exceed 1"
+        );
 
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.nodes;
@@ -76,9 +79,7 @@ impl CommunityGraphSpec {
         let bounds: Vec<usize> = (0..=k).map(|c| c * n / k).collect();
         let mut community = vec![0u32; n];
         for c in 0..k {
-            for node in bounds[c]..bounds[c + 1] {
-                community[node] = c as u32;
-            }
+            community[bounds[c]..bounds[c + 1]].fill(c as u32);
         }
 
         // Zipf-like weights, restarting the rank inside each community so
@@ -95,7 +96,10 @@ impl CommunityGraphSpec {
         // Cap: expected degree of a node is ~ 2 * m * w / W. Limit hubs to
         // the smaller of 40x the average degree and ~35% of their community
         // (so intra-community sampling does not saturate).
-        let min_comm = (1..=k).map(|c| bounds[c] - bounds[c - 1]).min().unwrap_or(n);
+        let min_comm = (1..=k)
+            .map(|c| bounds[c] - bounds[c - 1])
+            .min()
+            .unwrap_or(n);
         let cap_degree = (40.0 * self.avg_degree)
             .min(0.35 * min_comm as f64 / self.intra_fraction.max(0.5))
             .max(self.avg_degree.max(2.0));
@@ -117,8 +121,9 @@ impl CommunityGraphSpec {
 
         // Prefix sums: global and per-community.
         let global_prefix = prefix_sums(&weights);
-        let comm_prefix: Vec<Vec<f64>> =
-            (0..k).map(|c| prefix_sums(&weights[bounds[c]..bounds[c + 1]])).collect();
+        let comm_prefix: Vec<Vec<f64>> = (0..k)
+            .map(|c| prefix_sums(&weights[bounds[c]..bounds[c + 1]]))
+            .collect();
 
         // Sample edges with dedup top-up rounds.
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(target_undirected + 16);
@@ -161,13 +166,18 @@ impl CommunityGraphSpec {
             }
         }
 
-        let relabeled = edges.into_iter().map(|(u, v)| (perm[u as usize], perm[v as usize]));
+        let relabeled = edges
+            .into_iter()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]));
         let graph = Graph::from_edges(n, relabeled);
         let mut final_community = vec![0u32; n];
         for (old, &new) in perm.iter().enumerate() {
             final_community[new as usize] = community[old];
         }
-        GeneratedGraph { graph, community: final_community }
+        GeneratedGraph {
+            graph,
+            community: final_community,
+        }
     }
 }
 
@@ -193,12 +203,24 @@ pub struct RmatGraphSpec {
 impl RmatGraphSpec {
     /// The classic Graph500 parameterization (a=0.57, b=c=0.19).
     pub fn graph500(scale: u32, avg_degree: f64) -> Self {
-        RmatGraphSpec { scale, avg_degree, a: 0.57, b: 0.19, c: 0.19 }
+        RmatGraphSpec {
+            scale,
+            avg_degree,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     /// A uniform (Erdős–Rényi-like) parameterization: no degree skew.
     pub fn uniform(scale: u32, avg_degree: f64) -> Self {
-        RmatGraphSpec { scale, avg_degree, a: 0.25, b: 0.25, c: 0.25 }
+        RmatGraphSpec {
+            scale,
+            avg_degree,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        }
     }
 
     /// Generates the graph with a deterministic seed.
@@ -208,7 +230,10 @@ impl RmatGraphSpec {
     /// Panics if the quadrant probabilities are invalid (`a + b + c > 1`).
     pub fn generate(&self, seed: u64) -> Graph {
         assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0);
-        assert!(self.a + self.b + self.c <= 1.0 + 1e-12, "quadrant probabilities exceed 1");
+        assert!(
+            self.a + self.b + self.c <= 1.0 + 1e-12,
+            "quadrant probabilities exceed 1"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let n = 1usize << self.scale;
         let target = ((n as f64 * self.avg_degree) / 2.0).round() as usize;
@@ -262,7 +287,10 @@ fn sample_prefix(prefix: &[f64], rng: &mut StdRng) -> usize {
     let total = *prefix.last().expect("non-empty prefix");
     let x = rng.random::<f64>() * total;
     // partition_point: first index with prefix[i] > x, minus one.
-    prefix.partition_point(|&p| p <= x).clamp(1, prefix.len() - 1) - 1
+    prefix
+        .partition_point(|&p| p <= x)
+        .clamp(1, prefix.len() - 1)
+        - 1
 }
 
 /// Samples `k` distinct indices from `0..n` (Floyd's algorithm).
@@ -318,12 +346,19 @@ mod tests {
         let mut degrees: Vec<usize> = (0..g.nodes()).map(|v| g.degree(v)).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // Hubs should be far above average for a power-law graph.
-        assert!(degrees[0] > 5 * 10, "max degree {} not hub-like", degrees[0]);
+        assert!(
+            degrees[0] > 5 * 10,
+            "max degree {} not hub-like",
+            degrees[0]
+        );
     }
 
     #[test]
     fn intra_fraction_keeps_edges_inside_communities() {
-        let s = CommunityGraphSpec { shuffle_fraction: 0.0, ..spec(1000, 8.0) };
+        let s = CommunityGraphSpec {
+            shuffle_fraction: 0.0,
+            ..spec(1000, 8.0)
+        };
         let gen = s.generate_detailed(3);
         let mut intra = 0usize;
         let mut total = 0usize;
@@ -341,8 +376,14 @@ mod tests {
 
     #[test]
     fn shuffle_hides_community_ordering() {
-        let base = CommunityGraphSpec { shuffle_fraction: 0.0, ..spec(1000, 8.0) };
-        let shuf = CommunityGraphSpec { shuffle_fraction: 1.0, ..spec(1000, 8.0) };
+        let base = CommunityGraphSpec {
+            shuffle_fraction: 0.0,
+            ..spec(1000, 8.0)
+        };
+        let shuf = CommunityGraphSpec {
+            shuffle_fraction: 1.0,
+            ..spec(1000, 8.0)
+        };
         // With ordering intact, consecutive nodes share communities; after a
         // full shuffle they mostly do not.
         let same_community_runs = |g: &GeneratedGraph| {

@@ -43,11 +43,15 @@ impl Graph {
             if u == v {
                 continue;
             }
-            coo.push(u as usize, v as usize, 1.0).expect("checked bounds");
-            coo.push(v as usize, u as usize, 1.0).expect("checked bounds");
+            coo.push(u as usize, v as usize, 1.0)
+                .expect("checked bounds");
+            coo.push(v as usize, u as usize, 1.0)
+                .expect("checked bounds");
         }
         // to_csr sums duplicates; the values are irrelevant, only structure.
-        Graph { adj: coo.to_csr().into_pattern() }
+        Graph {
+            adj: coo.to_csr().into_pattern(),
+        }
     }
 
     /// Wraps an existing symmetric adjacency pattern.
@@ -132,7 +136,9 @@ impl Graph {
     /// Panics if `perm` is not a permutation of `0..nodes`.
     pub fn relabel(&self, perm: &[u32]) -> Graph {
         let m = self.adj.clone().with_unit_values().permute_symmetric(perm);
-        Graph { adj: m.into_pattern() }
+        Graph {
+            adj: m.into_pattern(),
+        }
     }
 }
 

@@ -23,11 +23,13 @@ use crate::Graph;
 /// ```
 pub fn normalized_adjacency(graph: &Graph) -> CsrMatrix {
     let n = graph.nodes();
-    let inv_sqrt: Vec<f64> =
-        (0..n).map(|v| 1.0 / ((graph.degree(v) + 1) as f64).sqrt()).collect();
+    let inv_sqrt: Vec<f64> = (0..n)
+        .map(|v| 1.0 / ((graph.degree(v) + 1) as f64).sqrt())
+        .collect();
     let mut coo = CooMatrix::with_capacity(n, n, graph.directed_edges() + n);
     for v in 0..n {
-        coo.push(v, v, inv_sqrt[v] * inv_sqrt[v]).expect("diagonal in bounds");
+        coo.push(v, v, inv_sqrt[v] * inv_sqrt[v])
+            .expect("diagonal in bounds");
         for &u in graph.neighbors(v) {
             coo.push(v, u as usize, inv_sqrt[v] * inv_sqrt[u as usize])
                 .expect("edge in bounds");
@@ -81,9 +83,9 @@ mod tests {
         let mut v = vec![1.0f64; 5];
         for _ in 0..50 {
             let mut next = vec![0.0f64; 5];
-            for r in 0..5 {
+            for (r, slot) in next.iter_mut().enumerate() {
                 for (c, w) in a.row_entries(r) {
-                    next[r] += w * v[c as usize];
+                    *slot += w * v[c as usize];
                 }
             }
             let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -92,10 +94,10 @@ mod tests {
             }
             v = next;
         }
-        let mut av = vec![0.0f64; 5];
-        for r in 0..5 {
+        let mut av = [0.0f64; 5];
+        for (r, slot) in av.iter_mut().enumerate() {
             for (c, w) in a.row_entries(r) {
-                av[r] += w * v[c as usize];
+                *slot += w * v[c as usize];
             }
         }
         let lambda = av.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>();

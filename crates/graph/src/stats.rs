@@ -28,8 +28,10 @@ pub fn top_k_edge_coverage(graph: &Graph, k: usize) -> f64 {
     if graph.directed_edges() == 0 {
         return 0.0;
     }
-    let covered: usize =
-        top_degree_nodes(graph, k).iter().map(|&v| graph.degree(v as usize)).sum();
+    let covered: usize = top_degree_nodes(graph, k)
+        .iter()
+        .map(|&v| graph.degree(v as usize))
+        .sum();
     covered as f64 / graph.directed_edges() as f64
 }
 
@@ -39,7 +41,11 @@ pub fn degree_histogram_log2(graph: &Graph) -> Vec<(usize, usize)> {
     let mut bins: Vec<usize> = Vec::new();
     for v in 0..graph.nodes() {
         let d = graph.degree(v);
-        let bin = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        let bin = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
         if bins.len() <= bin {
             bins.resize(bin + 1, 0);
         }

@@ -1,107 +1,127 @@
-//! Property-based tests for graph construction, generation, and
+//! Randomized-input tests for graph construction, generation, and
 //! normalization invariants.
+//!
+//! (Formerly proptest-based; the offline build has no crates.io access, so
+//! cases are drawn from the workspace's own seeded PRNG instead — same
+//! properties, deterministic case set.)
 
 use grow_graph::{normalized_adjacency, CommunityGraphSpec, Graph, RmatGraphSpec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_spec() -> impl Strategy<Value = (CommunityGraphSpec, u64)> {
+fn random_spec(rng: &mut StdRng) -> (CommunityGraphSpec, u64) {
     (
-        50usize..400,
-        2.0f64..14.0,
-        2usize..8,
-        0.5f64..0.95,
-        2.05f64..3.0,
-        0.0f64..=1.0,
-        0u64..10_000,
+        CommunityGraphSpec {
+            nodes: rng.random_range(50usize..400),
+            avg_degree: rng.random_range(2.0f64..14.0),
+            communities: rng.random_range(2usize..8),
+            intra_fraction: rng.random_range(0.5f64..0.95),
+            power_law_exponent: rng.random_range(2.05f64..3.0),
+            shuffle_fraction: rng.random_range(0.0f64..1.0),
+        },
+        rng.random_range(0u64..10_000),
     )
-        .prop_map(|(nodes, deg, comms, intra, gamma, shuffle, seed)| {
-            (
-                CommunityGraphSpec {
-                    nodes,
-                    avg_degree: deg,
-                    communities: comms,
-                    intra_fraction: intra,
-                    power_law_exponent: gamma,
-                    shuffle_fraction: shuffle,
-                },
-                seed,
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    #[test]
-    fn generated_graphs_are_simple_and_symmetric((spec, seed) in arb_spec()) {
+#[test]
+fn generated_graphs_are_simple_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x61a1);
+    for case in 0..CASES {
+        let (spec, seed) = random_spec(&mut rng);
         let g = spec.generate(seed);
-        prop_assert_eq!(g.nodes(), spec.nodes);
+        assert_eq!(g.nodes(), spec.nodes, "case {case}");
         for v in 0..g.nodes() {
             let row = g.neighbors(v);
             // No self-loops, strictly sorted (implies no duplicates).
-            prop_assert!(row.iter().all(|&u| u as usize != v));
-            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+            assert!(row.iter().all(|&u| u as usize != v), "case {case} row {v}");
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "case {case} row {v}");
             // Symmetry.
             for &u in row {
-                prop_assert!(
+                assert!(
                     g.neighbors(u as usize).contains(&(v as u32)),
-                    "edge ({v}, {u}) missing its reverse"
+                    "case {case}: edge ({v}, {u}) missing its reverse"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn degree_sums_are_consistent((spec, seed) in arb_spec()) {
+#[test]
+fn degree_sums_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x61a2);
+    for case in 0..CASES {
+        let (spec, seed) = random_spec(&mut rng);
         let g = spec.generate(seed);
         let sum: usize = (0..g.nodes()).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(sum, g.directed_edges());
-        prop_assert_eq!(g.directed_edges(), 2 * g.undirected_edges());
+        assert_eq!(sum, g.directed_edges(), "case {case}");
+        assert_eq!(g.directed_edges(), 2 * g.undirected_edges(), "case {case}");
     }
+}
 
-    #[test]
-    fn relabeling_is_an_isomorphism((spec, seed) in arb_spec()) {
+#[test]
+fn relabeling_is_an_isomorphism() {
+    let mut rng = StdRng::seed_from_u64(0x61a3);
+    for case in 0..CASES {
+        let (spec, seed) = random_spec(&mut rng);
         let g = spec.generate(seed);
         let n = g.nodes();
         // Rotate node IDs by one.
         let perm: Vec<u32> = (0..n as u32).map(|v| (v + 1) % n as u32).collect();
         let r = g.relabel(&perm);
-        prop_assert_eq!(r.undirected_edges(), g.undirected_edges());
+        assert_eq!(r.undirected_edges(), g.undirected_edges(), "case {case}");
         let mut degrees_a: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
         let mut degrees_b: Vec<usize> = (0..n).map(|v| r.degree(v)).collect();
         degrees_a.sort_unstable();
         degrees_b.sort_unstable();
-        prop_assert_eq!(degrees_a, degrees_b);
+        assert_eq!(degrees_a, degrees_b, "case {case}");
     }
+}
 
-    #[test]
-    fn normalization_is_symmetric_and_bounded((spec, seed) in arb_spec()) {
+#[test]
+fn normalization_is_symmetric_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x61a4);
+    for case in 0..CASES {
+        let (spec, seed) = random_spec(&mut rng);
         let g = spec.generate(seed);
         let a = normalized_adjacency(&g);
-        prop_assert_eq!(a.nnz(), g.directed_edges() + g.nodes());
+        assert_eq!(a.nnz(), g.directed_edges() + g.nodes(), "case {case}");
         // Every value is in (0, 1] — each entry is 1/sqrt((d_u+1)(d_v+1)).
-        prop_assert!(a.values().iter().all(|&v| v > 0.0 && v <= 1.0));
+        assert!(
+            a.values().iter().all(|&v| v > 0.0 && v <= 1.0),
+            "case {case}"
+        );
         // Symmetric values.
         let t = a.transpose();
-        prop_assert!(a.to_dense().approx_eq(&t.to_dense(), 1e-12));
+        assert!(a.to_dense().approx_eq(&t.to_dense(), 1e-12), "case {case}");
     }
+}
 
-    #[test]
-    fn rmat_respects_node_count((scale, deg, seed) in (6u32..11, 2.0f64..10.0, 0u64..1000)) {
+#[test]
+fn rmat_respects_node_count() {
+    let mut rng = StdRng::seed_from_u64(0x61a5);
+    for case in 0..CASES {
+        let scale = rng.random_range(6u32..11);
+        let deg = rng.random_range(2.0f64..10.0);
+        let seed = rng.random_range(0u64..1000);
         let g = RmatGraphSpec::graph500(scale, deg).generate(seed);
-        prop_assert_eq!(g.nodes(), 1usize << scale);
-        prop_assert!(g.undirected_edges() > 0);
+        assert_eq!(g.nodes(), 1usize << scale, "case {case}");
+        assert!(g.undirected_edges() > 0, "case {case}");
     }
+}
 
-    #[test]
-    fn from_edges_is_idempotent_under_duplication(
-        (n, edges) in (4usize..40).prop_flat_map(|n| {
-            let e = proptest::collection::vec((0..n as u32, 0..n as u32), 0..80);
-            (Just(n), e)
-        })
-    ) {
+#[test]
+fn from_edges_is_idempotent_under_duplication() {
+    let mut rng = StdRng::seed_from_u64(0x61a6);
+    for case in 0..CASES {
+        let n = rng.random_range(4usize..40);
+        let count = rng.random_range(0usize..80);
+        let edges: Vec<(u32, u32)> = (0..count)
+            .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+            .collect();
         let once = Graph::from_edges(n, edges.iter().copied());
         let doubled = Graph::from_edges(n, edges.iter().chain(edges.iter()).copied());
-        prop_assert_eq!(once, doubled);
+        assert_eq!(once, doubled, "case {case}");
     }
 }

@@ -37,12 +37,20 @@ impl DatasetKey {
     ];
 
     /// The small-scale datasets (the paper's "even mix" split).
-    pub const SMALL: [DatasetKey; 4] =
-        [DatasetKey::Cora, DatasetKey::Citeseer, DatasetKey::Pubmed, DatasetKey::Flickr];
+    pub const SMALL: [DatasetKey; 4] = [
+        DatasetKey::Cora,
+        DatasetKey::Citeseer,
+        DatasetKey::Pubmed,
+        DatasetKey::Flickr,
+    ];
 
     /// The large-scale datasets.
-    pub const LARGE: [DatasetKey; 4] =
-        [DatasetKey::Reddit, DatasetKey::Yelp, DatasetKey::Pokec, DatasetKey::Amazon];
+    pub const LARGE: [DatasetKey; 4] = [
+        DatasetKey::Reddit,
+        DatasetKey::Yelp,
+        DatasetKey::Pokec,
+        DatasetKey::Amazon,
+    ];
 
     /// Lower-case dataset name as printed in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -60,7 +68,9 @@ impl DatasetKey {
 
     /// Parses a dataset name (case-insensitive).
     pub fn parse(name: &str) -> Option<DatasetKey> {
-        DatasetKey::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+        DatasetKey::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
     }
 
     /// The default (simulation-scale) specification; see

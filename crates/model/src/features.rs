@@ -120,9 +120,10 @@ impl FeatureMatrix {
     /// Borrowed row-major view for the simulators.
     pub fn view(&self) -> RowMajorSparse<'_> {
         match self {
-            FeatureMatrix::Dense { rows, cols } => {
-                RowMajorSparse::Dense { rows: *rows, cols: *cols }
-            }
+            FeatureMatrix::Dense { rows, cols } => RowMajorSparse::Dense {
+                rows: *rows,
+                cols: *cols,
+            },
             FeatureMatrix::Sparse(p) => RowMajorSparse::Pattern(p),
         }
     }
@@ -135,11 +136,15 @@ impl FeatureMatrix {
             FeatureMatrix::Dense { rows, cols } => {
                 let pattern = CsrPattern::dense(*rows, *cols);
                 let values = (0..pattern.nnz()).map(|_| rng.random::<f64>()).collect();
-                pattern.with_values(values).expect("value count matches nnz")
+                pattern
+                    .with_values(values)
+                    .expect("value count matches nnz")
             }
             FeatureMatrix::Sparse(p) => {
                 let values = (0..p.nnz()).map(|_| rng.random::<f64>()).collect();
-                p.clone().with_values(values).expect("value count matches nnz")
+                p.clone()
+                    .with_values(values)
+                    .expect("value count matches nnz")
             }
         }
     }

@@ -69,7 +69,11 @@ impl GcnWorkload {
                 f_out,
             },
         ];
-        GcnWorkload { spec: *spec, graph, layers }
+        GcnWorkload {
+            spec: *spec,
+            graph,
+            layers,
+        }
     }
 
     /// Total scalar x vector operations across both layers (combination
@@ -126,9 +130,7 @@ mod tests {
     fn scalar_vector_ops_counts_both_layers() {
         let w = DatasetKey::Cora.spec().instantiate(4);
         let a_nnz = (w.graph.directed_edges() + w.graph.nodes()) as u64;
-        let expected = w.layers[0].x.nnz() as u64
-            + w.layers[1].x.nnz() as u64
-            + 2 * a_nnz;
+        let expected = w.layers[0].x.nnz() as u64 + w.layers[1].x.nnz() as u64 + 2 * a_nnz;
         assert_eq!(w.total_scalar_vector_ops(), expected);
     }
 }

@@ -1,65 +1,90 @@
-//! Property-based tests for feature synthesis and workload invariants.
+//! Randomized-input tests for feature synthesis and workload invariants.
+//!
+//! (Formerly proptest-based; the offline build has no crates.io access, so
+//! cases are drawn from the workspace's own seeded PRNG instead — same
+//! properties, deterministic case set.)
 
 use grow_model::{DatasetKey, FeatureMatrix};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn synthesized_density_tracks_target(
-        (rows, cols, density, seed) in (20usize..300, 4usize..128, 0.0f64..=1.0, 0u64..10_000)
-    ) {
+#[test]
+fn synthesized_density_tracks_target() {
+    let mut rng = StdRng::seed_from_u64(0x30d1);
+    for case in 0..32 {
+        let rows = rng.random_range(20usize..300);
+        let cols = rng.random_range(4usize..128);
+        let density = rng.random_range(0.0f64..1.0);
+        let seed = rng.random_range(0u64..10_000);
         let fm = FeatureMatrix::synthesize(rows, cols, density, seed);
-        prop_assert_eq!(fm.rows(), rows);
-        prop_assert_eq!(fm.cols(), cols);
+        assert_eq!(fm.rows(), rows, "case {case}");
+        assert_eq!(fm.cols(), cols, "case {case}");
         let got = fm.density();
         // Expected absolute deviation shrinks with the cell count; use a
         // generous 3-sigma-ish band plus quantization slack.
         let cells = (rows * cols) as f64;
         let sigma = (density * (1.0 - density) / cells).sqrt();
         let tol = 3.0 * sigma + 1.5 / cols as f64;
-        prop_assert!(
+        assert!(
             (got - density).abs() <= tol,
-            "target {density}, measured {got}, tol {tol}"
+            "case {case}: target {density}, measured {got}, tol {tol}"
         );
     }
+}
 
-    #[test]
-    fn synthesized_rows_are_sorted_and_unique(
-        (rows, cols, density, seed) in (5usize..100, 4usize..64, 0.05f64..0.95, 0u64..1000)
-    ) {
+#[test]
+fn synthesized_rows_are_sorted_and_unique() {
+    let mut rng = StdRng::seed_from_u64(0x30d2);
+    for case in 0..32 {
+        let rows = rng.random_range(5usize..100);
+        let cols = rng.random_range(4usize..64);
+        let density = rng.random_range(0.05f64..0.95);
+        let seed = rng.random_range(0u64..1000);
         if let FeatureMatrix::Sparse(p) = FeatureMatrix::synthesize(rows, cols, density, seed) {
             for r in 0..p.rows() {
                 let row = p.row_indices(r);
-                prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {r} unsorted");
-                prop_assert!(row.iter().all(|&c| (c as usize) < cols));
+                assert!(
+                    row.windows(2).all(|w| w[0] < w[1]),
+                    "case {case} row {r} unsorted"
+                );
+                assert!(
+                    row.iter().all(|&c| (c as usize) < cols),
+                    "case {case} row {r}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn materialize_matches_pattern(
-        (rows, cols, density, seed) in (5usize..60, 4usize..32, 0.0f64..=1.0, 0u64..1000)
-    ) {
+#[test]
+fn materialize_matches_pattern() {
+    let mut rng = StdRng::seed_from_u64(0x30d3);
+    for case in 0..32 {
+        let rows = rng.random_range(5usize..60);
+        let cols = rng.random_range(4usize..32);
+        let density = rng.random_range(0.0f64..1.0);
+        let seed = rng.random_range(0u64..1000);
         let fm = FeatureMatrix::synthesize(rows, cols, density, seed);
         let m = fm.materialize(seed ^ 99);
-        prop_assert_eq!(m.nnz(), fm.nnz());
-        prop_assert_eq!(m.shape(), (rows, cols));
+        assert_eq!(m.nnz(), fm.nnz(), "case {case}");
+        assert_eq!(m.shape(), (rows, cols), "case {case}");
     }
+}
 
-    #[test]
-    fn workload_scaling_preserves_shape_ratios(
-        (scale, seed) in (200usize..2000, 0u64..100)
-    ) {
+#[test]
+fn workload_scaling_preserves_shape_ratios() {
+    let mut rng = StdRng::seed_from_u64(0x30d4);
+    for case in 0..8 {
+        let scale = rng.random_range(200usize..2000);
+        let seed = rng.random_range(0u64..100);
         let spec = DatasetKey::Flickr.spec().scaled_to(scale);
         let w = spec.instantiate(seed);
-        prop_assert_eq!(w.graph.nodes(), scale);
-        prop_assert_eq!(w.layers[0].f_in, 500);
-        prop_assert_eq!(w.layers[0].f_out, 64);
-        prop_assert_eq!(w.layers[1].f_out, 7);
+        assert_eq!(w.graph.nodes(), scale, "case {case}");
+        assert_eq!(w.layers[0].f_in, 500, "case {case}");
+        assert_eq!(w.layers[0].f_out, 64, "case {case}");
+        assert_eq!(w.layers[1].f_out, 7, "case {case}");
         // Densities stay near the Table I row regardless of scale.
         let d0 = w.layers[0].x.density();
-        prop_assert!((d0 - 0.464).abs() < 0.1, "X0 density {d0}");
+        assert!((d0 - 0.464).abs() < 0.1, "case {case}: X0 density {d0}");
     }
 }

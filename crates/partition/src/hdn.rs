@@ -41,7 +41,10 @@ pub fn hdn_lists(
     let mut touched: Vec<u32> = Vec::new();
     let mut lists = Vec::with_capacity(cluster_ranges.len());
     for range in cluster_ranges {
-        assert!(range.end <= adjacency.rows(), "cluster range exceeds matrix");
+        assert!(
+            range.end <= adjacency.rows(),
+            "cluster range exceeds matrix"
+        );
         for r in range.clone() {
             for &c in adjacency.row_indices(r) {
                 if counts[c as usize] == 0 {
@@ -64,6 +67,7 @@ pub fn hdn_lists(
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // single-cluster range lists are intentional
 mod tests {
     use super::*;
     use grow_sparse::CooMatrix;
@@ -82,12 +86,31 @@ mod tests {
         // the top-3 referenced columns. Reference counts (column sums):
         // node 0: 5, node 3: 4, node 4: 4 per Figure 12(a)'s degree table.
         let entries = [
-            (0, 0), (0, 2), (0, 3), (0, 4), (0, 5),
-            (1, 0), (1, 1), (1, 2), (1, 3), (1, 4),
-            (2, 0), (2, 3), (2, 4), (2, 1),
-            (3, 0), (3, 1), (3, 4), (3, 5),
-            (4, 0), (4, 1), (4, 3), (4, 5),
-            (5, 2), (5, 3), (5, 4),
+            (0, 0),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 0),
+            (2, 3),
+            (2, 4),
+            (2, 1),
+            (3, 0),
+            (3, 1),
+            (3, 4),
+            (3, 5),
+            (4, 0),
+            (4, 1),
+            (4, 3),
+            (4, 5),
+            (5, 2),
+            (5, 3),
+            (5, 4),
         ];
         let adj = pattern(6, 6, &entries);
         let lists = hdn_lists(&adj, &[0..6], 3);

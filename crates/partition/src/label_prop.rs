@@ -24,7 +24,10 @@ pub struct LabelPropagationConfig {
 
 impl Default for LabelPropagationConfig {
     fn default() -> Self {
-        LabelPropagationConfig { seed: 0x6c70, max_iterations: 8 }
+        LabelPropagationConfig {
+            seed: 0x6c70,
+            max_iterations: 8,
+        }
     }
 }
 
@@ -113,10 +116,13 @@ pub fn label_propagation_partition(
     // Pack communities into `parts` bins, biggest first; communities that
     // overflow a bin spill into the next (splitting them by membership
     // order, which is arbitrary but rare for well-separated communities).
+    // Each (bin, take) quota is recorded exactly so the member-assignment
+    // pass below reproduces this packing bin-for-bin regardless of the
+    // order it visits communities in.
     let capacity = n.div_ceil(parts);
     let mut community_order: Vec<u32> = (0..sizes.len() as u32).collect();
     community_order.sort_unstable_by_key(|&c| std::cmp::Reverse(sizes[c as usize]));
-    let mut community_part: Vec<Vec<u32>> = vec![Vec::new(); sizes.len()];
+    let mut community_part: Vec<Vec<(u32, usize)>> = vec![Vec::new(); sizes.len()];
     let mut fill = vec![0usize; parts];
     let mut bin = 0usize;
     for &c in &community_order {
@@ -125,9 +131,7 @@ pub fn label_propagation_partition(
             let free = capacity - fill[bin];
             let take = remaining.min(free);
             if take > 0 {
-                community_part[c as usize].push(bin as u32);
-                // Note how many members of c go into this bin implicitly via
-                // fill bookkeeping; actual member split happens below.
+                community_part[c as usize].push((bin as u32, take));
                 fill[bin] += take;
                 remaining -= take;
             }
@@ -142,10 +146,7 @@ pub fn label_propagation_partition(
     }
 
     // Assign members: walk nodes per community and spread across that
-    // community's bins in order.
-    let mut next_bin_idx = vec![0usize; sizes.len()];
-    let mut bin_remaining: Vec<usize> = vec![0; sizes.len()];
-    let mut fill2 = vec![0usize; parts];
+    // community's bins per the exact quotas recorded above.
     let mut assignment = vec![0u32; n];
     // Members grouped by community.
     let mut starts = vec![0usize; sizes.len() + 1];
@@ -162,29 +163,19 @@ pub fn label_propagation_partition(
         cursor[labels[v] as usize] += 1;
     }
     for c in 0..sizes.len() {
+        let mut quotas = community_part[c].iter().copied();
+        let (mut b, mut quota) = quotas.next().unwrap_or((0, 0));
         for &v in &members[starts[c]..starts[c + 1]] {
-            loop {
-                let bins = &community_part[c];
-                let idx = next_bin_idx[c].min(bins.len() - 1);
-                let b = bins[idx] as usize;
-                if bin_remaining[c] == 0 {
-                    // (Re)charge: this community may place up to the bin's
-                    // leftover capacity here.
-                    let free = capacity.saturating_sub(fill2[b]);
-                    if free == 0 && next_bin_idx[c] + 1 < bins.len() {
-                        next_bin_idx[c] += 1;
-                        continue;
-                    }
-                    bin_remaining[c] = free.max(1);
+            while quota == 0 {
+                match quotas.next() {
+                    Some((nb, nq)) => (b, quota) = (nb, nq),
+                    // Quotas sum to the community size by construction;
+                    // stay on the last bin if that invariant ever breaks.
+                    None => quota = usize::MAX,
                 }
-                assignment[v as usize] = b as u32;
-                fill2[b] += 1;
-                bin_remaining[c] -= 1;
-                if bin_remaining[c] == 0 && next_bin_idx[c] + 1 < bins.len() {
-                    next_bin_idx[c] += 1;
-                }
-                break;
             }
+            assignment[v as usize] = b;
+            quota -= 1;
         }
     }
     Partitioning::new(assignment, parts)

@@ -32,9 +32,9 @@ impl ClusterLayout {
         }
         let mut cursor = starts.clone();
         let mut perm = vec![0u32; n];
-        for v in 0..n {
+        for (v, slot) in perm.iter_mut().enumerate() {
             let p = partitioning.part_of(v) as usize;
-            perm[v] = cursor[p] as u32;
+            *slot = cursor[p] as u32;
             cursor[p] += 1;
         }
         let ranges = (0..parts)
@@ -49,7 +49,11 @@ impl ClusterLayout {
     pub fn single(nodes: usize) -> Self {
         ClusterLayout {
             perm: (0..nodes as u32).collect(),
-            ranges: if nodes == 0 { Vec::new() } else { vec![0..nodes] },
+            ranges: if nodes == 0 {
+                Vec::new()
+            } else {
+                std::iter::once(0..nodes).collect()
+            },
         }
     }
 
@@ -76,6 +80,7 @@ impl ClusterLayout {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // single-cluster range lists are intentional
 mod tests {
     use super::*;
 
@@ -121,7 +126,7 @@ mod tests {
     fn permutation_is_bijective() {
         let p = Partitioning::new(vec![2, 0, 1, 2, 1, 0], 3);
         let layout = ClusterLayout::from_partitioning(&p);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &x in layout.permutation() {
             assert!(!seen[x as usize]);
             seen[x as usize] = true;

@@ -118,7 +118,10 @@ impl WGraph {
 
     fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
         let range = self.xadj[v]..self.xadj[v + 1];
-        self.adjncy[range.clone()].iter().copied().zip(self.adjwgt[range].iter().copied())
+        self.adjncy[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[range].iter().copied())
     }
 }
 
@@ -139,13 +142,20 @@ fn bisect_recursive(
     }
     let left_parts = parts / 2;
     let right_parts = parts - left_parts;
-    let target_left =
-        (wg.total_weight() as f64 * left_parts as f64 / parts as f64).round() as u64;
+    let target_left = (wg.total_weight() as f64 * left_parts as f64 / parts as f64).round() as u64;
 
     let side = bisect(&wg, target_left, config, rng);
 
     let (left_wg, left_globals, right_wg, right_globals) = split(&wg, &globals, &side);
-    bisect_recursive(left_wg, left_globals, left_parts, part_offset, assignment, config, rng);
+    bisect_recursive(
+        left_wg,
+        left_globals,
+        left_parts,
+        part_offset,
+        assignment,
+        config,
+        rng,
+    );
     bisect_recursive(
         right_wg,
         right_globals,
@@ -163,8 +173,8 @@ fn bisect(wg: &WGraph, target_left: u64, config: &MultilevelConfig, rng: &mut St
     // Coarsening phase: remember each level and its fine-to-coarse map.
     // Super-node weight is capped (as in METIS) so one coarse node cannot
     // dominate a side and wreck the balance of the initial partition.
-    let max_vwgt = ((1.5 * wg.total_weight() as f64 / config.coarsen_until.max(8) as f64)
-        .ceil() as u64)
+    let max_vwgt = ((1.5 * wg.total_weight() as f64 / config.coarsen_until.max(8) as f64).ceil()
+        as u64)
         .max(2);
     let mut levels: Vec<(WGraph, Vec<u32>)> = Vec::new();
     let mut current = wg.clone();
@@ -282,7 +292,15 @@ fn coarsen(wg: &WGraph, max_vwgt: u64, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
         touched.clear();
         xadj.push(adjncy.len());
     }
-    (WGraph { xadj, adjncy, adjwgt, vwgt }, map)
+    (
+        WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        },
+        map,
+    )
 }
 
 /// Greedy region growing: BFS from a random seed, always absorbing the
@@ -301,7 +319,8 @@ fn initial_bisection(
     for _ in 0..config.init_trials.max(1) {
         let mut side = vec![false; n];
         let mut weight = 0u64;
-        let mut heap: std::collections::BinaryHeap<(i64, u32)> = std::collections::BinaryHeap::new();
+        let mut heap: std::collections::BinaryHeap<(i64, u32)> =
+            std::collections::BinaryHeap::new();
         while weight < target {
             let v = match heap.pop() {
                 Some((_, v)) if !side[v as usize] => v as usize,
@@ -329,7 +348,13 @@ fn initial_bisection(
                 if !side[u] {
                     let gain: i64 = wg
                         .neighbors(u)
-                        .map(|(x, w)| if side[x as usize] { w as i64 } else { -(w as i64) })
+                        .map(|(x, w)| {
+                            if side[x as usize] {
+                                w as i64
+                            } else {
+                                -(w as i64)
+                            }
+                        })
                         .sum();
                     heap.push((gain, u as u32));
                 }
@@ -363,8 +388,10 @@ fn refine(wg: &WGraph, side: &mut [bool], target_left: u64, config: &MultilevelC
     let total = wg.total_weight();
     let smaller_side = target_left.min(total - target_left).max(1);
     let tol = ((smaller_side as f64 * config.balance_tolerance) as u64).max(1);
-    let mut left_weight: u64 =
-        (0..wg.nodes()).filter(|&v| side[v]).map(|v| wg.vwgt[v]).sum();
+    let mut left_weight: u64 = (0..wg.nodes())
+        .filter(|&v| side[v])
+        .map(|v| wg.vwgt[v])
+        .sum();
     let min_left = target_left.saturating_sub(tol);
     let max_left = (target_left + tol).min(total);
 
@@ -441,7 +468,7 @@ fn refine(wg: &WGraph, side: &mut [bool], target_left: u64, config: &MultilevelC
                 continue;
             }
             let new_left = if side[v] {
-                left_weight.checked_sub(wg.vwgt[v]).unwrap_or(0)
+                left_weight.saturating_sub(wg.vwgt[v])
             } else {
                 left_weight + wg.vwgt[v]
             };
@@ -460,11 +487,7 @@ fn refine(wg: &WGraph, side: &mut [bool], target_left: u64, config: &MultilevelC
 
 /// Splits a weighted graph into the two side-induced subgraphs, dropping
 /// cut edges, and maps local node IDs back to the caller's globals.
-fn split(
-    wg: &WGraph,
-    globals: &[u32],
-    side: &[bool],
-) -> (WGraph, Vec<u32>, WGraph, Vec<u32>) {
+fn split(wg: &WGraph, globals: &[u32], side: &[bool]) -> (WGraph, Vec<u32>, WGraph, Vec<u32>) {
     let n = wg.nodes();
     let mut local = vec![0u32; n];
     let mut left_globals = Vec::new();
@@ -496,7 +519,12 @@ fn split(
             xadj.push(adjncy.len());
             vwgt.push(wg.vwgt[v]);
         }
-        WGraph { xadj, adjncy, adjwgt, vwgt }
+        WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
     };
     (build(true), left_globals, build(false), right_globals)
 }

@@ -31,7 +31,10 @@ impl Partitioning {
 
     /// The trivial single-part partitioning (used by "GROW w/o G.P.").
     pub fn single(nodes: usize) -> Self {
-        Partitioning { assignment: vec![0; nodes], parts: 1 }
+        Partitioning {
+            assignment: vec![0; nodes],
+            parts: 1,
+        }
     }
 
     /// Number of parts.

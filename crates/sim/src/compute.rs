@@ -32,7 +32,12 @@ impl MacArray {
     /// Panics if `lanes == 0`.
     pub fn new(lanes: usize) -> Self {
         assert!(lanes > 0, "at least one MAC lane required");
-        MacArray { lanes, busy_until: 0, busy_cycles: 0, mac_ops: 0 }
+        MacArray {
+            lanes,
+            busy_until: 0,
+            busy_cycles: 0,
+            mac_ops: 0,
+        }
     }
 
     /// Number of MAC lanes.

@@ -36,7 +36,10 @@ impl DramConfig {
     /// assert_eq!(cfg.bytes_per_cycle, 64.0);
     /// ```
     pub fn with_bandwidth_gbps(gbps: f64) -> Self {
-        DramConfig { bytes_per_cycle: gbps, ..Self::default() }
+        DramConfig {
+            bytes_per_cycle: gbps,
+            ..Self::default()
+        }
     }
 }
 
@@ -231,8 +234,15 @@ impl Dram {
     /// Panics if the config has non-positive bandwidth or zero granularity.
     pub fn new(config: DramConfig) -> Self {
         assert!(config.bytes_per_cycle > 0.0, "bandwidth must be positive");
-        assert!(config.access_granularity > 0, "granularity must be positive");
-        Dram { config, channel_free: 0.0, stats: TrafficStats::new() }
+        assert!(
+            config.access_granularity > 0,
+            "granularity must be positive"
+        );
+        Dram {
+            config,
+            channel_free: 0.0,
+            stats: TrafficStats::new(),
+        }
     }
 
     /// The channel configuration.
@@ -243,8 +253,8 @@ impl Dram {
     /// Issues a random-access read of `useful_bytes`; the transfer is
     /// rounded up to the access granularity. Returns the completion cycle.
     pub fn read(&mut self, now: Cycle, useful_bytes: u64, class: TrafficClass) -> Cycle {
-        let fetched = useful_bytes.div_ceil(self.config.access_granularity)
-            * self.config.access_granularity;
+        let fetched =
+            useful_bytes.div_ceil(self.config.access_granularity) * self.config.access_granularity;
         self.transfer_random(now, useful_bytes, fetched, class, true)
     }
 
@@ -286,9 +296,10 @@ impl Dram {
         if count == 0 {
             return now;
         }
-        let fetched_each = useful_each.div_ceil(self.config.access_granularity)
-            * self.config.access_granularity;
-        self.stats.record_n(class, useful_each * count, fetched_each * count, count);
+        let fetched_each =
+            useful_each.div_ceil(self.config.access_granularity) * self.config.access_granularity;
+        self.stats
+            .record_n(class, useful_each * count, fetched_each * count, count);
         let start = self.channel_free.max(now as f64);
         let end = start
             + (fetched_each * count) as f64 / self.config.bytes_per_cycle
@@ -312,8 +323,8 @@ impl Dram {
     /// Issues a (posted) write; returns the cycle at which the channel has
     /// accepted the data. Writes are granularity-rounded like reads.
     pub fn write(&mut self, now: Cycle, useful_bytes: u64, class: TrafficClass) -> Cycle {
-        let fetched = useful_bytes.div_ceil(self.config.access_granularity)
-            * self.config.access_granularity;
+        let fetched =
+            useful_bytes.div_ceil(self.config.access_granularity) * self.config.access_granularity;
         self.transfer(now, useful_bytes, fetched, class, false, 0)
     }
 
@@ -325,7 +336,14 @@ impl Dram {
         class: TrafficClass,
         is_read: bool,
     ) -> Cycle {
-        self.transfer(now, useful, fetched, class, is_read, self.config.request_overhead_cycles)
+        self.transfer(
+            now,
+            useful,
+            fetched,
+            class,
+            is_read,
+            self.config.request_overhead_cycles,
+        )
     }
 
     fn transfer(
@@ -341,7 +359,11 @@ impl Dram {
         let start = self.channel_free.max(now as f64);
         let end = start + fetched as f64 / self.config.bytes_per_cycle + overhead as f64;
         self.channel_free = end;
-        let completion = if is_read { end + self.config.latency_cycles as f64 } else { end };
+        let completion = if is_read {
+            end + self.config.latency_cycles as f64
+        } else {
+            end
+        };
         completion.ceil() as Cycle
     }
 
@@ -378,7 +400,12 @@ mod tests {
     #[test]
     fn fifo_serializes_transfers() {
         // 128 B/cycle: two 128-byte reads take 1 cycle each on the channel.
-        let cfg = DramConfig { bytes_per_cycle: 128.0, latency_cycles: 10, access_granularity: 64, request_overhead_cycles: 0 };
+        let cfg = DramConfig {
+            bytes_per_cycle: 128.0,
+            latency_cycles: 10,
+            access_granularity: 64,
+            request_overhead_cycles: 0,
+        };
         let mut d = Dram::new(cfg);
         let c1 = d.read(0, 128, TrafficClass::RhsRows);
         let c2 = d.read(0, 128, TrafficClass::RhsRows);
@@ -388,7 +415,12 @@ mod tests {
 
     #[test]
     fn idle_channel_starts_at_now() {
-        let cfg = DramConfig { bytes_per_cycle: 64.0, latency_cycles: 5, access_granularity: 64, request_overhead_cycles: 0 };
+        let cfg = DramConfig {
+            bytes_per_cycle: 64.0,
+            latency_cycles: 5,
+            access_granularity: 64,
+            request_overhead_cycles: 0,
+        };
         let mut d = Dram::new(cfg);
         let c = d.read(100, 64, TrafficClass::LhsSparse);
         assert_eq!(c, 106);
@@ -408,7 +440,12 @@ mod tests {
 
     #[test]
     fn writes_do_not_pay_latency() {
-        let cfg = DramConfig { bytes_per_cycle: 64.0, latency_cycles: 100, access_granularity: 64, request_overhead_cycles: 0 };
+        let cfg = DramConfig {
+            bytes_per_cycle: 64.0,
+            latency_cycles: 100,
+            access_granularity: 64,
+            request_overhead_cycles: 0,
+        };
         let mut d = Dram::new(cfg);
         let c = d.write(0, 64, TrafficClass::Output);
         assert_eq!(c, 1);
@@ -417,7 +454,12 @@ mod tests {
     #[test]
     fn bandwidth_sweep_scales_transfer_time() {
         for (bw, expect) in [(16.0, 4), (64.0, 1)] {
-            let cfg = DramConfig { bytes_per_cycle: bw, latency_cycles: 0, access_granularity: 64, request_overhead_cycles: 0 };
+            let cfg = DramConfig {
+                bytes_per_cycle: bw,
+                latency_cycles: 0,
+                access_granularity: 64,
+                request_overhead_cycles: 0,
+            };
             let mut d = Dram::new(cfg);
             let c = d.read(0, 64, TrafficClass::RhsRows);
             assert_eq!(c, expect, "bw {bw}");
@@ -439,7 +481,12 @@ mod tests {
 
     #[test]
     fn read_many_matches_loop_of_reads() {
-        let cfg = DramConfig { bytes_per_cycle: 64.0, latency_cycles: 10, access_granularity: 64, request_overhead_cycles: 0 };
+        let cfg = DramConfig {
+            bytes_per_cycle: 64.0,
+            latency_cycles: 10,
+            access_granularity: 64,
+            request_overhead_cycles: 0,
+        };
         let mut bulk = Dram::new(cfg);
         let done_bulk = bulk.read_many(0, 5, 100, TrafficClass::RhsPreload);
         let mut looped = Dram::new(cfg);

@@ -18,7 +18,9 @@
 //!   of Section VIII;
 //! * [`RunaheadTables`] — the LDN table + LHS-ID table (MSHR-like)
 //!   microarchitecture enabling multi-row-stationary runahead execution
-//!   (Section V-D, Figures 15/16).
+//!   (Section V-D, Figures 15/16);
+//! * [`exec`] — the deterministic parallel execution harness the engines
+//!   use to fan independent per-cluster simulations across threads.
 //!
 //! # Example
 //!
@@ -42,9 +44,12 @@ mod compute;
 mod dram;
 mod runahead;
 
+pub mod exec;
+
 pub use cache::{CacheStats, LruRowCache, PinnedRowCache};
 pub use compute::MacArray;
 pub use dram::{Dram, DramConfig, TrafficClass, TrafficStats};
+pub use exec::{parallel_map, ExecMode};
 pub use runahead::{IssueOutcome, RunaheadTables, Waiter};
 
 /// Simulation time, in accelerator clock cycles (1 GHz per Section VI).

@@ -70,7 +70,10 @@ impl RunaheadTables {
     ///
     /// Panics if either capacity is zero.
     pub fn new(ldn_capacity: usize, lhs_capacity: usize) -> Self {
-        assert!(ldn_capacity > 0 && lhs_capacity > 0, "table capacities must be positive");
+        assert!(
+            ldn_capacity > 0 && lhs_capacity > 0,
+            "table capacities must be positive"
+        );
         RunaheadTables {
             ldn_capacity,
             lhs_capacity,
@@ -126,7 +129,13 @@ impl RunaheadTables {
         if self.in_flight.len() >= self.ldn_capacity {
             return IssueOutcome::LdnFull;
         }
-        self.in_flight.insert(rhs_row, Entry { complete_at: None, waiters: vec![waiter] });
+        self.in_flight.insert(
+            rhs_row,
+            Entry {
+                complete_at: None,
+                waiters: vec![waiter],
+            },
+        );
         self.lhs_used += 1;
         self.peak_ldn = self.peak_ldn.max(self.in_flight.len());
         self.peak_lhs = self.peak_lhs.max(self.lhs_used);
@@ -140,10 +149,14 @@ impl RunaheadTables {
     /// Panics if `rhs_row` has no allocated entry or already has a
     /// completion time.
     pub fn set_completion(&mut self, rhs_row: u32, complete_at: Cycle) {
-        let entry = self.in_flight.get_mut(&rhs_row).expect("entry must be allocated");
+        let entry = self
+            .in_flight
+            .get_mut(&rhs_row)
+            .expect("entry must be allocated");
         assert!(entry.complete_at.is_none(), "completion already set");
         entry.complete_at = Some(complete_at);
-        self.completions.push(std::cmp::Reverse((complete_at, rhs_row)));
+        self.completions
+            .push(std::cmp::Reverse((complete_at, rhs_row)));
     }
 
     /// Removes and returns the in-flight row with the earliest completion:
@@ -162,7 +175,10 @@ mod tests {
     use super::*;
 
     fn w(row: u32) -> Waiter {
-        Waiter { output_row: row, lhs_value: 1.0 }
+        Waiter {
+            output_row: row,
+            lhs_value: 1.0,
+        }
     }
 
     #[test]

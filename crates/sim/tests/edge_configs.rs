@@ -45,7 +45,10 @@ fn request_overhead_dominates_tiny_requests() {
         access_granularity: 64,
         request_overhead_cycles: 0,
     };
-    let with_overhead = DramConfig { request_overhead_cycles: 20, ..base };
+    let with_overhead = DramConfig {
+        request_overhead_cycles: 20,
+        ..base
+    };
     let mut fast = Dram::new(base);
     let mut slow = Dram::new(with_overhead);
     for _ in 0..100 {
@@ -112,7 +115,10 @@ fn lru_capacity_one_behaves() {
 #[test]
 fn runahead_tables_minimum_capacity() {
     let mut t = RunaheadTables::new(1, 1);
-    let w = Waiter { output_row: 0, lhs_value: 1.0 };
+    let w = Waiter {
+        output_row: 0,
+        lhs_value: 1.0,
+    };
     assert_eq!(t.issue(9, w), IssueOutcome::Allocated);
     t.set_completion(9, 5);
     // Both tables full now.
@@ -129,7 +135,10 @@ fn huge_request_counts_do_not_overflow_cycle_math() {
     let done = d.read_many(0, 50_000_000, 512, TrafficClass::RhsRows);
     assert!(done > 0);
     assert_eq!(d.stats().requests(TrafficClass::RhsRows), 50_000_000);
-    assert_eq!(d.stats().fetched_bytes(TrafficClass::RhsRows), 50_000_000 * 512);
+    assert_eq!(
+        d.stats().fetched_bytes(TrafficClass::RhsRows),
+        50_000_000 * 512
+    );
 }
 
 #[test]

@@ -135,16 +135,25 @@ pub fn tile_nnz_histogram(
     tile_cols: usize,
     bounds: &[usize],
 ) -> TileHistogram {
-    assert!(tile_rows > 0 && tile_cols > 0, "tile dimensions must be positive");
+    assert!(
+        tile_rows > 0 && tile_cols > 0,
+        "tile dimensions must be positive"
+    );
     assert!(!bounds.is_empty(), "at least one bucket bound is required");
-    assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "bounds must be strictly increasing"
+    );
 
     let mut counts = vec![0u64; bounds.len() + 1];
     let mut nonempty = 0u64;
     let n_col_tiles = view.cols().div_ceil(tile_cols);
 
     let bucket_of = |nnz: usize, counts: &mut [u64]| {
-        let idx = bounds.iter().position(|&b| nnz <= b).unwrap_or(bounds.len());
+        let idx = bounds
+            .iter()
+            .position(|&b| nnz <= b)
+            .unwrap_or(bounds.len());
         counts[idx] += 1;
     };
 
@@ -158,7 +167,11 @@ pub fn tile_nnz_histogram(
                 nonempty += 1;
             }
         }
-        return TileHistogram { bounds: bounds.to_vec(), counts, nonempty_tiles: nonempty };
+        return TileHistogram {
+            bounds: bounds.to_vec(),
+            counts,
+            nonempty_tiles: nonempty,
+        };
     }
 
     let mut strip = vec![0u32; n_col_tiles];
@@ -179,7 +192,11 @@ pub fn tile_nnz_histogram(
         }
         row = strip_end;
     }
-    TileHistogram { bounds: bounds.to_vec(), counts, nonempty_tiles: nonempty }
+    TileHistogram {
+        bounds: bounds.to_vec(),
+        counts,
+        nonempty_tiles: nonempty,
+    }
 }
 
 /// The Figure 5(a) bucket bounds for the aggregation matrix `A`.
@@ -218,7 +235,10 @@ mod tests {
     fn mac_ratio_grows_with_dense_x_and_sparse_a() {
         // Sparse A (diag) with wide dense X: (A*X)*W must cost much more.
         let a = diag_pattern(50);
-        let x = RowMajorSparse::Dense { rows: 50, cols: 200 };
+        let x = RowMajorSparse::Dense {
+            rows: 50,
+            cols: 200,
+        };
         let m = gcn_mac_counts(&a, &x, 8);
         assert!(m.ratio() > 1.0, "ratio = {}", m.ratio());
     }
@@ -254,7 +274,11 @@ mod tests {
 
     #[test]
     fn bucket_labels_match_paper_style() {
-        let h = TileHistogram { bounds: vec![1, 2, 8, 16], counts: vec![0; 5], nonempty_tiles: 0 };
+        let h = TileHistogram {
+            bounds: vec![1, 2, 8, 16],
+            counts: vec![0; 5],
+            nonempty_tiles: 0,
+        };
         assert_eq!(h.bucket_label(0), "1");
         assert_eq!(h.bucket_label(1), "2");
         assert_eq!(h.bucket_label(2), "3~8");

@@ -36,7 +36,11 @@ impl CooMatrix {
     /// `u32` to halve the memory footprint of large graph datasets).
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
-        CooMatrix { rows, cols, entries: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty COO matrix with pre-allocated capacity for `cap` entries.
@@ -82,7 +86,9 @@ impl CooMatrix {
 
     /// Iterates over the stored `(row, col, value)` triplets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Converts to CSR, sorting entries and summing duplicates.

@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn column_access_matches_dense() {
         let csc = sample().to_csc();
-        assert_eq!(csc.col_entries(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(
+            csc.col_entries(0).collect::<Vec<_>>(),
+            vec![(0, 1.0), (2, 2.0)]
+        );
         assert_eq!(csc.col_entries(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
         assert_eq!(csc.col_nnz(0), 2);
     }

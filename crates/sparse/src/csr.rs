@@ -75,12 +75,22 @@ impl CsrPattern {
                 }
             }
         }
-        Ok(CsrPattern { rows, cols, indptr, indices })
+        Ok(CsrPattern {
+            rows,
+            cols,
+            indptr,
+            indices,
+        })
     }
 
     /// Creates an empty pattern with no non-zeros.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        CsrPattern { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new() }
+        CsrPattern {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+        }
     }
 
     /// Creates the pattern of a fully dense `rows x cols` matrix.
@@ -94,7 +104,12 @@ impl CsrPattern {
         for _ in 0..rows {
             indices.extend(0..cols as u32);
         }
-        CsrPattern { rows, cols, indptr, indices }
+        CsrPattern {
+            rows,
+            cols,
+            indptr,
+            indices,
+        }
     }
 
     /// Number of rows.
@@ -170,7 +185,12 @@ impl CsrPattern {
                 next[c as usize] += 1;
             }
         }
-        CsrPattern { rows: self.cols, cols: self.rows, indptr: counts, indices }
+        CsrPattern {
+            rows: self.cols,
+            cols: self.rows,
+            indptr: counts,
+            indices,
+        }
     }
 
     /// Pairs the pattern with a value array.
@@ -186,13 +206,19 @@ impl CsrPattern {
                 self.nnz()
             )));
         }
-        Ok(CsrMatrix { pattern: self, values })
+        Ok(CsrMatrix {
+            pattern: self,
+            values,
+        })
     }
 
     /// Pairs the pattern with all-ones values (an unweighted adjacency matrix).
     pub fn with_unit_values(self) -> CsrMatrix {
         let values = vec![1.0; self.nnz()];
-        CsrMatrix { pattern: self, values }
+        CsrMatrix {
+            pattern: self,
+            values,
+        }
     }
 }
 
@@ -249,7 +275,10 @@ impl CsrMatrix {
 
     /// Creates an empty matrix with no non-zeros.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        CsrMatrix { pattern: CsrPattern::empty(rows, cols), values: Vec::new() }
+        CsrMatrix {
+            pattern: CsrPattern::empty(rows, cols),
+            values: Vec::new(),
+        }
     }
 
     /// Creates a CSR matrix from a dense matrix, dropping exact zeros.
@@ -268,7 +297,12 @@ impl CsrMatrix {
             indptr.push(indices.len());
         }
         CsrMatrix {
-            pattern: CsrPattern { rows: dense.rows(), cols: dense.cols(), indptr, indices },
+            pattern: CsrPattern {
+                rows: dense.rows(),
+                cols: dense.cols(),
+                indptr,
+                indices,
+            },
             values,
         }
     }
@@ -332,7 +366,10 @@ impl CsrMatrix {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.row_indices(row).iter().copied().zip(self.row_values(row).iter().copied())
+        self.row_indices(row)
+            .iter()
+            .copied()
+            .zip(self.row_values(row).iter().copied())
     }
 
     /// The concatenated value array.
@@ -407,8 +444,16 @@ impl CsrMatrix {
     /// Panics if the matrix is not square, `perm.len() != rows`, or `perm` is
     /// not a permutation.
     pub fn permute_symmetric(&self, perm: &[u32]) -> CsrMatrix {
-        assert_eq!(self.rows(), self.cols(), "symmetric permutation needs a square matrix");
-        assert_eq!(perm.len(), self.rows(), "permutation length must equal matrix order");
+        assert_eq!(
+            self.rows(),
+            self.cols(),
+            "symmetric permutation needs a square matrix"
+        );
+        assert_eq!(
+            perm.len(),
+            self.rows(),
+            "permutation length must equal matrix order"
+        );
         let n = self.rows();
         let mut seen = vec![false; n];
         for &p in perm {
@@ -424,11 +469,10 @@ impl CsrMatrix {
         let mut values = Vec::with_capacity(self.nnz());
         indptr.push(0usize);
         let mut scratch: Vec<(u32, f64)> = Vec::new();
-        for new_r in 0..n {
-            let old_r = inv[new_r] as usize;
+        for &old in inv.iter().take(n) {
+            let old_r = old as usize;
             scratch.clear();
-            scratch
-                .extend(self.row_entries(old_r).map(|(c, v)| (perm[c as usize], v)));
+            scratch.extend(self.row_entries(old_r).map(|(c, v)| (perm[c as usize], v)));
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
                 indices.push(c);
@@ -437,7 +481,12 @@ impl CsrMatrix {
             indptr.push(indices.len());
         }
         CsrMatrix {
-            pattern: CsrPattern { rows: n, cols: n, indptr, indices },
+            pattern: CsrPattern {
+                rows: n,
+                cols: n,
+                indptr,
+                indices,
+            },
             values,
         }
     }
@@ -518,7 +567,10 @@ mod tests {
     fn transpose_moves_entries() {
         let t = sample().transpose();
         assert_eq!(t.shape(), (3, 2));
-        assert_eq!(t.row_entries(2).collect::<Vec<_>>(), vec![(0, 2.0), (1, 3.0)]);
+        assert_eq!(
+            t.row_entries(2).collect::<Vec<_>>(),
+            vec![(0, 2.0), (1, 3.0)]
+        );
     }
 
     #[test]

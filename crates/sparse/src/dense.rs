@@ -26,7 +26,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -92,7 +96,10 @@ impl DenseMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -102,7 +109,10 @@ impl DenseMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -180,8 +190,12 @@ impl fmt::Display for DenseMatrix {
         writeln!(f, "DenseMatrix {}x{}", self.rows, self.cols)?;
         let show_rows = self.rows.min(8);
         for r in 0..show_rows {
-            let cells: Vec<String> =
-                self.row(r).iter().take(8).map(|v| format!("{v:8.3}")).collect();
+            let cells: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:8.3}"))
+                .collect();
             let ellipsis = if self.cols > 8 { " ..." } else { "" };
             writeln!(f, "  [{}{}]", cells.join(", "), ellipsis)?;
         }

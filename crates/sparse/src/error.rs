@@ -44,7 +44,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is out of bounds for a {rows}x{cols} matrix"
             ),
@@ -68,7 +73,11 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let err = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "spmm" };
+        let err = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "spmm",
+        };
         let text = err.to_string();
         assert!(text.contains("spmm"));
         assert!(text.contains("2x3"));

@@ -25,7 +25,11 @@ use crate::{CsrMatrix, DenseMatrix, SparseError};
 /// ```
 pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
     if a.cols() != b.rows() {
-        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape(), op: "gemm" });
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "gemm",
+        });
     }
     let mut c = DenseMatrix::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
@@ -58,7 +62,11 @@ pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix, SparseError
 /// Returns [`SparseError::ShapeMismatch`] if `a.cols() != b.rows()`.
 pub fn spmm(a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
     if a.cols() != b.rows() {
-        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape(), op: "spmm" });
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "spmm",
+        });
     }
     let mut c = DenseMatrix::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
@@ -165,7 +173,10 @@ mod tests {
     fn gemm_rejects_shape_mismatch() {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(2, 3);
-        assert!(matches!(gemm(&a, &b), Err(SparseError::ShapeMismatch { .. })));
+        assert!(matches!(
+            gemm(&a, &b),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -15,8 +15,10 @@ fn main() {
     let workload = DatasetKey::Flickr.spec().scaled_to(20_000).instantiate(11);
     let prepared = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
     let engine = GrowEngine::default();
-    let base_area =
-        AreaModel::default().grow_default_65nm().scaled(TECH_SCALE_65_TO_40).total();
+    let base_area = AreaModel::default()
+        .grow_default_65nm()
+        .scaled(TECH_SCALE_65_TO_40)
+        .total();
 
     println!("workload: {}", workload.graph);
     println!(
@@ -26,8 +28,14 @@ fn main() {
 
     let variants: [(&str, AggregationKind); 5] = [
         ("GCN sum (paper default)", AggregationKind::GcnSum),
-        ("SAGE mean (sample 25)", AggregationKind::SageMean { sample: Some(25) }),
-        ("SAGE pool (sample 25)", AggregationKind::SagePool { sample: Some(25) }),
+        (
+            "SAGE mean (sample 25)",
+            AggregationKind::SageMean { sample: Some(25) },
+        ),
+        (
+            "SAGE pool (sample 25)",
+            AggregationKind::SagePool { sample: Some(25) },
+        ),
         ("GIN (2-layer MLP)", AggregationKind::Gin),
         ("GAT (attention)", AggregationKind::Gat),
     ];

@@ -10,15 +10,15 @@
 //! cargo run --release --example design_space
 //! ```
 
-use grow::accel::{prepare, Accelerator, GrowConfig, GrowEngine, PartitionStrategy};
+use grow::accel::PartitionStrategy;
 use grow::energy::{AreaModel, TECH_SCALE_65_TO_40};
 use grow::model::DatasetKey;
+use grow::session::SimSession;
 
 fn main() {
     let spec = DatasetKey::Flickr.spec().scaled_to(20_000);
-    let workload = spec.instantiate(5);
-    let prepared = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
-    println!("workload: {}", workload.graph);
+    let mut session = SimSession::from_spec(spec, 5);
+    println!("workload: {}", session.workload().graph);
     println!(
         "\n{:>10} {:>9} {:>12} {:>12} {:>10} {:>9}",
         "cache", "runahead", "cycles", "DRAM MiB", "hit rate", "mm2@40nm"
@@ -28,13 +28,17 @@ fn main() {
     let mut best: Option<(f64, String)> = None;
     for cache_kb in [64u64, 128, 256, 512, 1024] {
         for runahead in [1usize, 4, 16] {
-            let config = GrowConfig {
-                hdn_cache_bytes: cache_kb * 1024,
-                runahead,
-                ldn_entries: runahead.max(1),
-                ..GrowConfig::default()
-            };
-            let report = GrowEngine::new(config).run(&prepared);
+            // Plain key-value overrides — the same strings a CLI flag or a
+            // config file would carry.
+            let (cache, ra) = (cache_kb.to_string(), runahead.to_string());
+            let overrides: [(&str, &str); 3] = [
+                ("hdn_cache_kb", &cache),
+                ("runahead", &ra),
+                ("ldn_entries", &ra),
+            ];
+            let report = session
+                .run_with("grow", &overrides, PartitionStrategy::multilevel_default())
+                .expect("valid overrides");
             let area = area_model
                 .grow_65nm(16, 12.0, 4096, cache_kb as f64, 2.0)
                 .scaled(TECH_SCALE_65_TO_40)

@@ -5,28 +5,33 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use grow::accel::{prepare, Accelerator, GcnaxEngine, GrowEngine, PartitionStrategy};
+use grow::accel::PartitionStrategy;
 use grow::model::DatasetKey;
+use grow::session::SimSession;
 
 fn main() {
     // 1. Instantiate a Cora-like dataset (Table I row 1) at full scale:
     //    2,708 nodes, power-law degrees, 1433-16-7 feature dimensions.
-    let workload = DatasetKey::Cora.spec().instantiate(42);
-    println!("workload: {}", workload.graph);
+    //    The session owns the workload and memoizes its prepared forms.
+    let mut session = SimSession::from_spec(DatasetKey::Cora.spec(), 42);
+    println!("workload: {}", session.workload().graph);
 
     // 2. Software preprocessing (Section V-C): graph partitioning,
     //    cluster-sorted relabeling, per-cluster HDN ID lists.
-    let base = prepare(&workload, PartitionStrategy::None, 4096);
-    let partitioned = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
+    let partitioned = session.prepared(PartitionStrategy::multilevel_default());
     println!(
         "partitioned into {} clusters (intra-cluster edge fraction {:.1}%)",
         partitioned.clusters.len(),
         100.0 * partitioned.intra_edge_fraction
     );
 
-    // 3. Simulate GROW and the GCNAX baseline.
-    let grow = GrowEngine::default().run(&partitioned);
-    let gcnax = GcnaxEngine::default().run(&base);
+    // 3. Simulate GROW and the GCNAX baseline, dispatched by name.
+    let grow = session
+        .run("grow", PartitionStrategy::multilevel_default())
+        .expect("registered engine");
+    let gcnax = session
+        .run("gcnax", PartitionStrategy::None)
+        .expect("registered engine");
     println!("\n{grow}");
     println!("{gcnax}");
 

@@ -20,6 +20,13 @@
 //! | [`model`] | `grow-model` | Table I dataset registry, feature synthesis, functional GCN |
 //! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, experiments |
 //!
+//! plus [`session`], the recommended entry point: a [`SimSession`]
+//! (`session::SimSession`) instantiates a workload once, memoizes its
+//! prepared forms, and dispatches any registered engine by name
+//! (`session.run("grow", ..)`) with optional key-value configuration
+//! overrides. Engines simulate graph clusters in parallel across threads
+//! (deterministically — set `GROW_SERIAL=1` to force the serial path).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -42,6 +49,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod session;
 
 pub use grow_core as accel;
 pub use grow_energy as energy;

@@ -48,7 +48,13 @@ fn traffic_ordering_matches_paper() {
     spec.avg_degree = 4.0;
     let w = spec.instantiate(2024);
     let base = prepare(&w, PartitionStrategy::None, 4096);
-    let partitioned = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 1000 }, 4096);
+    let partitioned = prepare(
+        &w,
+        PartitionStrategy::Multilevel {
+            cluster_nodes: 1000,
+        },
+        4096,
+    );
     let grow = GrowEngine::default().run(&partitioned).dram_bytes();
     let gcnax = GcnaxEngine::default().run(&base).dram_bytes();
     let gamma = GammaEngine::default().run(&base).dram_bytes();
@@ -66,7 +72,13 @@ fn speedup_ordering_matches_paper() {
     spec.avg_degree = 4.0;
     let w = spec.instantiate(2024);
     let base = prepare(&w, PartitionStrategy::None, 4096);
-    let partitioned = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 1000 }, 4096);
+    let partitioned = prepare(
+        &w,
+        PartitionStrategy::Multilevel {
+            cluster_nodes: 1000,
+        },
+        4096,
+    );
     let grow = GrowEngine::default().run(&partitioned).total_cycles();
     let gcnax = GcnaxEngine::default().run(&base).total_cycles();
     let matraptor = MatRaptorEngine::default().run(&base).total_cycles();
@@ -80,7 +92,10 @@ fn useful_bytes_never_exceed_fetched() {
     // bytes, never remove them.
     let w = workload(900);
     let base = prepare(&w, PartitionStrategy::None, 4096);
-    for engine in [&GrowEngine::default() as &dyn Accelerator, &GcnaxEngine::default()] {
+    for engine in [
+        &GrowEngine::default() as &dyn Accelerator,
+        &GcnaxEngine::default(),
+    ] {
         let t = engine.run(&base).total_traffic();
         for class in TrafficClass::ALL {
             assert!(
@@ -108,12 +123,23 @@ fn partitioning_never_hurts_hit_rate_much_and_usually_helps() {
     let base = prepare(&w, PartitionStrategy::None, 4096);
     // Cluster size must be below the graph size for partitioning to exist
     // (the default 4096-node clusters would leave this graph whole).
-    let partitioned = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 500 }, 4096);
+    let partitioned = prepare(
+        &w,
+        PartitionStrategy::Multilevel { cluster_nodes: 500 },
+        4096,
+    );
     // Force a small cache so the global top-N cannot cover the graph.
-    let cfg = GrowConfig { hdn_cache_bytes: 16 * 1024, ..GrowConfig::default() };
+    let cfg = GrowConfig {
+        hdn_cache_bytes: 16 * 1024,
+        ..GrowConfig::default()
+    };
     let engine = GrowEngine::new(cfg);
     let without = engine.run(&base).aggregation_cache().hit_rate().unwrap();
-    let with = engine.run(&partitioned).aggregation_cache().hit_rate().unwrap();
+    let with = engine
+        .run(&partitioned)
+        .aggregation_cache()
+        .hit_rate()
+        .unwrap();
     assert!(
         with > without,
         "partitioning should raise the constrained-cache hit rate: {without} -> {with}"
@@ -123,7 +149,11 @@ fn partitioning_never_hurts_hit_rate_much_and_usually_helps() {
 #[test]
 fn label_propagation_strategy_also_works() {
     let w = workload(1500);
-    let lp = prepare(&w, PartitionStrategy::LabelPropagation { cluster_nodes: 300 }, 4096);
+    let lp = prepare(
+        &w,
+        PartitionStrategy::LabelPropagation { cluster_nodes: 300 },
+        4096,
+    );
     assert!(lp.clusters.len() >= 2);
     let r = GrowEngine::default().run(&lp);
     assert!(r.total_cycles() > 0);

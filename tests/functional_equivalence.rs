@@ -30,9 +30,7 @@ fn timing_model_mac_count_matches_analysis() {
     let expected: u64 = prepared
         .layers
         .iter()
-        .map(|l| {
-            analysis::gcn_mac_counts(&prepared.adjacency, &l.x.view(), l.f_out).a_xw
-        })
+        .map(|l| analysis::gcn_mac_counts(&prepared.adjacency, &l.x.view(), l.f_out).a_xw)
         .sum();
     assert_eq!(report.mac_ops(), expected);
 }
@@ -65,7 +63,10 @@ fn normalized_adjacency_keeps_feature_scale() {
         after_20 <= after_10 * 1.01,
         "aggregation kept growing: {after_10} -> {after_20}"
     );
-    assert!(x.as_slice().iter().all(|&v| v >= 0.0), "values stay non-negative");
+    assert!(
+        x.as_slice().iter().all(|&v| v >= 0.0),
+        "values stay non-negative"
+    );
 }
 
 #[test]

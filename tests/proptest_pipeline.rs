@@ -1,93 +1,138 @@
-//! Property-based tests over the full pipeline: random community graphs
-//! through preparation and both primary engines, checking conservation
-//! invariants that must hold for *any* input.
+//! Randomized-input tests over the full pipeline: seeded random community
+//! graphs through preparation and both primary engines, checking
+//! conservation invariants that must hold for *any* input.
+//!
+//! (Formerly proptest-based; the offline build has no crates.io access, so
+//! cases are drawn from the workspace's own seeded PRNG instead — same
+//! properties, deterministic case set.)
 
-use grow::accel::{
-    prepare, Accelerator, GcnaxEngine, GrowConfig, GrowEngine, PartitionStrategy,
-};
+use grow::accel::{prepare, Accelerator, GcnaxEngine, GrowConfig, GrowEngine, PartitionStrategy};
 use grow::graph::CommunityGraphSpec;
 use grow::model::{DatasetKey, GcnWorkload};
 use grow::sim::TrafficClass;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small random dataset spec (nodes, degree, densities, seed).
-fn arb_workload() -> impl Strategy<Value = GcnWorkload> {
-    (60usize..400, 2.0f64..12.0, 0.02f64..1.0, 0.3f64..1.0, 0u64..1000).prop_map(
-        |(nodes, degree, x0, x1, seed)| {
-            let mut spec = DatasetKey::Pubmed.spec().scaled_to(nodes);
-            spec.avg_degree = degree;
-            spec.x0_density = x0;
-            spec.x1_density = x1;
-            spec.instantiate(seed)
-        },
-    )
+/// One random small dataset spec (nodes, degree, densities, seed).
+fn random_workload(rng: &mut StdRng) -> GcnWorkload {
+    let nodes = rng.random_range(60usize..400);
+    let mut spec = DatasetKey::Pubmed.spec().scaled_to(nodes);
+    spec.avg_degree = rng.random_range(2.0f64..12.0);
+    spec.x0_density = rng.random_range(0.02f64..1.0);
+    spec.x1_density = rng.random_range(0.3f64..1.0);
+    spec.instantiate(rng.random_range(0u64..1000))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: usize = 16;
 
-    #[test]
-    fn mac_invariance_across_engines(w in arb_workload()) {
+#[test]
+fn mac_invariance_across_engines() {
+    let mut rng = StdRng::seed_from_u64(0x9a11);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
         let base = prepare(&w, PartitionStrategy::None, 4096);
         let grow = GrowEngine::default().run(&base);
         let gcnax = GcnaxEngine::default().run(&base);
-        prop_assert_eq!(grow.mac_ops(), gcnax.mac_ops());
+        assert_eq!(grow.mac_ops(), gcnax.mac_ops(), "case {case}");
     }
+}
 
-    #[test]
-    fn probe_conservation(w in arb_workload()) {
+#[test]
+fn probe_conservation() {
+    let mut rng = StdRng::seed_from_u64(0x9a12);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
         let base = prepare(&w, PartitionStrategy::None, 4096);
         let r = GrowEngine::default().run(&base);
         let c = r.aggregation_cache();
-        prop_assert_eq!(c.hits + c.misses, 2 * base.adjacency.nnz() as u64);
-    }
-
-    #[test]
-    fn traffic_conservation(w in arb_workload()) {
-        let base = prepare(&w, PartitionStrategy::None, 4096);
-        for report in [GrowEngine::default().run(&base), GcnaxEngine::default().run(&base)] {
-            let t = report.total_traffic();
-            for class in TrafficClass::ALL {
-                prop_assert!(t.useful_bytes(class) <= t.fetched_bytes(class));
-            }
-            prop_assert!(t.total_fetched() > 0);
-        }
-    }
-
-    #[test]
-    fn partitioning_preserves_work(w in arb_workload()) {
-        let base = prepare(&w, PartitionStrategy::None, 4096);
-        let parted = prepare(&w, PartitionStrategy::Multilevel { cluster_nodes: 64 }, 4096);
-        prop_assert_eq!(base.adjacency.nnz(), parted.adjacency.nnz());
-        let r0 = GrowEngine::default().run(&base);
-        let r1 = GrowEngine::default().run(&parted);
-        prop_assert_eq!(r0.mac_ops(), r1.mac_ops());
-        // Output traffic (useful) identical: same rows written.
-        prop_assert_eq!(
-            r0.total_traffic().useful_bytes(TrafficClass::Output),
-            r1.total_traffic().useful_bytes(TrafficClass::Output)
+        assert_eq!(
+            c.hits + c.misses,
+            2 * base.adjacency.nnz() as u64,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn smaller_cache_never_hits_more(w in arb_workload()) {
+#[test]
+fn traffic_conservation() {
+    let mut rng = StdRng::seed_from_u64(0x9a13);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        for report in [
+            GrowEngine::default().run(&base),
+            GcnaxEngine::default().run(&base),
+        ] {
+            let t = report.total_traffic();
+            for class in TrafficClass::ALL {
+                assert!(
+                    t.useful_bytes(class) <= t.fetched_bytes(class),
+                    "case {case} class {}",
+                    class.label()
+                );
+            }
+            assert!(t.total_fetched() > 0, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn partitioning_preserves_work() {
+    let mut rng = StdRng::seed_from_u64(0x9a14);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
+        let base = prepare(&w, PartitionStrategy::None, 4096);
+        let parted = prepare(
+            &w,
+            PartitionStrategy::Multilevel { cluster_nodes: 64 },
+            4096,
+        );
+        assert_eq!(base.adjacency.nnz(), parted.adjacency.nnz(), "case {case}");
+        let r0 = GrowEngine::default().run(&base);
+        let r1 = GrowEngine::default().run(&parted);
+        assert_eq!(r0.mac_ops(), r1.mac_ops(), "case {case}");
+        // Output traffic (useful) identical: same rows written.
+        assert_eq!(
+            r0.total_traffic().useful_bytes(TrafficClass::Output),
+            r1.total_traffic().useful_bytes(TrafficClass::Output),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn smaller_cache_never_hits_more() {
+    let mut rng = StdRng::seed_from_u64(0x9a15);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
         let base = prepare(&w, PartitionStrategy::None, 4096);
         let big = GrowEngine::new(GrowConfig {
-            hdn_cache_bytes: 256 * 1024, ..GrowConfig::default()
-        }).run(&base);
+            hdn_cache_bytes: 256 * 1024,
+            ..GrowConfig::default()
+        })
+        .run(&base);
         let small = GrowEngine::new(GrowConfig {
-            hdn_cache_bytes: 8 * 1024, ..GrowConfig::default()
-        }).run(&base);
+            hdn_cache_bytes: 8 * 1024,
+            ..GrowConfig::default()
+        })
+        .run(&base);
         let hb = big.aggregation_cache().hits;
         let hs = small.aggregation_cache().hits;
-        prop_assert!(hs <= hb, "small cache hits {hs} > big cache hits {hb}");
+        assert!(
+            hs <= hb,
+            "case {case}: small cache hits {hs} > big cache hits {hb}"
+        );
     }
+}
 
-    #[test]
-    fn cluster_layouts_partition_the_node_set(
-        (nodes, parts, seed) in (50usize..300, 2usize..12, 0u64..500)
-    ) {
-        use grow::partition::{multilevel_partition, ClusterLayout, MultilevelConfig};
+#[test]
+fn cluster_layouts_partition_the_node_set() {
+    use grow::partition::{multilevel_partition, ClusterLayout, MultilevelConfig};
+    let mut rng = StdRng::seed_from_u64(0x9a16);
+    for case in 0..CASES {
+        let nodes = rng.random_range(50usize..300);
+        let parts = rng.random_range(2usize..12);
+        let seed = rng.random_range(0u64..500);
         let g = CommunityGraphSpec {
             nodes,
             avg_degree: 6.0,
@@ -100,10 +145,10 @@ proptest! {
         let p = multilevel_partition(&g, parts, &MultilevelConfig::default());
         let layout = ClusterLayout::from_partitioning(&p);
         let covered: usize = layout.ranges().iter().map(|r| r.len()).sum();
-        prop_assert_eq!(covered, nodes);
+        assert_eq!(covered, nodes, "case {case}");
         let mut seen = vec![false; nodes];
         for &x in layout.permutation() {
-            prop_assert!(!seen[x as usize]);
+            assert!(!seen[x as usize], "case {case}: duplicate {x}");
             seen[x as usize] = true;
         }
     }
