@@ -10,10 +10,16 @@
 //!
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
 //! fig18 fig19 fig20 fig21 fig22 table4 fig24 fig25a fig25b fig26
-//! replacement nonpowerlaw preprocessing extensions engines`. Each prints
-//! an aligned table and writes `results/<id>.csv` plus a machine-readable
-//! `results/<id>.json`; a run summary with per-experiment wall-clock times
-//! lands in `results/BENCH_experiments.json` for cross-PR perf tracking.
+//! replacement nonpowerlaw preprocessing extensions engines sweep`. Each
+//! prints an aligned table and writes `results/<id>.csv` plus a
+//! machine-readable `results/<id>.json`; a run summary with per-experiment
+//! wall-clock times lands in `results/BENCH_experiments.json` for
+//! cross-PR perf tracking.
+//!
+//! The registry-driven experiments (`engines`, `sweep`) are defined as
+//! *data* — lists of `grow_serve::JobSpec`s dispatched through one
+//! `BatchService` call, which deduplicates workload preparation and fans
+//! the simulations across worker threads.
 
 use std::path::PathBuf;
 
@@ -24,6 +30,7 @@ use grow_energy::{ActivityCounts, AreaModel, EnergyModel, GCNAX_AREA_40NM, TECH_
 use grow_graph::stats;
 use grow_model::DatasetKey;
 use grow_partition::{multilevel_partition, ClusterLayout, MultilevelConfig};
+use grow_serve::BatchService;
 use grow_sparse::analysis::{self, FIG5A_BOUNDS, FIG5B_BOUNDS};
 use grow_sparse::RowMajorSparse;
 
@@ -97,6 +104,7 @@ fn main() {
         "preprocessing",
         "extensions",
         "engines",
+        "sweep",
     ];
     if ids.len() == 1 && ids[0] == "all" {
         ids = all_ids.iter().map(|s| s.to_string()).collect();
@@ -105,6 +113,10 @@ fn main() {
     let mut ctx = Context::new(keys, seed);
     ctx.max_nodes = max_nodes;
     ctx.full_scale = full;
+    // One batch service for the whole invocation: the registry-driven
+    // experiments share pooled sessions and cached reports (running
+    // `engines sweep` prepares each workload once, not twice).
+    let mut service = BatchService::new();
 
     let mut timings: Vec<(String, f64)> = Vec::new();
     for id in &ids {
@@ -133,7 +145,8 @@ fn main() {
             "nonpowerlaw" => nonpowerlaw(),
             "preprocessing" => preprocessing(&mut ctx),
             "extensions" => extensions(&mut ctx),
-            "engines" => engines(&mut ctx),
+            "engines" => engines(&ctx, &mut service),
+            "sweep" => sweep(&ctx, &mut service),
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (known: {})",
@@ -184,10 +197,14 @@ fn write_bench_summary(out_dir: &std::path::Path, seed: u64, timings: &[(String,
     }
 }
 
-/// All four registry engines, dispatched by name through the shared
-/// `SimSession`-style entry point, on every selected dataset.
-fn engines(ctx: &mut Context) -> Table {
-    use grow_core::registry;
+/// All four registry engines on every selected dataset, dispatched as one
+/// `grow_serve` batch: the sweep definition is a job list, preparation is
+/// shared per dataset through the session pool, and the fleet fans across
+/// worker threads.
+fn engines(ctx: &Context, service: &mut BatchService) -> Table {
+    use grow_core::registry::ENGINE_NAMES;
+    use grow_core::PartitionStrategy;
+    use grow_serve::JobSpec;
     let mut t = Table::new(
         "engines",
         &[
@@ -199,32 +216,115 @@ fn engines(ctx: &mut Context) -> Table {
             "agg hit rate",
         ],
     );
+    let mut jobs = Vec::new();
     for i in 0..ctx.len() {
-        let eval = ctx.eval(i);
-        eprintln!(
-            "[run] {}: registry sweep over {:?}",
-            eval.key.name(),
-            registry::ENGINE_NAMES
-        );
-        for name in registry::ENGINE_NAMES {
+        let spec = ctx.spec(i);
+        for name in ENGINE_NAMES {
             // GROW runs on its partitioned workload, baselines on the
             // original node order (Section VI's setup).
-            let prepared = if name == "grow" {
-                &eval.partitioned
+            let strategy = if name == "grow" {
+                PartitionStrategy::multilevel_default()
             } else {
-                &eval.base
+                PartitionStrategy::None
             };
-            let r = registry::run_named(name, prepared).expect("registered engine");
-            t.row(&[
-                eval.key.name().into(),
-                r.engine.into(),
-                cell::count(r.total_cycles()),
-                cell::mib(r.dram_bytes()),
-                cell::count(r.mac_ops()),
-                cell::percent(r.aggregation_cache().hit_rate().unwrap_or(0.0)),
-            ]);
+            jobs.push(JobSpec::new(spec, ctx.seed, name).with_strategy(strategy));
         }
     }
+    eprintln!("[run] engines: one batch of {} jobs", jobs.len());
+    for result in service.run_batch(&jobs) {
+        let r = result
+            .outcome
+            .expect("registered engines with default configs");
+        t.row(&[
+            result.dataset.into(),
+            r.engine.into(),
+            cell::count(r.total_cycles()),
+            cell::mib(r.dram_bytes()),
+            cell::count(r.mac_ops()),
+            cell::percent(r.aggregation_cache().hit_rate().unwrap_or(0.0)),
+        ]);
+    }
+    t
+}
+
+/// The full dataset × engine × partition grid through the batch service
+/// in one call: results come back in submission order with per-job
+/// status, simulation wall-clock, and cache provenance.
+fn sweep(ctx: &Context, service: &mut BatchService) -> Table {
+    use grow_core::registry::ENGINE_NAMES;
+    use grow_core::PartitionStrategy;
+    use grow_serve::grid_jobs;
+    let strategies = [
+        PartitionStrategy::None,
+        PartitionStrategy::multilevel_default(),
+        PartitionStrategy::LabelPropagation {
+            cluster_nodes: 4096,
+        },
+    ];
+    let partition_label = |s: PartitionStrategy| match s {
+        PartitionStrategy::None => "none".to_string(),
+        PartitionStrategy::Multilevel { cluster_nodes } => format!("multilevel/{cluster_nodes}"),
+        PartitionStrategy::LabelPropagation { cluster_nodes } => {
+            format!("label-prop/{cluster_nodes}")
+        }
+    };
+    let specs: Vec<_> = (0..ctx.len()).map(|i| ctx.spec(i)).collect();
+    let jobs = grid_jobs(&specs, ctx.seed, &ENGINE_NAMES, &strategies);
+    eprintln!(
+        "[run] sweep: {} datasets x {} engines x {} partitions = {} jobs",
+        specs.len(),
+        ENGINE_NAMES.len(),
+        strategies.len(),
+        jobs.len()
+    );
+    let results = service.run_batch(&jobs);
+    let mut t = Table::new(
+        "sweep",
+        &[
+            "dataset",
+            "engine",
+            "partition",
+            "status",
+            "cycles",
+            "DRAM MiB",
+            "sim ms",
+        ],
+    );
+    for result in &results {
+        let partition = partition_label(jobs[result.index].strategy);
+        match &result.outcome {
+            Ok(r) => t.row(&[
+                result.dataset.into(),
+                result.engine.clone(),
+                partition,
+                if result.cache_hit {
+                    "ok (cached)"
+                } else {
+                    "ok"
+                }
+                .into(),
+                cell::count(r.total_cycles()),
+                cell::mib(r.dram_bytes()),
+                format!("{:.1}", result.wall_ms),
+            ]),
+            Err(e) => t.row(&[
+                result.dataset.into(),
+                result.engine.clone(),
+                partition,
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    let stats = service.stats();
+    eprintln!(
+        "[run] sweep: {} simulations, {} preparations, {} pooled sessions",
+        stats.simulations_run,
+        stats.preparations_run,
+        service.pooled_sessions()
+    );
     t
 }
 

@@ -14,7 +14,7 @@ use std::fs;
 use std::path::Path;
 
 use grow_core::experiments::DatasetEval;
-use grow_model::DatasetKey;
+use grow_model::{DatasetKey, DatasetSpec};
 
 /// A simple aligned table with CSV export.
 ///
@@ -340,18 +340,26 @@ impl Context {
         }
     }
 
+    /// The scaled [`DatasetSpec`] for dataset `i` — the same scaling
+    /// [`Context::eval`] applies, without instantiating the workload.
+    /// Batch-service jobs are defined in terms of these specs.
+    pub fn spec(&self, i: usize) -> DatasetSpec {
+        let mut spec = self.keys[i].spec();
+        if self.full_scale {
+            spec = spec.paper_scale();
+        }
+        if let Some(cap) = self.max_nodes {
+            if spec.nodes > cap {
+                spec = spec.scaled_to(cap);
+            }
+        }
+        spec
+    }
+
     /// The evaluation for dataset `i`, instantiating it on first use.
     pub fn eval(&mut self, i: usize) -> &DatasetEval {
         if self.evals[i].is_none() {
-            let mut spec = self.keys[i].spec();
-            if self.full_scale {
-                spec = spec.paper_scale();
-            }
-            if let Some(cap) = self.max_nodes {
-                if spec.nodes > cap {
-                    spec = spec.scaled_to(cap);
-                }
-            }
+            let spec = self.spec(i);
             eprintln!(
                 "[setup] instantiating {} ({} nodes) ...",
                 spec.key.name(),

@@ -58,7 +58,11 @@ pub use report::{ClusterProfile, LayerReport, PhaseKind, PhaseReport, RunReport}
 /// traffic, cache, and activity statistics. All engines execute the same
 /// `A*(X*W)` dataflow and therefore the same number of MAC operations —
 /// the paper's comparison is entirely about data movement.
-pub trait Accelerator {
+///
+/// `Send + Sync` is part of the contract: engines are plain configuration
+/// holders with no interior mutability, and the serving layer fans boxed
+/// engines across worker threads.
+pub trait Accelerator: Send + Sync {
     /// Engine name as used in the paper's figures (e.g. `"GROW"`).
     fn name(&self) -> &'static str;
 

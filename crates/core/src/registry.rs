@@ -55,6 +55,11 @@ pub enum RegistryError {
         /// The offending value.
         value: String,
     },
+    /// A textual override specification was not of the form `key=value`.
+    MalformedOverride {
+        /// The offending specification string.
+        spec: String,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -72,6 +77,9 @@ impl fmt::Display for RegistryError {
             }
             RegistryError::InvalidValue { key, value } => {
                 write!(f, "invalid value '{value}' for key '{key}'")
+            }
+            RegistryError::MalformedOverride { spec } => {
+                write!(f, "malformed override '{spec}' (expected key=value)")
             }
         }
     }
@@ -199,6 +207,48 @@ fn gamma_from(overrides: &[(&str, &str)]) -> Result<GammaEngine, RegistryError> 
         }
     }
     Ok(GammaEngine::new(cfg))
+}
+
+/// Resolves `name` (case-insensitively) to its canonical [`ENGINE_NAMES`]
+/// entry — the stable spelling job keys and caches should be built on.
+///
+/// # Errors
+///
+/// Returns [`RegistryError::UnknownEngine`] for unknown names.
+pub fn canonical_name(name: &str) -> Result<&'static str, RegistryError> {
+    ENGINE_NAMES
+        .iter()
+        .copied()
+        .find(|n| n.eq_ignore_ascii_case(name))
+        .ok_or_else(|| RegistryError::UnknownEngine(name.to_string()))
+}
+
+/// Splits a textual `key=value` override into its parts, trimming
+/// whitespace around both — the form CLI flags, config files, and
+/// `grow_serve` job definitions carry overrides in.
+///
+/// # Errors
+///
+/// Returns [`RegistryError::MalformedOverride`] when `spec` has no `=`,
+/// or an empty key or value.
+pub fn parse_override(spec: &str) -> Result<(String, String), RegistryError> {
+    match spec.split_once('=') {
+        Some((key, value)) if !key.trim().is_empty() && !value.trim().is_empty() => {
+            Ok((key.trim().to_string(), value.trim().to_string()))
+        }
+        _ => Err(RegistryError::MalformedOverride {
+            spec: spec.to_string(),
+        }),
+    }
+}
+
+/// Parses a list of `key=value` specifications (see [`parse_override`]).
+///
+/// # Errors
+///
+/// Returns the first [`RegistryError::MalformedOverride`] encountered.
+pub fn parse_overrides<S: AsRef<str>>(specs: &[S]) -> Result<Vec<(String, String)>, RegistryError> {
+    specs.iter().map(|s| parse_override(s.as_ref())).collect()
 }
 
 /// Builds an engine by (case-insensitive) name with its default
@@ -337,6 +387,50 @@ mod tests {
                 value: "fifo".into()
             }
         );
+    }
+
+    #[test]
+    fn canonical_name_normalizes_case() {
+        assert_eq!(canonical_name("GROW").unwrap(), "grow");
+        assert_eq!(canonical_name("MatRaptor").unwrap(), "matraptor");
+        assert_eq!(
+            canonical_name("npu"),
+            Err(RegistryError::UnknownEngine("npu".into()))
+        );
+    }
+
+    #[test]
+    fn parse_override_splits_and_trims() {
+        assert_eq!(
+            parse_override("runahead=4").unwrap(),
+            ("runahead".into(), "4".into())
+        );
+        assert_eq!(
+            parse_override(" hdn_cache_kb = 256 ").unwrap(),
+            ("hdn_cache_kb".into(), "256".into())
+        );
+        // Values may themselves contain '=' (split at the first one).
+        assert_eq!(parse_override("k=a=b").unwrap(), ("k".into(), "a=b".into()));
+        for bad in ["runahead", "=4", "runahead=", " = ", ""] {
+            assert_eq!(
+                parse_override(bad),
+                Err(RegistryError::MalformedOverride { spec: bad.into() }),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_overrides_reports_first_malformed() {
+        let specs = ["mac_lanes=32".to_string(), "oops".to_string()];
+        assert_eq!(
+            parse_overrides(&specs),
+            Err(RegistryError::MalformedOverride {
+                spec: "oops".into()
+            })
+        );
+        let good = ["a=1", "b=2"];
+        assert_eq!(parse_overrides(&good).unwrap().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! The batch simulation service: a queue of [`JobSpec`]s in, a vector of
+//! [`JobResult`]s out — in submission order, with per-job timing and
+//! error status.
+//!
+//! The service is built for sweep-style serving (many workloads × the
+//! engine fleet × partition strategies):
+//!
+//! 1. **Validation first.** Every job's engine name and overrides are
+//!    resolved through [`grow_core::registry`] before any preparation; a
+//!    bad job fails alone, the rest of the batch proceeds.
+//! 2. **Deduplicated preparation.** Jobs sharing a workload recipe
+//!    (dataset spec + seed + HDN list length) share one pooled
+//!    [`SimSession`]; each distinct (workload, partition strategy) pair is
+//!    prepared exactly once. Preparation fans across worker threads.
+//! 3. **Keyed result cache.** Completed [`RunReport`]s are cached by
+//!    [`JobKey`]; duplicate jobs — within a batch or across batches — are
+//!    served from cache, exactly one computation per key.
+//! 4. **Deterministic fan-out.** Simulations run through
+//!    [`grow_sim::exec::parallel_map`], so batch results are bit-identical
+//!    between `GROW_SERIAL=1` and any thread count.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
+
+use grow_core::registry::{self, RegistryError};
+use grow_core::{Accelerator, PartitionStrategy, RunReport};
+use grow_model::DatasetSpec;
+use grow_sim::exec::{parallel_map, with_mode, ExecMode};
+
+use crate::session::{SimSession, DEFAULT_HDN_ID_ENTRIES};
+
+/// One simulation job, as pure data: everything needed to reproduce a
+/// single engine run. Sweep definitions are lists of these.
+///
+/// ```
+/// use grow_core::PartitionStrategy;
+/// use grow_model::DatasetKey;
+/// use grow_serve::JobSpec;
+///
+/// let job = JobSpec::new(DatasetKey::Cora.spec().scaled_to(300), 42, "grow")
+///     .with_strategy(PartitionStrategy::multilevel_default())
+///     .with_override("hdn_cache_kb", "256")
+///     .with_override("runahead", "4");
+/// assert_eq!(job.overrides, ["hdn_cache_kb=256", "runahead=4"]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Dataset recipe; the workload is instantiated deterministically from
+    /// it and `seed`.
+    pub dataset: DatasetSpec,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Registry engine name (case-insensitive; see
+    /// [`registry::ENGINE_NAMES`]).
+    pub engine: String,
+    /// Partitioning applied before simulation.
+    pub strategy: PartitionStrategy,
+    /// Textual `key=value` configuration overrides, applied through
+    /// [`registry::engine_from_overrides`]. Malformed or unknown entries
+    /// fail this job at validation time.
+    pub overrides: Vec<String>,
+    /// Per-cluster HDN ID list length used during preparation.
+    pub hdn_id_entries: usize,
+}
+
+impl JobSpec {
+    /// A default job: no partitioning, no overrides, Table III HDN list
+    /// length.
+    pub fn new(dataset: DatasetSpec, seed: u64, engine: &str) -> Self {
+        JobSpec {
+            dataset,
+            seed,
+            engine: engine.to_string(),
+            strategy: PartitionStrategy::None,
+            overrides: Vec::new(),
+            hdn_id_entries: DEFAULT_HDN_ID_ENTRIES,
+        }
+    }
+
+    /// Sets the partition strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Appends one `key=value` override from its parts.
+    pub fn with_override(mut self, key: &str, value: &str) -> Self {
+        self.overrides.push(format!("{key}={value}"));
+        self
+    }
+
+    /// Appends one raw override specification (validated as `key=value`
+    /// when the job runs).
+    pub fn with_override_spec(mut self, spec: &str) -> Self {
+        self.overrides.push(spec.to_string());
+        self
+    }
+
+    /// Sets the per-cluster HDN ID list length for preparation.
+    pub fn with_hdn_id_entries(mut self, entries: usize) -> Self {
+        self.hdn_id_entries = entries;
+        self
+    }
+
+    /// The job's canonical cache key: engine name normalized through the
+    /// registry, overrides reduced to their *effective* configuration,
+    /// workload recipe serialized. Two jobs with equal keys produce
+    /// bit-identical reports.
+    pub fn key(&self) -> JobKey {
+        let engine = registry::canonical_name(&self.engine)
+            .map(str::to_string)
+            .unwrap_or_else(|_| self.engine.to_ascii_lowercase());
+        // Overrides apply in order with last-wins semantics (matching
+        // `engine_from_overrides`), so the key must too: reduce to one
+        // value per key first, then sort for order independence.
+        // Malformed specs keep their raw text — those jobs fail anyway,
+        // and identical failures may share a key.
+        let mut effective: Vec<(String, String)> = Vec::new();
+        for spec in &self.overrides {
+            let (key, value) =
+                registry::parse_override(spec).unwrap_or_else(|_| (spec.clone(), String::new()));
+            match effective.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = value,
+                None => effective.push((key, value)),
+            }
+        }
+        effective.sort();
+        let overrides: Vec<String> = effective
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        JobKey(format!(
+            "{engine}|{:?}|[{}]|{}",
+            self.strategy,
+            overrides.join(","),
+            self.session_key()
+        ))
+    }
+
+    /// Key of the pooled session this job runs on: the workload recipe
+    /// without the engine-side configuration.
+    pub(crate) fn session_key(&self) -> String {
+        format!(
+            "{:?}|seed={}|hdn={}",
+            self.dataset, self.seed, self.hdn_id_entries
+        )
+    }
+}
+
+/// Canonical identity of a job (see [`JobSpec::key`]): the report-cache
+/// and deduplication key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey(String);
+
+impl JobKey {
+    /// The key's canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Outcome of one job in a batch, in submission order.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index of the job within the submitted batch.
+    pub index: usize,
+    /// The job's cache key.
+    pub key: JobKey,
+    /// Dataset name (paper figure labels).
+    pub dataset: &'static str,
+    /// Engine name as submitted.
+    pub engine: String,
+    /// The report, or the [`RegistryError`] that failed this job.
+    pub outcome: Result<RunReport, RegistryError>,
+    /// True when the report was served from the result cache (a duplicate
+    /// of an earlier job, or computed by a previous batch).
+    pub cache_hit: bool,
+    /// Wall-clock time of this job's simulation in milliseconds (0 for
+    /// cache hits and failed jobs).
+    pub wall_ms: f64,
+}
+
+impl JobResult {
+    /// The report, if the job succeeded.
+    pub fn report(&self) -> Option<&RunReport> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Service counters, cumulative across batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs submitted across all batches.
+    pub jobs_submitted: u64,
+    /// Jobs that failed validation.
+    pub jobs_failed: u64,
+    /// Jobs served from the result cache without a new simulation.
+    pub cache_hits: u64,
+    /// Engine simulations actually executed (one per distinct job key).
+    pub simulations_run: u64,
+    /// Workloads instantiated into pooled sessions.
+    pub sessions_created: u64,
+    /// (workload, strategy) preparations executed.
+    pub preparations_run: u64,
+}
+
+/// The batch simulation service: session pool + result cache + worker
+/// fan-out. See the [module docs](self) for the execution phases.
+#[derive(Debug, Default)]
+pub struct BatchService {
+    sessions: HashMap<String, SimSession>,
+    reports: HashMap<JobKey, RunReport>,
+    stats: ServiceStats,
+}
+
+impl BatchService {
+    /// An empty service (no pooled sessions, empty cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Number of pooled sessions (distinct workload recipes seen).
+    pub fn pooled_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of cached reports (distinct job keys computed).
+    pub fn cached_reports(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// The pooled [`SimSession`] a job's workload recipe maps to, if the
+    /// service has instantiated it — callers can inspect the workload and
+    /// its prepared forms (graph statistics, partition quality) without
+    /// re-running the preprocessing.
+    pub fn session_for(&self, job: &JobSpec) -> Option<&SimSession> {
+        self.sessions.get(&job.session_key())
+    }
+
+    /// Drops the session pool and the result cache; counters are kept.
+    pub fn clear(&mut self) {
+        self.sessions.clear();
+        self.reports.clear();
+    }
+
+    /// Runs a single job (a batch of one).
+    pub fn run_one(&mut self, job: &JobSpec) -> JobResult {
+        self.run_batch(std::slice::from_ref(job))
+            .pop()
+            .expect("one job in, one result out")
+    }
+
+    /// Runs a batch of jobs and returns one [`JobResult`] per job, in
+    /// submission order. Invalid jobs (unknown engine, malformed or
+    /// unknown overrides) fail individually; every other job still runs.
+    pub fn run_batch(&mut self, jobs: &[JobSpec]) -> Vec<JobResult> {
+        self.stats.jobs_submitted += jobs.len() as u64;
+        let keys: Vec<JobKey> = jobs.iter().map(JobSpec::key).collect();
+
+        // Phase 1: validate every job up front — engine resolution is
+        // cheap, preparation is not, so bad jobs never cost a partition.
+        let validations: Vec<Result<(), RegistryError>> = jobs
+            .iter()
+            .map(|job| build_engine(job).map(|_| ()))
+            .collect();
+
+        // Phase 2: the compute set — the first occurrence of every key
+        // the report cache cannot already serve.
+        let mut claimed: HashSet<&JobKey> = HashSet::new();
+        let to_compute: Vec<usize> = (0..jobs.len())
+            .filter(|&i| {
+                validations[i].is_ok()
+                    && !self.reports.contains_key(&keys[i])
+                    && claimed.insert(&keys[i])
+            })
+            .collect();
+
+        // Phase 3: deduplicated preparation. Group the compute set by
+        // session key; each task owns its session (pooled ones are taken
+        // out of the map for the duration), so whole workloads prepare in
+        // parallel, and each session fans its own strategies too.
+        struct PrepTask {
+            key: String,
+            session: Option<SimSession>,
+            spec: DatasetSpec,
+            seed: u64,
+            hdn_id_entries: usize,
+            strategies: Vec<PartitionStrategy>,
+        }
+        let mut order: Vec<String> = Vec::new();
+        let mut grouped: HashMap<String, (usize, Vec<PartitionStrategy>)> = HashMap::new();
+        for &i in &to_compute {
+            let key = jobs[i].session_key();
+            let (_, strategies) = grouped.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (i, Vec::new())
+            });
+            if !strategies.contains(&jobs[i].strategy) {
+                strategies.push(jobs[i].strategy);
+            }
+        }
+        let tasks: Vec<PrepTask> = order
+            .into_iter()
+            .map(|key| {
+                let (exemplar, strategies) = grouped.remove(&key).expect("grouped by key");
+                PrepTask {
+                    session: self.sessions.remove(&key),
+                    key,
+                    spec: jobs[exemplar].dataset,
+                    seed: jobs[exemplar].seed,
+                    hdn_id_entries: jobs[exemplar].hdn_id_entries,
+                    strategies,
+                }
+            })
+            .collect();
+        self.stats.sessions_created += tasks.iter().filter(|t| t.session.is_none()).count() as u64;
+        // Fan at one level only: when several workloads prepare at once,
+        // each worker runs its own strategies serially instead of nesting
+        // a second thread fan-out (hardware_threads^2 CPU-bound threads).
+        // A single task keeps the inner fan-out so it still parallelizes.
+        let fan_tasks = tasks.len() > 1;
+        let prepared = parallel_map(tasks, |_, task| {
+            let mut session = task.session.unwrap_or_else(|| {
+                let mut s = SimSession::from_spec(task.spec, task.seed);
+                s.set_hdn_id_entries(task.hdn_id_entries);
+                s
+            });
+            let newly_prepared = if fan_tasks {
+                with_mode(ExecMode::Serial, || session.prepare_all(&task.strategies))
+            } else {
+                session.prepare_all(&task.strategies)
+            };
+            (task.key, session, newly_prepared)
+        });
+        for (key, session, newly_prepared) in prepared {
+            self.stats.preparations_run += newly_prepared as u64;
+            self.sessions.insert(key, session);
+        }
+
+        // Phase 4: fan the simulations across worker threads. Sessions
+        // are read-only here; each worker rebuilds its (validated) engine
+        // and runs it against the shared prepared workload.
+        let sessions = &self.sessions;
+        // Same one-level rule as phase 3: with several jobs in flight the
+        // job grain saturates the cores, so each engine's internal
+        // cluster fan-out is forced serial; a lone job keeps it.
+        let fan_jobs = to_compute.len() > 1;
+        let computed: Vec<(usize, RunReport, f64)> = parallel_map(to_compute, |_, i| {
+            let job = &jobs[i];
+            let started = Instant::now();
+            let engine = build_engine(job).expect("validated in phase 1");
+            let prepared = sessions
+                .get(&job.session_key())
+                .and_then(|s| s.get_prepared(job.strategy))
+                .expect("prepared in phase 3");
+            let report = if fan_jobs {
+                with_mode(ExecMode::Serial, || engine.run(prepared))
+            } else {
+                engine.run(prepared)
+            };
+            (i, report, started.elapsed().as_secs_f64() * 1e3)
+        });
+        self.stats.simulations_run += computed.len() as u64;
+        let mut wall_by_index: HashMap<usize, f64> = HashMap::new();
+        for (i, report, wall_ms) in computed {
+            wall_by_index.insert(i, wall_ms);
+            self.reports.insert(keys[i].clone(), report);
+        }
+
+        // Phase 5: results in submission order, duplicates and repeats
+        // served from the cache.
+        jobs.iter()
+            .zip(validations)
+            .enumerate()
+            .map(|(index, (job, validation))| {
+                let (outcome, cache_hit, wall_ms) = match validation {
+                    Err(e) => {
+                        self.stats.jobs_failed += 1;
+                        (Err(e), false, 0.0)
+                    }
+                    Ok(()) => {
+                        let wall_ms = wall_by_index.get(&index).copied();
+                        if wall_ms.is_none() {
+                            self.stats.cache_hits += 1;
+                        }
+                        let report = self
+                            .reports
+                            .get(&keys[index])
+                            .expect("computed in phase 4 or cached earlier")
+                            .clone();
+                        (Ok(report), wall_ms.is_none(), wall_ms.unwrap_or(0.0))
+                    }
+                };
+                JobResult {
+                    index,
+                    key: keys[index].clone(),
+                    dataset: job.dataset.key.name(),
+                    engine: job.engine.clone(),
+                    outcome,
+                    cache_hit,
+                    wall_ms,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds the job's engine, validating the name and every override.
+fn build_engine(job: &JobSpec) -> Result<Box<dyn Accelerator>, RegistryError> {
+    let parsed = registry::parse_overrides(&job.overrides)?;
+    let borrowed: Vec<(&str, &str)> = parsed
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    registry::engine_from_overrides(&job.engine, &borrowed)
+}
+
+/// The full dataset × engine × partition grid as a job list — the
+/// serving-layer form of the paper's comparison sweeps.
+pub fn grid_jobs(
+    datasets: &[DatasetSpec],
+    seed: u64,
+    engines: &[&str],
+    strategies: &[PartitionStrategy],
+) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(datasets.len() * engines.len() * strategies.len());
+    for &dataset in datasets {
+        for &engine in engines {
+            for &strategy in strategies {
+                jobs.push(JobSpec::new(dataset, seed, engine).with_strategy(strategy));
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grow_model::DatasetKey;
+
+    fn spec() -> DatasetSpec {
+        DatasetKey::Cora.spec().scaled_to(300)
+    }
+
+    #[test]
+    fn job_key_is_canonical() {
+        let a = JobSpec::new(spec(), 7, "GROW")
+            .with_override("runahead", "4")
+            .with_override("hdn_cache_kb", "256");
+        let b = JobSpec::new(spec(), 7, "grow")
+            .with_override("hdn_cache_kb", "256")
+            .with_override("runahead", "4");
+        assert_eq!(a.key(), b.key(), "case and override order are canonical");
+        assert_ne!(a.key(), JobSpec::new(spec(), 8, "grow").key(), "seed");
+        assert_ne!(
+            a.key(),
+            a.clone().with_hdn_id_entries(16).key(),
+            "hdn entries"
+        );
+        assert_ne!(
+            JobSpec::new(spec(), 7, "grow").key(),
+            JobSpec::new(spec(), 7, "grow")
+                .with_strategy(PartitionStrategy::multilevel_default())
+                .key(),
+            "strategy"
+        );
+    }
+
+    #[test]
+    fn repeated_override_keys_use_last_wins_in_the_key() {
+        // engine_from_overrides applies overrides in order (last wins);
+        // the cache key must reflect the *effective* configuration, not
+        // the submission text.
+        let fast = JobSpec::new(spec(), 7, "grow")
+            .with_override("dram_gbps", "8")
+            .with_override("dram_gbps", "256");
+        let slow = JobSpec::new(spec(), 7, "grow")
+            .with_override("dram_gbps", "256")
+            .with_override("dram_gbps", "8");
+        assert_ne!(fast.key(), slow.key(), "different effective configs");
+        let canonical = JobSpec::new(spec(), 7, "grow").with_override("dram_gbps", "256");
+        assert_eq!(fast.key(), canonical.key(), "same effective config");
+
+        // And the service really computes both variants: the effective
+        // 8 GB/s job must be slower than the effective 256 GB/s one.
+        let mut service = BatchService::new();
+        let results = service.run_batch(&[fast, slow]);
+        assert_eq!(service.stats().simulations_run, 2);
+        assert!(
+            results[1].report().unwrap().total_cycles()
+                > results[0].report().unwrap().total_cycles(),
+            "the two orderings must not share a cached report"
+        );
+    }
+
+    #[test]
+    fn duplicate_jobs_compute_once() {
+        let mut service = BatchService::new();
+        let job = JobSpec::new(spec(), 3, "gcnax");
+        let results = service.run_batch(&[job.clone(), job.clone(), job.clone()]);
+        assert_eq!(service.stats().simulations_run, 1);
+        assert_eq!(service.stats().cache_hits, 2);
+        assert!(!results[0].cache_hit);
+        assert!(results[1].cache_hit && results[2].cache_hit);
+        assert_eq!(results[0].report(), results[1].report());
+        // A later batch is served entirely from cache.
+        let again = service.run_one(&job);
+        assert!(again.cache_hit);
+        assert_eq!(service.stats().simulations_run, 1);
+        assert_eq!(again.report(), results[0].report());
+    }
+
+    #[test]
+    fn sessions_pool_across_engines_and_batches() {
+        let mut service = BatchService::new();
+        let jobs: Vec<JobSpec> = ["grow", "gcnax", "matraptor", "gamma"]
+            .iter()
+            .map(|e| JobSpec::new(spec(), 5, e))
+            .collect();
+        service.run_batch(&jobs);
+        assert_eq!(service.pooled_sessions(), 1, "one workload recipe");
+        assert_eq!(service.stats().sessions_created, 1);
+        assert_eq!(service.stats().preparations_run, 1, "one shared strategy");
+        assert_eq!(service.stats().simulations_run, 4);
+        // Another strategy on the same workload reuses the session.
+        service.run_one(
+            &JobSpec::new(spec(), 5, "grow")
+                .with_strategy(PartitionStrategy::Multilevel { cluster_nodes: 100 }),
+        );
+        assert_eq!(service.stats().sessions_created, 1, "session reused");
+        assert_eq!(service.stats().preparations_run, 2);
+    }
+
+    #[test]
+    fn invalid_jobs_fail_alone() {
+        let mut service = BatchService::new();
+        let results = service.run_batch(&[
+            JobSpec::new(spec(), 1, "grow"),
+            JobSpec::new(spec(), 1, "npu"),
+            JobSpec::new(spec(), 1, "grow").with_override_spec("runahead"),
+            JobSpec::new(spec(), 1, "grow").with_override("runahead", "many"),
+            JobSpec::new(spec(), 1, "gcnax").with_override("runahead", "4"),
+            JobSpec::new(spec(), 1, "gamma"),
+        ]);
+        assert!(results[0].outcome.is_ok());
+        assert_eq!(
+            results[1].outcome,
+            Err(RegistryError::UnknownEngine("npu".into()))
+        );
+        assert_eq!(
+            results[2].outcome,
+            Err(RegistryError::MalformedOverride {
+                spec: "runahead".into()
+            })
+        );
+        assert_eq!(
+            results[3].outcome,
+            Err(RegistryError::InvalidValue {
+                key: "runahead".into(),
+                value: "many".into()
+            })
+        );
+        assert_eq!(
+            results[4].outcome,
+            Err(RegistryError::UnknownKey {
+                engine: "gcnax",
+                key: "runahead".into()
+            })
+        );
+        assert!(results[5].outcome.is_ok(), "later jobs unaffected");
+        assert_eq!(service.stats().jobs_failed, 4);
+        assert_eq!(service.stats().simulations_run, 2);
+    }
+
+    #[test]
+    fn grid_covers_the_cross_product() {
+        let specs = [spec(), DatasetKey::Citeseer.spec().scaled_to(300)];
+        let strategies = [
+            PartitionStrategy::None,
+            PartitionStrategy::multilevel_default(),
+        ];
+        let jobs = grid_jobs(&specs, 9, &["grow", "gcnax"], &strategies);
+        assert_eq!(jobs.len(), 8);
+        let distinct: HashSet<JobKey> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(distinct.len(), 8, "all grid points are distinct keys");
+    }
+
+    #[test]
+    fn batch_matches_session_runs() {
+        let mut service = BatchService::new();
+        let strategy = PartitionStrategy::Multilevel { cluster_nodes: 100 };
+        let result = service.run_one(
+            &JobSpec::new(spec(), 11, "grow")
+                .with_strategy(strategy)
+                .with_override("runahead", "4"),
+        );
+        let mut session = SimSession::from_spec(spec(), 11);
+        let direct = session
+            .run_with("grow", &[("runahead", "4")], strategy)
+            .unwrap();
+        assert_eq!(result.outcome.unwrap(), direct);
+    }
+}

@@ -1,0 +1,46 @@
+//! The serving layer: batch simulation over the engine registry.
+//!
+//! Two pieces live here:
+//!
+//! * [`session::SimSession`] — one workload, memoized preprocessing, and
+//!   name-based engine dispatch (the single-workload front door);
+//! * [`batch::BatchService`] — a queue-of-[`batch::JobSpec`]s service on
+//!   top of it: jobs are pure data (dataset spec + seed + engine name +
+//!   partition strategy + `key=value` overrides), shared preparation is
+//!   deduplicated through a keyed session pool, simulations fan across
+//!   worker threads via `grow_sim::exec::parallel_map`, and completed
+//!   reports are cached by job key. Results come back in submission order
+//!   with per-job timing and error status; a bad engine name or an invalid
+//!   override fails that job, never the batch.
+//!
+//! Because every engine's parallel cluster path is bit-identical to its
+//! serial path, so is the whole service: a batch run under `GROW_SERIAL=1`
+//! returns exactly the reports of a multi-threaded run.
+//!
+//! ```
+//! use grow_core::PartitionStrategy;
+//! use grow_model::DatasetKey;
+//! use grow_serve::{BatchService, JobSpec};
+//!
+//! let spec = DatasetKey::Cora.spec().scaled_to(300);
+//! let jobs = vec![
+//!     JobSpec::new(spec, 42, "grow").with_strategy(PartitionStrategy::multilevel_default()),
+//!     JobSpec::new(spec, 42, "gcnax"),
+//!     JobSpec::new(spec, 42, "npu"), // fails alone, not the batch
+//! ];
+//! let mut service = BatchService::new();
+//! let results = service.run_batch(&jobs);
+//! assert!(results[0].outcome.is_ok() && results[1].outcome.is_ok());
+//! assert!(results[2].outcome.is_err());
+//! let (grow, gcnax) = (results[0].report().unwrap(), results[1].report().unwrap());
+//! assert_eq!(grow.mac_ops(), gcnax.mac_ops(), "same work, different movement");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod session;
+
+pub use batch::{grid_jobs, BatchService, JobKey, JobResult, JobSpec, ServiceStats};
+pub use session::SimSession;

@@ -5,22 +5,45 @@
 //! The example walks the paper's locality story end to end: power-law
 //! degree statistics (Figure 11), partitioning quality (Figure 13), HDN
 //! hit rates with and without partitioning (Figure 17), and the resulting
-//! traffic and speedup (Figures 18/20).
+//! traffic and speedup (Figures 18/20). The three timing configurations
+//! (GCNAX, GROW w/o G.P., GROW with G.P.) run as one `grow_serve` batch
+//! on a single pooled workload.
 //!
 //! ```text
 //! cargo run --release --example social_recommendation
 //! ```
 
-use grow::accel::{prepare, Accelerator, GcnaxEngine, GrowEngine, PartitionStrategy};
+use grow::accel::PartitionStrategy;
 use grow::graph::stats;
 use grow::model::DatasetKey;
+use grow::serve::{BatchService, JobSpec};
 
 fn main() {
     // A Yelp-like graph (review/recommendation workload), moderately
     // scaled so the example runs in seconds.
     let spec = DatasetKey::Yelp.spec().scaled_to(30_000);
-    let workload = spec.instantiate(99);
-    let graph = &workload.graph;
+    let seed = 99;
+    let partitioned = PartitionStrategy::multilevel_default();
+
+    // ---- the three paper configurations, as one batch of data ----------
+    let jobs = [
+        JobSpec::new(spec, seed, "gcnax"),
+        JobSpec::new(spec, seed, "grow"),
+        JobSpec::new(spec, seed, "grow").with_strategy(partitioned),
+    ];
+    let mut service = BatchService::new();
+    let results = service.run_batch(&jobs);
+    let (gcnax, without, with) = (
+        results[0].report().expect("registered engine"),
+        results[1].report().expect("registered engine"),
+        results[2].report().expect("registered engine"),
+    );
+
+    // All three jobs shared one pooled session; inspect its workload.
+    let session = service
+        .session_for(&jobs[0])
+        .expect("session pooled by the batch");
+    let graph = &session.workload().graph;
     println!("social graph: {graph}");
 
     // ---- the power-law structure GROW exploits (Figure 11) -------------
@@ -36,20 +59,18 @@ fn main() {
     }
 
     // ---- partitioning (Figure 13): pure relabeling, better locality ----
-    let base = prepare(&workload, PartitionStrategy::None, 4096);
-    let partitioned = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
+    let prepared = session
+        .get_prepared(partitioned)
+        .expect("prepared for the partitioned job");
     println!(
         "\npartitioning: {} clusters, intra-cluster edges {:.1}% (random assignment \
          would give ~{:.1}%)",
-        partitioned.clusters.len(),
-        100.0 * partitioned.intra_edge_fraction,
-        100.0 / partitioned.clusters.len() as f64
+        prepared.clusters.len(),
+        100.0 * prepared.intra_edge_fraction,
+        100.0 / prepared.clusters.len() as f64
     );
 
     // ---- HDN cache effectiveness (Figure 17) ---------------------------
-    let engine = GrowEngine::default();
-    let without = engine.run(&base);
-    let with = engine.run(&partitioned);
     println!(
         "HDN cache hit rate: {:.1}% without partitioning -> {:.1}% with partitioning",
         100.0 * without.aggregation_cache().hit_rate().unwrap_or(0.0),
@@ -57,7 +78,6 @@ fn main() {
     );
 
     // ---- traffic and speedup vs GCNAX (Figures 18/20) -------------------
-    let gcnax = GcnaxEngine::default().run(&base);
     println!(
         "\nDRAM traffic: GCNAX {:.1} MiB | GROW w/o G.P. {:.1} MiB | GROW with G.P. {:.1} MiB",
         gcnax.dram_bytes() as f64 / (1 << 20) as f64,

@@ -19,13 +19,21 @@
 //! | [`energy`] | `grow-energy` | Horowitz/CACTI-style energy model, Table IV area model |
 //! | [`model`] | `grow-model` | Table I dataset registry, feature synthesis, functional GCN |
 //! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, experiments |
+//! | [`serve`] | `grow-serve` | `SimSession` + the batch simulation service (job queue, session pool, result cache) |
 //!
-//! plus [`session`], the recommended entry point: a [`SimSession`]
+//! plus [`session`], the single-workload entry point: a [`SimSession`]
 //! (`session::SimSession`) instantiates a workload once, memoizes its
 //! prepared forms, and dispatches any registered engine by name
 //! (`session.run("grow", ..)`) with optional key-value configuration
 //! overrides. Engines simulate graph clusters in parallel across threads
 //! (deterministically — set `GROW_SERIAL=1` to force the serial path).
+//!
+//! For fleets of runs, [`serve`] scales the same API to batches:
+//! [`serve::JobSpec`]s are pure data (dataset + seed + engine + partition
+//! strategy + `key=value` overrides), shared preparation is deduplicated
+//! through a keyed session pool, completed reports are cached by job key,
+//! and results return in submission order with per-job status — see
+//! [`serve::BatchService`] and `examples/batch_serving.rs`.
 //!
 //! # Quickstart
 //!
@@ -57,5 +65,6 @@ pub use grow_energy as energy;
 pub use grow_graph as graph;
 pub use grow_model as model;
 pub use grow_partition as partition;
+pub use grow_serve as serve;
 pub use grow_sim as sim;
 pub use grow_sparse as sparse;

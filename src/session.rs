@@ -1,11 +1,11 @@
 //! [`SimSession`] — the one-stop driver for simulating workloads on the
 //! registered engines.
 //!
-//! A session owns one instantiated GCN workload and memoizes its prepared
-//! (partitioned/relabeled) forms, which are by far the most expensive part
-//! of an evaluation; engines are then dispatched by name through the
-//! [`grow_core::registry`], so callers — benches, examples, services —
-//! never touch engine types directly.
+//! The implementation lives in [`grow_serve::session`] (re-exported here
+//! unchanged) so the batch service in [`crate::serve`] can build on it: a
+//! session owns one instantiated GCN workload and memoizes its prepared
+//! (partitioned/relabeled) forms; engines are dispatched by name through
+//! the [`grow_core::registry`](crate::accel::registry).
 //!
 //! ```
 //! use grow::session::SimSession;
@@ -18,180 +18,4 @@
 //! assert_eq!(grow.mac_ops(), gcnax.mac_ops(), "same work, different movement");
 //! ```
 
-use std::collections::HashMap;
-
-use grow_core::registry::{self, RegistryError};
-use grow_core::{prepare, PartitionStrategy, PreparedWorkload, RunReport};
-use grow_model::{DatasetSpec, GcnWorkload};
-
-/// Default HDN ID list length (Table III: 12 KB at 3 B/entry).
-const DEFAULT_HDN_ID_ENTRIES: usize = 4096;
-
-/// A simulation session: one workload, memoized preprocessing, and
-/// name-based engine dispatch.
-#[derive(Debug)]
-pub struct SimSession {
-    workload: GcnWorkload,
-    hdn_id_entries: usize,
-    prepared: HashMap<PartitionStrategy, PreparedWorkload>,
-}
-
-impl SimSession {
-    /// Creates a session over an already instantiated workload.
-    pub fn new(workload: GcnWorkload) -> Self {
-        SimSession {
-            workload,
-            hdn_id_entries: DEFAULT_HDN_ID_ENTRIES,
-            prepared: HashMap::new(),
-        }
-    }
-
-    /// Instantiates `spec` with `seed` and wraps it in a session.
-    pub fn from_spec(spec: DatasetSpec, seed: u64) -> Self {
-        Self::new(spec.instantiate(seed))
-    }
-
-    /// Overrides the per-cluster HDN ID list length (Table III: 4096).
-    /// Clears any workloads already prepared with the previous value.
-    pub fn set_hdn_id_entries(&mut self, entries: usize) {
-        if entries != self.hdn_id_entries {
-            self.hdn_id_entries = entries;
-            self.prepared.clear();
-        }
-    }
-
-    /// The underlying workload.
-    pub fn workload(&self) -> &GcnWorkload {
-        &self.workload
-    }
-
-    /// The prepared form of the workload under `strategy`, running the
-    /// software preprocessing stack on first use and memoizing it.
-    pub fn prepared(&mut self, strategy: PartitionStrategy) -> &PreparedWorkload {
-        self.prepared
-            .entry(strategy)
-            .or_insert_with(|| prepare(&self.workload, strategy, self.hdn_id_entries))
-    }
-
-    /// Runs the named engine (default configuration) on the workload
-    /// prepared with `strategy`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RegistryError`] if the engine name is unknown.
-    pub fn run(
-        &mut self,
-        engine: &str,
-        strategy: PartitionStrategy,
-    ) -> Result<RunReport, RegistryError> {
-        // Resolve the engine before preparing, so an unknown name fails
-        // fast instead of after seconds of partitioning.
-        let engine = registry::engine_by_name(engine)?;
-        Ok(engine.run(self.prepared(strategy)))
-    }
-
-    /// Runs the named engine with key-value configuration overrides (see
-    /// [`grow_core::registry::engine_from_overrides`] for the key set).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RegistryError`] for unknown names/keys or unparsable
-    /// values.
-    pub fn run_with(
-        &mut self,
-        engine: &str,
-        overrides: &[(&str, &str)],
-        strategy: PartitionStrategy,
-    ) -> Result<RunReport, RegistryError> {
-        let engine = registry::engine_from_overrides(engine, overrides)?;
-        Ok(engine.run(self.prepared(strategy)))
-    }
-
-    /// Runs every registered engine in its paper-default configuration:
-    /// GROW on the partitioned workload, the baselines on the original
-    /// node order (Section VI's comparison setup). Reports come back in
-    /// [`registry::ENGINE_NAMES`] order.
-    pub fn compare_all(&mut self) -> Vec<RunReport> {
-        registry::ENGINE_NAMES
-            .iter()
-            .map(|&name| {
-                let strategy = if name == "grow" {
-                    PartitionStrategy::multilevel_default()
-                } else {
-                    PartitionStrategy::None
-                };
-                self.run(name, strategy).expect("registry names resolve")
-            })
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use grow_model::DatasetKey;
-
-    fn session() -> SimSession {
-        SimSession::from_spec(DatasetKey::Pubmed.spec().scaled_to(500), 7)
-    }
-
-    #[test]
-    fn run_matches_direct_engine_use() {
-        use grow_core::{Accelerator, GrowEngine};
-        let mut s = session();
-        let via_session = s.run("grow", PartitionStrategy::None).unwrap();
-        let direct = GrowEngine::default().run(&prepare(
-            s.workload(),
-            PartitionStrategy::None,
-            DEFAULT_HDN_ID_ENTRIES,
-        ));
-        assert_eq!(via_session, direct);
-    }
-
-    #[test]
-    fn preparation_is_memoized() {
-        let mut s = session();
-        let strategy = PartitionStrategy::Multilevel { cluster_nodes: 100 };
-        let a = s.prepared(strategy).clusters.clone();
-        let b = s.prepared(strategy).clusters.clone();
-        assert_eq!(a, b);
-        assert_eq!(s.prepared.len(), 1);
-    }
-
-    #[test]
-    fn unknown_engine_fails_fast() {
-        let mut s = session();
-        assert!(s.run("npu", PartitionStrategy::None).is_err());
-        assert!(s.prepared.is_empty(), "no preparation for unknown engines");
-    }
-
-    #[test]
-    fn compare_all_covers_every_engine() {
-        let mut s = session();
-        let reports = s.compare_all();
-        assert_eq!(reports.len(), 4);
-        let names: Vec<&str> = reports.iter().map(|r| r.engine).collect();
-        assert_eq!(names, ["GROW", "GCNAX", "MatRaptor", "GAMMA"]);
-        // Iso-computation across the board.
-        assert!(reports.windows(2).all(|w| w[0].mac_ops() == w[1].mac_ops()));
-    }
-
-    #[test]
-    fn overrides_flow_through() {
-        let mut s = session();
-        let narrow = s
-            .run_with("grow", &[("runahead", "1")], PartitionStrategy::None)
-            .unwrap();
-        let wide = s.run("grow", PartitionStrategy::None).unwrap();
-        assert_eq!(narrow.mac_ops(), wide.mac_ops());
-    }
-
-    #[test]
-    fn hdn_entries_change_invalidates_cache() {
-        let mut s = session();
-        s.prepared(PartitionStrategy::None);
-        s.set_hdn_id_entries(16);
-        assert!(s.prepared.is_empty());
-        assert!(s.prepared(PartitionStrategy::None).hdn_lists[0].len() <= 16);
-    }
-}
+pub use grow_serve::session::*;

@@ -1,0 +1,187 @@
+//! Acceptance and concurrency tests for the `grow_serve` batch layer.
+//!
+//! The two load-bearing properties:
+//!
+//! * a mixed batch (all four engines, multiple partition strategies,
+//!   overrides, an intentionally invalid job) completes with per-job
+//!   statuses and reports **bit-identical** between a forced-serial run
+//!   and an oversubscribed 8-worker run;
+//! * duplicate job keys are computed exactly once — the result cache
+//!   serves every repeat, under parallel execution too.
+
+use grow::accel::registry::RegistryError;
+use grow::accel::PartitionStrategy;
+use grow::model::DatasetKey;
+use grow::serve::{BatchService, JobResult, JobSpec};
+use grow::sim::exec::{with_mode, with_workers, ExecMode};
+
+/// Oversubscribed worker count (the in-code equivalent of
+/// `GROW_THREADS=8`), so threads genuinely interleave even on small CI
+/// machines.
+const WORKERS: usize = 8;
+
+/// A mixed batch of 18 jobs: 2 datasets x 4 engines x 2 partition
+/// strategies, one override variant, and one invalid job.
+fn mixed_jobs() -> Vec<JobSpec> {
+    let cora = DatasetKey::Cora.spec().scaled_to(600);
+    let pubmed = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategies = [
+        PartitionStrategy::None,
+        PartitionStrategy::Multilevel { cluster_nodes: 150 },
+    ];
+    let mut jobs = Vec::new();
+    for spec in [cora, pubmed] {
+        for engine in ["grow", "gcnax", "matraptor", "gamma"] {
+            for strategy in strategies {
+                jobs.push(JobSpec::new(spec, 21, engine).with_strategy(strategy));
+            }
+        }
+    }
+    jobs.push(
+        JobSpec::new(cora, 21, "grow")
+            .with_strategy(strategies[1])
+            .with_override("hdn_cache_kb", "64")
+            .with_override("runahead", "4"),
+    );
+    // The intentionally invalid job: fails alone, not the batch.
+    jobs.push(JobSpec::new(pubmed, 21, "npu"));
+    assert!(jobs.len() >= 16, "acceptance floor: {} jobs", jobs.len());
+    jobs
+}
+
+fn outcomes(results: &[JobResult]) -> Vec<&Result<grow::accel::RunReport, RegistryError>> {
+    results.iter().map(|r| &r.outcome).collect()
+}
+
+#[test]
+fn mixed_batch_is_bit_identical_serial_vs_parallel() {
+    let jobs = mixed_jobs();
+    let serial = with_mode(ExecMode::Serial, || BatchService::new().run_batch(&jobs));
+    let parallel = with_workers(WORKERS, || BatchService::new().run_batch(&jobs));
+
+    assert_eq!(serial.len(), jobs.len());
+    assert_eq!(parallel.len(), jobs.len());
+    // Every job has a status, in submission order, under both modes.
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.index, i);
+        assert_eq!(p.index, i);
+        assert_eq!(
+            s.outcome, p.outcome,
+            "job {i} ({} on {}) diverged between serial and parallel",
+            s.engine, s.dataset
+        );
+    }
+    // The invalid job failed with the documented error; everything else ran.
+    let failures: Vec<usize> = serial
+        .iter()
+        .filter(|r| r.outcome.is_err())
+        .map(|r| r.index)
+        .collect();
+    assert_eq!(failures, [jobs.len() - 1]);
+    assert_eq!(
+        serial.last().unwrap().outcome,
+        Err(RegistryError::UnknownEngine("npu".into()))
+    );
+}
+
+#[test]
+fn repeated_parallel_batches_are_stable() {
+    // Thread scheduling varies between runs; batch results must not.
+    let jobs = mixed_jobs();
+    let first = with_workers(WORKERS, || BatchService::new().run_batch(&jobs));
+    for _ in 0..2 {
+        let again = with_workers(WORKERS, || BatchService::new().run_batch(&jobs));
+        assert_eq!(outcomes(&first), outcomes(&again));
+    }
+}
+
+#[test]
+fn duplicate_keys_compute_once_under_parallel_execution() {
+    let spec = DatasetKey::Citeseer.spec().scaled_to(700);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    // 12 jobs, but only 3 distinct keys (engine case and override order
+    // do not affect the key).
+    let a = JobSpec::new(spec, 4, "grow").with_strategy(strategy);
+    let a_alias = JobSpec::new(spec, 4, "GROW").with_strategy(strategy);
+    let b = JobSpec::new(spec, 4, "gcnax");
+    let c = JobSpec::new(spec, 4, "grow")
+        .with_override("runahead", "4")
+        .with_override("hdn_cache_kb", "128");
+    let c_alias = JobSpec::new(spec, 4, "grow")
+        .with_override("hdn_cache_kb", "128")
+        .with_override("runahead", "4");
+    let batch = vec![
+        a.clone(),
+        b.clone(),
+        c.clone(),
+        a_alias.clone(),
+        c_alias.clone(),
+        a.clone(),
+        b.clone(),
+        c.clone(),
+        a_alias,
+        c_alias,
+        a.clone(),
+        b.clone(),
+    ];
+
+    let (parallel_results, stats) = with_workers(WORKERS, || {
+        let mut service = BatchService::new();
+        let results = service.run_batch(&batch);
+        (results, service.stats())
+    });
+    assert_eq!(
+        stats.simulations_run, 3,
+        "exactly one computation per distinct key"
+    );
+    assert_eq!(stats.cache_hits, batch.len() as u64 - 3);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.sessions_created, 1, "one workload recipe");
+    assert_eq!(stats.preparations_run, 2, "two distinct strategies");
+
+    // The non-computing duplicates are flagged as cache hits and carry
+    // the exact report of their key's one computation.
+    let computed: Vec<usize> = parallel_results
+        .iter()
+        .filter(|r| !r.cache_hit)
+        .map(|r| r.index)
+        .collect();
+    assert_eq!(computed, [0, 1, 2]);
+    for r in &parallel_results {
+        let original = &parallel_results[match r.index {
+            i if batch[i].key() == batch[0].key() => 0,
+            i if batch[i].key() == batch[1].key() => 1,
+            _ => 2,
+        }];
+        assert_eq!(r.outcome, original.outcome, "job {}", r.index);
+    }
+
+    // Bit-identical to a forced-serial service run.
+    let serial_results = with_mode(ExecMode::Serial, || BatchService::new().run_batch(&batch));
+    assert_eq!(outcomes(&parallel_results), outcomes(&serial_results));
+}
+
+#[test]
+fn cache_persists_across_batches() {
+    let jobs = mixed_jobs();
+    let mut service = BatchService::new();
+    let first = with_workers(WORKERS, || service.run_batch(&jobs));
+    let sims_after_first = service.stats().simulations_run;
+    assert_eq!(
+        sims_after_first,
+        jobs.len() as u64 - 1,
+        "one job is invalid"
+    );
+
+    let second = with_workers(WORKERS, || service.run_batch(&jobs));
+    assert_eq!(
+        service.stats().simulations_run,
+        sims_after_first,
+        "resubmission is pure cache"
+    );
+    assert!(second
+        .iter()
+        .filter(|r| r.outcome.is_ok())
+        .all(|r| r.cache_hit));
+    assert_eq!(outcomes(&first), outcomes(&second));
+}

@@ -1,0 +1,159 @@
+//! Golden-report regression suite: every engine's full [`RunReport`] —
+//! cycles, MAC counts, per-class DRAM traffic, cache statistics, SRAM
+//! accesses, cluster profiles — on two small fixed-seed workloads,
+//! asserted field-by-field against committed snapshots.
+//!
+//! This locks the modeled numbers down: a refactor that silently shifts
+//! any counter of any engine fails here with a readable diff. Snapshots
+//! are deterministic by construction (integer counters only, and the
+//! parallel cluster path is bit-identical to serial).
+//!
+//! To re-bless after an *intentional* model change:
+//!
+//! ```text
+//! GROW_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! and commit the updated `tests/golden/*.snap` files together with the
+//! change that shifted the numbers.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use grow::accel::registry::{self, ENGINE_NAMES};
+use grow::accel::{prepare, PartitionStrategy, RunReport};
+use grow::model::{DatasetKey, DatasetSpec};
+use grow::sim::TrafficClass;
+
+/// The two fixed-seed golden workloads: a Cora-scale citation graph and a
+/// Pubmed-scale one (distinct feature shapes and densities).
+fn cases() -> [(&'static str, DatasetSpec, u64); 2] {
+    [
+        ("cora_400_s3", DatasetKey::Cora.spec().scaled_to(400), 3),
+        ("pubmed_600_s7", DatasetKey::Pubmed.spec().scaled_to(600), 7),
+    ]
+}
+
+/// Renders every field of a [`RunReport`] deterministically, one counter
+/// per token, so snapshot diffs point at the exact field that moved.
+fn render(report: &RunReport, out: &mut String) {
+    for (li, layer) in report.layers.iter().enumerate() {
+        for phase in [&layer.combination, &layer.aggregation] {
+            let _ = writeln!(
+                out,
+                "layer={li} phase={:?} cycles={} compute_busy={} mac_ops={} \
+                 sram_reads_8b={} sram_writes_8b={}",
+                phase.kind,
+                phase.cycles,
+                phase.compute_busy,
+                phase.mac_ops,
+                phase.sram_reads_8b,
+                phase.sram_writes_8b
+            );
+            for class in TrafficClass::ALL {
+                let _ = writeln!(
+                    out,
+                    "  traffic {} useful={} fetched={} requests={}",
+                    class.label(),
+                    phase.traffic.useful_bytes(class),
+                    phase.traffic.fetched_bytes(class),
+                    phase.traffic.requests(class)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  cache hits={} misses={} fills={}",
+                phase.cache.hits, phase.cache.misses, phase.cache.fills
+            );
+            let profiles: Vec<String> = phase
+                .cluster_profiles
+                .iter()
+                .map(|p| format!("({},{})", p.compute_cycles, p.mem_bytes))
+                .collect();
+            let _ = writeln!(out, "  cluster_profiles=[{}]", profiles.join(" "));
+        }
+    }
+}
+
+/// Builds the snapshot text for one workload: all four engines on both
+/// prepared forms (original order and partitioned).
+fn snapshot(spec: DatasetSpec, seed: u64) -> String {
+    let workload = spec.instantiate(seed);
+    let strategies = [
+        PartitionStrategy::None,
+        PartitionStrategy::Multilevel { cluster_nodes: 100 },
+    ];
+    let mut out = String::new();
+    for strategy in strategies {
+        let prepared = prepare(&workload, strategy, 4096);
+        for name in ENGINE_NAMES {
+            let report = registry::run_named(name, &prepared).expect("registered engine");
+            let _ = writeln!(out, "== engine={} strategy={strategy:?} ==", report.engine);
+            render(&report, &mut out);
+        }
+    }
+    out
+}
+
+fn golden_path(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{case}.snap"))
+}
+
+#[test]
+fn reports_match_committed_snapshots() {
+    let bless = std::env::var_os("GROW_BLESS").is_some_and(|v| !v.is_empty() && v != "0");
+    for (case, spec, seed) in cases() {
+        let actual = snapshot(spec, seed);
+        let path = golden_path(case);
+        if bless {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &actual).expect("write snapshot");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {}: {e}\n\
+                 run `GROW_BLESS=1 cargo test --test golden_reports` to create it",
+                path.display()
+            )
+        });
+        if actual != expected {
+            let mismatch = expected
+                .lines()
+                .zip(actual.lines())
+                .enumerate()
+                .find(|(_, (e, a))| e != a);
+            let detail = match mismatch {
+                Some((n, (e, a))) => {
+                    format!(
+                        "first differing line {}:\n  expected: {e}\n  actual:   {a}",
+                        n + 1
+                    )
+                }
+                None => "line counts differ".to_string(),
+            };
+            panic!(
+                "{case}: modeled numbers shifted from the committed snapshot \
+                 ({}).\n{detail}\n\
+                 If the change is intentional, re-bless with \
+                 `GROW_BLESS=1 cargo test --test golden_reports` and commit \
+                 the updated snapshot.",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshots_are_execution_mode_invariant() {
+    // The golden files are valid under any thread count: the parallel
+    // cluster path is bit-identical to serial, so the snapshot rendering
+    // must be too.
+    use grow::sim::exec::{with_mode, with_workers, ExecMode};
+    let (_, spec, seed) = cases()[0];
+    let serial = with_mode(ExecMode::Serial, || snapshot(spec, seed));
+    let parallel = with_workers(4, || snapshot(spec, seed));
+    assert_eq!(serial, parallel);
+}

@@ -1,0 +1,183 @@
+//! Error-path coverage for the registry and session entry points: every
+//! documented failure mode surfaces as the matching [`RegistryError`] —
+//! never a panic — through each layer (`registry`, `SimSession`, and the
+//! `grow_serve` batch service).
+
+use grow::accel::registry::{self, RegistryError};
+use grow::accel::PartitionStrategy;
+use grow::model::DatasetKey;
+use grow::serve::{BatchService, JobSpec};
+use grow::session::SimSession;
+
+fn spec() -> grow::model::DatasetSpec {
+    DatasetKey::Cora.spec().scaled_to(300)
+}
+
+#[test]
+fn unknown_engine_is_an_error_everywhere() {
+    let expected = RegistryError::UnknownEngine("npu".into());
+    assert_eq!(
+        registry::engine_by_name("npu").err(),
+        Some(expected.clone())
+    );
+    assert_eq!(
+        registry::canonical_name("npu").err(),
+        Some(expected.clone())
+    );
+
+    let workload = spec().instantiate(1);
+    let prepared = grow::accel::prepare(&workload, PartitionStrategy::None, 4096);
+    assert_eq!(
+        registry::run_named("npu", &prepared).err(),
+        Some(expected.clone())
+    );
+
+    let mut session = SimSession::from_spec(spec(), 1);
+    assert_eq!(
+        session.run("npu", PartitionStrategy::None).err(),
+        Some(expected.clone())
+    );
+    assert_eq!(
+        session.prepared_count(),
+        0,
+        "no preparation spent on an unknown engine"
+    );
+
+    let result = BatchService::new().run_one(&JobSpec::new(spec(), 1, "npu"));
+    assert_eq!(result.outcome.err(), Some(expected.clone()));
+    // The message names the valid engines, so the error is actionable.
+    let message = expected.to_string();
+    for name in registry::ENGINE_NAMES {
+        assert!(message.contains(name), "{message}");
+    }
+}
+
+#[test]
+fn unknown_key_and_invalid_value_are_reported_not_panicked() {
+    let unknown_key = RegistryError::UnknownKey {
+        engine: "matraptor",
+        key: "runahead".into(),
+    };
+    assert_eq!(
+        registry::engine_from_overrides("matraptor", &[("runahead", "4")]).err(),
+        Some(unknown_key.clone())
+    );
+    let mut session = SimSession::from_spec(spec(), 2);
+    assert_eq!(
+        session
+            .run_with("matraptor", &[("runahead", "4")], PartitionStrategy::None)
+            .err(),
+        Some(unknown_key.clone())
+    );
+    let via_batch = BatchService::new()
+        .run_one(&JobSpec::new(spec(), 2, "matraptor").with_override("runahead", "4"));
+    assert_eq!(via_batch.outcome.err(), Some(unknown_key));
+
+    let invalid_value = RegistryError::InvalidValue {
+        key: "mac_lanes".into(),
+        value: "lots".into(),
+    };
+    assert_eq!(
+        registry::engine_from_overrides("gamma", &[("mac_lanes", "lots")]).err(),
+        Some(invalid_value.clone())
+    );
+    let via_batch = BatchService::new()
+        .run_one(&JobSpec::new(spec(), 2, "gamma").with_override("mac_lanes", "lots"));
+    assert_eq!(via_batch.outcome.err(), Some(invalid_value));
+}
+
+#[test]
+fn malformed_override_specs_are_rejected() {
+    for bad in ["runahead", "=4", "runahead=", ""] {
+        assert_eq!(
+            registry::parse_override(bad).err(),
+            Some(RegistryError::MalformedOverride { spec: bad.into() }),
+            "{bad:?}"
+        );
+        let result =
+            BatchService::new().run_one(&JobSpec::new(spec(), 3, "grow").with_override_spec(bad));
+        assert_eq!(
+            result.outcome.err(),
+            Some(RegistryError::MalformedOverride { spec: bad.into() }),
+            "{bad:?}"
+        );
+    }
+    // Values may contain '='; only the first one splits.
+    assert_eq!(
+        registry::parse_override("key=a=b").unwrap(),
+        ("key".into(), "a=b".into())
+    );
+}
+
+#[test]
+fn every_error_displays_a_useful_message() {
+    let errors: Vec<RegistryError> = vec![
+        RegistryError::UnknownEngine("npu".into()),
+        RegistryError::UnknownKey {
+            engine: "grow",
+            key: "warp_size".into(),
+        },
+        RegistryError::InvalidValue {
+            key: "runahead".into(),
+            value: "many".into(),
+        },
+        RegistryError::MalformedOverride {
+            spec: "runahead".into(),
+        },
+    ];
+    for e in errors {
+        let text = e.to_string();
+        assert!(!text.is_empty());
+        // std::error::Error is implemented, so the errors compose with ?
+        // and error-reporting crates.
+        let as_dyn: &dyn std::error::Error = &e;
+        assert_eq!(as_dyn.to_string(), text);
+    }
+}
+
+#[test]
+fn hdn_entry_changes_invalidate_without_panicking() {
+    let mut session = SimSession::from_spec(spec(), 5);
+    let wide = session
+        .run("grow", PartitionStrategy::None)
+        .expect("registered engine");
+    assert_eq!(session.prepared_count(), 1);
+
+    // Shrinking the HDN ID list drops every memoized preparation and
+    // re-prepares on demand with the new bound.
+    session.set_hdn_id_entries(8);
+    assert_eq!(session.prepared_count(), 0);
+    let narrow = session
+        .run("grow", PartitionStrategy::None)
+        .expect("still runs after invalidation");
+    assert_eq!(
+        wide.mac_ops(),
+        narrow.mac_ops(),
+        "list length changes movement, not work"
+    );
+    assert!(
+        session
+            .get_prepared(PartitionStrategy::None)
+            .expect("re-prepared")
+            .hdn_lists[0]
+            .len()
+            <= 8
+    );
+
+    // Setting the same value again is a no-op, not an invalidation.
+    session.set_hdn_id_entries(8);
+    assert_eq!(session.prepared_count(), 1);
+}
+
+#[test]
+fn batch_jobs_with_distinct_hdn_entries_get_distinct_sessions() {
+    let mut service = BatchService::new();
+    let results = service.run_batch(&[
+        JobSpec::new(spec(), 6, "grow"),
+        JobSpec::new(spec(), 6, "grow").with_hdn_id_entries(8),
+    ]);
+    assert!(results[0].outcome.is_ok() && results[1].outcome.is_ok());
+    assert_ne!(results[0].key, results[1].key);
+    assert_eq!(service.pooled_sessions(), 2);
+    assert_eq!(service.stats().simulations_run, 2);
+}
