@@ -9,8 +9,12 @@
 //! ```
 //!
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
-//! fig18 fig19 fig20 fig21 fig22 table4 fig24 fig25a fig25b fig26
-//! replacement nonpowerlaw preprocessing extensions engines sweep`. Each
+//! fig18 fig19 fig20 fig21 fig22 table4 fig24 figure24 fig25a fig25b
+//! fig26 replacement nonpowerlaw preprocessing extensions engines sweep`
+//! (`figure24` is the scheduler-axis extension of `fig24`: round-robin vs
+//! LPT vs work-stealing cluster scheduling across PE counts, dispatched
+//! through the batch service and summarized into
+//! `results/BENCH_figure24.json`). Each
 //! prints an aligned table and writes `results/<id>.csv` plus a
 //! machine-readable `results/<id>.json`; a run summary with per-experiment
 //! wall-clock times lands in `results/BENCH_experiments.json` for
@@ -96,6 +100,7 @@ fn main() {
         "fig22",
         "table4",
         "fig24",
+        "figure24",
         "fig25a",
         "fig25b",
         "fig26",
@@ -138,6 +143,7 @@ fn main() {
             "fig22" => fig22(&mut ctx),
             "table4" => table4(),
             "fig24" => fig24(&mut ctx),
+            "figure24" => figure24(&ctx, &mut service, &out_dir),
             "fig25a" => fig25a(&mut ctx),
             "fig25b" => fig25b(&mut ctx),
             "fig26" => fig26(&mut ctx),
@@ -821,6 +827,105 @@ fn table4() -> Table {
         format!("{GCNAX_AREA_40NM:.2}"),
         "-".into(),
     ]);
+    t
+}
+
+/// The scheduler-axis extension of Figure 24: the GROW scheduler × PE
+/// grid dispatched through the batch service (`scheduler=`/`pes=`
+/// overrides), reporting per-cell makespan, speedup over round-robin, and
+/// the load-imbalance ratio. A machine-readable summary additionally
+/// lands in `<out>/BENCH_figure24.json`.
+fn figure24(ctx: &Context, service: &mut BatchService, out_dir: &std::path::Path) -> Table {
+    use grow_core::PartitionStrategy;
+    use grow_serve::scheduler_grid_jobs;
+    let pe_counts = [1usize, 4, 16];
+    let specs: Vec<_> = (0..ctx.len()).map(|i| ctx.spec(i)).collect();
+    // Finer clusters than the Table III default so every dataset has
+    // real scheduling freedom (the default 4096-node grain leaves small
+    // surrogates as a handful of clusters that any policy assigns alike).
+    let jobs = scheduler_grid_jobs(
+        &specs,
+        ctx.seed,
+        "grow",
+        PartitionStrategy::Multilevel { cluster_nodes: 256 },
+        &grow_core::SchedulerKind::ALL,
+        &pe_counts,
+    );
+    eprintln!(
+        "[run] figure24: {} datasets x {} PE counts x 3 schedulers = {} jobs",
+        specs.len(),
+        pe_counts.len(),
+        jobs.len()
+    );
+    let results = service.run_batch(&jobs);
+
+    // Round-robin baselines per (dataset, pes) for the speedup column.
+    let mut rr_makespan: std::collections::HashMap<(&str, usize), f64> =
+        std::collections::HashMap::new();
+    for result in &results {
+        let summary = result
+            .report()
+            .expect("grow with registered schedulers")
+            .multi_pe
+            .clone()
+            .expect("summary attached");
+        if summary.scheduler == "rr" {
+            rr_makespan.insert((result.dataset, summary.pes), summary.makespan);
+        }
+    }
+
+    let mut t = Table::new(
+        "figure24",
+        &[
+            "dataset",
+            "pes",
+            "scheduler",
+            "makespan",
+            "speedup-vs-rr",
+            "imbalance",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for result in &results {
+        let summary = result
+            .report()
+            .expect("validated jobs")
+            .multi_pe
+            .clone()
+            .expect("summary attached");
+        let rr = rr_makespan[&(result.dataset, summary.pes)];
+        let speedup = if summary.makespan > 0.0 {
+            rr / summary.makespan
+        } else {
+            1.0
+        };
+        t.row(&[
+            result.dataset.into(),
+            summary.pes.to_string(),
+            summary.scheduler.into(),
+            format!("{:.0}", summary.makespan),
+            cell::ratio(speedup),
+            cell::ratio(summary.imbalance),
+        ]);
+        json_rows.push(grow_bench::json::object(&[
+            ("dataset", grow_bench::json::string(result.dataset)),
+            ("pes", grow_bench::json::uint(summary.pes as u64)),
+            ("scheduler", grow_bench::json::string(summary.scheduler)),
+            ("makespan", grow_bench::json::number(summary.makespan)),
+            ("imbalance", grow_bench::json::number(summary.imbalance)),
+            ("speedup_vs_rr", grow_bench::json::number(speedup)),
+        ]));
+    }
+    let doc = grow_bench::json::object(&[
+        ("source", grow_bench::json::string("experiments")),
+        ("seed", grow_bench::json::uint(ctx.seed)),
+        ("rows", grow_bench::json::array(json_rows)),
+    ]);
+    if let Err(e) = std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("BENCH_figure24.json"), doc))
+    {
+        eprintln!("warning: could not write BENCH_figure24.json: {e}");
+    }
     t
 }
 

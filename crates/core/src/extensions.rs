@@ -119,6 +119,13 @@ pub fn run_with_aggregation(
         }
         _ => {}
     }
+    // GIN/GAT added phase work above; refresh the multi-PE projection so
+    // the summary always describes the report it is attached to.
+    report.multi_pe = Some(crate::schedule::summarize(
+        &report,
+        &engine.config().multi_pe,
+        engine.config().dram.bytes_per_cycle,
+    ));
     report
 }
 

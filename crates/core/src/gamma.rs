@@ -27,6 +27,8 @@ pub struct GammaConfig {
     /// Merge occupancy relative to a MAC op (pipelined high-radix merge:
     /// 0.5).
     pub merge_factor: f64,
+    /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
+    pub multi_pe: crate::schedule::MultiPeConfig,
 }
 
 impl Default for GammaConfig {
@@ -36,6 +38,7 @@ impl Default for GammaConfig {
             dram: DramConfig::default(),
             fiber_cache_bytes: 512 * 1024,
             merge_factor: 0.5,
+            multi_pe: crate::schedule::MultiPeConfig::default(),
         }
     }
 }
@@ -65,6 +68,7 @@ impl GammaEngine {
             fiber_cache_bytes: self.config.fiber_cache_bytes,
             merge_factor: self.config.merge_factor,
             sram_kb: self.config.fiber_cache_bytes as f64 / 1024.0 + 32.0,
+            multi_pe: self.config.multi_pe,
         }
     }
 }

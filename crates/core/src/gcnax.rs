@@ -46,6 +46,8 @@ pub struct GcnaxConfig {
     pub tile_fetch_depth: usize,
     /// Off-chip memory parameters.
     pub dram: DramConfig,
+    /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
+    pub multi_pe: crate::schedule::MultiPeConfig,
 }
 
 impl Default for GcnaxConfig {
@@ -59,6 +61,7 @@ impl Default for GcnaxConfig {
             // next tile while computing the current one, nothing more.
             tile_fetch_depth: 2,
             dram: DramConfig::default(),
+            multi_pe: crate::schedule::MultiPeConfig::default(),
         }
     }
 }
@@ -268,7 +271,7 @@ impl Accelerator for GcnaxEngine {
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
         let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
-        pipeline::run_layers(self.name(), workload, |layer| LayerReport {
+        let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_phase(
                 PhaseKind::Combination,
                 &layer.x.view(),
@@ -281,7 +284,13 @@ impl Accelerator for GcnaxEngine {
                 layer.f_out,
                 &workload.clusters,
             ),
-        })
+        });
+        report.multi_pe = Some(crate::schedule::summarize(
+            &report,
+            &self.config.multi_pe,
+            self.config.dram.bytes_per_cycle,
+        ));
+        report
     }
 
     fn sram_kb(&self) -> f64 {

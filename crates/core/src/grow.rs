@@ -66,6 +66,8 @@ pub struct GrowConfig {
     pub hdn_caching: bool,
     /// Replacement policy of the HDN cache.
     pub replacement: ReplacementPolicy,
+    /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
+    pub multi_pe: crate::schedule::MultiPeConfig,
 }
 
 impl Default for GrowConfig {
@@ -82,6 +84,7 @@ impl Default for GrowConfig {
             dram: DramConfig::default(),
             hdn_caching: true,
             replacement: ReplacementPolicy::Pinned,
+            multi_pe: crate::schedule::MultiPeConfig::default(),
         }
     }
 }
@@ -475,10 +478,16 @@ impl Accelerator for GrowEngine {
     }
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
-        pipeline::run_layers(self.name(), workload, |layer| LayerReport {
+        let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_combination(&layer.x.view(), layer.f_out, &workload.clusters),
             aggregation: self.run_aggregation(workload, layer.f_out),
-        })
+        });
+        report.multi_pe = Some(crate::schedule::summarize(
+            &report,
+            &self.config.multi_pe,
+            self.config.dram.bytes_per_cycle,
+        ));
+        report
     }
 
     fn sram_kb(&self) -> f64 {

@@ -11,7 +11,9 @@
 //!   sparse-*sparse* accelerators compared in Section VII-H;
 //! * [`prepare`] / [`PreparedWorkload`] — the software preprocessing stack
 //!   (partitioning, relabeling, HDN list extraction);
-//! * [`multi_pe`] — the multi-PE scaling model of Figure 24;
+//! * [`multi_pe`] / [`schedule`] — the multi-PE scaling model of
+//!   Figure 24 and its pluggable cluster-to-PE schedulers
+//!   (round-robin / LPT / work-stealing);
 //! * [`experiments`] — drivers that regenerate each figure/table of the
 //!   evaluation (Section VII).
 //!
@@ -44,13 +46,15 @@ pub mod extensions;
 pub mod multi_pe;
 pub mod pipeline;
 pub mod registry;
+pub mod schedule;
 
 pub use gamma::{GammaConfig, GammaEngine};
 pub use gcnax::{GcnaxConfig, GcnaxEngine};
 pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy};
 pub use matraptor::{MatRaptorConfig, MatRaptorEngine};
 pub use prepare::{prepare, PartitionStrategy, PreparedWorkload};
-pub use report::{ClusterProfile, LayerReport, PhaseKind, PhaseReport, RunReport};
+pub use report::{ClusterProfile, LayerReport, MultiPeSummary, PhaseKind, PhaseReport, RunReport};
+pub use schedule::{MultiPeConfig, SchedulerKind};
 
 /// Common interface of all four accelerator models.
 ///

@@ -22,6 +22,8 @@ pub struct MatRaptorConfig {
     pub dram: DramConfig,
     /// Merge occupancy relative to a MAC op (sorting queues: 1.0).
     pub merge_factor: f64,
+    /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
+    pub multi_pe: crate::schedule::MultiPeConfig,
 }
 
 impl Default for MatRaptorConfig {
@@ -30,6 +32,7 @@ impl Default for MatRaptorConfig {
             mac_lanes: 16,
             dram: DramConfig::default(),
             merge_factor: 1.0,
+            multi_pe: crate::schedule::MultiPeConfig::default(),
         }
     }
 }
@@ -61,6 +64,7 @@ impl MatRaptorEngine {
             // MatRaptor's on-chip storage is its sorting queue array
             // (~12 queues x a few KB) plus stream buffers.
             sram_kb: 64.0,
+            multi_pe: self.config.multi_pe,
         }
     }
 }

@@ -13,7 +13,14 @@
 //! MAC time and `mem_bytes` of DRAM transfer (overlapped); at any instant
 //! the memory-demanding PEs split the shared channel by water-filling,
 //! while compute-bound PEs leave their share to others.
+//!
+//! Which PE runs which cluster is decided by a pluggable
+//! [`Scheduler`](crate::schedule::Scheduler) — see [`crate::schedule`] for
+//! the policies (`rr`, `lpt`, `ws`). [`simulate`] keeps the original
+//! round-robin behavior bit-identically; [`simulate_with`] exposes the full
+//! per-PE accounting under any scheduler.
 
+use crate::schedule::{Scheduler, SchedulerKind};
 use crate::ClusterProfile;
 
 /// One point of the Figure 24 scaling curve.
@@ -27,43 +34,120 @@ pub struct ScalingPoint {
     pub normalized_throughput: f64,
 }
 
-/// Simulates `pes` PEs working through `profiles` (round-robin cluster
-/// assignment, preserving order) against a shared memory channel of
+/// Full accounting of one fluid multi-PE simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPeRun {
+    /// Canonical name of the scheduler that assigned clusters to PEs.
+    pub scheduler: &'static str,
+    /// Number of processing engines simulated.
+    pub pes: usize,
+    /// Makespan in cycles: when the last PE finishes its last cluster.
+    pub makespan: f64,
+    /// Cycles each PE spent with a cluster in execution (the rest of the
+    /// makespan it sat idle waiting for work).
+    pub per_pe_busy: Vec<f64>,
+    /// In-system execution time of each cluster, indexed like the input
+    /// profiles. Every cluster occupies exactly one PE while executing, so
+    /// these sum to the total busy time (the conservation law the property
+    /// suite asserts).
+    pub cluster_cycles: Vec<f64>,
+}
+
+impl MultiPeRun {
+    /// Total busy cycles across PEs.
+    pub fn busy_total(&self) -> f64 {
+        self.per_pe_busy.iter().sum()
+    }
+
+    /// Load-imbalance ratio: busiest PE over mean PE busy time. 1.0 means
+    /// perfectly balanced; `pes` means one PE did all the work. Defined as
+    /// 1.0 for an empty run.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.busy_total();
+        if total <= 0.0 || self.per_pe_busy.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_pe_busy.iter().cloned().fold(0.0f64, f64::max);
+        max * self.per_pe_busy.len() as f64 / total
+    }
+}
+
+/// Simulates `pes` PEs working through `profiles` under the original
+/// round-robin cluster assignment against a shared memory channel of
 /// `pes * per_pe_bytes_per_cycle`. Returns the makespan in cycles.
+///
+/// This is the legacy entry point; [`simulate_with`] selects the scheduler
+/// and returns the full per-PE accounting. Round-robin results are
+/// bit-identical between the two.
 ///
 /// # Panics
 ///
 /// Panics if `pes == 0` or the bandwidth is not positive.
 pub fn simulate(profiles: &[ClusterProfile], pes: usize, per_pe_bytes_per_cycle: f64) -> f64 {
+    simulate_with(
+        profiles,
+        pes,
+        per_pe_bytes_per_cycle,
+        SchedulerKind::RoundRobin,
+    )
+    .makespan
+}
+
+/// Simulates `pes` PEs working through `profiles` with cluster-to-PE
+/// assignment decided by `scheduler`, against a shared memory channel of
+/// `pes * per_pe_bytes_per_cycle`.
+///
+/// # Panics
+///
+/// Panics if `pes == 0` or the bandwidth is not positive.
+pub fn simulate_with(
+    profiles: &[ClusterProfile],
+    pes: usize,
+    per_pe_bytes_per_cycle: f64,
+    scheduler: SchedulerKind,
+) -> MultiPeRun {
+    simulate_scheduled(
+        profiles,
+        pes,
+        per_pe_bytes_per_cycle,
+        scheduler.scheduler().as_ref(),
+    )
+}
+
+/// [`simulate_with`] over an arbitrary (possibly user-supplied)
+/// [`Scheduler`] implementation.
+///
+/// # Panics
+///
+/// Panics if `pes == 0` or the bandwidth is not positive.
+pub fn simulate_scheduled(
+    profiles: &[ClusterProfile],
+    pes: usize,
+    per_pe_bytes_per_cycle: f64,
+    scheduler: &dyn Scheduler,
+) -> MultiPeRun {
     assert!(pes > 0, "at least one PE");
     assert!(per_pe_bytes_per_cycle > 0.0, "bandwidth must be positive");
     let total_bw = pes as f64 * per_pe_bytes_per_cycle;
+    let mut dispatch = scheduler.dispatcher(profiles, pes, per_pe_bytes_per_cycle);
 
-    // Round-robin assignment: PE p gets clusters p, p+pes, p+2*pes, ...
-    // (clusters retain their program order within a PE, so heterogeneous
-    // phases interleave across PEs — the source of super-linearity).
-    let mut queues: Vec<std::collections::VecDeque<ClusterProfile>> =
-        vec![std::collections::VecDeque::new(); pes];
-    for (i, c) in profiles.iter().enumerate() {
-        queues[i % pes].push_back(*c);
-    }
-
-    // Active task per PE: (compute total, mem total, fraction remaining).
+    // Active task per PE: cluster index, compute total, mem total,
+    // fraction remaining.
     struct Task {
+        idx: usize,
         c: f64,
         m: f64,
         w: f64,
     }
-    let mut active: Vec<Option<Task>> = queues
-        .iter_mut()
-        .map(|q| {
-            q.pop_front().map(|p| Task {
-                c: p.compute_cycles as f64,
-                m: p.mem_bytes as f64,
-                w: 1.0,
-            })
-        })
-        .collect();
+    let spawn = |i: usize| Task {
+        idx: i,
+        c: profiles[i].compute_cycles as f64,
+        m: profiles[i].mem_bytes as f64,
+        w: 1.0,
+    };
+    let mut active: Vec<Option<Task>> = (0..pes).map(|p| dispatch.next(p).map(spawn)).collect();
+    let mut busy = vec![0.0f64; pes];
+    let mut cluster_cycles = vec![0.0f64; profiles.len()];
 
     let mut t = 0.0f64;
     loop {
@@ -118,31 +202,51 @@ pub fn simulate(profiles: &[ClusterProfile], pes: usize, per_pe_bytes_per_cycle:
 
         t += dt;
         for &p in &live {
+            busy[p] += dt;
             let task = active[p].as_mut().expect("live");
+            cluster_cycles[task.idx] += dt;
             task.w -= rates[p] * dt;
             if task.w <= 1e-9 {
-                active[p] = queues[p].pop_front().map(|c| Task {
-                    c: c.compute_cycles as f64,
-                    m: c.mem_bytes as f64,
-                    w: 1.0,
-                });
+                active[p] = dispatch.next(p).map(spawn);
             }
         }
     }
-    t
+    MultiPeRun {
+        scheduler: scheduler.name(),
+        pes,
+        makespan: t,
+        per_pe_busy: busy,
+        cluster_cycles,
+    }
 }
 
-/// Produces the Figure 24 scaling curve for the given PE counts.
+/// Produces the Figure 24 scaling curve for the given PE counts under the
+/// original round-robin assignment.
 pub fn scaling_curve(
     profiles: &[ClusterProfile],
     pe_counts: &[usize],
     per_pe_bytes_per_cycle: f64,
 ) -> Vec<ScalingPoint> {
-    let base = simulate(profiles, 1, per_pe_bytes_per_cycle);
+    scaling_curve_with(
+        profiles,
+        pe_counts,
+        per_pe_bytes_per_cycle,
+        SchedulerKind::RoundRobin,
+    )
+}
+
+/// Produces the Figure 24 scaling curve under an explicit scheduler.
+pub fn scaling_curve_with(
+    profiles: &[ClusterProfile],
+    pe_counts: &[usize],
+    per_pe_bytes_per_cycle: f64,
+    scheduler: SchedulerKind,
+) -> Vec<ScalingPoint> {
+    let base = simulate_with(profiles, 1, per_pe_bytes_per_cycle, scheduler).makespan;
     pe_counts
         .iter()
         .map(|&pes| {
-            let cycles = simulate(profiles, pes, per_pe_bytes_per_cycle);
+            let cycles = simulate_with(profiles, pes, per_pe_bytes_per_cycle, scheduler).makespan;
             ScalingPoint {
                 pes,
                 cycles,
@@ -244,5 +348,64 @@ mod tests {
         let profiles = [task(10, 10), task(20, 5)];
         let curve = scaling_curve(&profiles, &[1], 1.0);
         assert!((curve[0].normalized_throughput - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_simulate_is_round_robin() {
+        let profiles: Vec<ClusterProfile> =
+            (0..23).map(|i| task(30 + 7 * i, 11 * (i % 6))).collect();
+        for pes in [1, 3, 8] {
+            let run = simulate_with(&profiles, pes, 4.0, SchedulerKind::RoundRobin);
+            assert_eq!(
+                simulate(&profiles, pes, 4.0),
+                run.makespan,
+                "bit-identical round-robin makespan at {pes} PEs"
+            );
+            assert_eq!(run.per_pe_busy.len(), pes);
+            assert_eq!(run.cluster_cycles.len(), profiles.len());
+            assert_eq!(run.scheduler, "rr");
+        }
+    }
+
+    #[test]
+    fn work_stealing_balances_a_skewed_tail() {
+        // 3 giant clusters then 61 small ones on 4 PEs: round-robin gives
+        // PE 3 only small clusters while PEs 0..3 serialize behind the
+        // giants; work-stealing spreads the small ones over whoever is
+        // free.
+        let profiles: Vec<ClusterProfile> = (0..64)
+            .map(|i| if i < 3 { task(10_000, 0) } else { task(100, 0) })
+            .collect();
+        let rr = simulate_with(&profiles, 4, 4.0, SchedulerKind::RoundRobin);
+        let ws = simulate_with(&profiles, 4, 4.0, SchedulerKind::WorkStealing);
+        let lpt = simulate_with(&profiles, 4, 4.0, SchedulerKind::StaticLpt);
+        assert!(
+            ws.makespan < rr.makespan,
+            "ws {} vs rr {}",
+            ws.makespan,
+            rr.makespan
+        );
+        assert!(
+            lpt.makespan < rr.makespan,
+            "lpt {} vs rr {}",
+            lpt.makespan,
+            rr.makespan
+        );
+        assert!(ws.imbalance() < rr.imbalance());
+    }
+
+    #[test]
+    fn imbalance_is_one_when_balanced() {
+        let profiles: Vec<ClusterProfile> = (0..8).map(|_| task(100, 0)).collect();
+        let run = simulate_with(&profiles, 4, 4.0, SchedulerKind::RoundRobin);
+        assert!((run.imbalance() - 1.0).abs() < 1e-9, "{}", run.imbalance());
+        assert_eq!(
+            MultiPeRun {
+                per_pe_busy: vec![],
+                ..run
+            }
+            .imbalance(),
+            1.0
+        );
     }
 }

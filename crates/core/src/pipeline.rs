@@ -121,6 +121,9 @@ where
     RunReport {
         engine,
         layers: workload.layers.iter().map(layer_fn).collect(),
+        // Engines attach their configured multi-PE projection afterwards
+        // (see `crate::schedule::summarize`).
+        multi_pe: None,
     }
 }
 

@@ -27,6 +27,7 @@ use std::fmt;
 
 use grow_sim::DramConfig;
 
+use crate::schedule::{MultiPeConfig, SchedulerKind, SCHEDULER_NAMES};
 use crate::{
     Accelerator, GammaConfig, GammaEngine, GcnaxConfig, GcnaxEngine, GrowConfig, GrowEngine,
     MatRaptorConfig, MatRaptorEngine, PreparedWorkload, ReplacementPolicy, RunReport,
@@ -60,6 +61,9 @@ pub enum RegistryError {
         /// The offending specification string.
         spec: String,
     },
+    /// The `scheduler=` override named no registered scheduler (see
+    /// [`SCHEDULER_NAMES`]).
+    UnknownScheduler(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -80,6 +84,13 @@ impl fmt::Display for RegistryError {
             }
             RegistryError::MalformedOverride { spec } => {
                 write!(f, "malformed override '{spec}' (expected key=value)")
+            }
+            RegistryError::UnknownScheduler(name) => {
+                write!(
+                    f,
+                    "unknown scheduler '{name}' (known: {})",
+                    SCHEDULER_NAMES.join(", ")
+                )
             }
         }
     }
@@ -106,10 +117,39 @@ fn apply_dram_key(dram: &mut DramConfig, key: &str, value: &str) -> Result<bool,
     Ok(true)
 }
 
+/// Applies the multi-PE keys shared by every engine (`pes=N`,
+/// `scheduler=rr|lpt|ws`); returns `true` if `key` was one of them.
+fn apply_schedule_key(
+    cfg: &mut MultiPeConfig,
+    key: &str,
+    value: &str,
+) -> Result<bool, RegistryError> {
+    match key {
+        "pes" => {
+            let pes: usize = parse(key, value)?;
+            if pes == 0 {
+                return Err(RegistryError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                });
+            }
+            cfg.pes = pes;
+        }
+        "scheduler" => {
+            cfg.scheduler = SchedulerKind::parse(value)
+                .ok_or_else(|| RegistryError::UnknownScheduler(value.to_string()))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
     let mut cfg = GrowConfig::default();
     for &(key, value) in overrides {
-        if apply_dram_key(&mut cfg.dram, key, value)? {
+        if apply_dram_key(&mut cfg.dram, key, value)?
+            || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+        {
             continue;
         }
         match key {
@@ -148,7 +188,9 @@ fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
 fn gcnax_from(overrides: &[(&str, &str)]) -> Result<GcnaxEngine, RegistryError> {
     let mut cfg = GcnaxConfig::default();
     for &(key, value) in overrides {
-        if apply_dram_key(&mut cfg.dram, key, value)? {
+        if apply_dram_key(&mut cfg.dram, key, value)?
+            || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+        {
             continue;
         }
         match key {
@@ -171,7 +213,9 @@ fn gcnax_from(overrides: &[(&str, &str)]) -> Result<GcnaxEngine, RegistryError> 
 fn matraptor_from(overrides: &[(&str, &str)]) -> Result<MatRaptorEngine, RegistryError> {
     let mut cfg = MatRaptorConfig::default();
     for &(key, value) in overrides {
-        if apply_dram_key(&mut cfg.dram, key, value)? {
+        if apply_dram_key(&mut cfg.dram, key, value)?
+            || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+        {
             continue;
         }
         match key {
@@ -191,7 +235,9 @@ fn matraptor_from(overrides: &[(&str, &str)]) -> Result<MatRaptorEngine, Registr
 fn gamma_from(overrides: &[(&str, &str)]) -> Result<GammaEngine, RegistryError> {
     let mut cfg = GammaConfig::default();
     for &(key, value) in overrides {
-        if apply_dram_key(&mut cfg.dram, key, value)? {
+        if apply_dram_key(&mut cfg.dram, key, value)?
+            || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+        {
             continue;
         }
         match key {
@@ -441,5 +487,64 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn every_engine_accepts_shared_schedule_keys() {
+        let p = prepared();
+        for name in ENGINE_NAMES {
+            for scheduler in crate::schedule::SCHEDULER_NAMES {
+                let report = engine_from_overrides(name, &[("scheduler", scheduler), ("pes", "4")])
+                    .unwrap_or_else(|e| panic!("{name}/{scheduler}: {e}"))
+                    .run(&p);
+                let summary = report.multi_pe.expect("summary attached");
+                assert_eq!(summary.scheduler, scheduler);
+                assert_eq!(summary.pes, 4);
+                assert_eq!(summary.per_pe_busy.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_and_pes_overrides_are_validated() {
+        assert_eq!(
+            engine_from_overrides("grow", &[("scheduler", "bogus")])
+                .err()
+                .expect("must fail"),
+            RegistryError::UnknownScheduler("bogus".into())
+        );
+        let message = RegistryError::UnknownScheduler("bogus".into()).to_string();
+        for name in crate::schedule::SCHEDULER_NAMES {
+            assert!(message.contains(name), "{message}");
+        }
+        for bad_pes in ["0", "-3", "many"] {
+            assert_eq!(
+                engine_from_overrides("gamma", &[("pes", bad_pes)])
+                    .err()
+                    .expect("must fail"),
+                RegistryError::InvalidValue {
+                    key: "pes".into(),
+                    value: bad_pes.into()
+                },
+                "{bad_pes}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_override_matches_typed_config() {
+        let p = prepared();
+        let via_registry = engine_from_overrides("grow", &[("scheduler", "ws"), ("pes", "8")])
+            .unwrap()
+            .run(&p);
+        let typed = GrowEngine::new(GrowConfig {
+            multi_pe: MultiPeConfig {
+                pes: 8,
+                scheduler: SchedulerKind::WorkStealing,
+            },
+            ..GrowConfig::default()
+        })
+        .run(&p);
+        assert_eq!(via_registry, typed);
     }
 }

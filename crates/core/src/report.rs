@@ -23,6 +23,29 @@ pub struct ClusterProfile {
     pub mem_bytes: u64,
 }
 
+/// Summary of the multi-PE projection attached to every run: the fluid
+/// model of Figure 24 replayed over the run's per-cluster profiles with
+/// the configured PE count and scheduler (see [`crate::schedule`]).
+///
+/// Everything here is *assignment-dependent* — derived from, never feeding
+/// back into, the per-phase counters. Two runs that differ only in
+/// scheduler have bit-identical [`RunReport::layers`] and differ at most
+/// in this summary (the scheduler-invariance suite asserts exactly that).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPeSummary {
+    /// Canonical scheduler name (`rr`, `lpt`, or `ws`).
+    pub scheduler: &'static str,
+    /// Number of PEs projected onto (1 = the paper's base configuration).
+    pub pes: usize,
+    /// Multi-PE makespan in cycles under the fluid model.
+    pub makespan: f64,
+    /// Load-imbalance ratio: busiest PE's busy cycles over the mean
+    /// (1.0 = perfectly balanced, `pes` = one PE did everything).
+    pub imbalance: f64,
+    /// Cycles each PE spent executing clusters.
+    pub per_pe_busy: Vec<f64>,
+}
+
 /// Timing/traffic/cache statistics of one SpDeGEMM phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseReport {
@@ -42,7 +65,8 @@ pub struct PhaseReport {
     pub sram_reads_8b: u64,
     /// 8-byte on-chip SRAM writes.
     pub sram_writes_8b: u64,
-    /// Per-cluster profiles (GROW only; empty elsewhere).
+    /// Per-cluster profiles (every engine emits one per simulated
+    /// cluster; the multi-PE model schedules over them).
     pub cluster_profiles: Vec<ClusterProfile>,
 }
 
@@ -109,6 +133,9 @@ pub struct RunReport {
     pub engine: &'static str,
     /// Per-layer reports.
     pub layers: Vec<LayerReport>,
+    /// Multi-PE projection of this run (`None` only for hand-built
+    /// reports; every engine attaches its configured summary).
+    pub multi_pe: Option<MultiPeSummary>,
 }
 
 impl RunReport {
@@ -223,6 +250,7 @@ mod tests {
     fn report() -> RunReport {
         RunReport {
             engine: "test",
+            multi_pe: None,
             layers: vec![
                 LayerReport {
                     combination: phase(PhaseKind::Combination, 10, 100),

@@ -1,0 +1,428 @@
+//! Pluggable cluster-to-PE scheduling (the Figure 24 multi-PE axis).
+//!
+//! The fluid multi-PE model in [`crate::multi_pe`] works through a list of
+//! per-cluster execution profiles on `pes` processing engines sharing one
+//! memory channel. *Which* PE runs *which* cluster used to be hard-coded
+//! round-robin; this module turns the assignment into a pluggable policy:
+//!
+//! * [`RoundRobin`] — the original static interleaving (`cluster i` on
+//!   `PE i % pes`), bit-identical to the previous behavior;
+//! * [`StaticLpt`] — longest-processing-time bin packing over per-cluster
+//!   standalone cycle estimates (the classic 4/3-approximation), in the
+//!   spirit of Accel-GCN's degree-sorted workload balancing;
+//! * [`WorkStealing`] — event-driven greedy dispatch: whenever a PE
+//!   finishes its cluster it pulls the next pending one, with deterministic
+//!   tie-breaking by cluster index (lowest pending index first).
+//!
+//! Schedulers are dispatched by name through [`SchedulerKind`] — the value
+//! set of the registry-wide `scheduler=rr|lpt|ws` override — and every
+//! engine carries a [`MultiPeConfig`] whose summary lands on the final
+//! [`RunReport`](crate::RunReport). Scheduling is strictly *post-hoc* over
+//! the per-cluster profiles: it can never change modeled work or traffic,
+//! only the multi-PE makespan and per-PE utilization (the
+//! scheduler-invariance test battery locks this in).
+
+use std::collections::VecDeque;
+
+use crate::multi_pe;
+use crate::{ClusterProfile, MultiPeSummary, RunReport};
+
+/// Canonical scheduler names, in registry order (`scheduler=` values).
+pub const SCHEDULER_NAMES: [&str; 3] = ["rr", "lpt", "ws"];
+
+/// Which cluster-to-PE scheduling policy the multi-PE model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Static round-robin interleaving (the paper's implicit baseline).
+    #[default]
+    RoundRobin,
+    /// Static longest-processing-time bin packing.
+    StaticLpt,
+    /// Dynamic work-stealing (greedy event-driven dispatch).
+    WorkStealing,
+}
+
+impl SchedulerKind {
+    /// Every scheduler, in [`SCHEDULER_NAMES`] order.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::StaticLpt,
+        SchedulerKind::WorkStealing,
+    ];
+
+    /// Parses a (case-insensitive) scheduler name. Accepts the canonical
+    /// short names plus their spelled-out aliases.
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "rr" | "roundrobin" | "round-robin" => Some(SchedulerKind::RoundRobin),
+            "lpt" | "static-lpt" | "staticlpt" => Some(SchedulerKind::StaticLpt),
+            "ws" | "workstealing" | "work-stealing" => Some(SchedulerKind::WorkStealing),
+            _ => None,
+        }
+    }
+
+    /// The canonical [`SCHEDULER_NAMES`] entry of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "rr",
+            SchedulerKind::StaticLpt => "lpt",
+            SchedulerKind::WorkStealing => "ws",
+        }
+    }
+
+    /// Builds the scheduler this kind names.
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::RoundRobin => Box::new(RoundRobin),
+            SchedulerKind::StaticLpt => Box::new(StaticLpt),
+            SchedulerKind::WorkStealing => Box::new(WorkStealing),
+        }
+    }
+}
+
+/// A cluster-to-PE scheduling policy.
+///
+/// A scheduler is a stateless factory; per-simulation state lives in the
+/// [`Dispatcher`] it creates, which the fluid model queries every time a
+/// PE needs its next cluster. Static policies precompute per-PE queues;
+/// dynamic policies decide at dispatch time.
+pub trait Scheduler: Send + Sync {
+    /// Canonical name (one of [`SCHEDULER_NAMES`] for built-ins).
+    fn name(&self) -> &'static str;
+
+    /// Creates the dispatch state for one simulation of `profiles` on
+    /// `pes` PEs, each entitled to `per_pe_bytes_per_cycle` of the shared
+    /// channel on average (static policies may use it for cost estimates).
+    fn dispatcher(
+        &self,
+        profiles: &[ClusterProfile],
+        pes: usize,
+        per_pe_bytes_per_cycle: f64,
+    ) -> Box<dyn Dispatcher>;
+}
+
+/// Per-simulation dispatch state created by a [`Scheduler`].
+pub trait Dispatcher {
+    /// The next cluster index PE `pe` should execute, or `None` when the
+    /// policy has no further work for it. Called once per PE at simulation
+    /// start and again whenever that PE completes a cluster; completion
+    /// ties are resolved in PE-index order by the fluid model, so dispatch
+    /// is deterministic.
+    fn next(&mut self, pe: usize) -> Option<usize>;
+}
+
+/// Dispatch state shared by the static policies: one precomputed queue of
+/// cluster indices per PE.
+struct StaticQueues {
+    queues: Vec<VecDeque<usize>>,
+}
+
+impl Dispatcher for StaticQueues {
+    fn next(&mut self, pe: usize) -> Option<usize> {
+        self.queues[pe].pop_front()
+    }
+}
+
+/// Static round-robin: cluster `i` runs on PE `i % pes`, clusters keep
+/// their program order within a PE. This is exactly the assignment the
+/// multi-PE model shipped with, so reports under it are bit-identical to
+/// the pre-scheduler code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn dispatcher(
+        &self,
+        profiles: &[ClusterProfile],
+        pes: usize,
+        _per_pe_bytes_per_cycle: f64,
+    ) -> Box<dyn Dispatcher> {
+        let mut queues = vec![VecDeque::new(); pes];
+        for i in 0..profiles.len() {
+            queues[i % pes].push_back(i);
+        }
+        Box::new(StaticQueues { queues })
+    }
+}
+
+/// The standalone cycle estimate LPT packs on: the cluster alone on one
+/// PE with its fair bandwidth share (compute and transfer overlapped).
+fn standalone_cycles(p: &ClusterProfile, per_pe_bytes_per_cycle: f64) -> f64 {
+    let mem = p.mem_bytes as f64 / per_pe_bytes_per_cycle;
+    (p.compute_cycles as f64).max(mem)
+}
+
+/// Static longest-processing-time bin packing: clusters are sorted by
+/// decreasing standalone cycle estimate (ties by cluster index) and each
+/// is assigned to the currently least-loaded PE (ties by PE index). PEs
+/// then process their queues in that assignment order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticLpt;
+
+impl Scheduler for StaticLpt {
+    fn name(&self) -> &'static str {
+        "lpt"
+    }
+
+    fn dispatcher(
+        &self,
+        profiles: &[ClusterProfile],
+        pes: usize,
+        per_pe_bytes_per_cycle: f64,
+    ) -> Box<dyn Dispatcher> {
+        let mut order: Vec<usize> = (0..profiles.len()).collect();
+        // Sort by decreasing estimate; sort_by is stable, so equal
+        // estimates keep ascending cluster index.
+        order.sort_by(|&a, &b| {
+            standalone_cycles(&profiles[b], per_pe_bytes_per_cycle)
+                .partial_cmp(&standalone_cycles(&profiles[a], per_pe_bytes_per_cycle))
+                .expect("finite estimates")
+        });
+        let mut queues = vec![VecDeque::new(); pes];
+        let mut loads = vec![0.0f64; pes];
+        for i in order {
+            let target = (0..pes)
+                .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite loads"))
+                .expect("at least one PE");
+            queues[target].push_back(i);
+            loads[target] += standalone_cycles(&profiles[i], per_pe_bytes_per_cycle);
+        }
+        Box::new(StaticQueues { queues })
+    }
+}
+
+/// Dynamic work-stealing, modeled as greedy event-driven dispatch over one
+/// shared pending queue: whichever PE finishes first pulls the next
+/// pending cluster. The queue hands out the heaviest pending cluster
+/// first (largest standalone cycle estimate — greedy dispatch degenerates
+/// to plain FIFO order otherwise and inherits its list-scheduling
+/// anomalies), with deterministic tie-breaking by cluster index; ties
+/// between PEs finishing at the same instant are resolved in PE-index
+/// order by the fluid model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkStealing;
+
+struct SharedQueue {
+    pending: VecDeque<usize>,
+}
+
+impl Dispatcher for SharedQueue {
+    fn next(&mut self, _pe: usize) -> Option<usize> {
+        self.pending.pop_front()
+    }
+}
+
+impl Scheduler for WorkStealing {
+    fn name(&self) -> &'static str {
+        "ws"
+    }
+
+    fn dispatcher(
+        &self,
+        profiles: &[ClusterProfile],
+        _pes: usize,
+        per_pe_bytes_per_cycle: f64,
+    ) -> Box<dyn Dispatcher> {
+        let mut pending: Vec<usize> = (0..profiles.len()).collect();
+        // Heaviest first; sort_by is stable, so equal estimates keep
+        // ascending cluster index.
+        pending.sort_by(|&a, &b| {
+            standalone_cycles(&profiles[b], per_pe_bytes_per_cycle)
+                .partial_cmp(&standalone_cycles(&profiles[a], per_pe_bytes_per_cycle))
+                .expect("finite estimates")
+        });
+        Box::new(SharedQueue {
+            pending: pending.into(),
+        })
+    }
+}
+
+/// Multi-PE projection settings carried by every engine configuration:
+/// how many PEs the Figure 24 fluid model projects the run onto, and which
+/// scheduler assigns clusters to them. Registry overrides: `pes=N`,
+/// `scheduler=rr|lpt|ws`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiPeConfig {
+    /// Processing engines (memory bandwidth scales proportionally).
+    /// Default 1 — the paper's single-PE configuration.
+    pub pes: usize,
+    /// Cluster-to-PE scheduling policy.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for MultiPeConfig {
+    fn default() -> Self {
+        MultiPeConfig {
+            pes: 1,
+            scheduler: SchedulerKind::RoundRobin,
+        }
+    }
+}
+
+/// Projects a finished engine report onto the configured multi-PE
+/// arrangement: the fluid model runs the report's per-cluster profiles
+/// through `cfg.scheduler` on `cfg.pes` PEs (total bandwidth
+/// `pes * per_pe_bytes_per_cycle`) and the result is summarized for the
+/// report. Pure post-processing — no phase counter changes.
+pub fn summarize(
+    report: &RunReport,
+    cfg: &MultiPeConfig,
+    per_pe_bytes_per_cycle: f64,
+) -> MultiPeSummary {
+    let profiles = report.cluster_profiles();
+    let run = multi_pe::simulate_with(&profiles, cfg.pes, per_pe_bytes_per_cycle, cfg.scheduler);
+    MultiPeSummary {
+        scheduler: run.scheduler,
+        pes: run.pes,
+        makespan: run.makespan,
+        imbalance: run.imbalance(),
+        per_pe_busy: run.per_pe_busy,
+    }
+}
+
+/// Generates a synthetic power-law cluster workload for scheduler studies:
+/// `n` cluster profiles whose sizes follow a heavy-tailed (Pareto-like)
+/// distribution, alternating between compute-bound and memory-bound
+/// mixtures the way partitioned GCN clusters do. Deterministic in `seed`.
+pub fn power_law_profiles(n: usize, seed: u64) -> Vec<ClusterProfile> {
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next_u64 = move || {
+        // splitmix64 — self-contained so the core crate stays
+        // dependency-free.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            // Pareto(alpha = 1.2) cluster size in [1, 4096] work units.
+            let u = (next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let size = (1.0 / (1.0 - u).max(1e-9)).powf(1.0 / 1.2).min(4096.0);
+            // Memory intensity: bytes moved per compute cycle, spanning
+            // clearly compute-bound clusters to memory-bound ones that
+            // oversubscribe a Table III-like per-PE bandwidth share.
+            let intensity = 0.5 + 5.5 * ((next_u64() >> 11) as f64 / (1u64 << 53) as f64);
+            let compute = (size * 100.0) as u64 + 1;
+            ClusterProfile {
+                compute_cycles: compute,
+                mem_bytes: (compute as f64 * intensity) as u64 + 1,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(c: u64, m: u64) -> ClusterProfile {
+        ClusterProfile {
+            compute_cycles: c,
+            mem_bytes: m,
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.scheduler().name(), kind.name());
+        }
+        assert_eq!(
+            SchedulerKind::parse("WorkStealing"),
+            Some(SchedulerKind::WorkStealing)
+        );
+        assert_eq!(
+            SchedulerKind::parse("Round-Robin"),
+            Some(SchedulerKind::RoundRobin)
+        );
+        assert_eq!(SchedulerKind::parse("bogus"), None);
+        assert_eq!(SchedulerKind::ALL.len(), SCHEDULER_NAMES.len());
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let profiles: Vec<ClusterProfile> = (0..5).map(|i| task(i + 1, 0)).collect();
+        let mut d = RoundRobin.dispatcher(&profiles, 2, 1.0);
+        assert_eq!(d.next(0), Some(0));
+        assert_eq!(d.next(1), Some(1));
+        assert_eq!(d.next(0), Some(2));
+        assert_eq!(d.next(1), Some(3));
+        assert_eq!(d.next(1), None);
+        assert_eq!(d.next(0), Some(4));
+        assert_eq!(d.next(0), None);
+    }
+
+    #[test]
+    fn lpt_packs_longest_first() {
+        // Durations 10, 1, 1, 1, 9 on 2 PEs: LPT puts 10 alone on PE 0 and
+        // the rest (9 + 1 + 1 + 1) on PE 1 until loads cross.
+        let profiles = [task(10, 0), task(1, 0), task(1, 0), task(1, 0), task(9, 0)];
+        let mut d = StaticLpt.dispatcher(&profiles, 2, 1.0);
+        assert_eq!(d.next(0), Some(0), "longest cluster first on PE 0");
+        assert_eq!(d.next(1), Some(4), "second longest on PE 1");
+        // Unit tasks fill up the lighter bin first (9+1), then the load
+        // tie at 10 breaks toward PE 0, then back to PE 1.
+        assert_eq!(d.next(1), Some(1));
+        assert_eq!(d.next(0), Some(2));
+        assert_eq!(d.next(1), Some(3));
+        assert_eq!(d.next(0), None);
+    }
+
+    #[test]
+    fn work_stealing_hands_out_in_cluster_order() {
+        let profiles: Vec<ClusterProfile> = (0..4).map(|_| task(1, 1)).collect();
+        let mut d = WorkStealing.dispatcher(&profiles, 2, 1.0);
+        // Any PE asking gets the lowest pending index.
+        assert_eq!(d.next(1), Some(0));
+        assert_eq!(d.next(0), Some(1));
+        assert_eq!(d.next(1), Some(2));
+        assert_eq!(d.next(1), Some(3));
+        assert_eq!(d.next(0), None);
+    }
+
+    #[test]
+    fn power_law_profiles_are_deterministic_and_heavy_tailed() {
+        let a = power_law_profiles(256, 9);
+        let b = power_law_profiles(256, 9);
+        assert_eq!(a, b, "seeded generation is deterministic");
+        assert_ne!(a, power_law_profiles(256, 10), "seed matters");
+        let max = a.iter().map(|p| p.compute_cycles).max().unwrap();
+        let mean = a.iter().map(|p| p.compute_cycles).sum::<u64>() as f64 / a.len() as f64;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "heavy tail expected: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn summarize_matches_direct_simulation() {
+        use crate::{prepare, Accelerator, GrowEngine, PartitionStrategy};
+        let w = grow_model::DatasetKey::Cora
+            .spec()
+            .scaled_to(400)
+            .instantiate(3);
+        let p = prepare(
+            &w,
+            PartitionStrategy::Multilevel { cluster_nodes: 100 },
+            4096,
+        );
+        let report = GrowEngine::default().run(&p);
+        let cfg = MultiPeConfig {
+            pes: 4,
+            scheduler: SchedulerKind::WorkStealing,
+        };
+        let summary = summarize(&report, &cfg, 32.0);
+        let direct = multi_pe::simulate_with(&report.cluster_profiles(), 4, 32.0, cfg.scheduler);
+        assert_eq!(summary.makespan, direct.makespan);
+        assert_eq!(summary.per_pe_busy, direct.per_pe_busy);
+        assert_eq!(summary.scheduler, "ws");
+        assert_eq!(summary.pes, 4);
+    }
+}

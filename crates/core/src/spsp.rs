@@ -43,11 +43,13 @@ pub(crate) struct SpSpParams {
     pub merge_factor: f64,
     /// Total on-chip SRAM in KB (for energy accounting).
     pub sram_kb: f64,
+    /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
+    pub multi_pe: crate::schedule::MultiPeConfig,
 }
 
 pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunReport {
     let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
-    pipeline::run_layers(params.name, workload, |layer| LayerReport {
+    let mut report = pipeline::run_layers(params.name, workload, |layer| LayerReport {
         combination: run_phase(
             params,
             PhaseKind::Combination,
@@ -62,7 +64,13 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
             layer.f_out,
             &workload.clusters,
         ),
-    })
+    });
+    report.multi_pe = Some(crate::schedule::summarize(
+        &report,
+        &params.multi_pe,
+        params.dram.bytes_per_cycle,
+    ));
+    report
 }
 
 /// One SpDeGEMM phase executed as if both operands were sparse.

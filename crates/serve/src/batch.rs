@@ -24,7 +24,7 @@ use std::fmt;
 use std::time::Instant;
 
 use grow_core::registry::{self, RegistryError};
-use grow_core::{Accelerator, PartitionStrategy, RunReport};
+use grow_core::{Accelerator, PartitionStrategy, RunReport, SchedulerKind};
 use grow_model::DatasetSpec;
 use grow_sim::exec::{parallel_map, with_mode, ExecMode};
 
@@ -95,6 +95,16 @@ impl JobSpec {
     pub fn with_override_spec(mut self, spec: &str) -> Self {
         self.overrides.push(spec.to_string());
         self
+    }
+
+    /// Selects the multi-PE cluster scheduler (the `scheduler=` override).
+    pub fn with_scheduler(self, scheduler: SchedulerKind) -> Self {
+        self.with_override("scheduler", scheduler.name())
+    }
+
+    /// Sets the multi-PE PE count (the `pes=` override).
+    pub fn with_pes(self, pes: usize) -> Self {
+        self.with_override("pes", &pes.to_string())
     }
 
     /// Sets the per-cluster HDN ID list length for preparation.
@@ -446,6 +456,33 @@ pub fn grid_jobs(
     jobs
 }
 
+/// The scheduler × PE-count grid for one engine on each dataset — the
+/// serving-layer form of the extended Figure 24 sweep (the `figure24`
+/// experiment dispatches exactly this job list).
+pub fn scheduler_grid_jobs(
+    datasets: &[DatasetSpec],
+    seed: u64,
+    engine: &str,
+    strategy: PartitionStrategy,
+    schedulers: &[SchedulerKind],
+    pe_counts: &[usize],
+) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(datasets.len() * schedulers.len() * pe_counts.len());
+    for &dataset in datasets {
+        for &pes in pe_counts {
+            for &scheduler in schedulers {
+                jobs.push(
+                    JobSpec::new(dataset, seed, engine)
+                        .with_strategy(strategy)
+                        .with_scheduler(scheduler)
+                        .with_pes(pes),
+                );
+            }
+        }
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +633,36 @@ mod tests {
         assert_eq!(jobs.len(), 8);
         let distinct: HashSet<JobKey> = jobs.iter().map(JobSpec::key).collect();
         assert_eq!(distinct.len(), 8, "all grid points are distinct keys");
+    }
+
+    #[test]
+    fn scheduler_grid_covers_the_axis_and_only_changes_the_summary() {
+        let jobs = scheduler_grid_jobs(
+            &[spec()],
+            7,
+            "grow",
+            PartitionStrategy::Multilevel { cluster_nodes: 100 },
+            &SchedulerKind::ALL,
+            &[1, 4],
+        );
+        assert_eq!(jobs.len(), 6, "3 schedulers x 2 PE counts");
+        let distinct: HashSet<JobKey> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(distinct.len(), 6, "every grid point is a distinct key");
+
+        let mut service = BatchService::new();
+        let results = service.run_batch(&jobs);
+        let reports: Vec<&RunReport> = results.iter().map(|r| r.report().unwrap()).collect();
+        for (job, report) in jobs.iter().zip(&reports) {
+            assert_eq!(
+                report.layers, reports[0].layers,
+                "scheduling must never change phase counters ({job:?})"
+            );
+            let summary = report.multi_pe.as_ref().expect("summary attached");
+            assert!(job
+                .overrides
+                .contains(&format!("scheduler={}", summary.scheduler)));
+            assert!(job.overrides.contains(&format!("pes={}", summary.pes)));
+        }
     }
 
     #[test]

@@ -42,5 +42,7 @@
 pub mod batch;
 pub mod session;
 
-pub use batch::{grid_jobs, BatchService, JobKey, JobResult, JobSpec, ServiceStats};
+pub use batch::{
+    grid_jobs, scheduler_grid_jobs, BatchService, JobKey, JobResult, JobSpec, ServiceStats,
+};
 pub use session::SimSession;

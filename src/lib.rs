@@ -18,7 +18,7 @@
 //! | [`sim`] | `grow-sim` | DRAM channel, MAC array, HDN/LRU caches, runahead tables |
 //! | [`energy`] | `grow-energy` | Horowitz/CACTI-style energy model, Table IV area model |
 //! | [`model`] | `grow-model` | Table I dataset registry, feature synthesis, functional GCN |
-//! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, experiments |
+//! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, multi-PE scheduling, experiments |
 //! | [`serve`] | `grow-serve` | `SimSession` + the batch simulation service (job queue, session pool, result cache) |
 //!
 //! plus [`session`], the single-workload entry point: a [`SimSession`]

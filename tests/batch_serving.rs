@@ -10,9 +10,9 @@
 //!   serves every repeat, under parallel execution too.
 
 use grow::accel::registry::RegistryError;
-use grow::accel::PartitionStrategy;
+use grow::accel::{PartitionStrategy, SchedulerKind};
 use grow::model::DatasetKey;
-use grow::serve::{BatchService, JobResult, JobSpec};
+use grow::serve::{scheduler_grid_jobs, BatchService, JobResult, JobSpec};
 use grow::sim::exec::{with_mode, with_workers, ExecMode};
 
 /// Oversubscribed worker count (the in-code equivalent of
@@ -42,6 +42,13 @@ fn mixed_jobs() -> Vec<JobSpec> {
             .with_strategy(strategies[1])
             .with_override("hdn_cache_kb", "64")
             .with_override("runahead", "4"),
+    );
+    // The multi-PE scheduler axis rides through the same override path.
+    jobs.push(
+        JobSpec::new(cora, 21, "grow")
+            .with_strategy(strategies[1])
+            .with_scheduler(SchedulerKind::WorkStealing)
+            .with_pes(8),
     );
     // The intentionally invalid job: fails alone, not the batch.
     jobs.push(JobSpec::new(pubmed, 21, "npu"));
@@ -159,6 +166,62 @@ fn duplicate_keys_compute_once_under_parallel_execution() {
     // Bit-identical to a forced-serial service run.
     let serial_results = with_mode(ExecMode::Serial, || BatchService::new().run_batch(&batch));
     assert_eq!(outcomes(&parallel_results), outcomes(&serial_results));
+}
+
+#[test]
+fn scheduler_axis_flows_through_the_batch_service() {
+    // The figure24-style sweep: one engine, the scheduler × PE grid, plus
+    // one job with a bogus scheduler — which must fail alone with the
+    // dedicated error while the whole grid still runs.
+    let spec = DatasetKey::Cora.spec().scaled_to(600);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let mut jobs = scheduler_grid_jobs(&[spec], 21, "grow", strategy, &SchedulerKind::ALL, &[2, 8]);
+    jobs.push(
+        JobSpec::new(spec, 21, "grow")
+            .with_strategy(strategy)
+            .with_override("scheduler", "bogus"),
+    );
+
+    let mut service = BatchService::new();
+    let results = with_workers(WORKERS, || service.run_batch(&jobs));
+    assert_eq!(
+        results.last().unwrap().outcome,
+        Err(RegistryError::UnknownScheduler("bogus".into()))
+    );
+    assert_eq!(service.stats().jobs_failed, 1);
+    assert_eq!(service.stats().simulations_run, 6, "the grid all ran");
+
+    // Scheduling is post-hoc: every grid report carries identical phase
+    // counters and differs only in its multi-PE summary; at each PE count
+    // work-stealing's makespan never exceeds round-robin's.
+    let reports: Vec<_> = results[..6]
+        .iter()
+        .map(|r| r.report().expect("grid jobs are valid"))
+        .collect();
+    for r in &reports {
+        assert_eq!(r.layers, reports[0].layers, "phase counters shifted");
+    }
+    for pes_group in reports.chunks(3) {
+        let summary = |i: usize| pes_group[i].multi_pe.as_ref().expect("summary");
+        assert_eq!(
+            [
+                summary(0).scheduler,
+                summary(1).scheduler,
+                summary(2).scheduler
+            ],
+            ["rr", "lpt", "ws"]
+        );
+        assert!(
+            summary(2).makespan <= summary(0).makespan * (1.0 + 1e-9),
+            "ws {} vs rr {}",
+            summary(2).makespan,
+            summary(0).makespan
+        );
+    }
+
+    // And the whole scheduler batch is mode-invariant.
+    let serial = with_mode(ExecMode::Serial, || BatchService::new().run_batch(&jobs));
+    assert_eq!(outcomes(&results), outcomes(&serial));
 }
 
 #[test]

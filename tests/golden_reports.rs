@@ -157,3 +157,100 @@ fn snapshots_are_execution_mode_invariant() {
     let parallel = with_workers(4, || snapshot(spec, seed));
     assert_eq!(serial, parallel);
 }
+
+/// Builds the scheduler-grid snapshot for one workload: every engine's
+/// multi-PE summary under every scheduler at 1 and 4 PEs, on the
+/// partitioned preparation (so there are real clusters to assign). f64
+/// fields are rendered with `{}` — Rust's shortest-roundtrip formatting —
+/// so the text is exact: any last-ulp drift in the fluid model fails the
+/// snapshot.
+fn scheduler_snapshot(spec: DatasetSpec, seed: u64) -> String {
+    use grow::accel::schedule::SCHEDULER_NAMES;
+    let workload = spec.instantiate(seed);
+    let prepared = prepare(
+        &workload,
+        PartitionStrategy::Multilevel { cluster_nodes: 100 },
+        4096,
+    );
+    let mut out = String::new();
+    for name in ENGINE_NAMES {
+        for scheduler in SCHEDULER_NAMES {
+            for pes in ["1", "4"] {
+                let report = registry::engine_from_overrides(
+                    name,
+                    &[("scheduler", scheduler), ("pes", pes)],
+                )
+                .expect("registered engine and scheduler")
+                .run(&prepared);
+                let s = report.multi_pe.expect("summary attached");
+                let busy: Vec<String> = s.per_pe_busy.iter().map(|b| format!("{b}")).collect();
+                let _ = writeln!(
+                    out,
+                    "engine={} scheduler={} pes={} makespan={} imbalance={} busy=[{}]",
+                    report.engine,
+                    s.scheduler,
+                    s.pes,
+                    s.makespan,
+                    s.imbalance,
+                    busy.join(" ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn scheduler_grid_matches_committed_snapshots() {
+    let bless = std::env::var_os("GROW_BLESS").is_some_and(|v| !v.is_empty() && v != "0");
+    for (case, spec, seed) in cases() {
+        let actual = scheduler_snapshot(spec, seed);
+        let path = golden_path(&format!("{case}_sched"));
+        if bless {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &actual).expect("write snapshot");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {}: {e}\n\
+                 run `GROW_BLESS=1 cargo test --test golden_reports` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "{case}: scheduler-grid summaries shifted from {} — if intentional, \
+             re-bless with `GROW_BLESS=1 cargo test --test golden_reports`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn work_stealing_path_is_execution_mode_invariant() {
+    // The ws summary is computed from cluster profiles that the parallel
+    // cluster fan-out produced; the whole report — summary included —
+    // must be bit-identical between a forced-serial run and an
+    // oversubscribed parallel run.
+    use grow::sim::exec::{with_mode, with_workers, ExecMode};
+    let (_, spec, seed) = cases()[1];
+    let workload = spec.instantiate(seed);
+    let prepared = prepare(
+        &workload,
+        PartitionStrategy::Multilevel { cluster_nodes: 100 },
+        4096,
+    );
+    for engine in ENGINE_NAMES {
+        let run = || {
+            registry::engine_from_overrides(engine, &[("scheduler", "ws"), ("pes", "8")])
+                .expect("registered engine")
+                .run(&prepared)
+        };
+        let serial = with_mode(ExecMode::Serial, run);
+        let parallel = with_workers(8, run);
+        assert_eq!(serial, parallel, "{engine}: ws path diverged");
+        assert_eq!(serial.multi_pe.as_ref().expect("summary").scheduler, "ws");
+    }
+}

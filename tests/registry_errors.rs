@@ -110,6 +110,66 @@ fn malformed_override_specs_are_rejected() {
 }
 
 #[test]
+fn unknown_scheduler_is_an_error_everywhere() {
+    let expected = RegistryError::UnknownScheduler("bogus".into());
+    for engine in registry::ENGINE_NAMES {
+        assert_eq!(
+            registry::engine_from_overrides(engine, &[("scheduler", "bogus")]).err(),
+            Some(expected.clone()),
+            "{engine}"
+        );
+    }
+
+    let mut session = SimSession::from_spec(spec(), 4);
+    assert_eq!(
+        session
+            .run_with("grow", &[("scheduler", "bogus")], PartitionStrategy::None)
+            .err(),
+        Some(expected.clone())
+    );
+    assert_eq!(
+        session.prepared_count(),
+        0,
+        "no preparation spent on an unknown scheduler"
+    );
+
+    // Through the batch service: the bad job fails alone, the valid
+    // scheduler jobs around it still run.
+    let mut service = BatchService::new();
+    let results = service.run_batch(&[
+        JobSpec::new(spec(), 4, "grow").with_override("scheduler", "ws"),
+        JobSpec::new(spec(), 4, "grow").with_override("scheduler", "bogus"),
+        JobSpec::new(spec(), 4, "grow").with_override("scheduler", "lpt"),
+    ]);
+    assert!(results[0].outcome.is_ok());
+    assert_eq!(results[1].outcome, Err(expected.clone()));
+    assert!(results[2].outcome.is_ok(), "later jobs unaffected");
+    assert_eq!(service.stats().jobs_failed, 1);
+    assert_eq!(service.stats().simulations_run, 2);
+
+    // The message names the valid schedulers, so the error is actionable.
+    let message = expected.to_string();
+    for name in grow::accel::schedule::SCHEDULER_NAMES {
+        assert!(message.contains(name), "{message}");
+    }
+}
+
+#[test]
+fn zero_pes_is_an_invalid_value_not_a_panic() {
+    let expected = RegistryError::InvalidValue {
+        key: "pes".into(),
+        value: "0".into(),
+    };
+    assert_eq!(
+        registry::engine_from_overrides("grow", &[("pes", "0")]).err(),
+        Some(expected.clone())
+    );
+    let result =
+        BatchService::new().run_one(&JobSpec::new(spec(), 5, "grow").with_override("pes", "0"));
+    assert_eq!(result.outcome.err(), Some(expected));
+}
+
+#[test]
 fn every_error_displays_a_useful_message() {
     let errors: Vec<RegistryError> = vec![
         RegistryError::UnknownEngine("npu".into()),
@@ -124,6 +184,7 @@ fn every_error_displays_a_useful_message() {
         RegistryError::MalformedOverride {
             spec: "runahead".into(),
         },
+        RegistryError::UnknownScheduler("bogus".into()),
     ];
     for e in errors {
         let text = e.to_string();

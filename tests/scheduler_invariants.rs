@@ -1,0 +1,141 @@
+//! Scheduler-invariance test battery: for every engine × scheduler ×
+//! seeded workload, multi-PE cluster scheduling must be strictly post-hoc
+//! — total MACs, DRAM traffic (compulsory bytes included), per-phase
+//! cycles, and per-cluster cycle sums are bit-identical across schedulers;
+//! only the assignment-dependent multi-PE summary (makespan, per-PE
+//! utilization, imbalance) may differ.
+
+use grow::accel::registry::{self, ENGINE_NAMES};
+use grow::accel::schedule::SCHEDULER_NAMES;
+use grow::accel::{prepare, PartitionStrategy, PreparedWorkload, RunReport};
+use grow::model::{DatasetKey, DatasetSpec};
+
+/// The seeded invariance workloads: both golden datasets, partitioned
+/// fine enough that the scheduler has real clusters to assign.
+fn workloads() -> Vec<(&'static str, PreparedWorkload)> {
+    let cases: [(&str, DatasetSpec, u64); 2] = [
+        ("cora_400_s3", DatasetKey::Cora.spec().scaled_to(400), 3),
+        ("pubmed_600_s7", DatasetKey::Pubmed.spec().scaled_to(600), 7),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, spec, seed)| {
+            let workload = spec.instantiate(seed);
+            let prepared = prepare(
+                &workload,
+                PartitionStrategy::Multilevel { cluster_nodes: 100 },
+                4096,
+            );
+            assert!(prepared.clusters.len() > 2, "{name}: needs real clusters");
+            (name, prepared)
+        })
+        .collect()
+}
+
+fn run(engine: &str, scheduler: &str, pes: &str, prepared: &PreparedWorkload) -> RunReport {
+    registry::engine_from_overrides(engine, &[("scheduler", scheduler), ("pes", pes)])
+        .expect("registered engine and scheduler")
+        .run(prepared)
+}
+
+#[test]
+fn schedulers_never_change_modeled_work_or_traffic() {
+    for (name, prepared) in workloads() {
+        for engine in ENGINE_NAMES {
+            let baseline = run(engine, "rr", "4", &prepared);
+            for scheduler in SCHEDULER_NAMES {
+                let report = run(engine, scheduler, "4", &prepared);
+                // Everything the phase simulators model is bit-identical:
+                // layers carry cycles, MACs, per-class traffic, cache and
+                // SRAM counters, and the per-cluster profiles.
+                assert_eq!(
+                    report.layers, baseline.layers,
+                    "{name}/{engine}/{scheduler}: phase counters shifted"
+                );
+                assert_eq!(report.mac_ops(), baseline.mac_ops());
+                assert_eq!(report.dram_bytes(), baseline.dram_bytes());
+                assert_eq!(report.total_cycles(), baseline.total_cycles());
+                // Per-cluster cycle sums (the multi-PE model's inputs).
+                let sums = |r: &RunReport| {
+                    r.cluster_profiles().iter().fold((0u64, 0u64), |acc, p| {
+                        (acc.0 + p.compute_cycles, acc.1 + p.mem_bytes)
+                    })
+                };
+                assert_eq!(
+                    sums(&report),
+                    sums(&baseline),
+                    "{name}/{engine}/{scheduler}"
+                );
+
+                // The summary reflects the requested axis.
+                let summary = report.multi_pe.expect("summary attached");
+                assert_eq!(summary.scheduler, scheduler);
+                assert_eq!(summary.pes, 4);
+                assert_eq!(summary.per_pe_busy.len(), 4);
+                assert!(summary.makespan > 0.0);
+                assert!(summary.imbalance >= 1.0 - 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn work_stealing_makespan_never_exceeds_round_robin() {
+    for (name, prepared) in workloads() {
+        for engine in ENGINE_NAMES {
+            for pes in ["2", "4", "8"] {
+                let rr = run(engine, "rr", pes, &prepared)
+                    .multi_pe
+                    .expect("summary")
+                    .makespan;
+                let ws = run(engine, "ws", pes, &prepared)
+                    .multi_pe
+                    .expect("summary")
+                    .makespan;
+                assert!(
+                    ws <= rr * (1.0 + 1e-9),
+                    "{name}/{engine}/pes={pes}: ws {ws} vs rr {rr}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schedulers_do_differ_where_it_is_allowed() {
+    // The invariance above would hold vacuously if every scheduler
+    // produced the same assignment; make sure the axis is live — on a
+    // skewed workload some engine × PE point must show ws beating rr.
+    let mut any_difference = false;
+    for (_, prepared) in workloads() {
+        let rr = run("grow", "rr", "4", &prepared).multi_pe.expect("summary");
+        let ws = run("grow", "ws", "4", &prepared).multi_pe.expect("summary");
+        if ws.makespan < rr.makespan || ws.per_pe_busy != rr.per_pe_busy {
+            any_difference = true;
+        }
+    }
+    assert!(
+        any_difference,
+        "work-stealing never diverged from round-robin on any workload"
+    );
+}
+
+#[test]
+fn single_pe_reports_are_scheduler_independent() {
+    // With one PE there is nothing to assign: every scheduler serializes
+    // the same per-cluster durations. lpt and ws visit them
+    // heaviest-first rather than in index order, so totals agree up to
+    // float accumulation order.
+    for (name, prepared) in workloads() {
+        for engine in ENGINE_NAMES {
+            let rr = run(engine, "rr", "1", &prepared).multi_pe.expect("summary");
+            for scheduler in ["lpt", "ws"] {
+                let other = run(engine, scheduler, "1", &prepared)
+                    .multi_pe
+                    .expect("summary");
+                let rel = (other.makespan - rr.makespan).abs() / rr.makespan.max(1.0);
+                assert!(rel < 1e-9, "{name}/{engine}: {scheduler} diverged by {rel}");
+            }
+        }
+    }
+}
