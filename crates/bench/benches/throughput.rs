@@ -1,0 +1,181 @@
+//! Single-thread simulation-throughput bench over the `experiments
+//! engines` smoke grid: every registry engine on the cora/pubmed
+//! surrogates (1500 nodes, seed 42), timed around `Accelerator::run` only
+//! — preparation is done once up front — with the cluster fan-out forced
+//! serial so the numbers measure the hot path itself, not the thread
+//! pool. Run with:
+//!
+//! ```text
+//! cargo bench -p grow-bench --bench throughput -- \
+//!     [--quick] [--iters N] [--out DIR] [--baseline results/BENCH_hotpath.json]
+//! ```
+//!
+//! Results land in `<out>/BENCH_hotpath.json` with a fixed key order
+//! (rows sorted by dataset then engine), so successive runs diff cleanly;
+//! `--quick` (the CI smoke mode) writes `BENCH_hotpath_smoke.json`
+//! instead, so a 3-iteration smoke run never clobbers the committed
+//! full-iteration baseline. Passing `--baseline` merges a previous run's
+//! totals in and reports the wall-clock speedup against it — the
+//! before/after protocol is: run the bench on the old commit, save the
+//! JSON, then run on the new commit with `--baseline <saved>`.
+
+use std::path::PathBuf;
+
+use grow_bench::{json, timing};
+use grow_core::registry::{engine_by_name, ENGINE_NAMES};
+use grow_core::{prepare, PartitionStrategy, PreparedWorkload};
+use grow_model::DatasetKey;
+use grow_sim::exec::{with_mode, ExecMode};
+
+struct Cell {
+    dataset: &'static str,
+    engine: &'static str,
+    min_ms: f64,
+    mean_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Cargo runs benches with the package directory as CWD; default to
+    // the workspace-root results/ directory alongside the other BENCH_*
+    // artifacts.
+    let mut out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let mut baseline: Option<PathBuf> = None;
+    let mut iters = 30u32;
+    let mut quick = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // Cargo appends `--bench` when invoking harness=false benches.
+            "--bench" => {}
+            "--quick" => {
+                quick = true;
+                iters = 3;
+            }
+            "--iters" => iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N"),
+            "--out" => out_dir = PathBuf::from(it.next().expect("--out DIR")),
+            "--baseline" => baseline = Some(PathBuf::from(it.next().expect("--baseline FILE"))),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The `experiments engines` smoke grid: cora + pubmed at 1500 nodes,
+    // seed 42; GROW on its partitioned form, baselines on the original
+    // node order (Section VI's setup).
+    let seed = 42u64;
+    let datasets = [DatasetKey::Cora, DatasetKey::Pubmed];
+    let mut prepared: Vec<(&'static str, PreparedWorkload, PreparedWorkload)> = Vec::new();
+    for key in datasets {
+        let spec = key.spec().scaled_to(1500);
+        eprintln!(
+            "[setup] instantiating {} ({} nodes) ...",
+            key.name(),
+            spec.nodes
+        );
+        let workload = spec.instantiate(seed);
+        let base = prepare(&workload, PartitionStrategy::None, 4096);
+        let partitioned = prepare(&workload, PartitionStrategy::multilevel_default(), 4096);
+        prepared.push((key.name(), base, partitioned));
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:<8} {:<10} {:>10} {:>10}  ({iters} iters, serial)",
+        "dataset", "engine", "min ms", "mean ms"
+    );
+    for (dataset, base, partitioned) in &prepared {
+        for name in ENGINE_NAMES {
+            let engine = engine_by_name(name).expect("registered engine");
+            let workload = if name == "grow" { partitioned } else { base };
+            let t = with_mode(ExecMode::Serial, || {
+                timing::sample(iters, || {
+                    std::hint::black_box(engine.run(workload));
+                })
+            });
+            println!(
+                "{dataset:<8} {:<10} {:>10.3} {:>10.3}",
+                engine.name(),
+                t.min_ns / 1e6,
+                t.mean_ns / 1e6
+            );
+            cells.push(Cell {
+                dataset,
+                engine: engine.name(),
+                min_ms: t.min_ns / 1e6,
+                mean_ms: t.mean_ns / 1e6,
+            });
+        }
+    }
+    // Fixed row order regardless of measurement order: dataset, engine.
+    cells.sort_by(|a, b| (a.dataset, a.engine).cmp(&(b.dataset, b.engine)));
+    let total_min_ms: f64 = cells.iter().map(|c| c.min_ms).sum();
+    println!("total (sum of per-cell min): {total_min_ms:.3} ms");
+
+    let baseline_total = baseline.as_ref().and_then(|path| {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| eprintln!("warning: could not read baseline {}: {e}", path.display()))
+            .ok()?;
+        extract_number(&text, "total_min_ms")
+    });
+    if let Some(base_ms) = baseline_total {
+        println!(
+            "baseline total {base_ms:.3} ms -> speedup {:.2}x",
+            base_ms / total_min_ms
+        );
+    }
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            json::object(&[
+                ("dataset", json::string(c.dataset)),
+                ("engine", json::string(c.engine)),
+                ("min_ms", json::number(c.min_ms)),
+                ("mean_ms", json::number(c.mean_ms)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        (
+            "grid",
+            json::string("engines-smoke: cora,pubmed @1500 seed 42, serial"),
+        ),
+        ("iters", json::uint(iters as u64)),
+        ("rows", json::array(rows)),
+        ("total_min_ms", json::number(total_min_ms)),
+        (
+            "baseline_total_min_ms",
+            baseline_total.map_or_else(|| "null".to_string(), json::number),
+        ),
+        (
+            "speedup_vs_baseline",
+            baseline_total.map_or_else(|| "null".to_string(), |b| json::number(b / total_min_ms)),
+        ),
+    ]);
+    // Quick smoke runs get their own file: the tracked BENCH_hotpath.json
+    // holds full-iteration numbers only.
+    let file = if quick {
+        "BENCH_hotpath_smoke.json"
+    } else {
+        "BENCH_hotpath.json"
+    };
+    if let Err(e) =
+        std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(out_dir.join(file), doc))
+    {
+        eprintln!("warning: could not write {file}: {e}");
+    }
+}
+
+/// Pulls a top-level numeric field out of a BENCH_hotpath.json document
+/// (the workspace builds offline, so no JSON parser crate; the file format
+/// is our own and the field is a bare number).
+fn extract_number(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

@@ -16,13 +16,57 @@
 //!   substantial, which is why GCNAX beats GROW on Reddit's traffic
 //!   (Section VII-A).
 
+use std::collections::VecDeque;
 use std::ops::Range;
 
-use grow_sim::{Cycle, DramConfig, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
+use grow_sim::{Cycle, DramConfig, ScratchArena, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
 use crate::pipeline::{self, PhaseCtx};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
+
+/// Per-worker scratch of the strip walk, recycled through a
+/// [`ScratchArena`] instead of reallocated per cluster.
+#[derive(Debug, Default)]
+struct GcnaxScratch {
+    /// Non-zeros per `Tk`-wide tile of the current strip (zeroed as the
+    /// fetch loop consumes it, so it is all-zero again at strip end).
+    tile_nnz: Vec<u32>,
+    /// Distinct-column stamps: `stamp[col] == s` when `col` was first seen
+    /// in the strip stamped `s`. Stamps are drawn from `next_stamp` and
+    /// never reused (see [`GcnaxScratch::strip_stamp`]), so the array
+    /// survives cluster and layer boundaries without clearing.
+    stamp: Vec<u32>,
+    next_stamp: u32,
+    /// Outstanding tile fetches of the depth-limited dependent chain.
+    in_flight: VecDeque<Cycle>,
+}
+
+impl GcnaxScratch {
+    /// Sizes the buffers for a phase over a `k_dim`-column LHS. Stamps
+    /// stay valid across calls with the same `k_dim`; a dimension change
+    /// (combination vs aggregation) re-zeroes the array.
+    fn prepare(&mut self, n_tiles_k: usize, k_dim: usize) {
+        self.tile_nnz.clear();
+        self.tile_nnz.resize(n_tiles_k, 0);
+        if self.stamp.len() != k_dim {
+            self.stamp.clear();
+            self.stamp.resize(k_dim, 0);
+            self.next_stamp = 0;
+        }
+    }
+
+    /// A fresh stamp for one strip, strictly greater than every stamp in
+    /// the array (re-zeroing on the — astronomically rare — wraparound).
+    fn strip_stamp(&mut self) -> u32 {
+        if self.next_stamp == u32::MAX {
+            self.stamp.fill(0);
+            self.next_stamp = 0;
+        }
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+}
 
 /// GCNAX configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +146,7 @@ impl GcnaxEngine {
         lhs: &RowMajorSparse<'_>,
         f: usize,
         clusters: &[Range<usize>],
+        scratch: &ScratchArena<GcnaxScratch>,
     ) -> PhaseReport {
         let cfg = &self.config;
         let mut phase = PhaseReport::new(kind);
@@ -117,14 +162,16 @@ impl GcnaxEngine {
             phase.absorb_sequential(pre.finish());
         }
 
-        let clustered = pipeline::run_clusters(kind, clusters, |_, cluster| {
-            self.run_strips(kind, lhs, f, cluster, rhs_resident)
-        });
+        let clustered =
+            pipeline::run_clusters_scratched(kind, clusters, scratch, |s, _, cluster| {
+                self.run_strips(kind, lhs, f, cluster, rhs_resident, s)
+            });
         phase.absorb_sequential(clustered);
         phase
     }
 
-    /// Walks one cluster's output strips in an isolated context.
+    /// Walks one cluster's output strips in an isolated context, drawing
+    /// the per-strip counters from `scratch`.
     fn run_strips(
         &self,
         kind: PhaseKind,
@@ -132,6 +179,7 @@ impl GcnaxEngine {
         f: usize,
         rows: Range<usize>,
         rhs_resident: bool,
+        scratch: &mut GcnaxScratch,
     ) -> PhaseReport {
         let cfg = &self.config;
         let mut ctx = PhaseCtx::new(kind, cfg.dram, cfg.mac_lanes);
@@ -145,15 +193,14 @@ impl GcnaxEngine {
         let mut issue_at: Cycle = 0;
 
         let n_tiles_k = k_dim.div_ceil(cfg.tile_cols);
-        let mut tile_nnz: Vec<u32> = vec![0; n_tiles_k];
-        // Distinct-column stamps: stamp[col] == strip index + 1 when seen.
-        let mut stamp: Vec<u32> = vec![0; k_dim];
+        scratch.prepare(n_tiles_k, k_dim);
 
         let n = rows.end;
-        let mut strip_idx = 0u32;
         let mut row = rows.start;
         while row < n {
-            strip_idx += 1;
+            let strip_stamp = scratch.strip_stamp();
+            let tile_nnz = &mut scratch.tile_nnz;
+            let stamp = &mut scratch.stamp;
             let strip_end = (row + cfg.tile_rows).min(n);
             let mut strip_nnz = 0u64;
             let mut distinct = 0u64;
@@ -169,12 +216,12 @@ impl GcnaxEngine {
                     }
                 }
                 RowMajorSparse::Pattern(p) => {
-                    for r in row..strip_end {
-                        for &c in p.row_indices(r) {
+                    for slice in p.row_slices(row..strip_end) {
+                        for &c in slice {
                             tile_nnz[c as usize / cfg.tile_cols] += 1;
                             strip_nnz += 1;
-                            if stamp[c as usize] != strip_idx {
-                                stamp[c as usize] = strip_idx;
+                            if stamp[c as usize] != strip_stamp {
+                                stamp[c as usize] = strip_stamp;
                                 distinct += 1;
                             }
                         }
@@ -195,8 +242,8 @@ impl GcnaxEngine {
                 PhaseKind::Aggregation => TrafficClass::RhsRows,
             };
             let depth = cfg.tile_fetch_depth.max(1);
-            let mut in_flight: std::collections::VecDeque<Cycle> =
-                std::collections::VecDeque::with_capacity(depth);
+            let in_flight = &mut scratch.in_flight;
+            in_flight.clear();
             let mut fetch_done = issue_at;
             let avg_rows_per_tile = if distinct > 0 {
                 distinct as f64 / tile_nnz.iter().filter(|&&c| c > 0).count().max(1) as f64
@@ -204,7 +251,7 @@ impl GcnaxEngine {
                 0.0
             };
             let mut rows_remaining = distinct;
-            for slot in &mut tile_nnz {
+            for slot in tile_nnz.iter_mut() {
                 if *slot == 0 {
                     continue;
                 }
@@ -271,18 +318,23 @@ impl Accelerator for GcnaxEngine {
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
         let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
+        // One scratch pool per run: strip counters are recycled across
+        // clusters, phases, and layers.
+        let scratch: ScratchArena<GcnaxScratch> = ScratchArena::new();
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_phase(
                 PhaseKind::Combination,
                 &layer.x.view(),
                 layer.f_out,
                 &workload.clusters,
+                &scratch,
             ),
             aggregation: self.run_phase(
                 PhaseKind::Aggregation,
                 &adjacency,
                 layer.f_out,
                 &workload.clusters,
+                &scratch,
             ),
         });
         report.multi_pe = Some(crate::schedule::summarize(
@@ -469,8 +521,9 @@ mod tests {
         };
         let pattern = grow_sparse::CsrPattern::dense(300, 70);
         let pattern_view = RowMajorSparse::Pattern(&pattern);
-        let a = engine.run_phase(PhaseKind::Combination, &dense_view, 16, &[0..300]);
-        let b = engine.run_phase(PhaseKind::Combination, &pattern_view, 16, &[0..300]);
+        let arena = ScratchArena::new();
+        let a = engine.run_phase(PhaseKind::Combination, &dense_view, 16, &[0..300], &arena);
+        let b = engine.run_phase(PhaseKind::Combination, &pattern_view, 16, &[0..300], &arena);
         assert_eq!(a.mac_ops, b.mac_ops);
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.cycles, b.cycles);

@@ -12,16 +12,42 @@
 //!
 //! Clusters are simulated independently through the shared
 //! [`pipeline`](crate::pipeline) harness — in parallel across threads,
-//! merged deterministically in cluster order.
+//! merged deterministically in cluster order — drawing their per-cluster
+//! state (HDN cache, runahead tables, window, probe plans) from a
+//! [`ScratchArena`] so the steady-state simulation allocates nothing.
+//!
+//! # The aggregation hot path: plan, then replay
+//!
+//! Because the pinned HDN set is fixed for a whole cluster (loaded once in
+//! the prologue, never mutated by probes), each non-zero's hit/miss
+//! outcome is a pure per-row function of the adjacency and the pinned set.
+//! The cluster simulation therefore runs in two phases:
+//!
+//! 1. **Plan** (data-parallel): walk each row's column slice once and emit
+//!    a compact probe plan — runs of consecutive hits collapsed to one
+//!    entry, misses recorded individually in order. Pure per-row work,
+//!    which is what allows *intra-cluster row-range sharding*: clusters
+//!    larger than [`GrowConfig::shard_rows`] split into deterministic row
+//!    ranges fanned across threads, and the ordered concatenation of the
+//!    shard plans is — by construction — the plan an unsharded walk
+//!    produces.
+//! 2. **Replay** (sequential): drive the cycle-accurate machinery (FIFO
+//!    channel, MAC array, runahead tables, in-order retirement window)
+//!    over the plan. A run of `h` hits issues as one
+//!    `scalar_vector_bulk(now, f, h)`, which is arithmetically identical
+//!    to `h` back-to-back `scalar_vector` calls — `now` cannot change
+//!    between consecutive hits — so the replay is bit-identical to the
+//!    original per-probe loop while doing per-*event* rather than
+//!    per-nonzero work on the (dominant) hit traffic.
 
 use std::collections::VecDeque;
 use std::ops::Range;
 
 use grow_sim::{
-    CacheStats, Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
-    RunaheadTables, TrafficClass, Waiter, ELEMENT_BYTES, HDN_ID_BYTES, INDEX_BYTES,
+    exec, CacheStats, Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
+    RunaheadTables, ScratchArena, TrafficClass, Waiter, ELEMENT_BYTES, HDN_ID_BYTES, INDEX_BYTES,
 };
-use grow_sparse::RowMajorSparse;
+use grow_sparse::{CsrPattern, RowMajorSparse};
 
 use crate::pipeline::{self, PhaseCtx};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
@@ -66,6 +92,13 @@ pub struct GrowConfig {
     pub hdn_caching: bool,
     /// Replacement policy of the HDN cache.
     pub replacement: ReplacementPolicy,
+    /// Intra-cluster row-range sharding threshold for the aggregation
+    /// probe-plan pass: clusters with more rows than this split into
+    /// `shard_rows`-row ranges fanned across worker threads (0 disables
+    /// sharding). The merged result is bit-identical to an unsharded run
+    /// at any value — this is purely a simulator-throughput knob for
+    /// huge clusters (e.g. Reddit's 4096-node grain).
+    pub shard_rows: usize,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
 }
@@ -84,9 +117,112 @@ impl Default for GrowConfig {
             dram: DramConfig::default(),
             hdn_caching: true,
             replacement: ReplacementPolicy::Pinned,
+            shard_rows: 0,
             multi_pe: crate::schedule::MultiPeConfig::default(),
         }
     }
+}
+
+/// One step of a row's probe plan (plan-phase output, replay-phase input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanOp {
+    /// A run of consecutive HDN-cache hits.
+    Hits(u32),
+    /// One cache-missing RHS row id, to be issued through the runahead
+    /// tables.
+    Miss(u32),
+}
+
+/// One row of the probe plan: its non-zero count and how many [`PlanOp`]s
+/// belong to it in the flat op stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct RowPlan {
+    nnz: u32,
+    ops: u32,
+}
+
+/// Reusable probe-plan buffers: the plan-phase output for one row range.
+#[derive(Debug, Default)]
+struct PlanBuf {
+    rows: Vec<RowPlan>,
+    ops: Vec<PlanOp>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanBuf {
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.ops.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Ordered merge of a shard's plan onto this one.
+    fn absorb(&mut self, shard: &PlanBuf) {
+        self.rows.extend_from_slice(&shard.rows);
+        self.ops.extend_from_slice(&shard.ops);
+        self.hits += shard.hits;
+        self.misses += shard.misses;
+    }
+}
+
+/// Builds the probe plan for `rows`: a pure per-row function of the
+/// adjacency structure and the (immutable) pinned set, so any row-range
+/// partition of a cluster concatenates to the same plan as one pass.
+/// `pinned` is `None` when HDN caching is disabled — every non-zero is
+/// then an uncached fetch and no probe statistics accrue.
+fn plan_rows(
+    adjacency: &CsrPattern,
+    rows: Range<usize>,
+    pinned: Option<&PinnedRowCache>,
+    out: &mut PlanBuf,
+) {
+    for slice in adjacency.row_slices(rows) {
+        let ops_before = out.ops.len();
+        match pinned {
+            Some(pinned) => {
+                let mut run = 0u32;
+                for &k in slice {
+                    if pinned.peek(k) {
+                        run += 1;
+                    } else {
+                        if run > 0 {
+                            out.ops.push(PlanOp::Hits(run));
+                            out.hits += run as u64;
+                            run = 0;
+                        }
+                        out.ops.push(PlanOp::Miss(k));
+                        out.misses += 1;
+                    }
+                }
+                if run > 0 {
+                    out.ops.push(PlanOp::Hits(run));
+                    out.hits += run as u64;
+                }
+            }
+            None => out.ops.extend(slice.iter().map(|&k| PlanOp::Miss(k))),
+        }
+        out.rows.push(RowPlan {
+            nnz: slice.len() as u32,
+            ops: (out.ops.len() - ops_before) as u32,
+        });
+    }
+}
+
+/// Per-worker scratch of the aggregation cluster path, recycled through a
+/// [`ScratchArena`]: every field is fully re-initialized at cluster start
+/// (`reset`/`clear`), never reconstructed.
+#[derive(Debug, Default)]
+struct GrowScratch {
+    pinned: PinnedRowCache,
+    tables: RunaheadTables,
+    /// Zero-capacity stand-in for [`GrowEngine::drain_one`]'s LRU slot in
+    /// the pinned/no-cache modes (never probed or filled there).
+    lru_dummy: LruRowCache,
+    window: VecDeque<u32>,
+    pending: Vec<u32>,
+    plan: PlanBuf,
 }
 
 /// The GROW accelerator timing model.
@@ -188,25 +324,29 @@ impl GrowEngine {
     /// own context (prologue preload, runahead tables, window, cache) —
     /// they were already drained and re-pinned at cluster boundaries, which
     /// is exactly what makes them independent.
-    fn run_aggregation(&self, workload: &PreparedWorkload, f_out: usize) -> PhaseReport {
+    fn run_aggregation(
+        &self,
+        workload: &PreparedWorkload,
+        f_out: usize,
+        scratch: &ScratchArena<GrowScratch>,
+        shard_pool: &ScratchArena<PlanBuf>,
+    ) -> PhaseReport {
         let cfg = &self.config;
-        let cache_rows = self.cache_rows(f_out);
-        let use_lru = matches!(cfg.replacement, ReplacementPolicy::Lru);
 
-        if use_lru {
+        if matches!(cfg.replacement, ReplacementPolicy::Lru) {
             // The demand-filled LRU study (Section VIII): a demand cache
             // has no hardware reason to flush at cluster boundaries the
             // way the pinned set is swapped, so the cache is shared across
             // clusters — which also means the clusters are *not*
             // independent and must run serially. Only the paper's default
-            // pinned mode gets the parallel path.
-            let mut lru = LruRowCache::new(cache_rows);
+            // pinned mode gets the parallel/planned path.
+            let n = workload.adjacency.rows();
+            let mut lru = LruRowCache::new(self.cache_rows(f_out), n);
             let mut merged = PhaseReport::new(PhaseKind::Aggregation);
-            for (ci, cluster) in workload.clusters.iter().enumerate() {
-                merged.absorb_sequential(self.aggregate_cluster(
+            for cluster in workload.clusters.iter() {
+                merged.absorb_sequential(self.aggregate_cluster_lru(
                     workload,
                     f_out,
-                    ci,
                     cluster.clone(),
                     &mut lru,
                 ));
@@ -214,24 +354,26 @@ impl GrowEngine {
             return merged;
         }
 
-        pipeline::run_clusters(PhaseKind::Aggregation, &workload.clusters, |ci, cluster| {
-            // Unused in pinned/no-cache modes; per-cluster to keep the
-            // closure `Fn`.
-            let mut lru = LruRowCache::new(0);
-            self.aggregate_cluster(workload, f_out, ci, cluster, &mut lru)
-        })
+        pipeline::run_clusters_scratched(
+            PhaseKind::Aggregation,
+            &workload.clusters,
+            scratch,
+            |s, ci, cluster| self.aggregate_cluster(workload, f_out, ci, cluster, s, shard_pool),
+        )
     }
 
     /// Simulates one cluster of the aggregation phase in an isolated
-    /// context. Under LRU replacement the caller passes the shared demand
-    /// cache; this report's cache statistics are the cluster's delta.
+    /// context (pinned or no-cache modes): plan phase — sharded across row
+    /// ranges when the cluster exceeds `shard_rows` — then sequential
+    /// replay. All working state comes from `scratch` and is recycled.
     fn aggregate_cluster(
         &self,
         workload: &PreparedWorkload,
         f_out: usize,
         ci: usize,
         cluster: Range<usize>,
-        lru: &mut LruRowCache,
+        scratch: &mut GrowScratch,
+        shard_pool: &ScratchArena<PlanBuf>,
     ) -> PhaseReport {
         let cfg = &self.config;
         let adjacency = &workload.adjacency;
@@ -239,95 +381,128 @@ impl GrowEngine {
         let row_bytes = f_out as u64 * ELEMENT_BYTES;
         let f_words = f_out as u64;
         let cache_rows = self.cache_rows(f_out);
-        let use_lru = matches!(cfg.replacement, ReplacementPolicy::Lru);
-        let lru_stats_before = *lru.stats();
-        {
-            let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, cfg.dram, cfg.mac_lanes);
-            let mut tables = RunaheadTables::new(cfg.ldn_entries, cfg.lhs_id_entries);
-            let mut pinned = PinnedRowCache::new(cache_rows, n);
 
-            // Multi-row window: rows retire in order (Figure 15's
-            // head/tail). Pending counters are cluster-local, indexed from
-            // the cluster's first row.
-            let start = cluster.start;
-            let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.runahead);
-            let mut pending: Vec<u32> = vec![0; cluster.len()];
+        let GrowScratch {
+            pinned,
+            tables,
+            lru_dummy,
+            window,
+            pending,
+            plan,
+        } = scratch;
+        tables.reset(cfg.ldn_entries, cfg.lhs_id_entries);
+        window.clear();
+        pending.clear();
+        pending.resize(cluster.len(), 0);
+        plan.clear();
 
-            if cfg.hdn_caching && !use_lru {
-                // Cluster prologue: fetch the HDN ID list, then pin the
-                // corresponding RHS rows (Section V-C).
-                let list = &workload.hdn_lists[ci];
-                let take = list.len().min(cfg.hdn_id_entries).min(cache_rows);
-                let ids = &list[..take];
-                let id_done = ctx
-                    .dram
-                    .read(0, take as u64 * HDN_ID_BYTES, TrafficClass::HdnIdList);
-                let fills = pinned.load(ids);
-                let done =
-                    ctx.dram
-                        .read_many(id_done, fills as u64, row_bytes, TrafficClass::RhsPreload);
-                ctx.report.sram_writes_8b += fills as u64 * f_words;
-                ctx.now = ctx.now.max(done);
+        let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, cfg.dram, cfg.mac_lanes);
+
+        if cfg.hdn_caching {
+            pinned.reset(cache_rows, n);
+            // Cluster prologue: fetch the HDN ID list, then pin the
+            // corresponding RHS rows (Section V-C).
+            let list = &workload.hdn_lists[ci];
+            let take = list.len().min(cfg.hdn_id_entries).min(cache_rows);
+            let ids = &list[..take];
+            let id_done = ctx
+                .dram
+                .read(0, take as u64 * HDN_ID_BYTES, TrafficClass::HdnIdList);
+            let fills = pinned.load(ids);
+            let done =
+                ctx.dram
+                    .read_many(id_done, fills as u64, row_bytes, TrafficClass::RhsPreload);
+            ctx.report.sram_writes_8b += fills as u64 * f_words;
+            ctx.now = ctx.now.max(done);
+        }
+
+        // Plan phase: the pure probe plan, row-range-sharded across
+        // threads when the cluster is large enough to be worth it. The
+        // shard boundaries are a deterministic function of the
+        // configuration, and the ordered merge concatenates to exactly
+        // the single-pass plan.
+        let pinned_ref = cfg.hdn_caching.then_some(&*pinned);
+        let shard = cfg.shard_rows;
+        if shard > 0 && cluster.len() > shard {
+            let mut ranges = Vec::with_capacity(cluster.len().div_ceil(shard));
+            let mut lo = cluster.start;
+            while lo < cluster.end {
+                let hi = (lo + shard).min(cluster.end);
+                ranges.push(lo..hi);
+                lo = hi;
+            }
+            let parts = exec::parallel_map(ranges, |_, range| {
+                let mut buf = shard_pool.checkout();
+                buf.clear();
+                plan_rows(adjacency, range, pinned_ref, &mut buf);
+                buf
+            });
+            for part in &parts {
+                plan.absorb(part);
+            }
+        } else {
+            plan_rows(adjacency, cluster.clone(), pinned_ref, plan);
+        }
+
+        // Replay phase: cycle-accurate machinery over the plan, identical
+        // step for step to a per-probe walk (hit runs issue as bulk MAC
+        // operations, which is exact — see the module docs).
+        let start = cluster.start;
+        let mut burst = 0u64;
+        let mut op_cursor = 0usize;
+        for (i, rp) in plan.rows.iter().enumerate() {
+            let row = start + i;
+            // Window admission (in-order retirement).
+            while window.len() >= cfg.runahead {
+                self.retire_ready(
+                    window,
+                    pending,
+                    start,
+                    ctx.now,
+                    &mut ctx.dram,
+                    f_out,
+                    &mut ctx.report,
+                );
+                if window.len() < cfg.runahead {
+                    break;
+                }
+                ctx.now = self.drain_one(
+                    tables,
+                    &mut ctx.mac,
+                    pending,
+                    start,
+                    lru_dummy,
+                    false,
+                    ctx.now,
+                    f_out,
+                    &mut ctx.report,
+                );
             }
 
-            let mut burst = 0u64;
-            for row in cluster.clone() {
-                // Window admission (in-order retirement).
-                while window.len() >= cfg.runahead {
-                    self.retire_ready(
-                        &mut window,
-                        &mut pending,
-                        start,
-                        ctx.now,
-                        &mut ctx.dram,
-                        f_out,
-                        &mut ctx.report,
-                    );
-                    if window.len() < cfg.runahead {
-                        break;
+            // Stream this A row's CSR segment.
+            let nnz = rp.nnz as u64;
+            let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
+            ctx.dram
+                .read_stream(ctx.now, stream, TrafficClass::LhsSparse);
+            burst += stream;
+            ctx.report.sram_writes_8b += stream.div_ceil(8);
+            ctx.report.sram_reads_8b += stream.div_ceil(8);
+
+            // Enter the window with an issue-in-progress token: stalls
+            // while issuing this row's own non-zeros may drain some of
+            // *its* waiters, so the pending counter must be live before
+            // the first miss is registered (and the token keeps the row
+            // from retiring before all its non-zeros are issued).
+            window.push_back(row as u32);
+            pending[i] = 1;
+            for op in &plan.ops[op_cursor..op_cursor + rp.ops as usize] {
+                match *op {
+                    PlanOp::Hits(count) => {
+                        ctx.mac.scalar_vector_bulk(ctx.now, f_out, count as u64);
+                        ctx.report.sram_reads_8b += count as u64 * f_words; // cached RHS rows
+                        ctx.report.sram_writes_8b += count as u64 * f_words; // O-BUF accumulate
                     }
-                    ctx.now = self.drain_one(
-                        &mut tables,
-                        &mut ctx.mac,
-                        &mut pending,
-                        start,
-                        lru,
-                        use_lru,
-                        ctx.now,
-                        f_out,
-                        &mut ctx.report,
-                    );
-                }
-
-                // Stream this A row's CSR segment.
-                let nnz = adjacency.row_nnz(row) as u64;
-                let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
-                ctx.dram
-                    .read_stream(ctx.now, stream, TrafficClass::LhsSparse);
-                burst += stream;
-                ctx.report.sram_writes_8b += stream.div_ceil(8);
-                ctx.report.sram_reads_8b += stream.div_ceil(8);
-
-                // Enter the window with an issue-in-progress token: stalls
-                // while issuing this row's own non-zeros may drain some of
-                // *its* waiters, so the pending counter must be live before
-                // the first miss is registered (and the token keeps the row
-                // from retiring before all its non-zeros are issued).
-                window.push_back(row as u32);
-                pending[row - start] = 1;
-                for &k in adjacency.row_indices(row) {
-                    let hit = if !cfg.hdn_caching {
-                        false
-                    } else if use_lru {
-                        lru.probe(k)
-                    } else {
-                        pinned.probe(k)
-                    };
-                    if hit {
-                        ctx.mac.scalar_vector(ctx.now, f_out);
-                        ctx.report.sram_reads_8b += f_words; // cached RHS row
-                        ctx.report.sram_writes_8b += f_words; // O-BUF accumulate
-                    } else {
+                    PlanOp::Miss(k) => {
                         let waiter = Waiter {
                             output_row: row as u32,
                             lhs_value: 1.0,
@@ -338,21 +513,21 @@ impl GrowEngine {
                                     let done =
                                         ctx.dram.read(ctx.now, row_bytes, TrafficClass::RhsRows);
                                     tables.set_completion(k, done);
-                                    pending[row - start] += 1;
+                                    pending[i] += 1;
                                     break;
                                 }
                                 IssueOutcome::Coalesced => {
-                                    pending[row - start] += 1;
+                                    pending[i] += 1;
                                     break;
                                 }
                                 IssueOutcome::LdnFull | IssueOutcome::LhsFull => {
                                     ctx.now = self.drain_one(
-                                        &mut tables,
+                                        tables,
                                         &mut ctx.mac,
-                                        &mut pending,
+                                        pending,
                                         start,
-                                        lru,
-                                        use_lru,
+                                        lru_dummy,
+                                        false,
                                         ctx.now,
                                         f_out,
                                         &mut ctx.report,
@@ -362,9 +537,92 @@ impl GrowEngine {
                         }
                     }
                 }
-                // Release the issue token; the row can now retire once all
-                // of its outstanding misses return.
-                pending[row - start] -= 1;
+            }
+            op_cursor += rp.ops as usize;
+            // Release the issue token; the row can now retire once all
+            // of its outstanding misses return.
+            pending[i] -= 1;
+            self.retire_ready(
+                window,
+                pending,
+                start,
+                ctx.now,
+                &mut ctx.dram,
+                f_out,
+                &mut ctx.report,
+            );
+        }
+        ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
+
+        // Drain the cluster before handing the channel to the next one.
+        while !tables.is_empty() {
+            ctx.now = self.drain_one(
+                tables,
+                &mut ctx.mac,
+                pending,
+                start,
+                lru_dummy,
+                false,
+                ctx.now,
+                f_out,
+                &mut ctx.report,
+            );
+        }
+        self.retire_ready(
+            window,
+            pending,
+            start,
+            ctx.now,
+            &mut ctx.dram,
+            f_out,
+            &mut ctx.report,
+        );
+        debug_assert!(window.is_empty(), "all rows retire at cluster end");
+
+        ctx.report.cache = if cfg.hdn_caching {
+            CacheStats {
+                hits: plan.hits,
+                misses: plan.misses,
+                fills: pinned.stats().fills,
+            }
+        } else {
+            CacheStats::default()
+        };
+        ctx.finish_cluster()
+    }
+
+    /// Simulates one cluster under the demand-filled LRU replacement study
+    /// (Section VIII). The caller passes the shared demand cache — probe
+    /// outcomes depend on its evolving state, so this path stays a direct
+    /// per-probe walk; the report's cache statistics are the cluster's
+    /// delta.
+    fn aggregate_cluster_lru(
+        &self,
+        workload: &PreparedWorkload,
+        f_out: usize,
+        cluster: Range<usize>,
+        lru: &mut LruRowCache,
+    ) -> PhaseReport {
+        let cfg = &self.config;
+        let adjacency = &workload.adjacency;
+        let row_bytes = f_out as u64 * ELEMENT_BYTES;
+        let f_words = f_out as u64;
+        let lru_stats_before = *lru.stats();
+
+        let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, cfg.dram, cfg.mac_lanes);
+        let mut tables = RunaheadTables::new(cfg.ldn_entries, cfg.lhs_id_entries);
+
+        // Multi-row window: rows retire in order (Figure 15's
+        // head/tail). Pending counters are cluster-local, indexed from
+        // the cluster's first row.
+        let start = cluster.start;
+        let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.runahead);
+        let mut pending: Vec<u32> = vec![0; cluster.len()];
+
+        let mut burst = 0u64;
+        for (i, slice) in adjacency.row_slices(cluster.clone()).enumerate() {
+            let row = start + i;
+            while window.len() >= cfg.runahead {
                 self.retire_ready(
                     &mut window,
                     &mut pending,
@@ -374,23 +632,73 @@ impl GrowEngine {
                     f_out,
                     &mut ctx.report,
                 );
-            }
-            ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
-
-            // Drain the cluster before handing the channel to the next one.
-            while !tables.is_empty() {
+                if window.len() < cfg.runahead {
+                    break;
+                }
                 ctx.now = self.drain_one(
                     &mut tables,
                     &mut ctx.mac,
                     &mut pending,
                     start,
                     lru,
-                    use_lru,
+                    true,
                     ctx.now,
                     f_out,
                     &mut ctx.report,
                 );
             }
+
+            let nnz = slice.len() as u64;
+            let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
+            ctx.dram
+                .read_stream(ctx.now, stream, TrafficClass::LhsSparse);
+            burst += stream;
+            ctx.report.sram_writes_8b += stream.div_ceil(8);
+            ctx.report.sram_reads_8b += stream.div_ceil(8);
+
+            window.push_back(row as u32);
+            pending[i] = 1;
+            for &k in slice {
+                let hit = cfg.hdn_caching && lru.probe(k);
+                if hit {
+                    ctx.mac.scalar_vector(ctx.now, f_out);
+                    ctx.report.sram_reads_8b += f_words; // cached RHS row
+                    ctx.report.sram_writes_8b += f_words; // O-BUF accumulate
+                } else {
+                    let waiter = Waiter {
+                        output_row: row as u32,
+                        lhs_value: 1.0,
+                    };
+                    loop {
+                        match tables.issue(k, waiter) {
+                            IssueOutcome::Allocated => {
+                                let done = ctx.dram.read(ctx.now, row_bytes, TrafficClass::RhsRows);
+                                tables.set_completion(k, done);
+                                pending[i] += 1;
+                                break;
+                            }
+                            IssueOutcome::Coalesced => {
+                                pending[i] += 1;
+                                break;
+                            }
+                            IssueOutcome::LdnFull | IssueOutcome::LhsFull => {
+                                ctx.now = self.drain_one(
+                                    &mut tables,
+                                    &mut ctx.mac,
+                                    &mut pending,
+                                    start,
+                                    lru,
+                                    true,
+                                    ctx.now,
+                                    f_out,
+                                    &mut ctx.report,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            pending[i] -= 1;
             self.retire_ready(
                 &mut window,
                 &mut pending,
@@ -400,20 +708,40 @@ impl GrowEngine {
                 f_out,
                 &mut ctx.report,
             );
-            debug_assert!(window.is_empty(), "all rows retire at cluster end");
-
-            ctx.report.cache = if use_lru {
-                let after = *lru.stats();
-                CacheStats {
-                    hits: after.hits - lru_stats_before.hits,
-                    misses: after.misses - lru_stats_before.misses,
-                    fills: after.fills - lru_stats_before.fills,
-                }
-            } else {
-                *pinned.stats()
-            };
-            ctx.finish_cluster()
         }
+        ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
+
+        while !tables.is_empty() {
+            ctx.now = self.drain_one(
+                &mut tables,
+                &mut ctx.mac,
+                &mut pending,
+                start,
+                lru,
+                true,
+                ctx.now,
+                f_out,
+                &mut ctx.report,
+            );
+        }
+        self.retire_ready(
+            &mut window,
+            &mut pending,
+            start,
+            ctx.now,
+            &mut ctx.dram,
+            f_out,
+            &mut ctx.report,
+        );
+        debug_assert!(window.is_empty(), "all rows retire at cluster end");
+
+        let after = *lru.stats();
+        ctx.report.cache = CacheStats {
+            hits: after.hits - lru_stats_before.hits,
+            misses: after.misses - lru_stats_before.misses,
+            fills: after.fills - lru_stats_before.fills,
+        };
+        ctx.finish_cluster()
     }
 
     /// Services the earliest outstanding RHS-row fetch: advances time,
@@ -431,7 +759,7 @@ impl GrowEngine {
         f_out: usize,
         report: &mut PhaseReport,
     ) -> Cycle {
-        let Some((done, rhs, waiters)) = tables.pop_earliest() else {
+        let Some((done, rhs, waiters)) = tables.pop_earliest_slice() else {
             return now;
         };
         let now = now.max(done);
@@ -478,9 +806,13 @@ impl Accelerator for GrowEngine {
     }
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
+        // One scratch pool (and one shard-plan pool) per run: per-cluster
+        // state is cleared between clusters and layers, not dropped.
+        let scratch: ScratchArena<GrowScratch> = ScratchArena::new();
+        let shard_pool: ScratchArena<PlanBuf> = ScratchArena::new();
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_combination(&layer.x.view(), layer.f_out, &workload.clusters),
-            aggregation: self.run_aggregation(workload, layer.f_out),
+            aggregation: self.run_aggregation(workload, layer.f_out, &scratch, &shard_pool),
         });
         report.multi_pe = Some(crate::schedule::summarize(
             &report,
@@ -664,6 +996,60 @@ mod tests {
         let parallel = grow_sim::exec::with_workers(4, || e.run(&p));
         let serial = grow_sim::exec::with_mode(grow_sim::ExecMode::Serial, || e.run(&p));
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_to_unsharded() {
+        // The shard_rows contract: splitting the probe-plan pass into row
+        // ranges must not change a single counter, at any threshold, in
+        // serial or parallel execution, with caching on or off.
+        let p = prepared(2000, PartitionStrategy::None); // one 2000-row cluster
+        for caching in [true, false] {
+            let base = GrowEngine::new(GrowConfig {
+                hdn_caching: caching,
+                ..GrowConfig::default()
+            })
+            .run(&p);
+            for shard_rows in [64, 257, 1000, 1999, 2000, 5000] {
+                let cfg = GrowConfig {
+                    hdn_caching: caching,
+                    shard_rows,
+                    ..GrowConfig::default()
+                };
+                let e = GrowEngine::new(cfg);
+                let sharded = grow_sim::exec::with_workers(4, || e.run(&p));
+                assert_eq!(base, sharded, "caching={caching} shard_rows={shard_rows}");
+                let serial = grow_sim::exec::with_mode(grow_sim::ExecMode::Serial, || e.run(&p));
+                assert_eq!(base, serial, "serial shard caching={caching}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_composes_with_partitioned_clusters() {
+        // Sharding inside clusters while clusters fan across threads.
+        let p = prepared(2500, PartitionStrategy::Multilevel { cluster_nodes: 400 });
+        let base = GrowEngine::default().run(&p);
+        let sharded = GrowEngine::new(GrowConfig {
+            shard_rows: 128,
+            ..GrowConfig::default()
+        })
+        .run(&p);
+        assert_eq!(base, sharded);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_across_runs() {
+        // Back-to-back runs of one engine instance (fresh arenas per run)
+        // and runs of different workloads through the same engine must not
+        // influence each other.
+        let small = prepared(500, PartitionStrategy::None);
+        let big = prepared(1200, PartitionStrategy::Multilevel { cluster_nodes: 200 });
+        let e = GrowEngine::default();
+        let small_first = e.run(&small);
+        let big_first = e.run(&big);
+        assert_eq!(e.run(&small), small_first);
+        assert_eq!(e.run(&big), big_first);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::ops::Range;
 
 use grow_sim::{exec, Cycle, Dram, DramConfig, MacArray};
+pub use grow_sim::{ScratchArena, ScratchGuard};
 
 use crate::{ClusterProfile, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
@@ -105,6 +106,39 @@ where
     F: Fn(usize, Range<usize>) -> PhaseReport + Sync,
 {
     let partials = exec::parallel_map(clusters.to_vec(), sim);
+    let mut merged = PhaseReport::new(kind);
+    for partial in partials {
+        merged.absorb_sequential(partial);
+    }
+    merged
+}
+
+/// Like [`run_clusters`], but hands each cluster simulation a reusable
+/// scratch value checked out of `arena` — the zero-allocation cluster
+/// path. The scratch a cluster receives may have been used by *any*
+/// earlier cluster (on any thread), so `sim` must re-initialize every
+/// piece of scratch state it consults (the `reset` methods on the caches
+/// and tables exist for this); under that contract the merged report is
+/// bit-identical to [`run_clusters`] with per-cluster construction, in
+/// both serial and parallel execution.
+///
+/// Engines create one arena per `run()` call, so scratch state — cache
+/// residency tables, runahead slots, plan buffers — is built once per
+/// worker and recycled across every cluster of every layer.
+pub fn run_clusters_scratched<S, F>(
+    kind: PhaseKind,
+    clusters: &[Range<usize>],
+    arena: &ScratchArena<S>,
+    sim: F,
+) -> PhaseReport
+where
+    S: Default + Send,
+    F: Fn(&mut S, usize, Range<usize>) -> PhaseReport + Sync,
+{
+    let partials = exec::parallel_map(clusters.to_vec(), |ci, cluster| {
+        let mut scratch = arena.checkout();
+        sim(&mut scratch, ci, cluster)
+    });
     let mut merged = PhaseReport::new(kind);
     for partial in partials {
         merged.absorb_sequential(partial);

@@ -162,6 +162,7 @@ fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
             "ldn_entries" => cfg.ldn_entries = parse(key, value)?,
             "lhs_id_entries" => cfg.lhs_id_entries = parse(key, value)?,
             "hdn_caching" => cfg.hdn_caching = parse(key, value)?,
+            "shard_rows" => cfg.shard_rows = parse(key, value)?,
             "replacement" => {
                 cfg.replacement = match value.to_ascii_lowercase().as_str() {
                     "pinned" => ReplacementPolicy::Pinned,

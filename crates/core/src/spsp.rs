@@ -20,11 +20,19 @@
 
 use std::ops::Range;
 
-use grow_sim::{DramConfig, LruRowCache, TrafficClass, INDEX_BYTES};
+use grow_sim::{DramConfig, LruRowCache, ScratchArena, TrafficClass, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
 use crate::pipeline::{self, PhaseCtx};
 use crate::{LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
+
+/// Per-worker scratch of the sparse-sparse cluster path: the fiber cache,
+/// recycled through a [`ScratchArena`] and epoch-reset at every cluster
+/// boundary (the flush the module docs describe) instead of reallocated.
+#[derive(Debug, Default)]
+struct SpSpScratch {
+    cache: LruRowCache,
+}
 
 /// Bytes per element of a CSR-compressed row: value + column index.
 const CSR_ELEM_BYTES: u64 = 8 + INDEX_BYTES;
@@ -49,6 +57,9 @@ pub(crate) struct SpSpParams {
 
 pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunReport {
     let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
+    // One scratch pool per run: fiber caches are epoch-reset between
+    // clusters and layers, never reallocated.
+    let scratch: ScratchArena<SpSpScratch> = ScratchArena::new();
     let mut report = pipeline::run_layers(params.name, workload, |layer| LayerReport {
         combination: run_phase(
             params,
@@ -56,6 +67,7 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
             &layer.x.view(),
             layer.f_out,
             &workload.clusters,
+            &scratch,
         ),
         aggregation: run_phase(
             params,
@@ -63,6 +75,7 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
             &adjacency,
             layer.f_out,
             &workload.clusters,
+            &scratch,
         ),
     });
     report.multi_pe = Some(crate::schedule::summarize(
@@ -80,9 +93,10 @@ fn run_phase(
     lhs: &RowMajorSparse<'_>,
     f: usize,
     clusters: &[Range<usize>],
+    scratch: &ScratchArena<SpSpScratch>,
 ) -> PhaseReport {
-    pipeline::run_clusters(kind, clusters, |_, cluster| {
-        run_rows(params, kind, lhs, f, cluster)
+    pipeline::run_clusters_scratched(kind, clusters, scratch, |s, _, cluster| {
+        run_rows(params, kind, lhs, f, cluster, s)
     })
 }
 
@@ -93,6 +107,7 @@ fn run_rows(
     lhs: &RowMajorSparse<'_>,
     f: usize,
     rows: Range<usize>,
+    scratch: &mut SpSpScratch,
 ) -> PhaseReport {
     let mut ctx = PhaseCtx::new(kind, params.dram, params.mac_lanes);
 
@@ -100,7 +115,12 @@ fn run_rows(
     // engines: f elements of 12 bytes per row.
     let rhs_row_bytes = f as u64 * CSR_ELEM_BYTES;
     let cache_rows = (params.fiber_cache_bytes / rhs_row_bytes) as usize;
-    let mut cache = LruRowCache::new(cache_rows);
+    let cache = &mut scratch.cache;
+    if cache_rows > 0 {
+        // Cluster-boundary flush of the recycled fiber cache; the
+        // cacheless (MatRaptor) path never touches it.
+        cache.reset(cache_rows, lhs.cols());
+    }
     let merge_cycles =
         ((f as f64 * params.merge_factor).ceil() as u64).div_ceil(params.mac_lanes as u64);
 
@@ -144,21 +164,30 @@ fn run_rows(
                 }
             }
         }
+        RowMajorSparse::Pattern(p) if cache_rows == 0 => {
+            // No fiber cache (MatRaptor): every non-zero is a miss and
+            // nothing is probed, so the per-nonzero walk collapses to the
+            // per-row CSR lengths — bit-identical counters at a fraction
+            // of the work.
+            for slice in p.row_slices(rows.clone()) {
+                let nnz = slice.len() as u64;
+                lhs_burst += nnz * CSR_ELEM_BYTES + INDEX_BYTES;
+                record_row(&mut ctx, rhs_class, f, rhs_row_bytes, merge_cycles, 0, nnz);
+            }
+        }
         RowMajorSparse::Pattern(p) => {
-            for row in rows.clone() {
+            for slice in p.row_slices(rows.clone()) {
                 let mut hits = 0u64;
                 let mut misses = 0u64;
-                for &c in p.row_indices(row) {
-                    if cache_rows > 0 && cache.probe(c) {
+                for &c in slice {
+                    if cache.probe(c) {
                         hits += 1;
-                    } else if cache_rows > 0 {
-                        cache.insert(c);
-                        misses += 1;
                     } else {
+                        cache.insert(c);
                         misses += 1;
                     }
                 }
-                lhs_burst += p.row_nnz(row) as u64 * CSR_ELEM_BYTES + INDEX_BYTES;
+                lhs_burst += slice.len() as u64 * CSR_ELEM_BYTES + INDEX_BYTES;
                 record_row(
                     &mut ctx,
                     rhs_class,

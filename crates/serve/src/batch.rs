@@ -107,6 +107,15 @@ impl JobSpec {
         self.with_override("pes", &pes.to_string())
     }
 
+    /// Sets the intra-cluster row-range sharding threshold (the
+    /// `shard_rows=` override, GROW only): clusters larger than `rows`
+    /// split their probe-plan pass across worker threads. Purely a
+    /// simulator-throughput knob — reports are bit-identical to an
+    /// unsharded run.
+    pub fn with_shard_rows(self, rows: usize) -> Self {
+        self.with_override("shard_rows", &rows.to_string())
+    }
+
     /// Sets the per-cluster HDN ID list length for preparation.
     pub fn with_hdn_id_entries(mut self, entries: usize) -> Self {
         self.hdn_id_entries = entries;
@@ -663,6 +672,22 @@ mod tests {
                 .contains(&format!("scheduler={}", summary.scheduler)));
             assert!(job.overrides.contains(&format!("pes={}", summary.pes)));
         }
+    }
+
+    #[test]
+    fn sharded_jobs_report_identically_to_unsharded() {
+        // shard_rows is a throughput knob, not a model knob: the sharded
+        // job has a distinct cache key (distinct effective config) yet its
+        // report — layers, multi-PE summary, everything — must be
+        // bit-identical to the unsharded run's.
+        let mut service = BatchService::new();
+        let unsharded =
+            JobSpec::new(spec(), 7, "grow").with_strategy(PartitionStrategy::multilevel_default());
+        let sharded = unsharded.clone().with_shard_rows(64);
+        assert_ne!(unsharded.key(), sharded.key());
+        let results = service.run_batch(&[unsharded, sharded]);
+        assert_eq!(service.stats().simulations_run, 2, "both really ran");
+        assert_eq!(results[0].report().unwrap(), results[1].report().unwrap());
     }
 
     #[test]

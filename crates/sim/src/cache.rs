@@ -1,4 +1,3 @@
-use std::collections::HashMap;
 use std::fmt;
 
 /// Hit/miss counters for a row cache.
@@ -23,11 +22,13 @@ impl CacheStats {
         }
     }
 
-    /// Merges another stats block into this one.
+    /// Merges another stats block into this one. Saturating: merged
+    /// counters from many long runs clamp at `u64::MAX` instead of
+    /// wrapping (a wrapped counter would silently report a *small* number).
     pub fn merge(&mut self, other: &CacheStats) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.fills += other.fills;
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.fills = self.fills.saturating_add(other.fills);
     }
 }
 
@@ -51,6 +52,12 @@ impl fmt::Display for CacheStats {
 /// Section VIII). Misses stream to the processing engine directly from
 /// DRAM and are *not* installed.
 ///
+/// Residency is a dense epoch-stamped table: `probe` is one array load and
+/// compare, and [`PinnedRowCache::reset`] recycles the cache for the next
+/// cluster in O(1) by bumping the epoch — no per-cluster reallocation, no
+/// O(universe) clear. Engines keep one cache per worker for a whole run
+/// and reset it at every cluster boundary.
+///
 /// ```
 /// use grow_sim::PinnedRowCache;
 ///
@@ -59,13 +66,30 @@ impl fmt::Display for CacheStats {
 /// assert!(cache.probe(3));
 /// assert!(!cache.probe(9));
 /// assert_eq!(cache.stats().hits, 1);
+///
+/// // Recycle for the next cluster: stale residency from the previous
+/// // epoch must miss.
+/// cache.reset(2, 10);
+/// assert!(!cache.probe(3));
 /// ```
 #[derive(Debug, Clone)]
 pub struct PinnedRowCache {
     capacity_rows: usize,
-    resident: Vec<bool>,
+    /// Current epoch; entries of `resident` are live only when they match.
+    /// Always >= 1, so a zeroed table is empty.
+    epoch: u32,
+    /// id -> epoch stamp of the load that pinned it.
+    resident: Vec<u32>,
     loaded: Vec<u32>,
     stats: CacheStats,
+}
+
+impl Default for PinnedRowCache {
+    /// An empty zero-capacity cache over an empty universe; call
+    /// [`PinnedRowCache::reset`] to size it before use.
+    fn default() -> Self {
+        PinnedRowCache::new(0, 0)
+    }
 }
 
 impl PinnedRowCache {
@@ -74,10 +98,33 @@ impl PinnedRowCache {
     pub fn new(capacity_rows: usize, universe: usize) -> Self {
         PinnedRowCache {
             capacity_rows,
-            resident: vec![false; universe],
+            epoch: 1,
+            resident: vec![0; universe],
             loaded: Vec::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Recycles the cache: as if freshly constructed with
+    /// `new(capacity_rows, universe)`, but reusing the residency table.
+    /// All prior residency and statistics are discarded in O(1) (the epoch
+    /// advances, stale stamps stop matching); the table only reallocates
+    /// when the universe grows.
+    pub fn reset(&mut self, capacity_rows: usize, universe: usize) {
+        self.capacity_rows = capacity_rows;
+        if self.resident.len() != universe {
+            self.resident.clear();
+            self.resident.resize(universe, 0);
+            self.epoch = 1;
+        } else if self.epoch == u32::MAX {
+            // Epoch exhausted: one O(universe) clear every 2^32 - 1 resets.
+            self.resident.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.loaded.clear();
+        self.stats = CacheStats::default();
     }
 
     /// Row capacity.
@@ -85,21 +132,31 @@ impl PinnedRowCache {
         self.capacity_rows
     }
 
-    /// Replaces the pinned set with (a capacity-truncated prefix of) `ids`,
-    /// as happens at each cluster boundary. Returns how many rows were
-    /// actually pinned — the number of preload fills the DMA must fetch.
+    /// Replaces the pinned set with the first `capacity_rows` *distinct*
+    /// IDs of `ids`, as happens at each cluster boundary. Returns how many
+    /// rows were actually pinned — the number of preload fills the DMA
+    /// must fetch.
+    ///
+    /// Duplicate IDs are pinned (and counted as fills) once, and do not
+    /// consume capacity: the hardware list holds row IDs, and a repeated
+    /// ID names the same cached row. (HDN lists produced by the
+    /// preprocessing are already duplicate-free; this makes hand-built
+    /// lists behave identically.)
     ///
     /// # Panics
     ///
     /// Panics if an ID is outside the universe.
     pub fn load(&mut self, ids: &[u32]) -> usize {
         for &id in &self.loaded {
-            self.resident[id as usize] = false;
+            self.resident[id as usize] = 0;
         }
         self.loaded.clear();
-        for &id in ids.iter().take(self.capacity_rows) {
-            if !self.resident[id as usize] {
-                self.resident[id as usize] = true;
+        for &id in ids {
+            if self.loaded.len() >= self.capacity_rows {
+                break;
+            }
+            if self.resident[id as usize] != self.epoch {
+                self.resident[id as usize] = self.epoch;
                 self.loaded.push(id);
             }
         }
@@ -118,7 +175,7 @@ impl PinnedRowCache {
     ///
     /// Panics if `id` is outside the universe.
     pub fn probe(&mut self, id: u32) -> bool {
-        let hit = self.resident[id as usize];
+        let hit = self.resident[id as usize] == self.epoch;
         if hit {
             self.stats.hits += 1;
         } else {
@@ -129,7 +186,7 @@ impl PinnedRowCache {
 
     /// Checks residency without touching statistics.
     pub fn peek(&self, id: u32) -> bool {
-        self.resident[id as usize]
+        self.resident[id as usize] == self.epoch
     }
 
     /// Accumulated statistics.
@@ -144,10 +201,15 @@ impl PinnedRowCache {
 /// optimized for the power-law distribution of graphs") and the
 /// alternative eviction policies of the Section VIII discussion.
 ///
+/// Lookup is a dense epoch-stamped slot table indexed by row ID — one
+/// array load per probe instead of a `HashMap` walk — and
+/// [`LruRowCache::reset`] recycles the cache for the next cluster without
+/// reallocating (the epoch advances, stale table entries stop matching).
+///
 /// ```
 /// use grow_sim::LruRowCache;
 ///
-/// let mut cache = LruRowCache::new(2);
+/// let mut cache = LruRowCache::new(2, 10);
 /// assert!(!cache.probe(1));
 /// cache.insert(1);
 /// cache.insert(2);
@@ -158,28 +220,63 @@ impl PinnedRowCache {
 #[derive(Debug, Clone)]
 pub struct LruRowCache {
     capacity_rows: usize,
-    /// id -> slot index in the intrusive list.
-    map: HashMap<u32, usize>,
-    /// Slot storage: (id, prev, next); usize::MAX is the null link.
-    slots: Vec<(u32, usize, usize)>,
-    head: usize, // most recent
-    tail: usize, // least recent
+    /// Current epoch; `table` entries are live only when they match.
+    /// Always >= 1, so a zeroed table is empty.
+    epoch: u32,
+    /// id -> (epoch stamp, slot index in the intrusive list).
+    table: Vec<(u32, u32)>,
+    /// Slot storage: (id, prev, next); u32::MAX is the null link.
+    slots: Vec<(u32, u32, u32)>,
+    head: u32, // most recent
+    tail: u32, // least recent
     stats: CacheStats,
 }
 
-const NIL: usize = usize::MAX;
+const NIL: u32 = u32::MAX;
+
+impl Default for LruRowCache {
+    /// An empty zero-capacity cache over an empty universe; call
+    /// [`LruRowCache::reset`] to size it before use.
+    fn default() -> Self {
+        LruRowCache::new(0, 0)
+    }
+}
 
 impl LruRowCache {
-    /// Creates an empty cache holding up to `capacity_rows` rows.
-    pub fn new(capacity_rows: usize) -> Self {
+    /// Creates an empty cache holding up to `capacity_rows` rows out of a
+    /// universe of `universe` row IDs.
+    pub fn new(capacity_rows: usize, universe: usize) -> Self {
         LruRowCache {
             capacity_rows,
-            map: HashMap::new(),
+            epoch: 1,
+            table: vec![(0, 0); universe],
             slots: Vec::new(),
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Recycles the cache: as if freshly constructed with
+    /// `new(capacity_rows, universe)`, but reusing the lookup table and
+    /// slot storage. Prior residency and statistics are discarded in O(1)
+    /// unless the universe changed or the epoch space is exhausted.
+    pub fn reset(&mut self, capacity_rows: usize, universe: usize) {
+        self.capacity_rows = capacity_rows;
+        if self.table.len() != universe {
+            self.table.clear();
+            self.table.resize(universe, (0, 0));
+            self.epoch = 1;
+        } else if self.epoch == u32::MAX {
+            self.table.fill((0, 0));
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.stats = CacheStats::default();
     }
 
     /// Row capacity.
@@ -189,12 +286,23 @@ impl LruRowCache {
 
     /// Number of resident rows.
     pub fn resident_rows(&self) -> usize {
-        self.map.len()
+        self.slots.len()
+    }
+
+    /// The live slot index for `id`, if resident in the current epoch.
+    #[inline]
+    fn lookup(&self, id: u32) -> Option<u32> {
+        let (epoch, slot) = self.table[id as usize];
+        (epoch == self.epoch).then_some(slot)
     }
 
     /// Probes for `id`, recording a hit (and touching the entry) or a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
     pub fn probe(&mut self, id: u32) -> bool {
-        if let Some(&slot) = self.map.get(&id) {
+        if let Some(slot) = self.lookup(id) {
             self.stats.hits += 1;
             self.unlink(slot);
             self.push_front(slot);
@@ -207,33 +315,37 @@ impl LruRowCache {
 
     /// Checks residency without touching statistics or recency.
     pub fn peek(&self, id: u32) -> bool {
-        self.map.contains_key(&id)
+        self.lookup(id).is_some()
     }
 
     /// Installs `id` as most-recently-used, evicting the LRU row if full.
     /// No-op if already resident (the entry is just touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
     pub fn insert(&mut self, id: u32) {
         if self.capacity_rows == 0 {
             return;
         }
-        if let Some(&slot) = self.map.get(&id) {
+        if let Some(slot) = self.lookup(id) {
             self.unlink(slot);
             self.push_front(slot);
             return;
         }
         self.stats.fills += 1;
-        let slot = if self.map.len() >= self.capacity_rows {
+        let slot = if self.slots.len() >= self.capacity_rows {
             let victim = self.tail;
-            let old_id = self.slots[victim].0;
-            self.map.remove(&old_id);
+            let old_id = self.slots[victim as usize].0;
+            self.table[old_id as usize].0 = 0; // dead epoch: never matches
             self.unlink(victim);
-            self.slots[victim].0 = id;
+            self.slots[victim as usize].0 = id;
             victim
         } else {
             self.slots.push((id, NIL, NIL));
-            self.slots.len() - 1
+            (self.slots.len() - 1) as u32
         };
-        self.map.insert(id, slot);
+        self.table[id as usize] = (self.epoch, slot);
         self.push_front(slot);
     }
 
@@ -242,27 +354,27 @@ impl LruRowCache {
         &self.stats
     }
 
-    fn unlink(&mut self, slot: usize) {
-        let (_, prev, next) = self.slots[slot];
+    fn unlink(&mut self, slot: u32) {
+        let (_, prev, next) = self.slots[slot as usize];
         if prev != NIL {
-            self.slots[prev].2 = next;
+            self.slots[prev as usize].2 = next;
         } else if self.head == slot {
             self.head = next;
         }
         if next != NIL {
-            self.slots[next].1 = prev;
+            self.slots[next as usize].1 = prev;
         } else if self.tail == slot {
             self.tail = prev;
         }
-        self.slots[slot].1 = NIL;
-        self.slots[slot].2 = NIL;
+        self.slots[slot as usize].1 = NIL;
+        self.slots[slot as usize].2 = NIL;
     }
 
-    fn push_front(&mut self, slot: usize) {
-        self.slots[slot].1 = NIL;
-        self.slots[slot].2 = self.head;
+    fn push_front(&mut self, slot: u32) {
+        self.slots[slot as usize].1 = NIL;
+        self.slots[slot as usize].2 = self.head;
         if self.head != NIL {
-            self.slots[self.head].1 = slot;
+            self.slots[self.head as usize].1 = slot;
         }
         self.head = slot;
         if self.tail == NIL {
@@ -309,6 +421,56 @@ mod tests {
     fn pinned_cache_dedups_load_list() {
         let mut c = PinnedRowCache::new(4, 10);
         assert_eq!(c.load(&[7, 7, 8]), 2);
+    }
+
+    #[test]
+    fn pinned_load_duplicates_fill_once_and_do_not_consume_capacity() {
+        // Regression (load audit): a duplicate ID names the same cached
+        // row, so it must neither double-count `fills` nor burn a
+        // capacity slot that a later distinct ID could use.
+        let mut c = PinnedRowCache::new(2, 10);
+        assert_eq!(c.load(&[7, 7, 8, 9]), 2, "capacity counts distinct rows");
+        assert!(
+            c.peek(7) && c.peek(8),
+            "8 gets the slot the duplicate freed"
+        );
+        assert!(!c.peek(9), "capacity still bounds the pinned set");
+        assert_eq!(c.stats().fills, 2, "one DMA fill per distinct row");
+    }
+
+    #[test]
+    fn pinned_reset_discards_prior_epoch_residency() {
+        // The epoch-reset contract: residency pinned before a reset must
+        // miss afterwards, even though the table was not rewritten.
+        let mut c = PinnedRowCache::new(2, 8);
+        c.load(&[3, 5]);
+        assert!(c.probe(3));
+        c.reset(2, 8);
+        assert!(!c.probe(3), "stale residency from the prior epoch");
+        assert!(!c.peek(5));
+        assert_eq!(c.resident_rows(), 0);
+        assert_eq!(
+            *c.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                fills: 0
+            },
+            "reset clears statistics"
+        );
+        // And the recycled cache behaves exactly like a fresh one.
+        assert_eq!(c.load(&[1, 2, 3]), 2);
+        assert!(c.probe(1) && c.probe(2) && !c.peek(3));
+    }
+
+    #[test]
+    fn pinned_reset_resizes_universe_and_capacity() {
+        let mut c = PinnedRowCache::new(1, 4);
+        c.load(&[2]);
+        c.reset(3, 16);
+        assert_eq!(c.capacity_rows(), 3);
+        assert_eq!(c.load(&[15, 14, 2, 1]), 3);
+        assert!(c.peek(15) && c.peek(2) && !c.peek(1));
     }
 
     #[test]
@@ -365,7 +527,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut c = LruRowCache::new(2);
+        let mut c = LruRowCache::new(2, 16);
         c.insert(1);
         c.insert(2);
         c.probe(1);
@@ -378,7 +540,7 @@ mod tests {
 
     #[test]
     fn lru_insert_existing_is_touch() {
-        let mut c = LruRowCache::new(2);
+        let mut c = LruRowCache::new(2, 16);
         c.insert(1);
         c.insert(2);
         c.insert(1); // touch, no fill
@@ -389,7 +551,7 @@ mod tests {
 
     #[test]
     fn lru_zero_capacity_never_hits() {
-        let mut c = LruRowCache::new(0);
+        let mut c = LruRowCache::new(0, 16);
         c.insert(1);
         assert!(!c.probe(1));
         assert_eq!(c.resident_rows(), 0);
@@ -397,7 +559,7 @@ mod tests {
 
     #[test]
     fn lru_heavy_churn_is_consistent() {
-        let mut c = LruRowCache::new(8);
+        let mut c = LruRowCache::new(8, 16);
         for i in 0..1000u32 {
             c.probe(i % 16);
             c.insert(i % 16);
@@ -408,12 +570,113 @@ mod tests {
     }
 
     #[test]
+    fn lru_reset_discards_prior_epoch_residency() {
+        let mut c = LruRowCache::new(4, 16);
+        c.insert(3);
+        c.insert(9);
+        assert!(c.probe(3));
+        c.reset(4, 16);
+        assert!(!c.peek(3) && !c.peek(9), "stale epoch must miss");
+        assert!(!c.probe(9));
+        assert_eq!(c.resident_rows(), 0);
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 1);
+        // Evicting after a reset must not resurrect pre-reset entries.
+        for i in 0..6 {
+            c.insert(i);
+        }
+        assert_eq!(c.resident_rows(), 4);
+        assert!(c.peek(5) && c.peek(2) && !c.peek(1));
+    }
+
+    #[test]
+    fn lru_reset_resizes_universe() {
+        let mut c = LruRowCache::new(2, 4);
+        c.insert(3);
+        c.reset(2, 32);
+        assert!(!c.peek(3));
+        c.insert(31);
+        assert!(c.probe(31));
+    }
+
+    #[test]
+    fn lru_matches_reference_model_under_churn() {
+        // The dense-table implementation must agree probe-for-probe with a
+        // straightforward vector-based LRU reference.
+        let mut c = LruRowCache::new(5, 64);
+        let mut reference: Vec<u32> = Vec::new(); // front = MRU
+        let mut state = 0x2545f4914f6cdd1du64;
+        for _ in 0..4000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let id = (state % 64) as u32;
+            let expect_hit = reference.contains(&id);
+            assert_eq!(c.probe(id), expect_hit, "probe {id}");
+            if expect_hit {
+                reference.retain(|&x| x != id);
+                reference.insert(0, id);
+            } else {
+                c.insert(id);
+                if reference.len() == 5 {
+                    reference.pop();
+                }
+                reference.insert(0, id);
+            }
+        }
+        for id in 0..64 {
+            assert_eq!(c.peek(id), reference.contains(&id), "peek {id}");
+        }
+    }
+
+    #[test]
     fn hit_rate_reporting() {
-        let mut c = LruRowCache::new(4);
+        let mut c = LruRowCache::new(4, 16);
         assert!(c.stats().hit_rate().is_none());
         c.insert(9);
         c.probe(9);
         c.probe(10);
         assert_eq!(c.stats().hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn stats_hit_rate_edge_cases() {
+        // Zero probes: undefined, not 0/0.
+        assert!(CacheStats::default().hit_rate().is_none());
+        // Fills alone do not constitute probes.
+        let fills_only = CacheStats {
+            fills: 10,
+            ..CacheStats::default()
+        };
+        assert!(fills_only.hit_rate().is_none());
+        // All-miss and all-hit extremes.
+        let misses = CacheStats {
+            misses: 4,
+            ..CacheStats::default()
+        };
+        assert_eq!(misses.hit_rate(), Some(0.0));
+        let hits = CacheStats {
+            hits: 4,
+            ..CacheStats::default()
+        };
+        assert_eq!(hits.hit_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn stats_merge_saturates_instead_of_wrapping() {
+        let mut a = CacheStats {
+            hits: u64::MAX - 1,
+            misses: 5,
+            fills: u64::MAX,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 7,
+            fills: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, u64::MAX, "saturated, not wrapped");
+        assert_eq!(a.misses, 12, "in-range counters still add exactly");
+        assert_eq!(a.fills, u64::MAX);
     }
 }

@@ -20,7 +20,10 @@
 //!   microarchitecture enabling multi-row-stationary runahead execution
 //!   (Section V-D, Figures 15/16);
 //! * [`exec`] — the deterministic parallel execution harness the engines
-//!   use to fan independent per-cluster simulations across threads.
+//!   use to fan independent per-cluster simulations across threads;
+//! * [`scratch`] — checkout/return pools ([`ScratchArena`]) that let those
+//!   workers recycle per-cluster state (caches, tables, plan buffers)
+//!   instead of reallocating it for every cluster.
 //!
 //! # Example
 //!
@@ -45,12 +48,14 @@ mod dram;
 mod runahead;
 
 pub mod exec;
+pub mod scratch;
 
 pub use cache::{CacheStats, LruRowCache, PinnedRowCache};
 pub use compute::MacArray;
 pub use dram::{Dram, DramConfig, TrafficClass, TrafficStats};
 pub use exec::{parallel_map, ExecMode};
 pub use runahead::{IssueOutcome, RunaheadTables, Waiter};
+pub use scratch::{ScratchArena, ScratchGuard};
 
 /// Simulation time, in accelerator clock cycles (1 GHz per Section VI).
 pub type Cycle = u64;

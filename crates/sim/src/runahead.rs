@@ -1,5 +1,3 @@
-use std::collections::{BinaryHeap, HashMap};
-
 use crate::Cycle;
 
 /// One pending LHS non-zero waiting for an in-flight RHS row (an entry of
@@ -27,10 +25,28 @@ pub enum IssueOutcome {
     LhsFull,
 }
 
+/// One LDN-table slot: an RHS row in flight and its waiting LHS non-zeros.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    rhs_row: u32,
+    live: bool,
+    complete_at: Option<Cycle>,
+    /// Reused across occupancies: cleared (not dropped) when the slot is
+    /// re-allocated, so steady-state issue/drain traffic allocates nothing.
+    waiters: Vec<Waiter>,
+}
+
 /// The runahead-execution bookkeeping of Section V-D: an `M`-entry LDN
 /// table tracking HDN-cache-missed RHS rows in flight, and an `N`-entry
 /// LHS-ID table holding the sparse values waiting on them (Figure 16;
 /// defaults `M = 16`, `N = 64`).
+///
+/// Like the hardware it models, the table is a handful of CAM slots:
+/// lookups are a linear scan over at most `M` live entries (`M` is 16 in
+/// Table III — far below the break-even point of any hashed index), and
+/// slot storage — waiter lists included — is recycled, so steady-state
+/// operation performs no heap allocation. [`RunaheadTables::reset`]
+/// recycles the whole table for the next cluster.
 ///
 /// ```
 /// use grow_sim::{IssueOutcome, RunaheadTables, Waiter};
@@ -48,18 +64,19 @@ pub enum IssueOutcome {
 pub struct RunaheadTables {
     ldn_capacity: usize,
     lhs_capacity: usize,
-    in_flight: HashMap<u32, Entry>,
+    slots: Vec<Slot>,
+    live: usize,
     lhs_used: usize,
-    /// Min-heap of (completion, rhs row) for entries whose completion is known.
-    completions: BinaryHeap<std::cmp::Reverse<(Cycle, u32)>>,
     peak_ldn: usize,
     peak_lhs: usize,
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    complete_at: Option<Cycle>,
-    waiters: Vec<Waiter>,
+impl Default for RunaheadTables {
+    /// Minimal 1/1-entry tables; call [`RunaheadTables::reset`] to size
+    /// them before use.
+    fn default() -> Self {
+        RunaheadTables::new(1, 1)
+    }
 }
 
 impl RunaheadTables {
@@ -77,17 +94,40 @@ impl RunaheadTables {
         RunaheadTables {
             ldn_capacity,
             lhs_capacity,
-            in_flight: HashMap::new(),
+            slots: Vec::new(),
+            live: 0,
             lhs_used: 0,
-            completions: BinaryHeap::new(),
             peak_ldn: 0,
             peak_lhs: 0,
         }
     }
 
+    /// Recycles the tables: as if freshly constructed with
+    /// `new(ldn_capacity, lhs_capacity)`, but reusing the slot storage and
+    /// the waiter lists inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn reset(&mut self, ldn_capacity: usize, lhs_capacity: usize) {
+        assert!(
+            ldn_capacity > 0 && lhs_capacity > 0,
+            "table capacities must be positive"
+        );
+        self.ldn_capacity = ldn_capacity;
+        self.lhs_capacity = lhs_capacity;
+        for slot in &mut self.slots {
+            slot.live = false;
+        }
+        self.live = 0;
+        self.lhs_used = 0;
+        self.peak_ldn = 0;
+        self.peak_lhs = 0;
+    }
+
     /// LDN-table entries currently allocated.
     pub fn ldn_used(&self) -> usize {
-        self.in_flight.len()
+        self.live
     }
 
     /// LHS-ID-table entries currently allocated.
@@ -107,7 +147,15 @@ impl RunaheadTables {
 
     /// True if no fetches are in flight.
     pub fn is_empty(&self) -> bool {
-        self.in_flight.is_empty()
+        self.live == 0
+    }
+
+    /// The live slot index holding `rhs_row`, if any.
+    #[inline]
+    fn find(&self, rhs_row: u32) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.live && s.rhs_row == rhs_row)
     }
 
     /// Attempts to register `waiter` for RHS row `rhs_row`.
@@ -120,24 +168,31 @@ impl RunaheadTables {
         if self.lhs_used >= self.lhs_capacity {
             return IssueOutcome::LhsFull;
         }
-        if let Some(entry) = self.in_flight.get_mut(&rhs_row) {
-            entry.waiters.push(waiter);
+        if let Some(i) = self.find(rhs_row) {
+            self.slots[i].waiters.push(waiter);
             self.lhs_used += 1;
             self.peak_lhs = self.peak_lhs.max(self.lhs_used);
             return IssueOutcome::Coalesced;
         }
-        if self.in_flight.len() >= self.ldn_capacity {
+        if self.live >= self.ldn_capacity {
             return IssueOutcome::LdnFull;
         }
-        self.in_flight.insert(
-            rhs_row,
-            Entry {
-                complete_at: None,
-                waiters: vec![waiter],
-            },
-        );
+        let i = match self.slots.iter().position(|s| !s.live) {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot::default());
+                self.slots.len() - 1
+            }
+        };
+        let slot = &mut self.slots[i];
+        slot.rhs_row = rhs_row;
+        slot.live = true;
+        slot.complete_at = None;
+        slot.waiters.clear();
+        slot.waiters.push(waiter);
+        self.live += 1;
         self.lhs_used += 1;
-        self.peak_ldn = self.peak_ldn.max(self.in_flight.len());
+        self.peak_ldn = self.peak_ldn.max(self.live);
         self.peak_lhs = self.peak_lhs.max(self.lhs_used);
         IssueOutcome::Allocated
     }
@@ -149,24 +204,45 @@ impl RunaheadTables {
     /// Panics if `rhs_row` has no allocated entry or already has a
     /// completion time.
     pub fn set_completion(&mut self, rhs_row: u32, complete_at: Cycle) {
-        let entry = self
-            .in_flight
-            .get_mut(&rhs_row)
-            .expect("entry must be allocated");
-        assert!(entry.complete_at.is_none(), "completion already set");
-        entry.complete_at = Some(complete_at);
-        self.completions
-            .push(std::cmp::Reverse((complete_at, rhs_row)));
+        let i = self.find(rhs_row).expect("entry must be allocated");
+        let slot = &mut self.slots[i];
+        assert!(slot.complete_at.is_none(), "completion already set");
+        slot.complete_at = Some(complete_at);
     }
 
-    /// Removes and returns the in-flight row with the earliest completion:
-    /// `(completion cycle, rhs row, waiters)`. Returns `None` when nothing
-    /// is in flight.
+    /// Removes the in-flight row with the earliest completion and returns
+    /// `(completion cycle, rhs row, waiters)`, borrowing the waiter list
+    /// out of the recycled slot — the allocation-free form engines drain
+    /// with. Returns `None` when no completed fetch is in flight.
+    ///
+    /// Ties on the completion cycle resolve to the smallest RHS row id
+    /// (the same total order the paper's FIFO channel produces).
+    pub fn pop_earliest_slice(&mut self) -> Option<(Cycle, u32, &[Waiter])> {
+        let mut best: Option<(Cycle, u32, usize)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.live {
+                continue;
+            }
+            if let Some(done) = slot.complete_at {
+                let key = (done, slot.rhs_row);
+                if best.is_none_or(|(d, r, _)| key < (d, r)) {
+                    best = Some((done, slot.rhs_row, i));
+                }
+            }
+        }
+        let (done, row, i) = best?;
+        let slot = &mut self.slots[i];
+        slot.live = false;
+        self.live -= 1;
+        self.lhs_used -= slot.waiters.len();
+        Some((done, row, &self.slots[i].waiters))
+    }
+
+    /// Like [`RunaheadTables::pop_earliest_slice`], returning the waiters
+    /// by value.
     pub fn pop_earliest(&mut self) -> Option<(Cycle, u32, Vec<Waiter>)> {
-        let std::cmp::Reverse((done, row)) = self.completions.pop()?;
-        let entry = self.in_flight.remove(&row).expect("heap and map in sync");
-        self.lhs_used -= entry.waiters.len();
-        Some((done, row, entry.waiters))
+        self.pop_earliest_slice()
+            .map(|(done, row, waiters)| (done, row, waiters.to_vec()))
     }
 }
 
@@ -221,6 +297,17 @@ mod tests {
     }
 
     #[test]
+    fn completion_ties_resolve_by_row_id() {
+        let mut t = RunaheadTables::new(4, 8);
+        t.issue(9, w(0));
+        t.set_completion(9, 100);
+        t.issue(4, w(1));
+        t.set_completion(4, 100);
+        assert_eq!(t.pop_earliest().unwrap().1, 4, "smaller row id first");
+        assert_eq!(t.pop_earliest().unwrap().1, 9);
+    }
+
+    #[test]
     fn ldn_capacity_blocks_new_rows() {
         let mut t = RunaheadTables::new(2, 8);
         t.issue(1, w(0));
@@ -250,6 +337,40 @@ mod tests {
         while t.pop_earliest().is_some() {}
         assert_eq!(t.peak_ldn(), 2);
         assert_eq!(t.peak_lhs(), 3);
+    }
+
+    #[test]
+    fn reset_recycles_slots_without_stale_state() {
+        let mut t = RunaheadTables::new(2, 4);
+        t.issue(1, w(0));
+        t.issue(2, w(1));
+        t.set_completion(1, 10);
+        t.reset(3, 6);
+        assert!(t.is_empty());
+        assert_eq!(t.lhs_used(), 0);
+        assert_eq!(t.peak_ldn(), 0);
+        // Rows in flight before the reset are gone; re-issuing allocates.
+        assert_eq!(t.issue(1, w(5)), IssueOutcome::Allocated);
+        t.set_completion(1, 99);
+        let (done, row, waiters) = t.pop_earliest().unwrap();
+        assert_eq!((done, row), (99, 1));
+        assert_eq!(waiters.len(), 1);
+        assert_eq!(waiters[0].output_row, 5, "no waiters from a prior epoch");
+    }
+
+    #[test]
+    fn pop_slice_matches_owned_pop() {
+        let mut a = RunaheadTables::new(4, 8);
+        let mut b = RunaheadTables::new(4, 8);
+        for t in [&mut a, &mut b] {
+            t.issue(3, w(0));
+            t.issue(3, w(1));
+            t.set_completion(3, 40);
+        }
+        let owned = a.pop_earliest().unwrap();
+        let (done, row, slice) = b.pop_earliest_slice().unwrap();
+        assert_eq!((owned.0, owned.1), (done, row));
+        assert_eq!(owned.2.as_slice(), slice);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Reusable scratch-state pools for the parallel cluster fan-out.
+//!
+//! Every engine needs per-cluster working state — caches, runahead
+//! tables, pending counters, probe plans — that used to be allocated
+//! fresh for every cluster and dropped at its end. A [`ScratchArena`]
+//! turns that into a checkout/return pool: a worker thread checks a
+//! scratch value out at cluster start (reusing one returned by an earlier
+//! cluster whenever possible), *clears* it rather than reconstructing it,
+//! and the guard returns it to the pool on drop — also on panic. Steady
+//! state, an engine run allocates one scratch value per concurrently
+//! executing worker, no matter how many clusters or layers it simulates.
+//!
+//! Determinism: a pooled value may have been used by any prior cluster on
+//! any thread, so the *user* contract is that all state consulted during
+//! simulation is re-initialized at checkout (the cache/table `reset`
+//! methods exist for exactly this). Under that contract, results are
+//! independent of checkout order and therefore bit-identical between
+//! serial and parallel execution.
+//!
+//! ```
+//! use grow_sim::ScratchArena;
+//!
+//! let arena: ScratchArena<Vec<u32>> = ScratchArena::new();
+//! {
+//!     let mut buf = arena.checkout();
+//!     buf.clear(); // the pooled value may hold a prior cluster's data
+//!     buf.push(7);
+//! } // returned to the pool here
+//! assert_eq!(arena.pooled(), 1);
+//! let again = arena.checkout();
+//! assert_eq!(*again, vec![7], "recycled, not reconstructed");
+//! ```
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A pool of reusable scratch values shared across worker threads.
+///
+/// See the [module docs](self) for the checkout/clear/return discipline.
+#[derive(Debug, Default)]
+pub struct ScratchArena<T> {
+    pool: Mutex<Vec<T>>,
+}
+
+impl<T> ScratchArena<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchArena {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of values currently parked in the pool (i.e. not checked
+    /// out). After a fully drained run this equals the peak number of
+    /// concurrent checkouts.
+    pub fn pooled(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        // A poisoned pool only means some worker panicked mid-cluster;
+        // the parked values themselves are still safe to hand out (every
+        // checkout re-initializes what it uses).
+        self.pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Checks a value out of the pool, constructing one with `make` only
+    /// when the pool is empty. The value is returned to the pool when the
+    /// guard drops.
+    pub fn checkout_with(&self, make: impl FnOnce() -> T) -> ScratchGuard<'_, T> {
+        let item = self.lock().pop().unwrap_or_else(make);
+        ScratchGuard {
+            arena: self,
+            item: Some(item),
+        }
+    }
+}
+
+impl<T: Default> ScratchArena<T> {
+    /// Checks a value out of the pool, default-constructing one when the
+    /// pool is empty (see [`ScratchArena::checkout_with`]).
+    pub fn checkout(&self) -> ScratchGuard<'_, T> {
+        self.checkout_with(T::default)
+    }
+}
+
+/// A checked-out scratch value; dereferences to `T` and returns the value
+/// to its arena on drop.
+#[derive(Debug)]
+pub struct ScratchGuard<'a, T> {
+    arena: &'a ScratchArena<T>,
+    item: Option<T>,
+}
+
+impl<T> Deref for ScratchGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("present until drop")
+    }
+}
+
+impl<T> DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("present until drop")
+    }
+}
+
+impl<T> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            self.arena.lock().push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_values() {
+        let arena: ScratchArena<Vec<u8>> = ScratchArena::new();
+        {
+            let mut a = arena.checkout();
+            a.push(1);
+        }
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.checkout();
+        assert_eq!(*b, vec![1], "same backing value");
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_values() {
+        let arena: ScratchArena<Vec<u8>> = ScratchArena::new();
+        let mut a = arena.checkout();
+        let mut b = arena.checkout();
+        a.push(1);
+        b.push(2);
+        assert_ne!(*a, *b);
+        drop(a);
+        drop(b);
+        assert_eq!(arena.pooled(), 2);
+    }
+
+    #[test]
+    fn checkout_with_constructs_lazily() {
+        let arena: ScratchArena<Vec<u8>> = ScratchArena::new();
+        {
+            let _a = arena.checkout_with(|| vec![9]);
+        }
+        let b = arena.checkout_with(|| panic!("pool should serve this"));
+        assert_eq!(*b, vec![9]);
+    }
+
+    #[test]
+    fn pool_survives_worker_panics() {
+        let arena: ScratchArena<Vec<u8>> = ScratchArena::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = arena.checkout();
+            g.push(3);
+            panic!("worker dies mid-cluster");
+        }));
+        assert!(result.is_err());
+        // The guard's value was still returned, and the pool still works.
+        assert_eq!(arena.pooled(), 1);
+        assert_eq!(*arena.checkout(), vec![3]);
+    }
+
+    #[test]
+    fn arena_is_shareable_across_threads() {
+        let arena: ScratchArena<u64> = ScratchArena::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let mut g = arena.checkout();
+                        *g += 1;
+                    }
+                });
+            }
+        });
+        // All increments landed in pooled values, none lost.
+        let total: u64 = {
+            let mut sum = 0;
+            while arena.pooled() > 0 {
+                let g = arena.checkout();
+                sum += *g;
+                // Keep it out of the pool for good.
+                std::mem::forget(g);
+            }
+            sum
+        };
+        assert_eq!(total, 400);
+    }
+}

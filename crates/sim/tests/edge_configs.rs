@@ -104,7 +104,7 @@ fn zero_capacity_pinned_cache_only_misses() {
 
 #[test]
 fn lru_capacity_one_behaves() {
-    let mut c = LruRowCache::new(1);
+    let mut c = LruRowCache::new(1, 16);
     c.insert(5);
     assert!(c.probe(5));
     c.insert(6);

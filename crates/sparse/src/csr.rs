@@ -150,6 +150,31 @@ impl CsrPattern {
         &self.indices[self.indptr[row]..self.indptr[row + 1]]
     }
 
+    /// Borrowing iterator over the column-index slices of the rows in
+    /// `rows`, in order — the hot-loop form of [`CsrPattern::row_indices`].
+    ///
+    /// One `indptr` walk yields every row's `&[u32]` slice directly, so
+    /// inner loops touch two flat arrays instead of doing two bounds-checked
+    /// pointer loads per row:
+    ///
+    /// ```
+    /// use grow_sparse::CsrPattern;
+    ///
+    /// let p = CsrPattern::dense(4, 2);
+    /// let nnz: usize = p.row_slices(1..3).map(|row| row.len()).sum();
+    /// assert_eq!(nnz, 4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.end > self.rows()` or `rows.start > rows.end`.
+    pub fn row_slices(&self, rows: std::ops::Range<usize>) -> RowSlices<'_> {
+        RowSlices {
+            indptr: &self.indptr[rows.start..=rows.end],
+            indices: &self.indices,
+        }
+    }
+
     /// The row-pointer array (`rows + 1` entries).
     pub fn indptr(&self) -> &[usize] {
         &self.indptr
@@ -221,6 +246,34 @@ impl CsrPattern {
         }
     }
 }
+
+/// Borrowing iterator over per-row column-index slices of a
+/// [`CsrPattern`] (see [`CsrPattern::row_slices`]).
+#[derive(Debug, Clone)]
+pub struct RowSlices<'a> {
+    /// The `rows + 1` row-pointer window being walked.
+    indptr: &'a [usize],
+    indices: &'a [u32],
+}
+
+impl<'a> Iterator for RowSlices<'a> {
+    type Item = &'a [u32];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u32]> {
+        let (&start, rest) = self.indptr.split_first()?;
+        let &end = rest.first()?;
+        self.indptr = rest;
+        Some(&self.indices[start..end])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.indptr.len().saturating_sub(1);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowSlices<'_> {}
 
 impl fmt::Display for CsrPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -372,6 +425,32 @@ impl CsrMatrix {
             .zip(self.row_values(row).iter().copied())
     }
 
+    /// Borrowing iterator over `(column indices, values)` slice pairs of
+    /// the rows in `rows`, in order — the hot-loop form of
+    /// [`CsrMatrix::row_entries`] (one `indptr` walk, no per-row index
+    /// arithmetic).
+    ///
+    /// ```
+    /// # fn main() -> Result<(), grow_sparse::SparseError> {
+    /// let m = grow_sparse::CsrMatrix::from_raw(
+    ///     2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])?;
+    /// let (cols, vals) = m.row_slices(1..2).next().unwrap();
+    /// assert_eq!((cols, vals), (&[1u32][..], &[3.0][..]));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.end > self.rows()` or `rows.start > rows.end`.
+    pub fn row_slices(&self, rows: std::ops::Range<usize>) -> RowValueSlices<'_> {
+        RowValueSlices {
+            indptr: &self.pattern.indptr[rows.start..=rows.end],
+            indices: &self.pattern.indices,
+            values: &self.values,
+        }
+    }
+
     /// The concatenated value array.
     pub fn values(&self) -> &[f64] {
         &self.values
@@ -492,6 +571,34 @@ impl CsrMatrix {
     }
 }
 
+/// Borrowing iterator over `(column indices, values)` slice pairs of a
+/// [`CsrMatrix`] (see [`CsrMatrix::row_slices`]).
+#[derive(Debug, Clone)]
+pub struct RowValueSlices<'a> {
+    indptr: &'a [usize],
+    indices: &'a [u32],
+    values: &'a [f64],
+}
+
+impl<'a> Iterator for RowValueSlices<'a> {
+    type Item = (&'a [u32], &'a [f64]);
+
+    #[inline]
+    fn next(&mut self) -> Option<(&'a [u32], &'a [f64])> {
+        let (&start, rest) = self.indptr.split_first()?;
+        let &end = rest.first()?;
+        self.indptr = rest;
+        Some((&self.indices[start..end], &self.values[start..end]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.indptr.len().saturating_sub(1);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowValueSlices<'_> {}
+
 impl From<CsrMatrix> for CsrPattern {
     fn from(m: CsrMatrix) -> CsrPattern {
         m.into_pattern()
@@ -600,6 +707,41 @@ mod tests {
         let p = m.permute_symmetric(&[2, 1, 0]);
         assert_eq!(p.to_dense().get(2, 1), 1.0);
         assert_eq!(p.to_dense().get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn row_slices_match_per_row_accessors() {
+        let m = sample();
+        let p = m.pattern();
+        let slices: Vec<&[u32]> = p.row_slices(0..p.rows()).collect();
+        assert_eq!(slices.len(), p.rows());
+        for (r, slice) in slices.iter().enumerate() {
+            assert_eq!(*slice, p.row_indices(r));
+        }
+        for (r, (cols, vals)) in m.row_slices(0..m.rows()).enumerate() {
+            assert_eq!(cols, m.row_indices(r));
+            assert_eq!(vals, m.row_values(r));
+        }
+    }
+
+    #[test]
+    fn row_slices_honor_sub_ranges() {
+        let p = CsrPattern::dense(5, 3);
+        let slices: Vec<&[u32]> = p.row_slices(2..4).collect();
+        assert_eq!(slices, vec![&[0u32, 1, 2][..]; 2]);
+        assert_eq!(p.row_slices(2..4).len(), 2, "exact size");
+        assert_eq!(p.row_slices(3..3).count(), 0, "empty range");
+        // Empty rows yield empty slices, not skipped entries.
+        let e = CsrPattern::empty(3, 3);
+        let empties: Vec<&[u32]> = e.row_slices(0..3).collect();
+        assert_eq!(empties, vec![&[] as &[u32]; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_slices_bounds_checked() {
+        let p = CsrPattern::dense(2, 2);
+        let _ = p.row_slices(0..3);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod ops;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
-pub use csr::{CsrMatrix, CsrPattern};
+pub use csr::{CsrMatrix, CsrPattern, RowSlices, RowValueSlices};
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use view::{RowMajorSparse, SparseRowIter};

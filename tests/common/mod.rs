@@ -1,0 +1,69 @@
+//! Helpers shared by the golden-snapshot suites (`golden_reports.rs`,
+//! `hotpath_invariants.rs`): the fixed-seed workloads, the snapshot file
+//! layout, and the field-by-field report rendering. Both suites compare
+//! against the same committed `tests/golden/*.snap` bytes, so the
+//! rendering lives here exactly once.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use grow::accel::RunReport;
+use grow::model::{DatasetKey, DatasetSpec};
+use grow::sim::TrafficClass;
+
+/// The two fixed-seed golden workloads: a Cora-scale citation graph and a
+/// Pubmed-scale one (distinct feature shapes and densities).
+pub fn cases() -> [(&'static str, DatasetSpec, u64); 2] {
+    [
+        ("cora_400_s3", DatasetKey::Cora.spec().scaled_to(400), 3),
+        ("pubmed_600_s7", DatasetKey::Pubmed.spec().scaled_to(600), 7),
+    ]
+}
+
+/// Path of a committed golden snapshot.
+pub fn golden_path(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{case}.snap"))
+}
+
+/// Renders every field of a [`RunReport`] deterministically, one counter
+/// per token, so snapshot diffs point at the exact field that moved.
+pub fn render(report: &RunReport, out: &mut String) {
+    for (li, layer) in report.layers.iter().enumerate() {
+        for phase in [&layer.combination, &layer.aggregation] {
+            let _ = writeln!(
+                out,
+                "layer={li} phase={:?} cycles={} compute_busy={} mac_ops={} \
+                 sram_reads_8b={} sram_writes_8b={}",
+                phase.kind,
+                phase.cycles,
+                phase.compute_busy,
+                phase.mac_ops,
+                phase.sram_reads_8b,
+                phase.sram_writes_8b
+            );
+            for class in TrafficClass::ALL {
+                let _ = writeln!(
+                    out,
+                    "  traffic {} useful={} fetched={} requests={}",
+                    class.label(),
+                    phase.traffic.useful_bytes(class),
+                    phase.traffic.fetched_bytes(class),
+                    phase.traffic.requests(class)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  cache hits={} misses={} fills={}",
+                phase.cache.hits, phase.cache.misses, phase.cache.fills
+            );
+            let profiles: Vec<String> = phase
+                .cluster_profiles
+                .iter()
+                .map(|p| format!("({},{})", p.compute_cycles, p.mem_bytes))
+                .collect();
+            let _ = writeln!(out, "  cluster_profiles=[{}]", profiles.join(" "));
+        }
+    }
+}

@@ -18,62 +18,13 @@
 //! change that shifted the numbers.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
 
 use grow::accel::registry::{self, ENGINE_NAMES};
-use grow::accel::{prepare, PartitionStrategy, RunReport};
-use grow::model::{DatasetKey, DatasetSpec};
-use grow::sim::TrafficClass;
+use grow::accel::{prepare, PartitionStrategy};
+use grow::model::DatasetSpec;
 
-/// The two fixed-seed golden workloads: a Cora-scale citation graph and a
-/// Pubmed-scale one (distinct feature shapes and densities).
-fn cases() -> [(&'static str, DatasetSpec, u64); 2] {
-    [
-        ("cora_400_s3", DatasetKey::Cora.spec().scaled_to(400), 3),
-        ("pubmed_600_s7", DatasetKey::Pubmed.spec().scaled_to(600), 7),
-    ]
-}
-
-/// Renders every field of a [`RunReport`] deterministically, one counter
-/// per token, so snapshot diffs point at the exact field that moved.
-fn render(report: &RunReport, out: &mut String) {
-    for (li, layer) in report.layers.iter().enumerate() {
-        for phase in [&layer.combination, &layer.aggregation] {
-            let _ = writeln!(
-                out,
-                "layer={li} phase={:?} cycles={} compute_busy={} mac_ops={} \
-                 sram_reads_8b={} sram_writes_8b={}",
-                phase.kind,
-                phase.cycles,
-                phase.compute_busy,
-                phase.mac_ops,
-                phase.sram_reads_8b,
-                phase.sram_writes_8b
-            );
-            for class in TrafficClass::ALL {
-                let _ = writeln!(
-                    out,
-                    "  traffic {} useful={} fetched={} requests={}",
-                    class.label(),
-                    phase.traffic.useful_bytes(class),
-                    phase.traffic.fetched_bytes(class),
-                    phase.traffic.requests(class)
-                );
-            }
-            let _ = writeln!(
-                out,
-                "  cache hits={} misses={} fills={}",
-                phase.cache.hits, phase.cache.misses, phase.cache.fills
-            );
-            let profiles: Vec<String> = phase
-                .cluster_profiles
-                .iter()
-                .map(|p| format!("({},{})", p.compute_cycles, p.mem_bytes))
-                .collect();
-            let _ = writeln!(out, "  cluster_profiles=[{}]", profiles.join(" "));
-        }
-    }
-}
+mod common;
+use common::{cases, golden_path, render};
 
 /// Builds the snapshot text for one workload: all four engines on both
 /// prepared forms (original order and partitioned).
@@ -93,12 +44,6 @@ fn snapshot(spec: DatasetSpec, seed: u64) -> String {
         }
     }
     out
-}
-
-fn golden_path(case: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(format!("{case}.snap"))
 }
 
 #[test]
