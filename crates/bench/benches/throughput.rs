@@ -3,7 +3,10 @@
 //! surrogates (1500 nodes, seed 42), timed around `Accelerator::run` only
 //! — preparation is done once up front — with the cluster fan-out forced
 //! serial so the numbers measure the hot path itself, not the thread
-//! pool. Run with:
+//! pool. Every cell is timed twice: under the default post-hoc execution
+//! model and under `exec=e2e pes=4 scheduler=ws`, so the end-to-end
+//! mode's composition overhead (the per-phase fluid solver) is tracked
+//! alongside the hot path. Run with:
 //!
 //! ```text
 //! cargo bench -p grow-bench --bench throughput -- \
@@ -22,7 +25,7 @@
 use std::path::PathBuf;
 
 use grow_bench::{json, timing};
-use grow_core::registry::{engine_by_name, ENGINE_NAMES};
+use grow_core::registry::{engine_by_name, engine_from_overrides, ENGINE_NAMES};
 use grow_core::{prepare, PartitionStrategy, PreparedWorkload};
 use grow_model::DatasetKey;
 use grow_sim::exec::{with_mode, ExecMode};
@@ -32,6 +35,8 @@ struct Cell {
     engine: &'static str,
     min_ms: f64,
     mean_ms: f64,
+    e2e_min_ms: f64,
+    e2e_mean_ms: f64,
 }
 
 fn main() {
@@ -83,36 +88,53 @@ fn main() {
 
     let mut cells: Vec<Cell> = Vec::new();
     println!(
-        "{:<8} {:<10} {:>10} {:>10}  ({iters} iters, serial)",
-        "dataset", "engine", "min ms", "mean ms"
+        "{:<8} {:<10} {:>10} {:>10} {:>11} {:>12}  ({iters} iters, serial)",
+        "dataset", "engine", "min ms", "mean ms", "e2e min ms", "e2e mean ms"
     );
     for (dataset, base, partitioned) in &prepared {
         for name in ENGINE_NAMES {
             let engine = engine_by_name(name).expect("registered engine");
+            let e2e_engine =
+                engine_from_overrides(name, &[("exec", "e2e"), ("pes", "4"), ("scheduler", "ws")])
+                    .expect("registered engine and exec overrides");
             let workload = if name == "grow" { partitioned } else { base };
             let t = with_mode(ExecMode::Serial, || {
                 timing::sample(iters, || {
                     std::hint::black_box(engine.run(workload));
                 })
             });
+            let e2e = with_mode(ExecMode::Serial, || {
+                timing::sample(iters, || {
+                    std::hint::black_box(e2e_engine.run(workload));
+                })
+            });
             println!(
-                "{dataset:<8} {:<10} {:>10.3} {:>10.3}",
+                "{dataset:<8} {:<10} {:>10.3} {:>10.3} {:>11.3} {:>12.3}",
                 engine.name(),
                 t.min_ns / 1e6,
-                t.mean_ns / 1e6
+                t.mean_ns / 1e6,
+                e2e.min_ns / 1e6,
+                e2e.mean_ns / 1e6
             );
             cells.push(Cell {
                 dataset,
                 engine: engine.name(),
                 min_ms: t.min_ns / 1e6,
                 mean_ms: t.mean_ns / 1e6,
+                e2e_min_ms: e2e.min_ns / 1e6,
+                e2e_mean_ms: e2e.mean_ns / 1e6,
             });
         }
     }
     // Fixed row order regardless of measurement order: dataset, engine.
     cells.sort_by(|a, b| (a.dataset, a.engine).cmp(&(b.dataset, b.engine)));
     let total_min_ms: f64 = cells.iter().map(|c| c.min_ms).sum();
+    let total_e2e_min_ms: f64 = cells.iter().map(|c| c.e2e_min_ms).sum();
     println!("total (sum of per-cell min): {total_min_ms:.3} ms");
+    println!(
+        "e2e total {total_e2e_min_ms:.3} ms -> mode overhead {:.2}x",
+        total_e2e_min_ms / total_min_ms
+    );
 
     let baseline_total = baseline.as_ref().and_then(|path| {
         let text = std::fs::read_to_string(path)
@@ -135,6 +157,8 @@ fn main() {
                 ("engine", json::string(c.engine)),
                 ("min_ms", json::number(c.min_ms)),
                 ("mean_ms", json::number(c.mean_ms)),
+                ("e2e_min_ms", json::number(c.e2e_min_ms)),
+                ("e2e_mean_ms", json::number(c.e2e_mean_ms)),
             ])
         })
         .collect();
@@ -146,6 +170,7 @@ fn main() {
         ("iters", json::uint(iters as u64)),
         ("rows", json::array(rows)),
         ("total_min_ms", json::number(total_min_ms)),
+        ("total_e2e_min_ms", json::number(total_e2e_min_ms)),
         (
             "baseline_total_min_ms",
             baseline_total.map_or_else(|| "null".to_string(), json::number),

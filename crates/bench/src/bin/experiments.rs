@@ -11,10 +11,11 @@
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
 //! fig18 fig19 fig20 fig21 fig22 table4 fig24 figure24 fig25a fig25b
 //! fig26 replacement nonpowerlaw preprocessing extensions engines sweep`
-//! (`figure24` is the scheduler-axis extension of `fig24`: round-robin vs
-//! LPT vs work-stealing cluster scheduling across PE counts, dispatched
-//! through the batch service and summarized into
-//! `results/BENCH_figure24.json`). Each
+//! (`figure24` is the scheduler-axis extension of `fig24`, executed in
+//! the end-to-end multi-PE mode: all four engines × rr/lpt/ws/ca cluster
+//! scheduling × 1–16 PEs with `exec=e2e`, dispatched through the batch
+//! service and summarized — per-layer multi-PE breakdowns included —
+//! into `results/BENCH_figure24.json`). Each
 //! prints an aligned table and writes `results/<id>.csv` plus a
 //! machine-readable `results/<id>.json`; a run summary with per-experiment
 //! wall-clock times lands in `results/BENCH_experiments.json` for
@@ -830,47 +831,63 @@ fn table4() -> Table {
     t
 }
 
-/// The scheduler-axis extension of Figure 24: the GROW scheduler × PE
-/// grid dispatched through the batch service (`scheduler=`/`pes=`
-/// overrides), reporting per-cell makespan, speedup over round-robin, and
-/// the load-imbalance ratio. A machine-readable summary additionally
-/// lands in `<out>/BENCH_figure24.json`.
+/// The scheduler-axis extension of Figure 24, executed *end-to-end*: all
+/// four engines × every scheduler (`rr`/`lpt`/`ws`/`ca`) × 1–16 PEs,
+/// dispatched through the batch service with `exec=e2e` so the multi-PE
+/// contention model runs inside the execution loop and the reported cycle
+/// counts are the multi-PE truth. Each cell reports the end-to-end
+/// cycles, the speedup over round-robin at the same PE count, and the
+/// load-imbalance ratio; the machine-readable summary in
+/// `<out>/BENCH_figure24.json` additionally carries every cell's
+/// per-layer multi-PE breakdown (per-phase makespan and per-PE busy
+/// cycles).
 fn figure24(ctx: &Context, service: &mut BatchService, out_dir: &std::path::Path) -> Table {
-    use grow_core::PartitionStrategy;
+    use grow_core::registry::ENGINE_NAMES;
+    use grow_core::{ExecModelKind, PartitionStrategy};
     use grow_serve::scheduler_grid_jobs;
-    let pe_counts = [1usize, 4, 16];
+    let pe_counts = [1usize, 2, 4, 8, 16];
     let specs: Vec<_> = (0..ctx.len()).map(|i| ctx.spec(i)).collect();
     // Finer clusters than the Table III default so every dataset has
     // real scheduling freedom (the default 4096-node grain leaves small
     // surrogates as a handful of clusters that any policy assigns alike).
-    let jobs = scheduler_grid_jobs(
-        &specs,
-        ctx.seed,
-        "grow",
-        PartitionStrategy::Multilevel { cluster_nodes: 256 },
-        &grow_core::SchedulerKind::ALL,
-        &pe_counts,
-    );
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 256 };
+    let mut jobs = Vec::new();
+    for engine in ENGINE_NAMES {
+        jobs.extend(
+            scheduler_grid_jobs(
+                &specs,
+                ctx.seed,
+                engine,
+                strategy,
+                &grow_core::SchedulerKind::ALL,
+                &pe_counts,
+            )
+            .into_iter()
+            .map(|job| job.with_exec_model(ExecModelKind::EndToEnd)),
+        );
+    }
     eprintln!(
-        "[run] figure24: {} datasets x {} PE counts x 3 schedulers = {} jobs",
+        "[run] figure24 (exec=e2e): {} datasets x {} engines x {} PE counts x {} schedulers = {} jobs",
         specs.len(),
+        ENGINE_NAMES.len(),
         pe_counts.len(),
+        grow_core::SchedulerKind::ALL.len(),
         jobs.len()
     );
     let results = service.run_batch(&jobs);
 
-    // Round-robin baselines per (dataset, pes) for the speedup column.
-    let mut rr_makespan: std::collections::HashMap<(&str, usize), f64> =
+    // Round-robin baselines per (dataset, engine, pes) for the speedup
+    // column — under e2e the makespan IS the end-to-end cycle count.
+    let mut rr_cycles: std::collections::HashMap<(&str, &str, usize), f64> =
         std::collections::HashMap::new();
     for result in &results {
-        let summary = result
-            .report()
-            .expect("grow with registered schedulers")
-            .multi_pe
-            .clone()
-            .expect("summary attached");
+        let report = result.report().expect("registered engines and schedulers");
+        let summary = report.multi_pe.as_ref().expect("summary attached");
         if summary.scheduler == "rr" {
-            rr_makespan.insert((result.dataset, summary.pes), summary.makespan);
+            rr_cycles.insert(
+                (result.dataset, report.engine, summary.pes),
+                summary.makespan,
+            );
         }
     }
 
@@ -878,22 +895,22 @@ fn figure24(ctx: &Context, service: &mut BatchService, out_dir: &std::path::Path
         "figure24",
         &[
             "dataset",
+            "engine",
             "pes",
             "scheduler",
-            "makespan",
+            "cycles",
             "speedup-vs-rr",
             "imbalance",
         ],
     );
     let mut json_rows = Vec::new();
     for result in &results {
-        let summary = result
-            .report()
-            .expect("validated jobs")
-            .multi_pe
-            .clone()
-            .expect("summary attached");
-        let rr = rr_makespan[&(result.dataset, summary.pes)];
+        let report = result.report().expect("validated jobs");
+        let summary = report.multi_pe.as_ref().expect("summary attached");
+        let breakdown = report
+            .multi_pe_breakdown()
+            .expect("e2e runs carry per-layer breakdowns");
+        let rr = rr_cycles[&(result.dataset, report.engine, summary.pes)];
         let speedup = if summary.makespan > 0.0 {
             rr / summary.makespan
         } else {
@@ -901,23 +918,56 @@ fn figure24(ctx: &Context, service: &mut BatchService, out_dir: &std::path::Path
         };
         t.row(&[
             result.dataset.into(),
+            report.engine.into(),
             summary.pes.to_string(),
             summary.scheduler.into(),
-            format!("{:.0}", summary.makespan),
+            cell::count(report.total_cycles()),
             cell::ratio(speedup),
             cell::ratio(summary.imbalance),
         ]);
+        let layers: Vec<String> = breakdown
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(li, layer)| {
+                let phase = |name: &str, pe: &grow_core::PhasePeBusy| {
+                    grow_bench::json::object(&[
+                        ("phase", grow_bench::json::string(name)),
+                        ("makespan", grow_bench::json::number(pe.makespan)),
+                        ("cluster_time", grow_bench::json::number(pe.cluster_time)),
+                        (
+                            "per_pe_busy",
+                            grow_bench::json::array(
+                                pe.per_pe_busy
+                                    .iter()
+                                    .map(|&b| grow_bench::json::number(b))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                };
+                grow_bench::json::object(&[
+                    ("layer", grow_bench::json::uint(li as u64)),
+                    ("combination", phase("combination", &layer.combination)),
+                    ("aggregation", phase("aggregation", &layer.aggregation)),
+                ])
+            })
+            .collect();
         json_rows.push(grow_bench::json::object(&[
             ("dataset", grow_bench::json::string(result.dataset)),
+            ("engine", grow_bench::json::string(report.engine)),
             ("pes", grow_bench::json::uint(summary.pes as u64)),
             ("scheduler", grow_bench::json::string(summary.scheduler)),
-            ("makespan", grow_bench::json::number(summary.makespan)),
+            ("exec", grow_bench::json::string(report.exec)),
+            ("cycles", grow_bench::json::uint(report.total_cycles())),
             ("imbalance", grow_bench::json::number(summary.imbalance)),
             ("speedup_vs_rr", grow_bench::json::number(speedup)),
+            ("layers", grow_bench::json::array(layers)),
         ]));
     }
     let doc = grow_bench::json::object(&[
         ("source", grow_bench::json::string("experiments")),
+        ("exec", grow_bench::json::string("e2e")),
         ("seed", grow_bench::json::uint(ctx.seed)),
         ("rows", grow_bench::json::array(json_rows)),
     ]);

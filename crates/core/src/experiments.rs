@@ -254,7 +254,7 @@ pub fn pe_scaling(eval: &DatasetEval, pe_counts: &[usize]) -> Vec<multi_pe::Scal
 /// of the multi-PE fluid model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerPoint {
-    /// Canonical scheduler name (`rr`, `lpt`, `ws`).
+    /// Canonical scheduler name (`rr`, `lpt`, `ws`, `ca`).
     pub scheduler: &'static str,
     /// PE count of this cell.
     pub pes: usize,
@@ -491,7 +491,7 @@ mod tests {
     fn scheduler_comparison_covers_the_grid() {
         let profiles = crate::schedule::power_law_profiles(96, 5);
         let points = scheduler_comparison(&profiles, &[2, 8], 4.0);
-        assert_eq!(points.len(), 6, "3 schedulers x 2 PE counts");
+        assert_eq!(points.len(), 8, "4 schedulers x 2 PE counts");
         for p in &points {
             assert!(p.makespan > 0.0 && p.imbalance >= 1.0, "{p:?}");
             if p.scheduler == "rr" {

@@ -119,13 +119,14 @@ pub fn run_with_aggregation(
         }
         _ => {}
     }
-    // GIN/GAT added phase work above; refresh the multi-PE projection so
-    // the summary always describes the report it is attached to.
-    report.multi_pe = Some(crate::schedule::summarize(
-        &report,
-        &engine.config().multi_pe,
+    // GIN/GAT added phase work above; re-finalize through the engine's
+    // execution model so the summary always describes the report it is
+    // attached to (under either exec model).
+    crate::exec_model::ExecModel::new(
+        engine.config().multi_pe,
         engine.config().dram.bytes_per_cycle,
-    ));
+    )
+    .finalize(&mut report);
     report
 }
 

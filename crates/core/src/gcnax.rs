@@ -22,6 +22,7 @@ use std::ops::Range;
 use grow_sim::{Cycle, DramConfig, ScratchArena, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
+use crate::exec_model::ExecModel;
 use crate::pipeline::{self, PhaseCtx};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
@@ -142,6 +143,7 @@ impl GcnaxEngine {
     /// harness, in parallel across clusters.
     fn run_phase(
         &self,
+        model: &ExecModel,
         kind: PhaseKind,
         lhs: &RowMajorSparse<'_>,
         f: usize,
@@ -163,7 +165,7 @@ impl GcnaxEngine {
         }
 
         let clustered =
-            pipeline::run_clusters_scratched(kind, clusters, scratch, |s, _, cluster| {
+            pipeline::run_clusters_scratched(model, kind, clusters, scratch, |s, _, cluster| {
                 self.run_strips(kind, lhs, f, cluster, rhs_resident, s)
             });
         phase.absorb_sequential(clustered);
@@ -321,8 +323,10 @@ impl Accelerator for GcnaxEngine {
         // One scratch pool per run: strip counters are recycled across
         // clusters, phases, and layers.
         let scratch: ScratchArena<GcnaxScratch> = ScratchArena::new();
+        let model = ExecModel::new(self.config.multi_pe, self.config.dram.bytes_per_cycle);
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_phase(
+                &model,
                 PhaseKind::Combination,
                 &layer.x.view(),
                 layer.f_out,
@@ -330,6 +334,7 @@ impl Accelerator for GcnaxEngine {
                 &scratch,
             ),
             aggregation: self.run_phase(
+                &model,
                 PhaseKind::Aggregation,
                 &adjacency,
                 layer.f_out,
@@ -337,11 +342,7 @@ impl Accelerator for GcnaxEngine {
                 &scratch,
             ),
         });
-        report.multi_pe = Some(crate::schedule::summarize(
-            &report,
-            &self.config.multi_pe,
-            self.config.dram.bytes_per_cycle,
-        ));
+        model.finalize(&mut report);
         report
     }
 
@@ -522,8 +523,23 @@ mod tests {
         let pattern = grow_sparse::CsrPattern::dense(300, 70);
         let pattern_view = RowMajorSparse::Pattern(&pattern);
         let arena = ScratchArena::new();
-        let a = engine.run_phase(PhaseKind::Combination, &dense_view, 16, &[0..300], &arena);
-        let b = engine.run_phase(PhaseKind::Combination, &pattern_view, 16, &[0..300], &arena);
+        let model = ExecModel::new(cfg.multi_pe, cfg.dram.bytes_per_cycle);
+        let a = engine.run_phase(
+            &model,
+            PhaseKind::Combination,
+            &dense_view,
+            16,
+            &[0..300],
+            &arena,
+        );
+        let b = engine.run_phase(
+            &model,
+            PhaseKind::Combination,
+            &pattern_view,
+            16,
+            &[0..300],
+            &arena,
+        );
         assert_eq!(a.mac_ops, b.mac_ops);
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.cycles, b.cycles);

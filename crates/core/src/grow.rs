@@ -49,8 +49,53 @@ use grow_sim::{
 };
 use grow_sparse::{CsrPattern, RowMajorSparse};
 
+use crate::exec_model::ExecModel;
 use crate::pipeline::{self, PhaseCtx};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
+
+/// Intra-cluster row-range sharding threshold of GROW's aggregation
+/// probe-plan pass (the `shard_rows=` override). Sharding is purely a
+/// simulator-throughput knob: merged results are bit-identical to an
+/// unsharded run at any setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardRows {
+    /// No intra-cluster sharding (the default).
+    #[default]
+    Off,
+    /// Shard clusters with more rows than this into ranges of this many
+    /// rows.
+    Fixed(usize),
+    /// Derive the threshold from the prepared workload's cluster-size
+    /// statistics ([`PreparedWorkload::auto_shard_rows`]): coarse-grained
+    /// preparations (few huge clusters, e.g. Reddit's 4096-node grain)
+    /// shard at roughly an eighth of the largest cluster; fine-grained
+    /// ones, where the cluster fan-out already saturates the workers,
+    /// leave sharding off.
+    Auto,
+}
+
+impl ShardRows {
+    /// The effective row threshold for `workload` (0 = sharding off).
+    pub fn resolve(&self, workload: &PreparedWorkload) -> usize {
+        match self {
+            ShardRows::Off => 0,
+            ShardRows::Fixed(rows) => *rows,
+            ShardRows::Auto => workload.auto_shard_rows(),
+        }
+    }
+}
+
+impl From<usize> for ShardRows {
+    /// `0` disables sharding (the legacy encoding); any other value is a
+    /// fixed threshold.
+    fn from(rows: usize) -> Self {
+        if rows == 0 {
+            ShardRows::Off
+        } else {
+            ShardRows::Fixed(rows)
+        }
+    }
+}
 
 /// HDN cache replacement policy (the Section VIII discussion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,13 +137,13 @@ pub struct GrowConfig {
     pub hdn_caching: bool,
     /// Replacement policy of the HDN cache.
     pub replacement: ReplacementPolicy,
-    /// Intra-cluster row-range sharding threshold for the aggregation
-    /// probe-plan pass: clusters with more rows than this split into
-    /// `shard_rows`-row ranges fanned across worker threads (0 disables
-    /// sharding). The merged result is bit-identical to an unsharded run
-    /// at any value — this is purely a simulator-throughput knob for
-    /// huge clusters (e.g. Reddit's 4096-node grain).
-    pub shard_rows: usize,
+    /// Intra-cluster row-range sharding of the aggregation probe-plan
+    /// pass: clusters with more rows than the (fixed or auto-derived)
+    /// threshold split into threshold-row ranges fanned across worker
+    /// threads. The merged result is bit-identical to an unsharded run at
+    /// any setting — this is purely a simulator-throughput knob for huge
+    /// clusters (e.g. Reddit's 4096-node grain).
+    pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
 }
@@ -117,7 +162,7 @@ impl Default for GrowConfig {
             dram: DramConfig::default(),
             hdn_caching: true,
             replacement: ReplacementPolicy::Pinned,
-            shard_rows: 0,
+            shard_rows: ShardRows::Off,
             multi_pe: crate::schedule::MultiPeConfig::default(),
         }
     }
@@ -252,6 +297,7 @@ impl GrowEngine {
     /// I-BUF_dense; larger weight matrices are processed in column chunks.
     fn run_combination(
         &self,
+        model: &ExecModel,
         x: &RowMajorSparse<'_>,
         f_out: usize,
         clusters: &[Range<usize>],
@@ -292,7 +338,7 @@ impl GrowEngine {
             // Stream X rows cluster by cluster; every non-zero hits the
             // on-chip W.
             let clustered =
-                pipeline::run_clusters(PhaseKind::Combination, clusters, |_, cluster| {
+                pipeline::run_clusters(model, PhaseKind::Combination, clusters, |_, cluster| {
                     let mut ctx = PhaseCtx::new(PhaseKind::Combination, cfg.dram, cfg.mac_lanes);
                     let mut burst = 0u64;
                     for row in cluster {
@@ -326,6 +372,7 @@ impl GrowEngine {
     /// is exactly what makes them independent.
     fn run_aggregation(
         &self,
+        model: &ExecModel,
         workload: &PreparedWorkload,
         f_out: usize,
         scratch: &ScratchArena<GrowScratch>,
@@ -339,26 +386,33 @@ impl GrowEngine {
             // way the pinned set is swapped, so the cache is shared across
             // clusters — which also means the clusters are *not*
             // independent and must run serially. Only the paper's default
-            // pinned mode gets the parallel/planned path.
+            // pinned mode gets the parallel/planned path. (The end-to-end
+            // model still composes the serially-simulated per-cluster
+            // timelines; cross-cluster cache state is an approximation
+            // this study accepts.)
             let n = workload.adjacency.rows();
             let mut lru = LruRowCache::new(self.cache_rows(f_out), n);
-            let mut merged = PhaseReport::new(PhaseKind::Aggregation);
-            for cluster in workload.clusters.iter() {
-                merged.absorb_sequential(self.aggregate_cluster_lru(
-                    workload,
-                    f_out,
-                    cluster.clone(),
-                    &mut lru,
-                ));
-            }
-            return merged;
+            let partials: Vec<PhaseReport> = workload
+                .clusters
+                .iter()
+                .map(|cluster| {
+                    self.aggregate_cluster_lru(workload, f_out, cluster.clone(), &mut lru)
+                })
+                .collect();
+            return model.compose(PhaseKind::Aggregation, partials);
         }
 
+        // Resolve the sharding threshold once per phase (`auto` scans the
+        // cluster-size statistics), not once per cluster.
+        let shard = cfg.shard_rows.resolve(workload);
         pipeline::run_clusters_scratched(
+            model,
             PhaseKind::Aggregation,
             &workload.clusters,
             scratch,
-            |s, ci, cluster| self.aggregate_cluster(workload, f_out, ci, cluster, s, shard_pool),
+            |s, ci, cluster| {
+                self.aggregate_cluster(workload, f_out, ci, cluster, shard, s, shard_pool)
+            },
         )
     }
 
@@ -366,12 +420,14 @@ impl GrowEngine {
     /// context (pinned or no-cache modes): plan phase — sharded across row
     /// ranges when the cluster exceeds `shard_rows` — then sequential
     /// replay. All working state comes from `scratch` and is recycled.
+    #[allow(clippy::too_many_arguments)]
     fn aggregate_cluster(
         &self,
         workload: &PreparedWorkload,
         f_out: usize,
         ci: usize,
         cluster: Range<usize>,
+        shard: usize,
         scratch: &mut GrowScratch,
         shard_pool: &ScratchArena<PlanBuf>,
     ) -> PhaseReport {
@@ -422,7 +478,6 @@ impl GrowEngine {
         // configuration, and the ordered merge concatenates to exactly
         // the single-pass plan.
         let pinned_ref = cfg.hdn_caching.then_some(&*pinned);
-        let shard = cfg.shard_rows;
         if shard > 0 && cluster.len() > shard {
             let mut ranges = Vec::with_capacity(cluster.len().div_ceil(shard));
             let mut lo = cluster.start;
@@ -810,15 +865,17 @@ impl Accelerator for GrowEngine {
         // state is cleared between clusters and layers, not dropped.
         let scratch: ScratchArena<GrowScratch> = ScratchArena::new();
         let shard_pool: ScratchArena<PlanBuf> = ScratchArena::new();
+        let model = ExecModel::new(self.config.multi_pe, self.config.dram.bytes_per_cycle);
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
-            combination: self.run_combination(&layer.x.view(), layer.f_out, &workload.clusters),
-            aggregation: self.run_aggregation(workload, layer.f_out, &scratch, &shard_pool),
+            combination: self.run_combination(
+                &model,
+                &layer.x.view(),
+                layer.f_out,
+                &workload.clusters,
+            ),
+            aggregation: self.run_aggregation(&model, workload, layer.f_out, &scratch, &shard_pool),
         });
-        report.multi_pe = Some(crate::schedule::summarize(
-            &report,
-            &self.config.multi_pe,
-            self.config.dram.bytes_per_cycle,
-        ));
+        model.finalize(&mut report);
         report
     }
 
@@ -1013,7 +1070,7 @@ mod tests {
             for shard_rows in [64, 257, 1000, 1999, 2000, 5000] {
                 let cfg = GrowConfig {
                     hdn_caching: caching,
-                    shard_rows,
+                    shard_rows: shard_rows.into(),
                     ..GrowConfig::default()
                 };
                 let e = GrowEngine::new(cfg);
@@ -1031,11 +1088,29 @@ mod tests {
         let p = prepared(2500, PartitionStrategy::Multilevel { cluster_nodes: 400 });
         let base = GrowEngine::default().run(&p);
         let sharded = GrowEngine::new(GrowConfig {
-            shard_rows: 128,
+            shard_rows: ShardRows::Fixed(128),
             ..GrowConfig::default()
         })
         .run(&p);
         assert_eq!(base, sharded);
+    }
+
+    #[test]
+    fn auto_sharding_is_bit_identical_and_derives_from_cluster_stats() {
+        // One coarse 2000-row cluster: auto must turn sharding on, and —
+        // like any threshold — must not change a single counter.
+        let coarse = prepared(2000, PartitionStrategy::None);
+        assert!(coarse.auto_shard_rows() > 0, "coarse grain shards");
+        let base = GrowEngine::default().run(&coarse);
+        let auto = GrowEngine::new(GrowConfig {
+            shard_rows: ShardRows::Auto,
+            ..GrowConfig::default()
+        });
+        assert_eq!(base, grow_sim::exec::with_workers(4, || auto.run(&coarse)));
+        // Fine clusters already saturate the fan-out: auto stays off.
+        let fine = prepared(1200, PartitionStrategy::Multilevel { cluster_nodes: 200 });
+        assert_eq!(fine.auto_shard_rows(), 0, "fine grain leaves sharding off");
+        assert_eq!(GrowEngine::default().run(&fine), auto.run(&fine));
     }
 
     #[test]

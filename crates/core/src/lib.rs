@@ -11,9 +11,11 @@
 //!   sparse-*sparse* accelerators compared in Section VII-H;
 //! * [`prepare`] / [`PreparedWorkload`] — the software preprocessing stack
 //!   (partitioning, relabeling, HDN list extraction);
-//! * [`multi_pe`] / [`schedule`] — the multi-PE scaling model of
-//!   Figure 24 and its pluggable cluster-to-PE schedulers
-//!   (round-robin / LPT / work-stealing);
+//! * [`multi_pe`] / [`schedule`] / [`exec_model`] — the multi-PE scaling
+//!   model of Figure 24, its pluggable cluster-to-PE schedulers
+//!   (round-robin / LPT / work-stealing / contention-aware), and the
+//!   execution-model layer that makes `pes=N` a real execution mode
+//!   (`exec=post_hoc|e2e`);
 //! * [`experiments`] — drivers that regenerate each figure/table of the
 //!   evaluation (Section VII).
 //!
@@ -41,6 +43,7 @@ mod prepare;
 mod report;
 mod spsp;
 
+pub mod exec_model;
 pub mod experiments;
 pub mod extensions;
 pub mod multi_pe;
@@ -48,12 +51,16 @@ pub mod pipeline;
 pub mod registry;
 pub mod schedule;
 
+pub use exec_model::{ExecModel, ExecModelKind};
 pub use gamma::{GammaConfig, GammaEngine};
 pub use gcnax::{GcnaxConfig, GcnaxEngine};
-pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy};
+pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy, ShardRows};
 pub use matraptor::{MatRaptorConfig, MatRaptorEngine};
 pub use prepare::{prepare, PartitionStrategy, PreparedWorkload};
-pub use report::{ClusterProfile, LayerReport, MultiPeSummary, PhaseKind, PhaseReport, RunReport};
+pub use report::{
+    ClusterProfile, LayerPeBusy, LayerReport, MultiPeBreakdown, MultiPeSummary, PhaseKind,
+    PhasePeBusy, PhaseReport, RunReport,
+};
 pub use schedule::{MultiPeConfig, SchedulerKind};
 
 /// Common interface of all four accelerator models.

@@ -16,9 +16,11 @@
 //!
 //! Which PE runs which cluster is decided by a pluggable
 //! [`Scheduler`](crate::schedule::Scheduler) — see [`crate::schedule`] for
-//! the policies (`rr`, `lpt`, `ws`). [`simulate`] keeps the original
+//! the policies (`rr`, `lpt`, `ws`, `ca`). [`simulate`] keeps the original
 //! round-robin behavior bit-identically; [`simulate_with`] exposes the full
-//! per-PE accounting under any scheduler.
+//! per-PE accounting under any scheduler; [`simulate_e2e`] is the
+//! calibrated variant the end-to-end execution model
+//! ([`crate::exec_model`]) composes phase cycle counts with.
 
 use crate::schedule::{Scheduler, SchedulerKind};
 use crate::ClusterProfile;
@@ -126,24 +128,78 @@ pub fn simulate_scheduled(
     per_pe_bytes_per_cycle: f64,
     scheduler: &dyn Scheduler,
 ) -> MultiPeRun {
+    simulate_fluid(profiles, pes, per_pe_bytes_per_cycle, scheduler, false)
+}
+
+/// The end-to-end fluid co-simulation (`exec=e2e`): like
+/// [`simulate_scheduled`], but each cluster-task's duration is *calibrated
+/// against its detailed standalone timeline* ([`ClusterProfile::cycles`]).
+/// A task with detailed makespan `T`, MAC-busy `C`, and transfer `M` runs
+/// for `max(C, M/a) + S` cycles at allocated bandwidth `a`, where
+/// `S = T - max(C, M/B)` (with `B` the per-PE fair share) is the
+/// serialization residue the overlap model cannot see — latency tails,
+/// FIFO ordering, dependent stalls. At `a = B` the duration is exactly
+/// `T`, so a 1-PE end-to-end run reproduces the detailed sequential
+/// composition; at `a < B` memory-bound tasks stretch (contention) and at
+/// `a > B` they shrink (borrowing idle bandwidth, the Section VII-F
+/// super-linearity mechanism).
+///
+/// # Panics
+///
+/// Panics if `pes == 0` or the bandwidth is not positive.
+pub fn simulate_e2e(
+    profiles: &[ClusterProfile],
+    pes: usize,
+    per_pe_bytes_per_cycle: f64,
+    scheduler: SchedulerKind,
+) -> MultiPeRun {
+    simulate_fluid(
+        profiles,
+        pes,
+        per_pe_bytes_per_cycle,
+        scheduler.scheduler().as_ref(),
+        true,
+    )
+}
+
+fn simulate_fluid(
+    profiles: &[ClusterProfile],
+    pes: usize,
+    per_pe_bytes_per_cycle: f64,
+    scheduler: &dyn Scheduler,
+    calibrated: bool,
+) -> MultiPeRun {
     assert!(pes > 0, "at least one PE");
     assert!(per_pe_bytes_per_cycle > 0.0, "bandwidth must be positive");
     let total_bw = pes as f64 * per_pe_bytes_per_cycle;
     let mut dispatch = scheduler.dispatcher(profiles, pes, per_pe_bytes_per_cycle);
 
-    // Active task per PE: cluster index, compute total, mem total,
-    // fraction remaining.
+    // Active task per PE: cluster index, compute total, mem total, serial
+    // residue, fraction remaining.
     struct Task {
         idx: usize,
         c: f64,
         m: f64,
+        s: f64,
         w: f64,
     }
-    let spawn = |i: usize| Task {
-        idx: i,
-        c: profiles[i].compute_cycles as f64,
-        m: profiles[i].mem_bytes as f64,
-        w: 1.0,
+    let spawn = |i: usize| {
+        let c = profiles[i].compute_cycles as f64;
+        let m = profiles[i].mem_bytes as f64;
+        // Serial residue of the detailed timeline beyond the overlap
+        // model's fair-share estimate (0 in the uncalibrated projection).
+        let s = if calibrated {
+            (profiles[i].cycles as f64 - c.max(m / per_pe_bytes_per_cycle)).max(0.0)
+        } else {
+            0.0
+        };
+        Task {
+            idx: i,
+            c,
+            m,
+            s,
+            w: 1.0,
+        }
     };
     let mut active: Vec<Option<Task>> = (0..pes).map(|p| dispatch.next(p).map(spawn)).collect();
     let mut busy = vec![0.0f64; pes];
@@ -195,7 +251,7 @@ pub fn simulate_scheduled(
             } else {
                 task.m / alloc[p]
             };
-            let duration = task.c.max(mem_time).max(1e-9);
+            let duration = (task.c.max(mem_time) + task.s).max(1e-9);
             rates[p] = 1.0 / duration;
             dt = dt.min(task.w / rates[p]);
         }
@@ -268,6 +324,7 @@ mod tests {
         ClusterProfile {
             compute_cycles: c,
             mem_bytes: m,
+            cycles: 0,
         }
     }
 

@@ -9,28 +9,34 @@
 //! * [`PhaseCtx`] — one simulation context (DRAM channel + MAC array +
 //!   report under construction) for a phase prologue or a single cluster;
 //! * [`run_clusters`] — fans independent per-cluster simulations across
-//!   threads via [`grow_sim::exec`] and merges the partial reports
-//!   *sequentially in cluster order*, so the result is bit-identical to a
-//!   serial run (`GROW_SERIAL=1` / [`grow_sim::ExecMode::Serial`]);
+//!   threads via [`grow_sim::exec`] and hands the partial reports, in
+//!   cluster order, to the run's [`ExecModel`] for composition, so the
+//!   result is bit-identical to a serial run (`GROW_SERIAL=1` /
+//!   [`grow_sim::ExecMode::Serial`]);
 //! * [`run_layers`] — the per-layer combination/aggregation loop shared by
 //!   every engine's [`Accelerator::run`](crate::Accelerator::run).
 //!
 //! # Simulated-time semantics
 //!
-//! Clusters are simulated in isolated contexts whose clocks start at zero
-//! and are composed *sequentially*: a phase's cycle count is the sum of
-//! its prologue and per-cluster makespans. This matches the hardware being
-//! modeled — a single PE processes clusters back to back through one FIFO
-//! memory channel — and is what makes cluster simulations independent and
-//! therefore parallelizable. (Multi-PE concurrency across clusters is
-//! modeled separately, by the fluid model in [`crate::multi_pe`], from the
-//! per-cluster profiles these reports carry.)
+//! Clusters are simulated in isolated contexts whose clocks start at zero.
+//! How the per-cluster timelines compose into a phase cycle count is the
+//! [`ExecModel`]'s decision (see [`crate::exec_model`]): under the
+//! default post-hoc model they compose *sequentially* — a phase's cycle
+//! count is the sum of its prologue and per-cluster makespans, matching a
+//! single PE processing clusters back to back through one FIFO memory
+//! channel; under the end-to-end model (`exec=e2e`) the configured
+//! scheduler dispatches the clusters onto N virtual PEs contending for
+//! the shared channel, and the fluid makespan is the phase's cycle count.
+//! Either way the cluster simulations are independent and therefore
+//! parallelizable, and composition happens over the deterministic
+//! cluster-ordered fragment list.
 
 use std::ops::Range;
 
 use grow_sim::{exec, Cycle, Dram, DramConfig, MacArray};
 pub use grow_sim::{ScratchArena, ScratchGuard};
 
+pub use crate::exec_model::{ExecModel, ExecModelKind};
 use crate::{ClusterProfile, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
 /// One isolated simulation context: a DRAM channel, a MAC array, a local
@@ -91,26 +97,30 @@ impl PhaseCtx {
         self.report.cluster_profiles.push(ClusterProfile {
             compute_cycles: self.mac.busy_cycles(),
             mem_bytes: self.dram.stats().total_fetched(),
+            // The detailed fragment makespan is stamped when the exec
+            // model composes the fragments (`finish` runs after this).
+            cycles: 0,
         });
         self.finish()
     }
 }
 
 /// Simulates `clusters` independently — in parallel when the execution
-/// mode allows — and merges the per-cluster reports sequentially in
-/// cluster order. `sim` receives the cluster index and row range and
-/// returns that cluster's finished [`PhaseReport`] (usually via
-/// [`PhaseCtx::finish_cluster`]).
-pub fn run_clusters<F>(kind: PhaseKind, clusters: &[Range<usize>], sim: F) -> PhaseReport
+/// mode allows — and composes the per-cluster reports, in cluster order,
+/// through `model` (sequential sum under post-hoc, scheduled multi-PE
+/// fluid makespan under end-to-end). `sim` receives the cluster index and
+/// row range and returns that cluster's finished [`PhaseReport`] (usually
+/// via [`PhaseCtx::finish_cluster`]).
+pub fn run_clusters<F>(
+    model: &ExecModel,
+    kind: PhaseKind,
+    clusters: &[Range<usize>],
+    sim: F,
+) -> PhaseReport
 where
     F: Fn(usize, Range<usize>) -> PhaseReport + Sync,
 {
-    let partials = exec::parallel_map(clusters.to_vec(), sim);
-    let mut merged = PhaseReport::new(kind);
-    for partial in partials {
-        merged.absorb_sequential(partial);
-    }
-    merged
+    model.compose(kind, exec::parallel_map(clusters.to_vec(), sim))
 }
 
 /// Like [`run_clusters`], but hands each cluster simulation a reusable
@@ -126,6 +136,7 @@ where
 /// residency tables, runahead slots, plan buffers — is built once per
 /// worker and recycled across every cluster of every layer.
 pub fn run_clusters_scratched<S, F>(
+    model: &ExecModel,
     kind: PhaseKind,
     clusters: &[Range<usize>],
     arena: &ScratchArena<S>,
@@ -139,11 +150,7 @@ where
         let mut scratch = arena.checkout();
         sim(&mut scratch, ci, cluster)
     });
-    let mut merged = PhaseReport::new(kind);
-    for partial in partials {
-        merged.absorb_sequential(partial);
-    }
-    merged
+    model.compose(kind, partials)
 }
 
 /// The per-layer loop shared by every engine: maps each GCN layer to its
@@ -155,9 +162,11 @@ where
     RunReport {
         engine,
         layers: workload.layers.iter().map(layer_fn).collect(),
-        // Engines attach their configured multi-PE projection afterwards
-        // (see `crate::schedule::summarize`).
+        // Engines finalize the report through their ExecModel afterwards
+        // (see `crate::exec_model::ExecModel::finalize`), which attaches
+        // the multi-PE summary and records the model that ran.
         multi_pe: None,
+        exec: ExecModelKind::PostHoc.name(),
     }
 }
 
@@ -165,6 +174,10 @@ where
 mod tests {
     use super::*;
     use grow_sim::TrafficClass;
+
+    fn post_hoc() -> ExecModel {
+        ExecModel::new(crate::schedule::MultiPeConfig::default(), 32.0)
+    }
 
     #[test]
     fn finish_folds_clock_channel_and_array() {
@@ -193,13 +206,18 @@ mod tests {
     #[test]
     fn run_clusters_merges_in_order() {
         let clusters = vec![0..10, 10..30, 30..35];
-        let report = run_clusters(PhaseKind::Aggregation, &clusters, |ci, cluster| {
-            let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, DramConfig::default(), 16);
-            ctx.dram
-                .read(0, cluster.len() as u64 * 8, TrafficClass::RhsRows);
-            ctx.report.sram_reads_8b = ci as u64;
-            ctx.finish_cluster()
-        });
+        let report = run_clusters(
+            &post_hoc(),
+            PhaseKind::Aggregation,
+            &clusters,
+            |ci, cluster| {
+                let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, DramConfig::default(), 16);
+                ctx.dram
+                    .read(0, cluster.len() as u64 * 8, TrafficClass::RhsRows);
+                ctx.report.sram_reads_8b = ci as u64;
+                ctx.finish_cluster()
+            },
+        );
         assert_eq!(report.cluster_profiles.len(), 3);
         // Sequential composition: the cluster indices 0, 1, 2 sum up.
         assert_eq!(report.sram_reads_8b, 3);
@@ -220,10 +238,10 @@ mod tests {
         };
         // Oversubscribe so threads really interleave, even on one core.
         let par = grow_sim::exec::with_workers(8, || {
-            run_clusters(PhaseKind::Aggregation, &clusters, sim)
+            run_clusters(&post_hoc(), PhaseKind::Aggregation, &clusters, sim)
         });
         let ser = grow_sim::exec::with_mode(grow_sim::ExecMode::Serial, || {
-            run_clusters(PhaseKind::Aggregation, &clusters, sim)
+            run_clusters(&post_hoc(), PhaseKind::Aggregation, &clusters, sim)
         });
         assert_eq!(par, ser);
     }

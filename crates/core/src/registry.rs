@@ -27,10 +27,11 @@ use std::fmt;
 
 use grow_sim::DramConfig;
 
+use crate::exec_model::{ExecModelKind, EXEC_MODEL_NAMES};
 use crate::schedule::{MultiPeConfig, SchedulerKind, SCHEDULER_NAMES};
 use crate::{
     Accelerator, GammaConfig, GammaEngine, GcnaxConfig, GcnaxEngine, GrowConfig, GrowEngine,
-    MatRaptorConfig, MatRaptorEngine, PreparedWorkload, ReplacementPolicy, RunReport,
+    MatRaptorConfig, MatRaptorEngine, PreparedWorkload, ReplacementPolicy, RunReport, ShardRows,
 };
 
 /// Canonical lower-case names of the registered engines, in the paper's
@@ -64,6 +65,9 @@ pub enum RegistryError {
     /// The `scheduler=` override named no registered scheduler (see
     /// [`SCHEDULER_NAMES`]).
     UnknownScheduler(String),
+    /// The `exec=` override named no registered execution model (see
+    /// [`EXEC_MODEL_NAMES`]).
+    UnknownExecModel(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -92,6 +96,13 @@ impl fmt::Display for RegistryError {
                     SCHEDULER_NAMES.join(", ")
                 )
             }
+            RegistryError::UnknownExecModel(name) => {
+                write!(
+                    f,
+                    "unknown execution model '{name}' (known: {})",
+                    EXEC_MODEL_NAMES.join(", ")
+                )
+            }
         }
     }
 }
@@ -118,7 +129,8 @@ fn apply_dram_key(dram: &mut DramConfig, key: &str, value: &str) -> Result<bool,
 }
 
 /// Applies the multi-PE keys shared by every engine (`pes=N`,
-/// `scheduler=rr|lpt|ws`); returns `true` if `key` was one of them.
+/// `scheduler=rr|lpt|ws|ca`, `exec=post_hoc|e2e`); returns `true` if
+/// `key` was one of them.
 fn apply_schedule_key(
     cfg: &mut MultiPeConfig,
     key: &str,
@@ -138,6 +150,10 @@ fn apply_schedule_key(
         "scheduler" => {
             cfg.scheduler = SchedulerKind::parse(value)
                 .ok_or_else(|| RegistryError::UnknownScheduler(value.to_string()))?;
+        }
+        "exec" => {
+            cfg.exec = ExecModelKind::parse(value)
+                .ok_or_else(|| RegistryError::UnknownExecModel(value.to_string()))?;
         }
         _ => return Ok(false),
     }
@@ -162,7 +178,13 @@ fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
             "ldn_entries" => cfg.ldn_entries = parse(key, value)?,
             "lhs_id_entries" => cfg.lhs_id_entries = parse(key, value)?,
             "hdn_caching" => cfg.hdn_caching = parse(key, value)?,
-            "shard_rows" => cfg.shard_rows = parse(key, value)?,
+            "shard_rows" => {
+                cfg.shard_rows = if value.eq_ignore_ascii_case("auto") {
+                    ShardRows::Auto
+                } else {
+                    ShardRows::from(parse::<usize>(key, value)?)
+                }
+            }
             "replacement" => {
                 cfg.replacement = match value.to_ascii_lowercase().as_str() {
                     "pinned" => ReplacementPolicy::Pinned,
@@ -542,10 +564,64 @@ mod tests {
             multi_pe: MultiPeConfig {
                 pes: 8,
                 scheduler: SchedulerKind::WorkStealing,
+                ..MultiPeConfig::default()
             },
             ..GrowConfig::default()
         })
         .run(&p);
         assert_eq!(via_registry, typed);
+    }
+
+    #[test]
+    fn exec_override_selects_the_execution_model() {
+        let p = prepared();
+        for name in ENGINE_NAMES {
+            let post_hoc = engine_from_overrides(name, &[("exec", "post_hoc")])
+                .unwrap()
+                .run(&p);
+            assert_eq!(post_hoc.exec, "post_hoc");
+            let e2e = engine_from_overrides(name, &[("exec", "e2e"), ("pes", "4")])
+                .unwrap()
+                .run(&p);
+            assert_eq!(e2e.exec, "e2e", "{name}");
+            assert!(e2e.multi_pe_breakdown().is_some(), "{name}");
+            assert!(post_hoc.multi_pe_breakdown().is_none(), "{name}");
+        }
+        assert_eq!(
+            engine_from_overrides("grow", &[("exec", "sideways")])
+                .err()
+                .expect("must fail"),
+            RegistryError::UnknownExecModel("sideways".into())
+        );
+        let message = RegistryError::UnknownExecModel("sideways".into()).to_string();
+        for name in crate::exec_model::EXEC_MODEL_NAMES {
+            assert!(message.contains(name), "{message}");
+        }
+    }
+
+    #[test]
+    fn shard_rows_accepts_auto_and_integers() {
+        let p = prepared();
+        let auto = engine_from_overrides("grow", &[("shard_rows", "auto")])
+            .unwrap()
+            .run(&p);
+        let fixed = engine_from_overrides("grow", &[("shard_rows", "64")])
+            .unwrap()
+            .run(&p);
+        let off = engine_from_overrides("grow", &[("shard_rows", "0")])
+            .unwrap()
+            .run(&p);
+        // Sharding is a throughput knob: all three report identically.
+        assert_eq!(auto, fixed);
+        assert_eq!(auto, off);
+        assert_eq!(
+            engine_from_overrides("grow", &[("shard_rows", "many")])
+                .err()
+                .expect("must fail"),
+            RegistryError::InvalidValue {
+                key: "shard_rows".into(),
+                value: "many".into()
+            }
+        );
     }
 }

@@ -15,25 +15,38 @@ pub enum PhaseKind {
 
 /// Per-cluster execution profile, used by the multi-PE fluid model of
 /// Figure 24.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClusterProfile {
     /// MAC-array busy cycles contributed by this cluster.
     pub compute_cycles: u64,
     /// DRAM bytes moved by this cluster (granularity-rounded).
     pub mem_bytes: u64,
+    /// End-to-end cycles of the cluster's *detailed* standalone simulation
+    /// (the cluster alone on one PE with its full bandwidth share). Stamped
+    /// by the pipeline when per-cluster fragments merge; the end-to-end
+    /// execution model calibrates its fluid task durations against it so
+    /// that a 1-PE run reproduces the detailed timeline exactly. Zero for
+    /// hand-built profiles; the post-hoc projection ignores it.
+    pub cycles: u64,
 }
 
-/// Summary of the multi-PE projection attached to every run: the fluid
-/// model of Figure 24 replayed over the run's per-cluster profiles with
-/// the configured PE count and scheduler (see [`crate::schedule`]).
+/// Summary of the multi-PE arrangement attached to every run.
 ///
-/// Everything here is *assignment-dependent* — derived from, never feeding
-/// back into, the per-phase counters. Two runs that differ only in
-/// scheduler have bit-identical [`RunReport::layers`] and differ at most
-/// in this summary (the scheduler-invariance suite asserts exactly that).
+/// Under the default post-hoc execution model this is the fluid model of
+/// Figure 24 replayed over the run's per-cluster profiles — derived from,
+/// never feeding back into, the per-phase counters: two runs that differ
+/// only in scheduler have bit-identical [`RunReport::layers`] and differ
+/// at most in this summary (the scheduler-invariance suite asserts exactly
+/// that). Under the end-to-end model (`exec=e2e`) the summary is instead
+/// *derived from* the per-layer [`MultiPeBreakdown`], whose makespans are
+/// the report's actual cycle counts.
+///
+/// This whole-run summary is the deprecated legacy surface; new code
+/// should read [`RunReport::multi_pe_breakdown`] for the per-layer,
+/// per-phase truth.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiPeSummary {
-    /// Canonical scheduler name (`rr`, `lpt`, or `ws`).
+    /// Canonical scheduler name (`rr`, `lpt`, `ws`, or `ca`).
     pub scheduler: &'static str,
     /// Number of PEs projected onto (1 = the paper's base configuration).
     pub pes: usize,
@@ -44,6 +57,78 @@ pub struct MultiPeSummary {
     pub imbalance: f64,
     /// Cycles each PE spent executing clusters.
     pub per_pe_busy: Vec<f64>,
+}
+
+/// Per-PE accounting of one phase's cluster execution under the
+/// end-to-end multi-PE execution model (`exec=e2e`): the configured PEs
+/// worked this phase's clusters concurrently, contending for the shared
+/// channel, and these are the resulting timelines. Phase fragments that
+/// execute back to back (the column-chunk passes of a combination phase)
+/// compose by [`PhasePeBusy::absorb_sequential`].
+///
+/// `None` under the post-hoc model, where the phase cycle count is the
+/// plain sequential single-PE composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePeBusy {
+    /// Makespan in cycles of the phase's cluster fan-out under the fluid
+    /// contention model (excluding any serial prologue, which is part of
+    /// [`PhaseReport::cycles`] but occupies every PE alike).
+    pub makespan: f64,
+    /// Cycles each PE spent with a cluster in execution.
+    pub per_pe_busy: Vec<f64>,
+    /// Sum of per-cluster in-system durations. Every executing cluster
+    /// occupies exactly one PE, so this equals the summed per-PE busy time
+    /// (the conservation law the exec-model property suite asserts).
+    pub cluster_time: f64,
+}
+
+impl PhasePeBusy {
+    /// Composes a fragment that executes *after* this one on the same PEs
+    /// (an inter-pass barrier): makespans add, per-PE busy times add.
+    pub fn absorb_sequential(&mut self, fragment: &PhasePeBusy) {
+        self.makespan += fragment.makespan;
+        if self.per_pe_busy.len() < fragment.per_pe_busy.len() {
+            self.per_pe_busy.resize(fragment.per_pe_busy.len(), 0.0);
+        }
+        for (slot, b) in self.per_pe_busy.iter_mut().zip(&fragment.per_pe_busy) {
+            *slot += b;
+        }
+        self.cluster_time += fragment.cluster_time;
+    }
+
+    /// Load-imbalance ratio of this phase: busiest PE over mean PE busy
+    /// time (1.0 for an empty or perfectly balanced phase).
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.per_pe_busy.iter().sum();
+        if total <= 0.0 || self.per_pe_busy.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_pe_busy.iter().cloned().fold(0.0f64, f64::max);
+        max * self.per_pe_busy.len() as f64 / total
+    }
+}
+
+/// Per-layer multi-PE accounting of an end-to-end (`exec=e2e`) run: one
+/// [`PhasePeBusy`] per phase per layer. This replaces the single post-hoc
+/// [`MultiPeSummary`] as the canonical multi-PE surface — the summary is
+/// retained as a deprecated whole-run alias derived from this breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPeBreakdown {
+    /// Canonical scheduler name.
+    pub scheduler: &'static str,
+    /// Number of PEs executed on.
+    pub pes: usize,
+    /// Per-layer phase breakdowns, in layer order.
+    pub layers: Vec<LayerPeBusy>,
+}
+
+/// The two phase breakdowns of one layer (see [`MultiPeBreakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPeBusy {
+    /// Combination (`X*W`) phase.
+    pub combination: PhasePeBusy,
+    /// Aggregation (`A*XW`) phase.
+    pub aggregation: PhasePeBusy,
 }
 
 /// Timing/traffic/cache statistics of one SpDeGEMM phase.
@@ -68,6 +153,9 @@ pub struct PhaseReport {
     /// Per-cluster profiles (every engine emits one per simulated
     /// cluster; the multi-PE model schedules over them).
     pub cluster_profiles: Vec<ClusterProfile>,
+    /// Per-PE accounting when this phase was composed by the end-to-end
+    /// multi-PE execution model; `None` under the post-hoc model.
+    pub pe: Option<PhasePeBusy>,
 }
 
 impl PhaseReport {
@@ -83,6 +171,7 @@ impl PhaseReport {
             sram_reads_8b: 0,
             sram_writes_8b: 0,
             cluster_profiles: Vec::new(),
+            pe: None,
         }
     }
 
@@ -107,6 +196,11 @@ impl PhaseReport {
         self.sram_reads_8b += fragment.sram_reads_8b;
         self.sram_writes_8b += fragment.sram_writes_8b;
         self.cluster_profiles.extend(fragment.cluster_profiles);
+        match (&mut self.pe, fragment.pe) {
+            (Some(mine), Some(theirs)) => mine.absorb_sequential(&theirs),
+            (mine @ None, theirs @ Some(_)) => *mine = theirs,
+            _ => {}
+        }
     }
 }
 
@@ -133,9 +227,15 @@ pub struct RunReport {
     pub engine: &'static str,
     /// Per-layer reports.
     pub layers: Vec<LayerReport>,
-    /// Multi-PE projection of this run (`None` only for hand-built
-    /// reports; every engine attaches its configured summary).
+    /// Multi-PE summary of this run (`None` only for hand-built reports;
+    /// every engine attaches its configured summary). Deprecated legacy
+    /// surface — see [`RunReport::multi_pe_breakdown`].
     pub multi_pe: Option<MultiPeSummary>,
+    /// Canonical name of the execution model that produced the cycle
+    /// counts: `"post_hoc"` (single-PE timelines, multi-PE as a
+    /// projection) or `"e2e"` (the multi-PE fluid composition *is* the
+    /// per-phase cycle count).
+    pub exec: &'static str,
 }
 
 impl RunReport {
@@ -209,6 +309,29 @@ impl RunReport {
         a
     }
 
+    /// The per-layer multi-PE breakdown of an end-to-end run: one
+    /// [`PhasePeBusy`] per phase per layer, assembled from the phase
+    /// reports. `None` when the run used the post-hoc execution model
+    /// (no phase carries per-PE accounting).
+    pub fn multi_pe_breakdown(&self) -> Option<MultiPeBreakdown> {
+        let summary = self.multi_pe.as_ref()?;
+        let layers: Option<Vec<LayerPeBusy>> = self
+            .layers
+            .iter()
+            .map(|l| {
+                Some(LayerPeBusy {
+                    combination: l.combination.pe.clone()?,
+                    aggregation: l.aggregation.pe.clone()?,
+                })
+            })
+            .collect();
+        Some(MultiPeBreakdown {
+            scheduler: summary.scheduler,
+            pes: summary.pes,
+            layers: layers?,
+        })
+    }
+
     /// Per-cluster profiles concatenated across layers (multi-PE model).
     pub fn cluster_profiles(&self) -> Vec<ClusterProfile> {
         let mut out = Vec::new();
@@ -251,6 +374,7 @@ mod tests {
         RunReport {
             engine: "test",
             multi_pe: None,
+            exec: "post_hoc",
             layers: vec![
                 LayerReport {
                     combination: phase(PhaseKind::Combination, 10, 100),

@@ -14,13 +14,23 @@
 //!   finishes its cluster it pulls the next pending one, with deterministic
 //!   tie-breaking by cluster index (lowest pending index first).
 //!
+//! * [`ContentionAware`] — like work-stealing, but the pending pool is
+//!   split into memory-bound and compute-bound clusters and each dispatch
+//!   tops up whichever class is under-represented among the clusters in
+//!   execution — mixing the classes keeps part of the fleet off the
+//!   shared channel at any instant.
+//!
 //! Schedulers are dispatched by name through [`SchedulerKind`] — the value
-//! set of the registry-wide `scheduler=rr|lpt|ws` override — and every
+//! set of the registry-wide `scheduler=rr|lpt|ws|ca` override — and every
 //! engine carries a [`MultiPeConfig`] whose summary lands on the final
-//! [`RunReport`](crate::RunReport). Scheduling is strictly *post-hoc* over
-//! the per-cluster profiles: it can never change modeled work or traffic,
-//! only the multi-PE makespan and per-PE utilization (the
-//! scheduler-invariance test battery locks this in).
+//! [`RunReport`](crate::RunReport). Under the default post-hoc execution
+//! model scheduling is strictly *post-hoc* over the per-cluster profiles:
+//! it can never change modeled work or traffic, only the multi-PE
+//! makespan and per-PE utilization (the scheduler-invariance test battery
+//! locks this in). Under the end-to-end model
+//! ([`crate::exec_model`], `exec=e2e`) the same schedulers run *inside*
+//! the execution loop and the resulting makespans are the per-phase cycle
+//! counts themselves.
 
 use std::collections::VecDeque;
 
@@ -28,7 +38,7 @@ use crate::multi_pe;
 use crate::{ClusterProfile, MultiPeSummary, RunReport};
 
 /// Canonical scheduler names, in registry order (`scheduler=` values).
-pub const SCHEDULER_NAMES: [&str; 3] = ["rr", "lpt", "ws"];
+pub const SCHEDULER_NAMES: [&str; 4] = ["rr", "lpt", "ws", "ca"];
 
 /// Which cluster-to-PE scheduling policy the multi-PE model uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -40,14 +50,18 @@ pub enum SchedulerKind {
     StaticLpt,
     /// Dynamic work-stealing (greedy event-driven dispatch).
     WorkStealing,
+    /// Contention-aware dispatch: interleaves memory-bound and
+    /// compute-bound clusters across the PEs.
+    ContentionAware,
 }
 
 impl SchedulerKind {
     /// Every scheduler, in [`SCHEDULER_NAMES`] order.
-    pub const ALL: [SchedulerKind; 3] = [
+    pub const ALL: [SchedulerKind; 4] = [
         SchedulerKind::RoundRobin,
         SchedulerKind::StaticLpt,
         SchedulerKind::WorkStealing,
+        SchedulerKind::ContentionAware,
     ];
 
     /// Parses a (case-insensitive) scheduler name. Accepts the canonical
@@ -57,6 +71,7 @@ impl SchedulerKind {
             "rr" | "roundrobin" | "round-robin" => Some(SchedulerKind::RoundRobin),
             "lpt" | "static-lpt" | "staticlpt" => Some(SchedulerKind::StaticLpt),
             "ws" | "workstealing" | "work-stealing" => Some(SchedulerKind::WorkStealing),
+            "ca" | "contention-aware" | "contentionaware" => Some(SchedulerKind::ContentionAware),
             _ => None,
         }
     }
@@ -67,6 +82,7 @@ impl SchedulerKind {
             SchedulerKind::RoundRobin => "rr",
             SchedulerKind::StaticLpt => "lpt",
             SchedulerKind::WorkStealing => "ws",
+            SchedulerKind::ContentionAware => "ca",
         }
     }
 
@@ -76,6 +92,7 @@ impl SchedulerKind {
             SchedulerKind::RoundRobin => Box::new(RoundRobin),
             SchedulerKind::StaticLpt => Box::new(StaticLpt),
             SchedulerKind::WorkStealing => Box::new(WorkStealing),
+            SchedulerKind::ContentionAware => Box::new(ContentionAware),
         }
     }
 }
@@ -87,7 +104,8 @@ impl SchedulerKind {
 /// PE needs its next cluster. Static policies precompute per-PE queues;
 /// dynamic policies decide at dispatch time.
 pub trait Scheduler: Send + Sync {
-    /// Canonical name (one of [`SCHEDULER_NAMES`] for built-ins).
+    /// Canonical name (one of [`SCHEDULER_NAMES`] for built-ins, e.g.
+    /// `rr`, `lpt`, `ws`, `ca`).
     fn name(&self) -> &'static str;
 
     /// Creates the dispatch state for one simulation of `profiles` on
@@ -241,10 +259,109 @@ impl Scheduler for WorkStealing {
     }
 }
 
-/// Multi-PE projection settings carried by every engine configuration:
-/// how many PEs the Figure 24 fluid model projects the run onto, and which
-/// scheduler assigns clusters to them. Registry overrides: `pes=N`,
-/// `scheduler=rr|lpt|ws`.
+/// Contention-aware dynamic dispatch: like [`WorkStealing`], whichever PE
+/// finishes first pulls the next pending cluster — but the pending pool is
+/// split into *memory-bound* clusters (bandwidth demand `mem_bytes /
+/// compute_cycles` above the per-PE fair share) and *compute-bound* ones,
+/// each ordered heaviest-first, and each dispatch hands out the class that
+/// is currently under-represented among the clusters in execution. Mixing
+/// the classes keeps part of the fleet off the shared channel at any
+/// instant, which is what greedy heaviest-first dispatch misses when it
+/// happens to line up several memory-bound clusters (the documented
+/// `ws`-loses-to-`rr` contention-alignment cases).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentionAware;
+
+struct ClassedQueues {
+    /// Pending memory-bound clusters, heaviest-first (ties by index).
+    mem: VecDeque<usize>,
+    /// Pending compute-bound clusters, heaviest-first (ties by index).
+    compute: VecDeque<usize>,
+    /// Standalone cycle estimate per cluster (head-to-head tie-breaks).
+    weight: Vec<f64>,
+    /// Class of each PE's in-execution cluster (`Some(true)` =
+    /// memory-bound), updated at every dispatch.
+    running: Vec<Option<bool>>,
+}
+
+impl Dispatcher for ClassedQueues {
+    fn next(&mut self, pe: usize) -> Option<usize> {
+        // The PE asking has just finished (or not started) its cluster.
+        self.running[pe] = None;
+        let mem_running = self.running.iter().flatten().filter(|&&m| m).count();
+        let compute_running = self.running.iter().flatten().count() - mem_running;
+        let pick_mem = match (self.mem.front(), self.compute.front()) {
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+            (Some(&m), Some(&c)) => {
+                if mem_running != compute_running {
+                    // Top up the under-represented class.
+                    mem_running < compute_running
+                } else {
+                    // Balanced mix: drain the heavier head first
+                    // (LPT-style), ties toward the memory-bound side so
+                    // transfers start as early as possible.
+                    self.weight[m] >= self.weight[c]
+                }
+            }
+        };
+        let next = if pick_mem {
+            self.mem.pop_front()
+        } else {
+            self.compute.pop_front()
+        };
+        if next.is_some() {
+            self.running[pe] = Some(pick_mem);
+        }
+        next
+    }
+}
+
+impl Scheduler for ContentionAware {
+    fn name(&self) -> &'static str {
+        "ca"
+    }
+
+    fn dispatcher(
+        &self,
+        profiles: &[ClusterProfile],
+        pes: usize,
+        per_pe_bytes_per_cycle: f64,
+    ) -> Box<dyn Dispatcher> {
+        let weight: Vec<f64> = profiles
+            .iter()
+            .map(|p| standalone_cycles(p, per_pe_bytes_per_cycle))
+            .collect();
+        // Memory-bound: the cluster wants more than its fair bandwidth
+        // share while computing (demand mem_bytes/compute_cycles > B).
+        let is_mem = |p: &ClusterProfile| {
+            p.mem_bytes as f64 > p.compute_cycles as f64 * per_pe_bytes_per_cycle
+        };
+        let mut mem: Vec<usize> = (0..profiles.len())
+            .filter(|&i| is_mem(&profiles[i]))
+            .collect();
+        let mut compute: Vec<usize> = (0..profiles.len())
+            .filter(|&i| !is_mem(&profiles[i]))
+            .collect();
+        // Heaviest first within each class; stable sort keeps ascending
+        // cluster index on equal estimates.
+        mem.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite estimates"));
+        compute.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite estimates"));
+        Box::new(ClassedQueues {
+            mem: mem.into(),
+            compute: compute.into(),
+            weight,
+            running: vec![None; pes],
+        })
+    }
+}
+
+/// Multi-PE execution settings carried by every engine configuration: how
+/// many PEs the run targets, which scheduler assigns clusters to them, and
+/// which execution model turns the per-cluster timelines into cycle
+/// counts. Registry overrides: `pes=N`, `scheduler=rr|lpt|ws|ca`,
+/// `exec=post_hoc|e2e`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MultiPeConfig {
     /// Processing engines (memory bandwidth scales proportionally).
@@ -252,6 +369,9 @@ pub struct MultiPeConfig {
     pub pes: usize,
     /// Cluster-to-PE scheduling policy.
     pub scheduler: SchedulerKind,
+    /// Execution model: post-hoc projection (default) or end-to-end
+    /// multi-PE composition (see [`crate::exec_model`]).
+    pub exec: crate::exec_model::ExecModelKind,
 }
 
 impl Default for MultiPeConfig {
@@ -259,6 +379,7 @@ impl Default for MultiPeConfig {
         MultiPeConfig {
             pes: 1,
             scheduler: SchedulerKind::RoundRobin,
+            exec: crate::exec_model::ExecModelKind::PostHoc,
         }
     }
 }
@@ -309,9 +430,15 @@ pub fn power_law_profiles(n: usize, seed: u64) -> Vec<ClusterProfile> {
             // oversubscribe a Table III-like per-PE bandwidth share.
             let intensity = 0.5 + 5.5 * ((next_u64() >> 11) as f64 / (1u64 << 53) as f64);
             let compute = (size * 100.0) as u64 + 1;
+            let mem_bytes = (compute as f64 * intensity) as u64 + 1;
             ClusterProfile {
                 compute_cycles: compute,
-                mem_bytes: (compute as f64 * intensity) as u64 + 1,
+                mem_bytes,
+                // A plausible detailed standalone timeline for end-to-end
+                // scheduler studies: the overlap estimate at a Table
+                // III-like 4 B/cycle fair share plus a ~12% serialization
+                // residue (latency tails, FIFO ordering).
+                cycles: (compute.max(mem_bytes / 4) as f64 * 1.125) as u64,
             }
         })
         .collect()
@@ -325,6 +452,7 @@ mod tests {
         ClusterProfile {
             compute_cycles: c,
             mem_bytes: m,
+            cycles: 0,
         }
     }
 
@@ -388,6 +516,47 @@ mod tests {
     }
 
     #[test]
+    fn contention_aware_interleaves_classes() {
+        // 2 memory-bound (0, 1) and 2 compute-bound (2, 3) clusters at
+        // B = 4: dispatch must alternate the classes across the PEs.
+        let profiles = [task(10, 4000), task(10, 2000), task(900, 40), task(800, 40)];
+        let mut d = ContentionAware.dispatcher(&profiles, 2, 4.0);
+        // Balanced (nothing running): heavier head wins, ties toward the
+        // memory-bound side — cluster 0 (standalone 1000) over 2 (900).
+        assert_eq!(d.next(0), Some(0), "heaviest memory-bound first");
+        assert_eq!(d.next(1), Some(2), "then top up the compute side");
+        // PE 0 finishes: one compute-bound still running, so it takes the
+        // next memory-bound cluster, and so on.
+        assert_eq!(d.next(0), Some(1));
+        assert_eq!(d.next(1), Some(3));
+        assert_eq!(d.next(0), None);
+        assert_eq!(d.next(1), None);
+    }
+
+    #[test]
+    fn contention_aware_splits_grouped_classes() {
+        // All memory-bound clusters first in index order, equal standalone
+        // estimates: heaviest-first (ws) and round-robin both line the
+        // memory-bound clusters up against each other on the channel; ca
+        // pairs each with a compute-bound cluster instead.
+        let mut profiles: Vec<ClusterProfile> = Vec::new();
+        profiles.extend((0..8).map(|_| task(10, 4000)));
+        profiles.extend((0..8).map(|_| task(1000, 40)));
+        for pes in [2usize, 4] {
+            let rr = multi_pe::simulate_with(&profiles, pes, 4.0, SchedulerKind::RoundRobin);
+            let ws = multi_pe::simulate_with(&profiles, pes, 4.0, SchedulerKind::WorkStealing);
+            let ca = multi_pe::simulate_with(&profiles, pes, 4.0, SchedulerKind::ContentionAware);
+            assert!(
+                ca.makespan < 0.8 * rr.makespan && ca.makespan < 0.8 * ws.makespan,
+                "pes={pes}: ca {} vs rr {} / ws {}",
+                ca.makespan,
+                rr.makespan,
+                ws.makespan
+            );
+        }
+    }
+
+    #[test]
     fn power_law_profiles_are_deterministic_and_heavy_tailed() {
         let a = power_law_profiles(256, 9);
         let b = power_law_profiles(256, 9);
@@ -417,6 +586,7 @@ mod tests {
         let cfg = MultiPeConfig {
             pes: 4,
             scheduler: SchedulerKind::WorkStealing,
+            ..MultiPeConfig::default()
         };
         let summary = summarize(&report, &cfg, 32.0);
         let direct = multi_pe::simulate_with(&report.cluster_profiles(), 4, 32.0, cfg.scheduler);

@@ -23,6 +23,7 @@ use std::ops::Range;
 use grow_sim::{DramConfig, LruRowCache, ScratchArena, TrafficClass, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
+use crate::exec_model::ExecModel;
 use crate::pipeline::{self, PhaseCtx};
 use crate::{LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
@@ -60,9 +61,11 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
     // One scratch pool per run: fiber caches are epoch-reset between
     // clusters and layers, never reallocated.
     let scratch: ScratchArena<SpSpScratch> = ScratchArena::new();
+    let model = ExecModel::new(params.multi_pe, params.dram.bytes_per_cycle);
     let mut report = pipeline::run_layers(params.name, workload, |layer| LayerReport {
         combination: run_phase(
             params,
+            &model,
             PhaseKind::Combination,
             &layer.x.view(),
             layer.f_out,
@@ -71,6 +74,7 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
         ),
         aggregation: run_phase(
             params,
+            &model,
             PhaseKind::Aggregation,
             &adjacency,
             layer.f_out,
@@ -78,24 +82,21 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
             &scratch,
         ),
     });
-    report.multi_pe = Some(crate::schedule::summarize(
-        &report,
-        &params.multi_pe,
-        params.dram.bytes_per_cycle,
-    ));
+    model.finalize(&mut report);
     report
 }
 
 /// One SpDeGEMM phase executed as if both operands were sparse.
 fn run_phase(
     params: &SpSpParams,
+    model: &ExecModel,
     kind: PhaseKind,
     lhs: &RowMajorSparse<'_>,
     f: usize,
     clusters: &[Range<usize>],
     scratch: &ScratchArena<SpSpScratch>,
 ) -> PhaseReport {
-    pipeline::run_clusters_scratched(kind, clusters, scratch, |s, _, cluster| {
+    pipeline::run_clusters_scratched(model, kind, clusters, scratch, |s, _, cluster| {
         run_rows(params, kind, lhs, f, cluster, s)
     })
 }

@@ -24,7 +24,9 @@ use std::fmt;
 use std::time::Instant;
 
 use grow_core::registry::{self, RegistryError};
-use grow_core::{Accelerator, PartitionStrategy, RunReport, SchedulerKind};
+use grow_core::{
+    Accelerator, ExecModelKind, PartitionStrategy, RunReport, SchedulerKind, ShardRows,
+};
 use grow_model::DatasetSpec;
 use grow_sim::exec::{parallel_map, with_mode, ExecMode};
 
@@ -107,13 +109,29 @@ impl JobSpec {
         self.with_override("pes", &pes.to_string())
     }
 
+    /// Selects the execution model (the `exec=` override): post-hoc
+    /// multi-PE projection (the default) or end-to-end multi-PE
+    /// composition, where `pes`/`scheduler` change the per-phase cycle
+    /// counts themselves.
+    pub fn with_exec_model(self, exec: ExecModelKind) -> Self {
+        self.with_override("exec", exec.name())
+    }
+
     /// Sets the intra-cluster row-range sharding threshold (the
-    /// `shard_rows=` override, GROW only): clusters larger than `rows`
-    /// split their probe-plan pass across worker threads. Purely a
+    /// `shard_rows=` override, GROW only): clusters larger than the
+    /// threshold split their probe-plan pass across worker threads.
+    /// Accepts a plain row count (`with_shard_rows(64)`, `0` = off) or a
+    /// [`ShardRows`] variant — `ShardRows::Auto` derives the threshold
+    /// from the prepared workload's cluster statistics. Purely a
     /// simulator-throughput knob — reports are bit-identical to an
     /// unsharded run.
-    pub fn with_shard_rows(self, rows: usize) -> Self {
-        self.with_override("shard_rows", &rows.to_string())
+    pub fn with_shard_rows(self, rows: impl Into<ShardRows>) -> Self {
+        let value = match rows.into() {
+            ShardRows::Off => "0".to_string(),
+            ShardRows::Fixed(rows) => rows.to_string(),
+            ShardRows::Auto => "auto".to_string(),
+        };
+        self.with_override("shard_rows", &value)
     }
 
     /// Sets the per-cluster HDN ID list length for preparation.
@@ -654,9 +672,9 @@ mod tests {
             &SchedulerKind::ALL,
             &[1, 4],
         );
-        assert_eq!(jobs.len(), 6, "3 schedulers x 2 PE counts");
+        assert_eq!(jobs.len(), 8, "4 schedulers x 2 PE counts");
         let distinct: HashSet<JobKey> = jobs.iter().map(JobSpec::key).collect();
-        assert_eq!(distinct.len(), 6, "every grid point is a distinct key");
+        assert_eq!(distinct.len(), 8, "every grid point is a distinct key");
 
         let mut service = BatchService::new();
         let results = service.run_batch(&jobs);
@@ -672,6 +690,37 @@ mod tests {
                 .contains(&format!("scheduler={}", summary.scheduler)));
             assert!(job.overrides.contains(&format!("pes={}", summary.pes)));
         }
+    }
+
+    #[test]
+    fn exec_model_jobs_have_distinct_keys_and_reports() {
+        let mut service = BatchService::new();
+        let post_hoc = JobSpec::new(spec(), 7, "grow")
+            .with_strategy(PartitionStrategy::Multilevel { cluster_nodes: 100 })
+            .with_pes(4);
+        let e2e = post_hoc.clone().with_exec_model(ExecModelKind::EndToEnd);
+        assert_ne!(post_hoc.key(), e2e.key());
+        let results = service.run_batch(&[post_hoc, e2e]);
+        assert_eq!(service.stats().simulations_run, 2);
+        let (ph, e2e) = (results[0].report().unwrap(), results[1].report().unwrap());
+        assert_eq!(ph.exec, "post_hoc");
+        assert_eq!(e2e.exec, "e2e");
+        assert!(
+            e2e.total_cycles() < ph.total_cycles(),
+            "4 concurrent PEs finish the run faster than one"
+        );
+        assert!(e2e.multi_pe_breakdown().is_some());
+    }
+
+    #[test]
+    fn auto_sharded_jobs_report_identically_to_unsharded() {
+        let mut service = BatchService::new();
+        let unsharded = JobSpec::new(spec(), 7, "grow");
+        let auto = unsharded.clone().with_shard_rows(ShardRows::Auto);
+        assert!(auto.overrides.contains(&"shard_rows=auto".to_string()));
+        assert_ne!(unsharded.key(), auto.key());
+        let results = service.run_batch(&[unsharded, auto]);
+        assert_eq!(results[0].report().unwrap(), results[1].report().unwrap());
     }
 
     #[test]

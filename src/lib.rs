@@ -18,7 +18,7 @@
 //! | [`sim`] | `grow-sim` | DRAM channel, MAC array, HDN/LRU caches, runahead tables |
 //! | [`energy`] | `grow-energy` | Horowitz/CACTI-style energy model, Table IV area model |
 //! | [`model`] | `grow-model` | Table I dataset registry, feature synthesis, functional GCN |
-//! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, multi-PE scheduling, experiments |
+//! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, multi-PE scheduling + execution models (`exec=post_hoc\|e2e`), experiments |
 //! | [`serve`] | `grow-serve` | `SimSession` + the batch simulation service (job queue, session pool, result cache) |
 //!
 //! plus [`session`], the single-workload entry point: a [`SimSession`]
@@ -26,7 +26,12 @@
 //! prepared forms, and dispatches any registered engine by name
 //! (`session.run("grow", ..)`) with optional key-value configuration
 //! overrides. Engines simulate graph clusters in parallel across threads
-//! (deterministically — set `GROW_SERIAL=1` to force the serial path).
+//! (deterministically — set `GROW_SERIAL=1` to force the serial path),
+//! and the shared `exec=post_hoc|e2e`, `pes=N`, `scheduler=rr|lpt|ws|ca`
+//! overrides select how those cluster timelines compose: the default
+//! single-PE accounting with a post-hoc multi-PE projection, or the
+//! end-to-end multi-PE execution mode where N PEs contend for the shared
+//! memory channel inside the run itself (`grow::accel::exec_model`).
 //!
 //! For fleets of runs, [`serve`] scales the same API to batches:
 //! [`serve::JobSpec`]s are pure data (dataset + seed + engine + partition

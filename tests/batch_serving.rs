@@ -189,27 +189,28 @@ fn scheduler_axis_flows_through_the_batch_service() {
         Err(RegistryError::UnknownScheduler("bogus".into()))
     );
     assert_eq!(service.stats().jobs_failed, 1);
-    assert_eq!(service.stats().simulations_run, 6, "the grid all ran");
+    assert_eq!(service.stats().simulations_run, 8, "the grid all ran");
 
     // Scheduling is post-hoc: every grid report carries identical phase
     // counters and differs only in its multi-PE summary; at each PE count
     // work-stealing's makespan never exceeds round-robin's.
-    let reports: Vec<_> = results[..6]
+    let reports: Vec<_> = results[..8]
         .iter()
         .map(|r| r.report().expect("grid jobs are valid"))
         .collect();
     for r in &reports {
         assert_eq!(r.layers, reports[0].layers, "phase counters shifted");
     }
-    for pes_group in reports.chunks(3) {
+    for pes_group in reports.chunks(4) {
         let summary = |i: usize| pes_group[i].multi_pe.as_ref().expect("summary");
         assert_eq!(
             [
                 summary(0).scheduler,
                 summary(1).scheduler,
-                summary(2).scheduler
+                summary(2).scheduler,
+                summary(3).scheduler
             ],
-            ["rr", "lpt", "ws"]
+            ["rr", "lpt", "ws", "ca"]
         );
         assert!(
             summary(2).makespan <= summary(0).makespan * (1.0 + 1e-9),

@@ -1,8 +1,14 @@
 //! Helpers shared by the golden-snapshot suites (`golden_reports.rs`,
-//! `hotpath_invariants.rs`): the fixed-seed workloads, the snapshot file
-//! layout, and the field-by-field report rendering. Both suites compare
-//! against the same committed `tests/golden/*.snap` bytes, so the
-//! rendering lives here exactly once.
+//! `hotpath_invariants.rs`) and the exec-model battery (`exec_model.rs`):
+//! the fixed-seed workloads, the snapshot file layout, and the
+//! field-by-field report rendering. The snapshot suites compare against
+//! the same committed `tests/golden/*.snap` bytes, so the rendering lives
+//! here exactly once.
+//!
+//! Not every test binary uses every helper; unused-item lints are
+//! silenced per item rather than forcing each binary to import all of
+//! them.
+#![allow(dead_code)]
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

@@ -92,6 +92,37 @@ fn reports_match_committed_snapshots() {
 }
 
 #[test]
+fn single_pe_e2e_reproduces_committed_snapshots() {
+    // The exec-model equivalence at golden strength: rendering the same
+    // grid under `exec=e2e` (1 PE) must reproduce the committed snapshot
+    // bytes — there is deliberately NO bless path here.
+    for (case, spec, seed) in cases() {
+        let workload = spec.instantiate(seed);
+        let strategies = [
+            PartitionStrategy::None,
+            PartitionStrategy::Multilevel { cluster_nodes: 100 },
+        ];
+        let mut out = String::new();
+        for strategy in strategies {
+            let prepared = prepare(&workload, strategy, 4096);
+            for name in ENGINE_NAMES {
+                let report = registry::engine_from_overrides(name, &[("exec", "e2e")])
+                    .expect("registered engine")
+                    .run(&prepared);
+                let _ = writeln!(out, "== engine={} strategy={strategy:?} ==", report.engine);
+                render(&report, &mut out);
+            }
+        }
+        let expected =
+            std::fs::read_to_string(golden_path(case)).expect("committed golden snapshot exists");
+        assert_eq!(
+            out, expected,
+            "{case}: a 1-PE e2e run diverged from the committed post-hoc snapshot"
+        );
+    }
+}
+
+#[test]
 fn snapshots_are_execution_mode_invariant() {
     // The golden files are valid under any thread count: the parallel
     // cluster path is bit-identical to serial, so the snapshot rendering
@@ -110,7 +141,10 @@ fn snapshots_are_execution_mode_invariant() {
 /// so the text is exact: any last-ulp drift in the fluid model fails the
 /// snapshot.
 fn scheduler_snapshot(spec: DatasetSpec, seed: u64) -> String {
-    use grow::accel::schedule::SCHEDULER_NAMES;
+    // Pinned to the schedulers this snapshot was committed with; policies
+    // added later (`ca`) are locked by the e2e grid snapshots instead, so
+    // the historical files stay byte-for-byte valid.
+    const LEGACY_SCHEDULERS: [&str; 3] = ["rr", "lpt", "ws"];
     let workload = spec.instantiate(seed);
     let prepared = prepare(
         &workload,
@@ -119,7 +153,7 @@ fn scheduler_snapshot(spec: DatasetSpec, seed: u64) -> String {
     );
     let mut out = String::new();
     for name in ENGINE_NAMES {
-        for scheduler in SCHEDULER_NAMES {
+        for scheduler in LEGACY_SCHEDULERS {
             for pes in ["1", "4"] {
                 let report = registry::engine_from_overrides(
                     name,
@@ -167,6 +201,89 @@ fn scheduler_grid_matches_committed_snapshots() {
             actual,
             expected,
             "{case}: scheduler-grid summaries shifted from {} — if intentional, \
+             re-bless with `GROW_BLESS=1 cargo test --test golden_reports`",
+            path.display()
+        );
+    }
+}
+
+/// Builds the end-to-end grid snapshot for one workload: every engine ×
+/// every scheduler (`ca` included) at 1 and 4 PEs under `exec=e2e`, with
+/// the per-layer multi-PE breakdowns rendered field by field. f64 fields
+/// use `{}` — shortest-roundtrip formatting — so any last-ulp drift in
+/// the calibrated fluid model fails the snapshot.
+fn e2e_snapshot(spec: DatasetSpec, seed: u64) -> String {
+    use grow::accel::schedule::SCHEDULER_NAMES;
+    let workload = spec.instantiate(seed);
+    let prepared = prepare(
+        &workload,
+        PartitionStrategy::Multilevel { cluster_nodes: 100 },
+        4096,
+    );
+    let mut out = String::new();
+    for name in ENGINE_NAMES {
+        for scheduler in SCHEDULER_NAMES {
+            for pes in ["1", "4"] {
+                let report = registry::engine_from_overrides(
+                    name,
+                    &[("exec", "e2e"), ("scheduler", scheduler), ("pes", pes)],
+                )
+                .expect("registered engine and scheduler")
+                .run(&prepared);
+                let _ = writeln!(
+                    out,
+                    "== engine={} scheduler={scheduler} pes={pes} total={} ==",
+                    report.engine,
+                    report.total_cycles()
+                );
+                let breakdown = report.multi_pe_breakdown().expect("e2e breakdown");
+                for (li, layer) in report.layers.iter().enumerate() {
+                    let pe_layer = &breakdown.layers[li];
+                    for (phase, pe) in [
+                        (&layer.combination, &pe_layer.combination),
+                        (&layer.aggregation, &pe_layer.aggregation),
+                    ] {
+                        let busy: Vec<String> =
+                            pe.per_pe_busy.iter().map(|b| format!("{b}")).collect();
+                        let _ = writeln!(
+                            out,
+                            "layer={li} phase={:?} cycles={} makespan={} cluster_time={} busy=[{}]",
+                            phase.kind,
+                            phase.cycles,
+                            pe.makespan,
+                            pe.cluster_time,
+                            busy.join(" ")
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn e2e_grid_matches_committed_snapshots() {
+    let bless = std::env::var_os("GROW_BLESS").is_some_and(|v| !v.is_empty() && v != "0");
+    for (case, spec, seed) in cases() {
+        let actual = e2e_snapshot(spec, seed);
+        let path = golden_path(&format!("{case}_e2e"));
+        if bless {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &actual).expect("write snapshot");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {}: {e}\n\
+                 run `GROW_BLESS=1 cargo test --test golden_reports` to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual,
+            expected,
+            "{case}: e2e grid breakdowns shifted from {} — if intentional, \
              re-bless with `GROW_BLESS=1 cargo test --test golden_reports`",
             path.display()
         );

@@ -8,7 +8,6 @@
 use std::fmt::Write as _;
 
 use grow::accel::registry::{self, ENGINE_NAMES};
-use grow::accel::schedule::SCHEDULER_NAMES;
 use grow::accel::{prepare, PartitionStrategy, RunReport};
 use grow::model::{DatasetKey, DatasetSpec};
 use grow::sim::exec::{with_mode, with_workers, ExecMode};
@@ -95,7 +94,9 @@ fn sharded_scheduler_grid_reproduces_committed_goldens() {
         );
         let mut out = String::new();
         for name in ENGINE_NAMES {
-            for scheduler in SCHEDULER_NAMES {
+            // Pinned to the schedulers the `_sched` snapshots were
+            // committed with (later policies are locked by the e2e grids).
+            for scheduler in ["rr", "lpt", "ws"] {
                 for pes in ["1", "4"] {
                     let mut overrides = overrides_for(name, 64);
                     overrides.push(("scheduler".to_string(), scheduler.to_string()));

@@ -155,6 +155,49 @@ fn unknown_scheduler_is_an_error_everywhere() {
 }
 
 #[test]
+fn unknown_exec_model_is_an_error_everywhere() {
+    let expected = RegistryError::UnknownExecModel("sideways".into());
+    for engine in registry::ENGINE_NAMES {
+        assert_eq!(
+            registry::engine_from_overrides(engine, &[("exec", "sideways")]).err(),
+            Some(expected.clone()),
+            "{engine}"
+        );
+    }
+
+    let mut session = SimSession::from_spec(spec(), 4);
+    assert_eq!(
+        session
+            .run_with("grow", &[("exec", "sideways")], PartitionStrategy::None)
+            .err(),
+        Some(expected.clone())
+    );
+    assert_eq!(
+        session.prepared_count(),
+        0,
+        "no preparation spent on an unknown execution model"
+    );
+
+    // Through the batch service: the bad job fails alone, the valid
+    // exec-model jobs around it still run.
+    let mut service = BatchService::new();
+    let results = service.run_batch(&[
+        JobSpec::new(spec(), 4, "grow").with_override("exec", "e2e"),
+        JobSpec::new(spec(), 4, "grow").with_override("exec", "sideways"),
+        JobSpec::new(spec(), 4, "grow").with_override("exec", "post_hoc"),
+    ]);
+    assert!(results[0].outcome.is_ok());
+    assert_eq!(results[1].outcome, Err(expected.clone()));
+    assert!(results[2].outcome.is_ok(), "later jobs unaffected");
+
+    // The message names the valid models, so the error is actionable.
+    let message = expected.to_string();
+    for name in grow::accel::exec_model::EXEC_MODEL_NAMES {
+        assert!(message.contains(name), "{message}");
+    }
+}
+
+#[test]
 fn zero_pes_is_an_invalid_value_not_a_panic() {
     let expected = RegistryError::InvalidValue {
         key: "pes".into(),
@@ -185,6 +228,7 @@ fn every_error_displays_a_useful_message() {
             spec: "runahead".into(),
         },
         RegistryError::UnknownScheduler("bogus".into()),
+        RegistryError::UnknownExecModel("sideways".into()),
     ];
     for e in errors {
         let text = e.to_string();

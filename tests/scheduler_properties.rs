@@ -36,7 +36,7 @@ fn sweep() -> Vec<(String, Vec<ClusterProfile>)> {
     out
 }
 
-fn runs(profiles: &[ClusterProfile], pes: usize) -> [MultiPeRun; 3] {
+fn runs(profiles: &[ClusterProfile], pes: usize) -> [MultiPeRun; 4] {
     SchedulerKind::ALL.map(|kind| multi_pe::simulate_with(profiles, pes, BW, kind))
 }
 
@@ -108,12 +108,12 @@ fn busy_cycles_are_conserved() {
 #[test]
 fn one_pe_makes_all_schedulers_identical() {
     for (name, profiles) in sweep() {
-        let [rr, lpt, ws] = runs(&profiles, 1);
+        let [rr, lpt, ws, ca] = runs(&profiles, 1);
         // One PE serializes the same per-cluster durations under every
-        // policy; lpt and ws visit them heaviest-first rather than in
-        // index order, so sums agree up to float accumulation order.
+        // policy; lpt, ws, and ca visit them in their own orders rather
+        // than index order, so sums agree up to float accumulation order.
         let close = |a: f64, b: f64| (a - b).abs() / b.max(1.0) < 1e-9;
-        for other in [&lpt, &ws] {
+        for other in [&lpt, &ws, &ca] {
             assert!(
                 close(other.makespan, rr.makespan),
                 "{name}: {} makespan {} vs rr {}",
@@ -133,6 +133,63 @@ fn one_pe_makes_all_schedulers_identical() {
                     other.scheduler
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn contention_aware_handles_the_ws_contention_alignment_cases() {
+    // The documented greedy-dispatch failure mode: with clusters barely
+    // exceeding the PE count, heaviest-first dispatch can line up several
+    // memory-bound clusters against each other on the channel, and
+    // round-robin wins by contention-alignment luck. These fixed seeds are
+    // committed examples of exactly that (ws strictly loses to rr);
+    // contention-aware dispatch interleaves the classes and must not lose
+    // to either policy here.
+    let cases = [(8usize, 36u64, 2usize), (8, 36, 3), (8, 26, 3), (12, 2, 2)];
+    for (n, seed, pes) in cases {
+        let profiles = power_law_profiles(n, seed);
+        let rr = multi_pe::simulate_with(&profiles, pes, BW, SchedulerKind::RoundRobin);
+        let ws = multi_pe::simulate_with(&profiles, pes, BW, SchedulerKind::WorkStealing);
+        let ca = multi_pe::simulate_with(&profiles, pes, BW, SchedulerKind::ContentionAware);
+        assert!(
+            ws.makespan > rr.makespan * (1.0 + 1e-9),
+            "n{n}_s{seed}/pes={pes}: expected a ws-loses-to-rr case \
+             (ws {} vs rr {})",
+            ws.makespan,
+            rr.makespan
+        );
+        assert!(
+            ca.makespan <= rr.makespan * (1.0 + 1e-9),
+            "n{n}_s{seed}/pes={pes}: ca {} vs rr {}",
+            ca.makespan,
+            rr.makespan
+        );
+        assert!(
+            ca.makespan <= ws.makespan * (1.0 + 1e-9),
+            "n{n}_s{seed}/pes={pes}: ca {} vs ws {}",
+            ca.makespan,
+            ws.makespan
+        );
+    }
+}
+
+#[test]
+fn contention_aware_stays_near_round_robin_everywhere() {
+    // ca is a heuristic like the rest: no dominance theorem. But across
+    // the committed sweep it must never lose to round-robin by more than
+    // a percent — the guardrail that keeps the interleaving from
+    // regressing into a pathological policy.
+    for (name, profiles) in sweep() {
+        for pes in [2, 3, 4, 8, 16] {
+            let rr = multi_pe::simulate_with(&profiles, pes, BW, SchedulerKind::RoundRobin);
+            let ca = multi_pe::simulate_with(&profiles, pes, BW, SchedulerKind::ContentionAware);
+            assert!(
+                ca.makespan <= rr.makespan * 1.01,
+                "{name}/pes={pes}: ca {} vs rr {}",
+                ca.makespan,
+                rr.makespan
+            );
         }
     }
 }
