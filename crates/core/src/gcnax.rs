@@ -18,12 +18,14 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 use grow_sim::{Cycle, DramConfig, ScratchArena, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
 use crate::exec_model::ExecModel;
 use crate::pipeline::{self, PhaseCtx};
+use crate::plan::{self, PlanBuffer, ShardRows, ShardSpec};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
 /// Per-worker scratch of the strip walk, recycled through a
@@ -69,6 +71,46 @@ impl GcnaxScratch {
     }
 }
 
+/// One strip of a [`GcnaxPlan`]: the pure outcome of counting a
+/// `tile_rows`-row strip's non-zeros.
+#[derive(Debug, Clone, Copy)]
+struct StripPlan {
+    /// Total non-zeros of the strip.
+    nnz: u64,
+    /// Distinct non-zero columns of the strip (RHS rows to fetch).
+    distinct: u64,
+    /// Number of non-empty tiles; their payload non-zero counts occupy
+    /// the next `tiles` entries of the plan's flat tile stream.
+    tiles: u32,
+}
+
+/// The plan-pass output of GCNAX's strip counting over a row range:
+/// per-strip totals plus the flat stream of non-empty tile payloads, in
+/// strip-then-tile order. A pure function of the LHS structure and tile
+/// geometry, so row ranges cut at strip boundaries concatenate to the
+/// single-pass plan — and the aggregation plan (over the layer-invariant
+/// adjacency) is retained across layers.
+#[derive(Debug, Default)]
+struct GcnaxPlan {
+    strips: Vec<StripPlan>,
+    tiles: Vec<u32>,
+}
+
+impl PlanBuffer for GcnaxPlan {
+    fn clear(&mut self) {
+        self.strips.clear();
+        self.tiles.clear();
+    }
+}
+
+impl GcnaxPlan {
+    /// Ordered merge of a shard's plan onto this one.
+    fn absorb(&mut self, shard: &GcnaxPlan) {
+        self.strips.extend_from_slice(&shard.strips);
+        self.tiles.extend_from_slice(&shard.tiles);
+    }
+}
+
 /// GCNAX configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GcnaxConfig {
@@ -91,6 +133,10 @@ pub struct GcnaxConfig {
     pub tile_fetch_depth: usize,
     /// Off-chip memory parameters.
     pub dram: DramConfig,
+    /// Intra-cluster sharding of the strip-counting plan pass (the
+    /// uniform `shard_rows=` override; boundaries snap to `tile_rows` so
+    /// strips never straddle shards). Bit-identical at any setting.
+    pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
 }
@@ -106,8 +152,85 @@ impl Default for GcnaxConfig {
             // next tile while computing the current one, nothing more.
             tile_fetch_depth: 2,
             dram: DramConfig::default(),
+            shard_rows: ShardRows::Off,
             multi_pe: crate::schedule::MultiPeConfig::default(),
         }
+    }
+}
+
+/// Counts strip/tile occupancy for `rows` (the pure plan pass): per
+/// strip, the non-zero total, distinct columns, and each non-empty tile's
+/// payload. `rows` must start on a strip boundary of the enclosing
+/// cluster, which [`plan::shard_ranges`] guarantees via its `align`.
+fn plan_strips(
+    cfg: &GcnaxConfig,
+    lhs: &RowMajorSparse<'_>,
+    rows: Range<usize>,
+    scratch: &mut GcnaxScratch,
+    out: &mut GcnaxPlan,
+) {
+    let k_dim = lhs.cols();
+    let n_tiles_k = k_dim.div_ceil(cfg.tile_cols);
+    scratch.prepare(n_tiles_k, k_dim);
+    // Tile-index division strength-reduced to a shift for the (default)
+    // power-of-two tile width.
+    let tile_shift = cfg
+        .tile_cols
+        .is_power_of_two()
+        .then(|| cfg.tile_cols.trailing_zeros());
+
+    let mut row = rows.start;
+    while row < rows.end {
+        let strip_end = (row + cfg.tile_rows).min(rows.end);
+        let strip_stamp = scratch.strip_stamp();
+        let tile_nnz = &mut scratch.tile_nnz;
+        let stamp = &mut scratch.stamp;
+        let mut strip_nnz = 0u64;
+        let mut distinct = 0u64;
+
+        match *lhs {
+            RowMajorSparse::Dense { cols, .. } => {
+                // Fast path: every tile is full, every column distinct.
+                strip_nnz = ((strip_end - row) * cols) as u64;
+                distinct = cols as u64;
+                for (t, slot) in tile_nnz.iter_mut().enumerate() {
+                    let w = cfg.tile_cols.min(cols - t * cfg.tile_cols);
+                    *slot = ((strip_end - row) * w) as u32;
+                }
+            }
+            RowMajorSparse::Pattern(p) => {
+                for slice in p.row_slices(row..strip_end) {
+                    for &c in slice {
+                        let t = match tile_shift {
+                            Some(s) => c as usize >> s,
+                            None => c as usize / cfg.tile_cols,
+                        };
+                        tile_nnz[t] += 1;
+                        strip_nnz += 1;
+                        if stamp[c as usize] != strip_stamp {
+                            stamp[c as usize] = strip_stamp;
+                            distinct += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Harvest the non-empty tiles in tile order (the order the fetch
+        // chain walks them), re-zeroing the counters for the next strip.
+        let before = out.tiles.len();
+        for slot in scratch.tile_nnz.iter_mut() {
+            if *slot > 0 {
+                out.tiles.push(*slot);
+                *slot = 0;
+            }
+        }
+        out.strips.push(StripPlan {
+            nnz: strip_nnz,
+            distinct,
+            tiles: (out.tiles.len() - before) as u32,
+        });
+        row = strip_end;
     }
 }
 
@@ -141,6 +264,7 @@ impl GcnaxEngine {
     /// otherwise each strip fetches the RHS rows of its distinct non-zero
     /// columns. The strip walk runs cluster by cluster through the shared
     /// harness, in parallel across clusters.
+    #[allow(clippy::too_many_arguments)]
     fn run_phase(
         &self,
         model: &ExecModel,
@@ -149,6 +273,9 @@ impl GcnaxEngine {
         f: usize,
         clusters: &[Range<usize>],
         scratch: &ScratchArena<GcnaxScratch>,
+        plan_pool: &ScratchArena<GcnaxPlan>,
+        spec: ShardSpec,
+        store: Option<&[OnceLock<GcnaxPlan>]>,
     ) -> PhaseReport {
         let cfg = &self.config;
         let mut phase = PhaseReport::new(kind);
@@ -165,15 +292,31 @@ impl GcnaxEngine {
         }
 
         let clustered =
-            pipeline::run_clusters_scratched(model, kind, clusters, scratch, |s, _, cluster| {
-                self.run_strips(kind, lhs, f, cluster, rhs_resident, s)
+            pipeline::run_clusters_scratched(model, kind, clusters, scratch, |s, ci, cluster| {
+                let cell = store.map(|st| &st[ci]);
+                self.run_strips(
+                    kind,
+                    lhs,
+                    f,
+                    cluster,
+                    rhs_resident,
+                    s,
+                    spec,
+                    plan_pool,
+                    scratch,
+                    cell,
+                )
             });
         phase.absorb_sequential(clustered);
         phase
     }
 
-    /// Walks one cluster's output strips in an isolated context, drawing
-    /// the per-strip counters from `scratch`.
+    /// Walks one cluster's output strips in an isolated context: the pure
+    /// strip-counting plan (sharded per [`ShardSpec`], produced ahead of
+    /// the consumer) replays in row order through the cycle machinery.
+    /// When `cell` holds a plan retained from an earlier layer, the count
+    /// pass is skipped entirely and the cached plan replays.
+    #[allow(clippy::too_many_arguments)]
     fn run_strips(
         &self,
         kind: PhaseKind,
@@ -182,92 +325,132 @@ impl GcnaxEngine {
         rows: Range<usize>,
         rhs_resident: bool,
         scratch: &mut GcnaxScratch,
+        spec: ShardSpec,
+        plan_pool: &ScratchArena<GcnaxPlan>,
+        scratch_pool: &ScratchArena<GcnaxScratch>,
+        cell: Option<&OnceLock<GcnaxPlan>>,
     ) -> PhaseReport {
         let cfg = &self.config;
         let mut ctx = PhaseCtx::new(kind, cfg.dram, cfg.mac_lanes);
 
-        let k_dim = lhs.cols();
-        let row_bytes = f as u64 * ELEMENT_BYTES;
-
         // Double buffering: strip s+1's fetches start once strip s's
         // fetches have drained into the compute buffer; the FIFO channel
-        // serializes the transfers themselves.
+        // serializes the transfers themselves. Carried across shards —
+        // replay is a single in-order walk regardless of sharding.
         let mut issue_at: Cycle = 0;
+        let in_flight = &mut scratch.in_flight;
 
-        let n_tiles_k = k_dim.div_ceil(cfg.tile_cols);
-        scratch.prepare(n_tiles_k, k_dim);
+        if let Some(plan) = cell.and_then(|c| c.get()) {
+            self.replay_strips(
+                kind,
+                f,
+                rows,
+                rhs_resident,
+                plan,
+                &mut issue_at,
+                in_flight,
+                &mut ctx,
+            );
+            return ctx.finish_cluster();
+        }
 
-        let n = rows.end;
+        // Shard boundaries snap to the strip grain so strips never
+        // straddle shards; concatenated shard plans then equal the
+        // unsharded plan exactly.
+        let pattern = match *lhs {
+            RowMajorSparse::Pattern(p) => Some(p),
+            RowMajorSparse::Dense { .. } => None,
+        };
+        let ranges = plan::shard_ranges(pattern, rows, spec, cfg.tile_rows);
+        let mut merged = cell.map(|_| GcnaxPlan::default());
+        plan::plan_replay(
+            plan_pool,
+            ranges,
+            |range, buf| {
+                let mut s = scratch_pool.checkout();
+                plan_strips(cfg, lhs, range, &mut s, buf);
+            },
+            |range, buf| {
+                self.replay_strips(
+                    kind,
+                    f,
+                    range,
+                    rhs_resident,
+                    buf,
+                    &mut issue_at,
+                    in_flight,
+                    &mut ctx,
+                );
+                if let Some(m) = merged.as_mut() {
+                    m.absorb(buf);
+                }
+            },
+        );
+        if let (Some(cell), Some(merged)) = (cell, merged) {
+            cell.set(merged).ok();
+        }
+
+        ctx.finish_cluster()
+    }
+
+    /// Replays a strip plan over `rows` through the cycle-accurate fetch
+    /// chain. Must be called in row order within a cluster: `issue_at`
+    /// carries the double-buffering gate across shards.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_strips(
+        &self,
+        kind: PhaseKind,
+        f: usize,
+        rows: Range<usize>,
+        rhs_resident: bool,
+        buf: &GcnaxPlan,
+        issue_at: &mut Cycle,
+        in_flight: &mut VecDeque<Cycle>,
+        ctx: &mut PhaseCtx,
+    ) {
+        let cfg = &self.config;
+        let row_bytes = f as u64 * ELEMENT_BYTES;
+
+        // Fetch each strip's sparse tiles (CSC, 64 B granularity each —
+        // the Figure 10(b) inefficiency) and their RHS rows. Tile fetches
+        // form a depth-limited dependent chain: tile `i` cannot issue
+        // before tile `i - depth` has returned (its CSC metadata steers
+        // the walk), and a tile's RHS row fetches issue only once that
+        // tile's metadata is on-chip. This bounded MLP is the structural
+        // disadvantage against GROW's runahead.
+        let meta = tile_metadata_bytes(cfg.tile_cols);
+        let class = match kind {
+            PhaseKind::Combination => TrafficClass::Weights,
+            PhaseKind::Aggregation => TrafficClass::RhsRows,
+        };
+        let depth = cfg.tile_fetch_depth.max(1);
+
+        let mut tile_cursor = 0usize;
         let mut row = rows.start;
-        while row < n {
-            let strip_stamp = scratch.strip_stamp();
-            let tile_nnz = &mut scratch.tile_nnz;
-            let stamp = &mut scratch.stamp;
-            let strip_end = (row + cfg.tile_rows).min(n);
-            let mut strip_nnz = 0u64;
-            let mut distinct = 0u64;
+        for sp in &buf.strips {
+            let strip_end = (row + cfg.tile_rows).min(rows.end);
+            let tiles = &buf.tiles[tile_cursor..tile_cursor + sp.tiles as usize];
+            tile_cursor += sp.tiles as usize;
 
-            match *lhs {
-                RowMajorSparse::Dense { cols, .. } => {
-                    // Fast path: every tile is full, every column distinct.
-                    strip_nnz = ((strip_end - row) * cols) as u64;
-                    distinct = cols as u64;
-                    for (t, slot) in tile_nnz.iter_mut().enumerate() {
-                        let w = cfg.tile_cols.min(cols - t * cfg.tile_cols);
-                        *slot = ((strip_end - row) * w) as u32;
-                    }
-                }
-                RowMajorSparse::Pattern(p) => {
-                    for slice in p.row_slices(row..strip_end) {
-                        for &c in slice {
-                            tile_nnz[c as usize / cfg.tile_cols] += 1;
-                            strip_nnz += 1;
-                            if stamp[c as usize] != strip_stamp {
-                                stamp[c as usize] = strip_stamp;
-                                distinct += 1;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Fetch the strip's sparse tiles (CSC, 64 B granularity each —
-            // the Figure 10(b) inefficiency) and their RHS rows. Tile
-            // fetches form a depth-limited dependent chain: tile `i` cannot
-            // issue before tile `i - depth` has returned (its CSC metadata
-            // steers the walk), and a tile's RHS row fetches issue only
-            // once that tile's metadata is on-chip. This bounded MLP is
-            // the structural disadvantage against GROW's runahead.
-            let meta = tile_metadata_bytes(cfg.tile_cols);
-            let class = match kind {
-                PhaseKind::Combination => TrafficClass::Weights,
-                PhaseKind::Aggregation => TrafficClass::RhsRows,
-            };
-            let depth = cfg.tile_fetch_depth.max(1);
-            let in_flight = &mut scratch.in_flight;
             in_flight.clear();
-            let mut fetch_done = issue_at;
-            let avg_rows_per_tile = if distinct > 0 {
-                distinct as f64 / tile_nnz.iter().filter(|&&c| c > 0).count().max(1) as f64
+            let mut fetch_done = *issue_at;
+            let avg_rows_per_tile = if sp.distinct > 0 {
+                sp.distinct as f64 / (sp.tiles as usize).max(1) as f64
             } else {
                 0.0
             };
-            let mut rows_remaining = distinct;
-            for slot in tile_nnz.iter_mut() {
-                if *slot == 0 {
-                    continue;
-                }
+            let mut rows_remaining = sp.distinct;
+            for &slot in tiles {
                 let gate = if in_flight.len() >= depth {
                     in_flight.pop_front().expect("non-empty at capacity")
                 } else {
-                    issue_at
+                    *issue_at
                 };
-                let payload = *slot as u64 * (ELEMENT_BYTES + INDEX_BYTES);
+                let payload = slot as u64 * (ELEMENT_BYTES + INDEX_BYTES);
                 let tile_done =
                     ctx.dram
                         .read_with_overhead(gate, payload, meta, TrafficClass::LhsSparse);
                 ctx.report.sram_writes_8b += (payload + meta).div_ceil(8);
-                *slot = 0;
                 let mut done = tile_done;
                 if !rhs_resident && rows_remaining > 0 {
                     // This tile's share of the strip's distinct RHS rows,
@@ -295,9 +478,9 @@ impl GcnaxEngine {
             // Compute the strip (outer product: every non-zero multiplies
             // an f-wide RHS row), double-buffered against the next strip's
             // fetches.
-            let compute_done = ctx.mac.scalar_vector_bulk(fetch_done, f, strip_nnz);
-            ctx.report.sram_reads_8b += strip_nnz * (1 + f as u64);
-            ctx.report.sram_writes_8b += strip_nnz * f as u64;
+            let compute_done = ctx.mac.scalar_vector_bulk(fetch_done, f, sp.nnz);
+            ctx.report.sram_reads_8b += sp.nnz * (1 + f as u64);
+            ctx.report.sram_writes_8b += sp.nnz * f as u64;
 
             // Write the finished output strip back (contiguous).
             let out_bytes = ((strip_end - row) * f) as u64 * ELEMENT_BYTES;
@@ -305,11 +488,9 @@ impl GcnaxEngine {
                 .write(compute_done, out_bytes, TrafficClass::Output);
             ctx.report.sram_reads_8b += out_bytes / 8;
 
-            issue_at = fetch_done.max(issue_at);
+            *issue_at = fetch_done.max(*issue_at);
             row = strip_end;
         }
-
-        ctx.finish_cluster()
     }
 }
 
@@ -320,9 +501,23 @@ impl Accelerator for GcnaxEngine {
 
     fn run(&self, workload: &PreparedWorkload) -> RunReport {
         let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
-        // One scratch pool per run: strip counters are recycled across
-        // clusters, phases, and layers.
+        // One scratch pool per run: strip counters and plan buffers are
+        // recycled across clusters, phases, and layers.
         let scratch: ScratchArena<GcnaxScratch> = ScratchArena::new();
+        let plan_pool: ScratchArena<GcnaxPlan> = ScratchArena::new();
+        let spec = self.config.shard_rows.spec(workload);
+        // The aggregation plan is a pure function of the layer-invariant
+        // adjacency: count it once at the first layer, replay it at later
+        // ones (small workloads only; see `PLAN_REUSE_MAX_OPS`). The
+        // combination LHS changes per layer, so no retention there.
+        let agg_store: Option<Vec<OnceLock<GcnaxPlan>>> = (workload.layers.len() > 1
+            && workload.adjacency.nnz() + 2 * workload.adjacency.rows()
+                <= plan::PLAN_REUSE_MAX_OPS)
+            .then(|| {
+                (0..workload.clusters.len())
+                    .map(|_| OnceLock::new())
+                    .collect()
+            });
         let model = ExecModel::new(self.config.multi_pe, self.config.dram.bytes_per_cycle);
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_phase(
@@ -332,6 +527,9 @@ impl Accelerator for GcnaxEngine {
                 layer.f_out,
                 &workload.clusters,
                 &scratch,
+                &plan_pool,
+                spec,
+                None,
             ),
             aggregation: self.run_phase(
                 &model,
@@ -340,6 +538,9 @@ impl Accelerator for GcnaxEngine {
                 layer.f_out,
                 &workload.clusters,
                 &scratch,
+                &plan_pool,
+                spec,
+                agg_store.as_deref(),
             ),
         });
         model.finalize(&mut report);
@@ -523,6 +724,7 @@ mod tests {
         let pattern = grow_sparse::CsrPattern::dense(300, 70);
         let pattern_view = RowMajorSparse::Pattern(&pattern);
         let arena = ScratchArena::new();
+        let plans = ScratchArena::new();
         let model = ExecModel::new(cfg.multi_pe, cfg.dram.bytes_per_cycle);
         let a = engine.run_phase(
             &model,
@@ -531,6 +733,9 @@ mod tests {
             16,
             &[0..300],
             &arena,
+            &plans,
+            ShardSpec::OFF,
+            None,
         );
         let b = engine.run_phase(
             &model,
@@ -539,9 +744,39 @@ mod tests {
             16,
             &[0..300],
             &arena,
+            &plans,
+            ShardSpec::OFF,
+            None,
         );
         assert_eq!(a.mac_ops, b.mac_ops);
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn sharded_strips_are_bit_identical_to_unsharded() {
+        // The shard_rows contract ported to GCNAX: strip counting over row
+        // ranges cut at the tile_rows grain concatenates to the unsharded
+        // plan, so any threshold (aligned or not, fixed or auto) and any
+        // execution mode reproduce the baseline report exactly.
+        let p = prepared(2000);
+        let base = GcnaxEngine::default().run(&p);
+        for shard in [
+            ShardRows::Fixed(64),
+            ShardRows::Fixed(257),
+            ShardRows::Fixed(333),
+            ShardRows::Fixed(1999),
+            ShardRows::Fixed(4096),
+            ShardRows::Auto,
+        ] {
+            let e = GcnaxEngine::new(GcnaxConfig {
+                shard_rows: shard,
+                ..GcnaxConfig::default()
+            });
+            let sharded = grow_sim::exec::with_workers(4, || e.run(&p));
+            assert_eq!(base, sharded, "{shard:?} parallel");
+            let serial = grow_sim::exec::with_mode(grow_sim::ExecMode::Serial, || e.run(&p));
+            assert_eq!(base, serial, "{shard:?} serial");
+        }
     }
 }

@@ -42,60 +42,18 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 use grow_sim::{
-    exec, CacheStats, Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
+    CacheStats, Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
     RunaheadTables, ScratchArena, TrafficClass, Waiter, ELEMENT_BYTES, HDN_ID_BYTES, INDEX_BYTES,
 };
 use grow_sparse::{CsrPattern, RowMajorSparse};
 
 use crate::exec_model::ExecModel;
 use crate::pipeline::{self, PhaseCtx};
+use crate::plan::{self, PlanBuffer, ShardRows, ShardSpec};
 use crate::{Accelerator, LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
-
-/// Intra-cluster row-range sharding threshold of GROW's aggregation
-/// probe-plan pass (the `shard_rows=` override). Sharding is purely a
-/// simulator-throughput knob: merged results are bit-identical to an
-/// unsharded run at any setting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum ShardRows {
-    /// No intra-cluster sharding (the default).
-    #[default]
-    Off,
-    /// Shard clusters with more rows than this into ranges of this many
-    /// rows.
-    Fixed(usize),
-    /// Derive the threshold from the prepared workload's cluster-size
-    /// statistics ([`PreparedWorkload::auto_shard_rows`]): coarse-grained
-    /// preparations (few huge clusters, e.g. Reddit's 4096-node grain)
-    /// shard at roughly an eighth of the largest cluster; fine-grained
-    /// ones, where the cluster fan-out already saturates the workers,
-    /// leave sharding off.
-    Auto,
-}
-
-impl ShardRows {
-    /// The effective row threshold for `workload` (0 = sharding off).
-    pub fn resolve(&self, workload: &PreparedWorkload) -> usize {
-        match self {
-            ShardRows::Off => 0,
-            ShardRows::Fixed(rows) => *rows,
-            ShardRows::Auto => workload.auto_shard_rows(),
-        }
-    }
-}
-
-impl From<usize> for ShardRows {
-    /// `0` disables sharding (the legacy encoding); any other value is a
-    /// fixed threshold.
-    fn from(rows: usize) -> Self {
-        if rows == 0 {
-            ShardRows::Off
-        } else {
-            ShardRows::Fixed(rows)
-        }
-    }
-}
 
 /// HDN cache replacement policy (the Section VIII discussion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,14 +153,16 @@ struct PlanBuf {
     misses: u64,
 }
 
-impl PlanBuf {
+impl PlanBuffer for PlanBuf {
     fn clear(&mut self) {
         self.rows.clear();
         self.ops.clear();
         self.hits = 0;
         self.misses = 0;
     }
+}
 
+impl PlanBuf {
     /// Ordered merge of a shard's plan onto this one.
     fn absorb(&mut self, shard: &PlanBuf) {
         self.rows.extend_from_slice(&shard.rows);
@@ -210,6 +170,14 @@ impl PlanBuf {
         self.hits += shard.hits;
         self.misses += shard.misses;
     }
+}
+
+/// A retained aggregation plan for one cluster, replayed by later layers
+/// when the pinned set (keyed by its `take` prefix length) matches.
+#[derive(Debug)]
+struct CachedPlan {
+    take: usize,
+    plan: PlanBuf,
 }
 
 /// Builds the probe plan for `rows`: a pure per-row function of the
@@ -341,6 +309,7 @@ impl GrowEngine {
                 pipeline::run_clusters(model, PhaseKind::Combination, clusters, |_, cluster| {
                     let mut ctx = PhaseCtx::new(PhaseKind::Combination, cfg.dram, cfg.mac_lanes);
                     let mut burst = 0u64;
+                    let mut total_nnz = 0u64;
                     for row in cluster {
                         let nnz = x.row_nnz(row) as u64;
                         if nnz == 0 {
@@ -349,7 +318,7 @@ impl GrowEngine {
                         let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
                         ctx.dram.read_stream(0, stream, TrafficClass::LhsSparse);
                         burst += stream;
-                        ctx.mac.scalar_vector_bulk(0, this_f, nnz);
+                        total_nnz += nnz;
                         ctx.report.sram_reads_8b += nnz * (1 + this_f as u64); // X elem + W row
                         ctx.report.sram_writes_8b += nnz * this_f as u64; // O-BUF accumulate
                                                                           // Output row write-back for this chunk.
@@ -357,6 +326,11 @@ impl GrowEngine {
                             .write(0, this_f as u64 * ELEMENT_BYTES, TrafficClass::Output);
                         ctx.report.sram_reads_8b += this_f as u64;
                     }
+                    // All MAC issue gates are cycle 0 and the MAC array is
+                    // pure integer state independent of the channel, so
+                    // one merged bulk call is bit-exact versus the
+                    // per-row calls it replaces.
+                    ctx.mac.scalar_vector_bulk(0, this_f, total_nnz);
                     ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
                     ctx.finish_cluster()
                 });
@@ -377,6 +351,7 @@ impl GrowEngine {
         f_out: usize,
         scratch: &ScratchArena<GrowScratch>,
         shard_pool: &ScratchArena<PlanBuf>,
+        plan_store: Option<&[OnceLock<CachedPlan>]>,
     ) -> PhaseReport {
         let cfg = &self.config;
 
@@ -402,24 +377,29 @@ impl GrowEngine {
             return model.compose(PhaseKind::Aggregation, partials);
         }
 
-        // Resolve the sharding threshold once per phase (`auto` scans the
+        // Resolve the sharding spec once per phase (`auto` scans the
         // cluster-size statistics), not once per cluster.
-        let shard = cfg.shard_rows.resolve(workload);
+        let spec = cfg.shard_rows.spec(workload);
         pipeline::run_clusters_scratched(
             model,
             PhaseKind::Aggregation,
             &workload.clusters,
             scratch,
             |s, ci, cluster| {
-                self.aggregate_cluster(workload, f_out, ci, cluster, shard, s, shard_pool)
+                let cell = plan_store.map(|store| &store[ci]);
+                self.aggregate_cluster(workload, f_out, ci, cluster, spec, s, shard_pool, cell)
             },
         )
     }
 
     /// Simulates one cluster of the aggregation phase in an isolated
-    /// context (pinned or no-cache modes): plan phase — sharded across row
-    /// ranges when the cluster exceeds `shard_rows` — then sequential
-    /// replay. All working state comes from `scratch` and is recycled.
+    /// context (pinned or no-cache modes): plan phase — sharded across
+    /// (nnz-balanced) row ranges when the cluster exceeds the threshold,
+    /// and produced *ahead* of the replay through a bounded-depth queue —
+    /// then sequential cycle-accurate replay in range order. All working
+    /// state comes from `scratch` and is recycled. When `cell` is given,
+    /// the merged plan is retained there so later layers with the same
+    /// pinned set replay it without re-planning.
     #[allow(clippy::too_many_arguments)]
     fn aggregate_cluster(
         &self,
@@ -427,9 +407,10 @@ impl GrowEngine {
         f_out: usize,
         ci: usize,
         cluster: Range<usize>,
-        shard: usize,
+        spec: ShardSpec,
         scratch: &mut GrowScratch,
         shard_pool: &ScratchArena<PlanBuf>,
+        cell: Option<&OnceLock<CachedPlan>>,
     ) -> PhaseReport {
         let cfg = &self.config;
         let adjacency = &workload.adjacency;
@@ -454,12 +435,18 @@ impl GrowEngine {
 
         let mut ctx = PhaseCtx::new(PhaseKind::Aggregation, cfg.dram, cfg.mac_lanes);
 
+        // The pinned set — and therefore the probe plan — is a pure
+        // function of the HDN list prefix actually pinned; its length
+        // keys the cross-layer plan cache (`usize::MAX` = no caching, the
+        // plan is then just the miss stream of the adjacency).
+        let mut take_key = usize::MAX;
         if cfg.hdn_caching {
             pinned.reset(cache_rows, n);
             // Cluster prologue: fetch the HDN ID list, then pin the
             // corresponding RHS rows (Section V-C).
             let list = &workload.hdn_lists[ci];
             let take = list.len().min(cfg.hdn_id_entries).min(cache_rows);
+            take_key = take;
             let ids = &list[..take];
             let id_done = ctx
                 .dram
@@ -472,43 +459,113 @@ impl GrowEngine {
             ctx.now = ctx.now.max(done);
         }
 
-        // Plan phase: the pure probe plan, row-range-sharded across
-        // threads when the cluster is large enough to be worth it. The
-        // shard boundaries are a deterministic function of the
-        // configuration, and the ordered merge concatenates to exactly
-        // the single-pass plan.
-        let pinned_ref = cfg.hdn_caching.then_some(&*pinned);
-        if shard > 0 && cluster.len() > shard {
-            let mut ranges = Vec::with_capacity(cluster.len().div_ceil(shard));
-            let mut lo = cluster.start;
-            while lo < cluster.end {
-                let hi = (lo + shard).min(cluster.end);
-                ranges.push(lo..hi);
-                lo = hi;
-            }
-            let parts = exec::parallel_map(ranges, |_, range| {
-                let mut buf = shard_pool.checkout();
-                buf.clear();
-                plan_rows(adjacency, range, pinned_ref, &mut buf);
-                buf
-            });
-            for part in &parts {
-                plan.absorb(part);
-            }
-        } else {
-            plan_rows(adjacency, cluster.clone(), pinned_ref, plan);
-        }
-
-        // Replay phase: cycle-accurate machinery over the plan, identical
-        // step for step to a per-probe walk (hit runs issue as bulk MAC
-        // operations, which is exact — see the module docs).
+        // Replay: the cycle-accurate machinery consumes one shard's plan
+        // at a time, strictly in range order — identical step for step to
+        // a per-probe walk (hit runs issue as bulk MAC operations, which
+        // is exact — see the module docs).
         let start = cluster.start;
         let mut burst = 0u64;
-        let mut op_cursor = 0usize;
-        for (i, rp) in plan.rows.iter().enumerate() {
-            let row = start + i;
-            // Window admission (in-order retirement).
-            while window.len() >= cfg.runahead {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut replay = |range: Range<usize>, buf: &PlanBuf, ctx: &mut PhaseCtx| {
+            let mut op_cursor = 0usize;
+            for (j, rp) in buf.rows.iter().enumerate() {
+                let row = range.start + j;
+                let i = row - start;
+                // Window admission (in-order retirement).
+                while window.len() >= cfg.runahead {
+                    self.retire_ready(
+                        window,
+                        pending,
+                        start,
+                        ctx.now,
+                        &mut ctx.dram,
+                        f_out,
+                        &mut ctx.report,
+                    );
+                    if window.len() < cfg.runahead {
+                        break;
+                    }
+                    ctx.now = self.drain_one(
+                        tables,
+                        &mut ctx.mac,
+                        pending,
+                        start,
+                        lru_dummy,
+                        false,
+                        ctx.now,
+                        f_out,
+                        &mut ctx.report,
+                    );
+                }
+
+                // Stream this A row's CSR segment.
+                let nnz = rp.nnz as u64;
+                let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
+                ctx.dram
+                    .read_stream(ctx.now, stream, TrafficClass::LhsSparse);
+                burst += stream;
+                ctx.report.sram_writes_8b += stream.div_ceil(8);
+                ctx.report.sram_reads_8b += stream.div_ceil(8);
+
+                // Enter the window with an issue-in-progress token: stalls
+                // while issuing this row's own non-zeros may drain some of
+                // *its* waiters, so the pending counter must be live before
+                // the first miss is registered (and the token keeps the row
+                // from retiring before all its non-zeros are issued).
+                window.push_back(row as u32);
+                pending[i] = 1;
+                for op in &buf.ops[op_cursor..op_cursor + rp.ops as usize] {
+                    match *op {
+                        PlanOp::Hits(count) => {
+                            ctx.mac.scalar_vector_bulk(ctx.now, f_out, count as u64);
+                            ctx.report.sram_reads_8b += count as u64 * f_words; // cached RHS rows
+                            ctx.report.sram_writes_8b += count as u64 * f_words;
+                            // O-BUF accumulate
+                        }
+                        PlanOp::Miss(k) => {
+                            let waiter = Waiter {
+                                output_row: row as u32,
+                                lhs_value: 1.0,
+                            };
+                            loop {
+                                match tables.issue(k, waiter) {
+                                    IssueOutcome::Allocated => {
+                                        let done = ctx.dram.read(
+                                            ctx.now,
+                                            row_bytes,
+                                            TrafficClass::RhsRows,
+                                        );
+                                        tables.set_completion(k, done);
+                                        pending[i] += 1;
+                                        break;
+                                    }
+                                    IssueOutcome::Coalesced => {
+                                        pending[i] += 1;
+                                        break;
+                                    }
+                                    IssueOutcome::LdnFull | IssueOutcome::LhsFull => {
+                                        ctx.now = self.drain_one(
+                                            tables,
+                                            &mut ctx.mac,
+                                            pending,
+                                            start,
+                                            lru_dummy,
+                                            false,
+                                            ctx.now,
+                                            f_out,
+                                            &mut ctx.report,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                op_cursor += rp.ops as usize;
+                // Release the issue token; the row can now retire once all
+                // of its outstanding misses return.
+                pending[i] -= 1;
                 self.retire_ready(
                     window,
                     pending,
@@ -518,94 +575,42 @@ impl GrowEngine {
                     f_out,
                     &mut ctx.report,
                 );
-                if window.len() < cfg.runahead {
-                    break;
-                }
-                ctx.now = self.drain_one(
-                    tables,
-                    &mut ctx.mac,
-                    pending,
-                    start,
-                    lru_dummy,
-                    false,
-                    ctx.now,
-                    f_out,
-                    &mut ctx.report,
-                );
             }
+        };
 
-            // Stream this A row's CSR segment.
-            let nnz = rp.nnz as u64;
-            let stream = nnz * (ELEMENT_BYTES + INDEX_BYTES) + INDEX_BYTES;
-            ctx.dram
-                .read_stream(ctx.now, stream, TrafficClass::LhsSparse);
-            burst += stream;
-            ctx.report.sram_writes_8b += stream.div_ceil(8);
-            ctx.report.sram_reads_8b += stream.div_ceil(8);
-
-            // Enter the window with an issue-in-progress token: stalls
-            // while issuing this row's own non-zeros may drain some of
-            // *its* waiters, so the pending counter must be live before
-            // the first miss is registered (and the token keeps the row
-            // from retiring before all its non-zeros are issued).
-            window.push_back(row as u32);
-            pending[i] = 1;
-            for op in &plan.ops[op_cursor..op_cursor + rp.ops as usize] {
-                match *op {
-                    PlanOp::Hits(count) => {
-                        ctx.mac.scalar_vector_bulk(ctx.now, f_out, count as u64);
-                        ctx.report.sram_reads_8b += count as u64 * f_words; // cached RHS rows
-                        ctx.report.sram_writes_8b += count as u64 * f_words; // O-BUF accumulate
+        // Plan: a pure probe plan, either replayed from the layer-1 cache
+        // (identical plan data, so identical replay) or produced fresh —
+        // sharded across nnz-balanced row ranges and pipelined *ahead* of
+        // the replay through the bounded-depth queue, whose ordered merge
+        // concatenates to exactly the single-pass plan.
+        let pinned_ref = cfg.hdn_caching.then_some(&*pinned);
+        if let Some(cached) = cell.and_then(|c| c.get()).filter(|c| c.take == take_key) {
+            replay(cluster.clone(), &cached.plan, &mut ctx);
+            hits = cached.plan.hits;
+            misses = cached.plan.misses;
+        } else {
+            let retain = cell.is_some();
+            let ranges = plan::shard_ranges(Some(adjacency), cluster.clone(), spec, 1);
+            plan::plan_replay(
+                shard_pool,
+                ranges,
+                |range, buf| plan_rows(adjacency, range, pinned_ref, buf),
+                |range, buf| {
+                    replay(range, buf, &mut ctx);
+                    hits += buf.hits;
+                    misses += buf.misses;
+                    if retain {
+                        plan.absorb(buf);
                     }
-                    PlanOp::Miss(k) => {
-                        let waiter = Waiter {
-                            output_row: row as u32,
-                            lhs_value: 1.0,
-                        };
-                        loop {
-                            match tables.issue(k, waiter) {
-                                IssueOutcome::Allocated => {
-                                    let done =
-                                        ctx.dram.read(ctx.now, row_bytes, TrafficClass::RhsRows);
-                                    tables.set_completion(k, done);
-                                    pending[i] += 1;
-                                    break;
-                                }
-                                IssueOutcome::Coalesced => {
-                                    pending[i] += 1;
-                                    break;
-                                }
-                                IssueOutcome::LdnFull | IssueOutcome::LhsFull => {
-                                    ctx.now = self.drain_one(
-                                        tables,
-                                        &mut ctx.mac,
-                                        pending,
-                                        start,
-                                        lru_dummy,
-                                        false,
-                                        ctx.now,
-                                        f_out,
-                                        &mut ctx.report,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            op_cursor += rp.ops as usize;
-            // Release the issue token; the row can now retire once all
-            // of its outstanding misses return.
-            pending[i] -= 1;
-            self.retire_ready(
-                window,
-                pending,
-                start,
-                ctx.now,
-                &mut ctx.dram,
-                f_out,
-                &mut ctx.report,
+                },
             );
+            if let Some(cell) = cell {
+                cell.set(CachedPlan {
+                    take: take_key,
+                    plan: std::mem::take(plan),
+                })
+                .ok();
+            }
         }
         ctx.dram.round_burst(burst, TrafficClass::LhsSparse);
 
@@ -636,8 +641,8 @@ impl GrowEngine {
 
         ctx.report.cache = if cfg.hdn_caching {
             CacheStats {
-                hits: plan.hits,
-                misses: plan.misses,
+                hits,
+                misses,
                 fills: pinned.stats().fills,
             }
         } else {
@@ -865,6 +870,21 @@ impl Accelerator for GrowEngine {
         // state is cleared between clusters and layers, not dropped.
         let scratch: ScratchArena<GrowScratch> = ScratchArena::new();
         let shard_pool: ScratchArena<PlanBuf> = ScratchArena::new();
+        // Cross-layer plan retention: the aggregation probe plan depends
+        // only on the adjacency and the pinned HDN prefix, so multi-layer
+        // runs plan each cluster once and replay the retained plan at
+        // later layers (keyed by the prefix length; a mismatch re-plans).
+        // Capped by workload size so retained plans stay cheap; the LRU
+        // study has no plans to retain.
+        let plan_store: Option<Vec<OnceLock<CachedPlan>>> = (workload.layers.len() > 1
+            && !matches!(self.config.replacement, ReplacementPolicy::Lru)
+            && workload.adjacency.nnz() + 2 * workload.adjacency.rows()
+                <= plan::PLAN_REUSE_MAX_OPS)
+            .then(|| {
+                (0..workload.clusters.len())
+                    .map(|_| OnceLock::new())
+                    .collect()
+            });
         let model = ExecModel::new(self.config.multi_pe, self.config.dram.bytes_per_cycle);
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_combination(
@@ -873,7 +893,14 @@ impl Accelerator for GrowEngine {
                 layer.f_out,
                 &workload.clusters,
             ),
-            aggregation: self.run_aggregation(&model, workload, layer.f_out, &scratch, &shard_pool),
+            aggregation: self.run_aggregation(
+                &model,
+                workload,
+                layer.f_out,
+                &scratch,
+                &shard_pool,
+                plan_store.as_deref(),
+            ),
         });
         model.finalize(&mut report);
         report

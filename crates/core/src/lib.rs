@@ -39,6 +39,7 @@ mod gamma;
 mod gcnax;
 mod grow;
 mod matraptor;
+mod plan;
 mod prepare;
 mod report;
 mod spsp;
@@ -54,8 +55,9 @@ pub mod schedule;
 pub use exec_model::{ExecModel, ExecModelKind};
 pub use gamma::{GammaConfig, GammaEngine};
 pub use gcnax::{GcnaxConfig, GcnaxEngine};
-pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy, ShardRows};
+pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy};
 pub use matraptor::{MatRaptorConfig, MatRaptorEngine};
+pub use plan::{ShardRows, ShardSpec};
 pub use prepare::{prepare, PartitionStrategy, PreparedWorkload};
 pub use report::{
     ClusterProfile, LayerPeBusy, LayerReport, MultiPeBreakdown, MultiPeSummary, PhaseKind,

@@ -160,11 +160,29 @@ fn apply_schedule_key(
     Ok(true)
 }
 
+/// Applies the `shard_rows=off|auto|N` key shared by every engine (the
+/// plan-pass sharding knob is engine-uniform since the [`crate::plan`]
+/// port); returns `true` if `key` was it.
+fn apply_shard_key(shard: &mut ShardRows, key: &str, value: &str) -> Result<bool, RegistryError> {
+    if key != "shard_rows" {
+        return Ok(false);
+    }
+    *shard = if value.eq_ignore_ascii_case("auto") {
+        ShardRows::Auto
+    } else if value.eq_ignore_ascii_case("off") {
+        ShardRows::Off
+    } else {
+        ShardRows::from(parse::<usize>(key, value)?)
+    };
+    Ok(true)
+}
+
 fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
     let mut cfg = GrowConfig::default();
     for &(key, value) in overrides {
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+            || apply_shard_key(&mut cfg.shard_rows, key, value)?
         {
             continue;
         }
@@ -178,13 +196,6 @@ fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
             "ldn_entries" => cfg.ldn_entries = parse(key, value)?,
             "lhs_id_entries" => cfg.lhs_id_entries = parse(key, value)?,
             "hdn_caching" => cfg.hdn_caching = parse(key, value)?,
-            "shard_rows" => {
-                cfg.shard_rows = if value.eq_ignore_ascii_case("auto") {
-                    ShardRows::Auto
-                } else {
-                    ShardRows::from(parse::<usize>(key, value)?)
-                }
-            }
             "replacement" => {
                 cfg.replacement = match value.to_ascii_lowercase().as_str() {
                     "pinned" => ReplacementPolicy::Pinned,
@@ -213,6 +224,7 @@ fn gcnax_from(overrides: &[(&str, &str)]) -> Result<GcnaxEngine, RegistryError> 
     for &(key, value) in overrides {
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+            || apply_shard_key(&mut cfg.shard_rows, key, value)?
         {
             continue;
         }
@@ -238,6 +250,7 @@ fn matraptor_from(overrides: &[(&str, &str)]) -> Result<MatRaptorEngine, Registr
     for &(key, value) in overrides {
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+            || apply_shard_key(&mut cfg.shard_rows, key, value)?
         {
             continue;
         }
@@ -260,6 +273,7 @@ fn gamma_from(overrides: &[(&str, &str)]) -> Result<GammaEngine, RegistryError> 
     for &(key, value) in overrides {
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
+            || apply_shard_key(&mut cfg.shard_rows, key, value)?
         {
             continue;
         }
@@ -602,26 +616,33 @@ mod tests {
     #[test]
     fn shard_rows_accepts_auto_and_integers() {
         let p = prepared();
-        let auto = engine_from_overrides("grow", &[("shard_rows", "auto")])
-            .unwrap()
-            .run(&p);
-        let fixed = engine_from_overrides("grow", &[("shard_rows", "64")])
-            .unwrap()
-            .run(&p);
-        let off = engine_from_overrides("grow", &[("shard_rows", "0")])
-            .unwrap()
-            .run(&p);
-        // Sharding is a throughput knob: all three report identically.
-        assert_eq!(auto, fixed);
-        assert_eq!(auto, off);
-        assert_eq!(
-            engine_from_overrides("grow", &[("shard_rows", "many")])
-                .err()
-                .expect("must fail"),
-            RegistryError::InvalidValue {
-                key: "shard_rows".into(),
-                value: "many".into()
-            }
-        );
+        for name in ENGINE_NAMES {
+            let auto = engine_from_overrides(name, &[("shard_rows", "auto")])
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .run(&p);
+            let fixed = engine_from_overrides(name, &[("shard_rows", "64")])
+                .unwrap()
+                .run(&p);
+            let off = engine_from_overrides(name, &[("shard_rows", "0")])
+                .unwrap()
+                .run(&p);
+            let off_word = engine_from_overrides(name, &[("shard_rows", "off")])
+                .unwrap()
+                .run(&p);
+            // Sharding is a throughput knob: all four report identically.
+            assert_eq!(auto, fixed, "{name}");
+            assert_eq!(auto, off, "{name}");
+            assert_eq!(auto, off_word, "{name}");
+            assert_eq!(
+                engine_from_overrides(name, &[("shard_rows", "many")])
+                    .err()
+                    .expect("must fail"),
+                RegistryError::InvalidValue {
+                    key: "shard_rows".into(),
+                    value: "many".into()
+                },
+                "{name}"
+            );
+        }
     }
 }

@@ -16,27 +16,71 @@
 //!
 //! Like the other engines, the row walk runs cluster by cluster through
 //! the shared [`pipeline`](crate::pipeline) harness, in parallel across
-//! clusters.
+//! clusters — and, within a cluster, as a plan/replay pair through
+//! [`plan`]: the pure row-accounting pass (per-row non-zero and hit
+//! counts) is produced ahead of the cycle-accurate replay. Three plan
+//! flavors exist: the cacheless walk (every non-zero misses) is a pure
+//! per-range pass that shards and runs in parallel; a fiber cache big
+//! enough to never evict collapses LRU to first-touch (a [`plan::StampSet`]
+//! walk, still sequential but list-free); a genuinely evicting LRU walk
+//! stays sequential on one producer thread. All three overlap with replay.
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
-use grow_sim::{DramConfig, LruRowCache, ScratchArena, TrafficClass, INDEX_BYTES};
+use grow_sim::{CacheStats, DramConfig, LruRowCache, ScratchArena, TrafficClass, INDEX_BYTES};
 use grow_sparse::RowMajorSparse;
 
 use crate::exec_model::ExecModel;
 use crate::pipeline::{self, PhaseCtx};
+use crate::plan::{self, PlanBuffer, ShardRows, ShardSpec};
 use crate::{LayerReport, PhaseKind, PhaseReport, PreparedWorkload, RunReport};
 
-/// Per-worker scratch of the sparse-sparse cluster path: the fiber cache,
-/// recycled through a [`ScratchArena`] and epoch-reset at every cluster
-/// boundary (the flush the module docs describe) instead of reallocated.
+/// Per-worker scratch of the sparse-sparse cluster path: the fiber cache
+/// (and its no-eviction first-touch shortcut), recycled through a
+/// [`ScratchArena`] and epoch-reset at every cluster boundary (the flush
+/// the module docs describe) instead of reallocated.
 #[derive(Debug, Default)]
 struct SpSpScratch {
     cache: LruRowCache,
+    stamp: plan::StampSet,
 }
 
 /// Bytes per element of a CSR-compressed row: value + column index.
 const CSR_ELEM_BYTES: u64 = 8 + INDEX_BYTES;
+
+/// The plan-pass output of the row walk over a row range: per LHS row its
+/// non-zero count and fiber-cache hit count. Everything the replay spends
+/// (DRAM fetches, MAC/merge occupancy, SRAM counters, cache statistics)
+/// is a function of these two numbers per row, in row order.
+#[derive(Debug, Default)]
+struct RowCounts {
+    /// `(nnz, hits)` per LHS row of the range.
+    rows: Vec<(u32, u32)>,
+}
+
+impl PlanBuffer for RowCounts {
+    fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+impl RowCounts {
+    /// Ordered merge of a shard's plan onto this one.
+    fn absorb(&mut self, shard: &RowCounts) {
+        self.rows.extend_from_slice(&shard.rows);
+    }
+}
+
+/// A row plan retained across layers (the aggregation LHS — the adjacency
+/// — is layer-invariant). Tagged with the cache mode it was planned
+/// under: hit counts are only reusable while the mode matches (a
+/// first-touch plan is wrong for a cacheless layer and vice versa).
+#[derive(Debug)]
+struct CachedRows {
+    with_cache: bool,
+    plan: RowCounts,
+}
 
 /// Parameters of a row-wise sparse-sparse engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +96,9 @@ pub(crate) struct SpSpParams {
     pub merge_factor: f64,
     /// Total on-chip SRAM in KB (for energy accounting).
     pub sram_kb: f64,
+    /// Intra-cluster sharding of the row-accounting plan pass (the
+    /// uniform `shard_rows=` override). Bit-identical at any setting.
+    pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
 }
@@ -59,8 +106,22 @@ pub(crate) struct SpSpParams {
 pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunReport {
     let adjacency = RowMajorSparse::Pattern(&workload.adjacency);
     // One scratch pool per run: fiber caches are epoch-reset between
-    // clusters and layers, never reallocated.
+    // clusters and layers, never reallocated; row plans are recycled.
     let scratch: ScratchArena<SpSpScratch> = ScratchArena::new();
+    let plan_pool: ScratchArena<RowCounts> = ScratchArena::new();
+    let spec = params.shard_rows.spec(workload);
+    // The aggregation row plan is a function of the layer-invariant
+    // adjacency (when the cache mode carries over — see `CachedRows`):
+    // count it once at the first layer, replay it at later ones (small
+    // workloads only; see `PLAN_REUSE_MAX_OPS`). The combination LHS
+    // changes per layer, so no retention there.
+    let agg_store: Option<Vec<OnceLock<CachedRows>>> = (workload.layers.len() > 1
+        && workload.adjacency.nnz() + 2 * workload.adjacency.rows() <= plan::PLAN_REUSE_MAX_OPS)
+        .then(|| {
+            (0..workload.clusters.len())
+                .map(|_| OnceLock::new())
+                .collect()
+        });
     let model = ExecModel::new(params.multi_pe, params.dram.bytes_per_cycle);
     let mut report = pipeline::run_layers(params.name, workload, |layer| LayerReport {
         combination: run_phase(
@@ -71,6 +132,9 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
             layer.f_out,
             &workload.clusters,
             &scratch,
+            &plan_pool,
+            spec,
+            None,
         ),
         aggregation: run_phase(
             params,
@@ -80,6 +144,9 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
             layer.f_out,
             &workload.clusters,
             &scratch,
+            &plan_pool,
+            spec,
+            agg_store.as_deref(),
         ),
     });
     model.finalize(&mut report);
@@ -87,6 +154,7 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
 }
 
 /// One SpDeGEMM phase executed as if both operands were sparse.
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     params: &SpSpParams,
     model: &ExecModel,
@@ -95,13 +163,18 @@ fn run_phase(
     f: usize,
     clusters: &[Range<usize>],
     scratch: &ScratchArena<SpSpScratch>,
+    plan_pool: &ScratchArena<RowCounts>,
+    spec: ShardSpec,
+    store: Option<&[OnceLock<CachedRows>]>,
 ) -> PhaseReport {
-    pipeline::run_clusters_scratched(model, kind, clusters, scratch, |s, _, cluster| {
-        run_rows(params, kind, lhs, f, cluster, s)
+    pipeline::run_clusters_scratched(model, kind, clusters, scratch, |s, ci, cluster| {
+        let cell = store.map(|st| &st[ci]);
+        run_rows(params, kind, lhs, f, cluster, s, spec, plan_pool, cell)
     })
 }
 
 /// Simulates one cluster's rows in an isolated context.
+#[allow(clippy::too_many_arguments)]
 fn run_rows(
     params: &SpSpParams,
     kind: PhaseKind,
@@ -109,6 +182,9 @@ fn run_rows(
     f: usize,
     rows: Range<usize>,
     scratch: &mut SpSpScratch,
+    spec: ShardSpec,
+    plan_pool: &ScratchArena<RowCounts>,
+    cell: Option<&OnceLock<CachedRows>>,
 ) -> PhaseReport {
     let mut ctx = PhaseCtx::new(kind, params.dram, params.mac_lanes);
 
@@ -116,12 +192,6 @@ fn run_rows(
     // engines: f elements of 12 bytes per row.
     let rhs_row_bytes = f as u64 * CSR_ELEM_BYTES;
     let cache_rows = (params.fiber_cache_bytes / rhs_row_bytes) as usize;
-    let cache = &mut scratch.cache;
-    if cache_rows > 0 {
-        // Cluster-boundary flush of the recycled fiber cache; the
-        // cacheless (MatRaptor) path never touches it.
-        cache.reset(cache_rows, lhs.cols());
-    }
     let merge_cycles =
         ((f as f64 * params.merge_factor).ceil() as u64).div_ceil(params.mac_lanes as u64);
 
@@ -165,41 +235,141 @@ fn run_rows(
                 }
             }
         }
-        RowMajorSparse::Pattern(p) if cache_rows == 0 => {
-            // No fiber cache (MatRaptor): every non-zero is a miss and
-            // nothing is probed, so the per-nonzero walk collapses to the
-            // per-row CSR lengths — bit-identical counters at a fraction
-            // of the work.
-            for slice in p.row_slices(rows.clone()) {
-                let nnz = slice.len() as u64;
-                lhs_burst += nnz * CSR_ELEM_BYTES + INDEX_BYTES;
-                record_row(&mut ctx, rhs_class, f, rhs_row_bytes, merge_cycles, 0, nnz);
-            }
-        }
         RowMajorSparse::Pattern(p) => {
-            for slice in p.row_slices(rows.clone()) {
-                let mut hits = 0u64;
-                let mut misses = 0u64;
-                for &c in slice {
-                    if cache.probe(c) {
-                        hits += 1;
-                    } else {
-                        cache.insert(c);
-                        misses += 1;
+            let use_cache = cache_rows > 0;
+            // A fiber cache big enough for the whole RHS never evicts:
+            // recency becomes unobservable and hit/miss collapses to
+            // first-touch per cluster.
+            let no_evict = use_cache && cache_rows >= lhs.cols();
+            // Plans are layer-reusable only when they do not depend on
+            // transient LRU state (cacheless or first-touch).
+            let pure = !use_cache || no_evict;
+
+            let mut total_contrib = 0u64;
+            let mut stats = CacheStats::default();
+            // The replay pass: spends each planned row in row order.
+            // `read_many` goes through the (f64-accumulating) DRAM channel
+            // and must keep its original one-call-per-row sequence; the
+            // MAC/merge occupancy is pure u64 accumulation at gate 0, so
+            // it is summed here and issued once after the walk.
+            let mut replay = |buf: &RowCounts, ctx: &mut PhaseCtx| {
+                for &(nnz, hits) in &buf.rows {
+                    let nnz = nnz as u64;
+                    let hits = hits as u64;
+                    let misses = nnz - hits;
+                    lhs_burst += nnz * CSR_ELEM_BYTES + INDEX_BYTES;
+                    if misses > 0 {
+                        ctx.dram.read_many(0, misses, rhs_row_bytes, rhs_class);
+                        ctx.report.sram_writes_8b += misses * rhs_row_bytes.div_ceil(8);
                     }
+                    if nnz > 0 {
+                        ctx.report.sram_reads_8b += nnz * (1 + rhs_row_bytes.div_ceil(8));
+                        ctx.report.sram_writes_8b += nnz * f as u64;
+                    }
+                    total_contrib += nnz;
+                    stats.hits += hits;
+                    stats.misses += misses;
                 }
-                lhs_burst += slice.len() as u64 * CSR_ELEM_BYTES + INDEX_BYTES;
-                record_row(
-                    &mut ctx,
-                    rhs_class,
-                    f,
-                    rhs_row_bytes,
-                    merge_cycles,
-                    hits,
-                    misses,
-                );
+            };
+
+            let cached = cell
+                .and_then(|c| c.get())
+                .filter(|c| pure && c.with_cache == use_cache);
+            if let Some(cached) = cached {
+                replay(&cached.plan, &mut ctx);
+            } else {
+                let retain = pure && cell.is_some();
+                let mut merged = retain.then(RowCounts::default);
+                let ranges = plan::shard_ranges(Some(p), rows.clone(), spec, 1);
+                let consume = |_range: Range<usize>, buf: &RowCounts| {
+                    replay(buf, &mut ctx);
+                    if let Some(m) = merged.as_mut() {
+                        m.absorb(buf);
+                    }
+                };
+                if !use_cache {
+                    // No fiber cache (MatRaptor): every non-zero is a miss
+                    // and nothing is probed, so the plan is the per-row
+                    // CSR lengths — a pure per-range pass that shards and
+                    // runs in parallel ahead of the replay.
+                    plan::plan_replay(
+                        plan_pool,
+                        ranges,
+                        |range, buf: &mut RowCounts| {
+                            for slice in p.row_slices(range) {
+                                buf.rows.push((slice.len() as u32, 0));
+                            }
+                        },
+                        consume,
+                    );
+                } else if no_evict {
+                    // First-touch shortcut: same hit/miss outcome as the
+                    // LRU walk, without maintaining the intrusive recency
+                    // list. First-touch state spans the cluster, so the
+                    // walk is sequential — one producer thread, overlapped
+                    // with replay.
+                    let stamp = &mut scratch.stamp;
+                    stamp.reset(lhs.cols());
+                    plan::plan_replay_seq(
+                        plan_pool,
+                        ranges,
+                        move |range, buf: &mut RowCounts| {
+                            for slice in p.row_slices(range) {
+                                let mut hits = 0u32;
+                                for &c in slice {
+                                    if !stamp.first_touch(c) {
+                                        hits += 1;
+                                    }
+                                }
+                                buf.rows.push((slice.len() as u32, hits));
+                            }
+                        },
+                        consume,
+                    );
+                } else {
+                    // Genuinely evicting LRU: every probe outcome depends
+                    // on all prior probes, so the walk stays sequential on
+                    // one producer thread (cluster-boundary flush via
+                    // epoch reset), overlapped with replay.
+                    let cache = &mut scratch.cache;
+                    cache.reset(cache_rows, lhs.cols());
+                    plan::plan_replay_seq(
+                        plan_pool,
+                        ranges,
+                        move |range, buf: &mut RowCounts| {
+                            for slice in p.row_slices(range) {
+                                let mut hits = 0u32;
+                                for &c in slice {
+                                    if cache.probe(c) {
+                                        hits += 1;
+                                    } else {
+                                        cache.insert(c);
+                                    }
+                                }
+                                buf.rows.push((slice.len() as u32, hits));
+                            }
+                        },
+                        consume,
+                    );
+                }
+                if let (Some(cell), Some(merged)) = (cell, merged) {
+                    cell.set(CachedRows {
+                        with_cache: use_cache,
+                        plan: merged,
+                    })
+                    .ok();
+                }
             }
-            ctx.report.cache.merge(cache.stats());
+
+            ctx.mac.scalar_vector_bulk(0, f, total_contrib);
+            ctx.mac.occupy(0, merge_cycles * total_contrib);
+            if use_cache {
+                // Demand insertion fills on every miss, so fills == misses
+                // (exactly what `LruRowCache::stats` reports). The
+                // cacheless path leaves the report's cache block untouched.
+                stats.fills = stats.misses;
+                ctx.report.cache.merge(&stats);
+            }
         }
     }
     // The LHS CSR stream (C2SR in MatRaptor's terms) is contiguous.

@@ -1,9 +1,9 @@
 //! Hot-path regression battery for the zero-allocation/sharded simulator
 //! core: the optimized engines (dense epoch-tagged caches, pooled scratch,
-//! plan/replay aggregation, intra-cluster row-range sharding) must
-//! reproduce the *committed* golden snapshots bit-identically — no
-//! re-bless — and stay invariant across the engine × scheduler ×
-//! partition grid under every combination of sharding and execution mode.
+//! plan/replay overlap, intra-cluster row-range sharding) must reproduce
+//! the *committed* golden snapshots bit-identically — no re-bless — and
+//! stay invariant across the engine × scheduler × partition grid under
+//! every combination of sharding and execution mode.
 
 use std::fmt::Write as _;
 
@@ -15,14 +15,10 @@ use grow::sim::exec::{with_mode, with_workers, ExecMode};
 mod common;
 use common::{cases, golden_path, render};
 
-/// GROW-only overrides: the other engines have no `shard_rows` key (it is
-/// a property of GROW's plan/replay aggregation path).
-fn overrides_for(engine: &str, shard_rows: usize) -> Vec<(String, String)> {
-    if engine == "grow" && shard_rows > 0 {
-        vec![("shard_rows".to_string(), shard_rows.to_string())]
-    } else {
-        Vec::new()
-    }
+/// The `shard_rows=` override is engine-uniform since the plan-module
+/// port: every engine's plan pass shards on the same registry key.
+fn overrides_for(shard_rows: &str) -> Vec<(String, String)> {
+    vec![("shard_rows".to_string(), shard_rows.to_string())]
 }
 
 fn run_with(
@@ -40,8 +36,8 @@ fn run_with(
 }
 
 /// Builds the golden-report snapshot text with intra-cluster sharding
-/// forced on for GROW (the other engines run their pooled-scratch paths).
-fn sharded_snapshot(spec: DatasetSpec, seed: u64, shard_rows: usize) -> String {
+/// forced on for every engine.
+fn sharded_snapshot(spec: DatasetSpec, seed: u64, shard_rows: &str) -> String {
     let workload = spec.instantiate(seed);
     let strategies = [
         PartitionStrategy::None,
@@ -51,7 +47,7 @@ fn sharded_snapshot(spec: DatasetSpec, seed: u64, shard_rows: usize) -> String {
     for strategy in strategies {
         let prepared = prepare(&workload, strategy, 4096);
         for name in ENGINE_NAMES {
-            let report = run_with(name, &overrides_for(name, shard_rows), &prepared);
+            let report = run_with(name, &overrides_for(shard_rows), &prepared);
             let _ = writeln!(out, "== engine={} strategy={strategy:?} ==", report.engine);
             render(&report, &mut out);
         }
@@ -62,12 +58,12 @@ fn sharded_snapshot(spec: DatasetSpec, seed: u64, shard_rows: usize) -> String {
 #[test]
 fn sharded_hot_path_reproduces_committed_goldens() {
     // The committed snapshots were blessed long before sharding existed;
-    // the sharded/pooled hot path must reproduce their exact bytes. There
-    // is deliberately NO bless path here.
+    // the sharded/pooled/overlapped hot path must reproduce their exact
+    // bytes on every engine. There is deliberately NO bless path here.
     for (case, spec, seed) in cases() {
         let expected =
             std::fs::read_to_string(golden_path(case)).expect("committed golden snapshot exists");
-        for shard_rows in [64, 257] {
+        for shard_rows in ["64", "257", "auto"] {
             let actual = sharded_snapshot(spec, seed, shard_rows);
             assert_eq!(
                 actual, expected,
@@ -98,7 +94,7 @@ fn sharded_scheduler_grid_reproduces_committed_goldens() {
             // committed with (later policies are locked by the e2e grids).
             for scheduler in ["rr", "lpt", "ws"] {
                 for pes in ["1", "4"] {
-                    let mut overrides = overrides_for(name, 64);
+                    let mut overrides = overrides_for("64");
                     overrides.push(("scheduler".to_string(), scheduler.to_string()));
                     overrides.push(("pes".to_string(), pes.to_string()));
                     let report = run_with(name, &overrides, &prepared);
@@ -125,9 +121,9 @@ fn sharded_scheduler_grid_reproduces_committed_goldens() {
 fn seeded_sweep_is_shard_and_mode_invariant() {
     // Engine × scheduler × partition sweep across seeds: for every cell,
     // the report must be identical between (a) serial and oversubscribed
-    // parallel execution, (b) sharded and unsharded GROW, and (c)
-    // repeated runs of one engine instance (scratch pools must not leak
-    // state between runs).
+    // parallel execution, (b) sharded (fixed and auto) and unsharded, and
+    // (c) repeated runs of one engine instance (scratch pools must not
+    // leak state between runs).
     let partitions = [
         PartitionStrategy::None,
         PartitionStrategy::Multilevel { cluster_nodes: 120 },
@@ -138,7 +134,7 @@ fn seeded_sweep_is_shard_and_mode_invariant() {
             let prepared = prepare(&workload, strategy, 4096);
             for engine in ENGINE_NAMES {
                 for scheduler in ["rr", "ws"] {
-                    let mut overrides = overrides_for(engine, 0);
+                    let mut overrides = overrides_for("off");
                     overrides.push(("scheduler".to_string(), scheduler.to_string()));
                     overrides.push(("pes".to_string(), "4".to_string()));
                     let base = run_with(engine, &overrides, &prepared);
@@ -147,11 +143,21 @@ fn seeded_sweep_is_shard_and_mode_invariant() {
                         with_mode(ExecMode::Serial, || run_with(engine, &overrides, &prepared));
                     assert_eq!(base, parallel, "{engine}/{scheduler}/{strategy:?}/{seed}");
                     assert_eq!(base, serial, "{engine}/{scheduler}/{strategy:?}/{seed}");
-                    if engine == "grow" {
+                    for shard in ["50", "auto"] {
                         let mut sharded_overrides = overrides.clone();
-                        sharded_overrides.push(("shard_rows".to_string(), "50".to_string()));
+                        sharded_overrides.push(("shard_rows".to_string(), shard.to_string()));
                         let sharded = run_with(engine, &sharded_overrides, &prepared);
-                        assert_eq!(base, sharded, "sharded {scheduler}/{strategy:?}/{seed}");
+                        assert_eq!(
+                            base, sharded,
+                            "sharded({shard}) {engine}/{scheduler}/{strategy:?}/{seed}"
+                        );
+                        let sharded_serial = with_mode(ExecMode::Serial, || {
+                            run_with(engine, &sharded_overrides, &prepared)
+                        });
+                        assert_eq!(
+                            base, sharded_serial,
+                            "sharded({shard}) serial {engine}/{scheduler}/{strategy:?}/{seed}"
+                        );
                     }
                 }
             }

@@ -198,6 +198,43 @@ fn unknown_exec_model_is_an_error_everywhere() {
 }
 
 #[test]
+fn shard_rows_is_uniform_across_engines() {
+    // Since the plan-module port, `shard_rows=off|auto|N` is a shared key:
+    // every engine accepts it, every engine reports identically with it
+    // (it is a simulator-throughput knob, not a model parameter), and a
+    // bad value surfaces as InvalidValue — not UnknownKey — everywhere.
+    let workload = spec().instantiate(9);
+    let prepared = grow::accel::prepare(&workload, PartitionStrategy::None, 4096);
+    for engine in registry::ENGINE_NAMES {
+        let base = registry::run_named(engine, &prepared).unwrap();
+        for value in ["off", "auto", "64", "0"] {
+            let sharded = registry::engine_from_overrides(engine, &[("shard_rows", value)])
+                .unwrap_or_else(|e| panic!("{engine} shard_rows={value}: {e}"))
+                .run(&prepared);
+            assert_eq!(base, sharded, "{engine} shard_rows={value}");
+        }
+        assert_eq!(
+            registry::engine_from_overrides(engine, &[("shard_rows", "many")]).err(),
+            Some(RegistryError::InvalidValue {
+                key: "shard_rows".into(),
+                value: "many".into(),
+            }),
+            "{engine}"
+        );
+    }
+
+    // The shared key flows through the batch service like any other
+    // override, and an unknown engine still wins over a bad value.
+    let result = BatchService::new()
+        .run_one(&JobSpec::new(spec(), 9, "gamma").with_override("shard_rows", "auto"));
+    assert!(result.outcome.is_ok());
+    assert_eq!(
+        registry::engine_from_overrides("npu", &[("shard_rows", "many")]).err(),
+        Some(RegistryError::UnknownEngine("npu".into()))
+    );
+}
+
+#[test]
 fn zero_pes_is_an_invalid_value_not_a_panic() {
     let expected = RegistryError::InvalidValue {
         key: "pes".into(),
