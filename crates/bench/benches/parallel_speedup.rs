@@ -64,6 +64,18 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // A single-core box can only produce a degenerate {1}-thread "sweep":
+    // the numbers are real wall-clock but say nothing about scaling, so
+    // warn loudly and mark the artifact instead of emitting a curve that
+    // reads like a scaling result.
+    if hw == 1 {
+        eprintln!(
+            "warning: only 1 hardware thread is available — the sweep \
+             degenerates to a single-threaded measurement and contains no \
+             parallel-scaling signal. The output is marked \
+             \"degenerate_single_core\": true."
+        );
+    }
     // Fail fast on an oversubscribed environment: with more workers than
     // cores the sweep times scheduler thrash, not parallel scaling.
     if let Ok(v) = std::env::var("GROW_THREADS") {
@@ -221,6 +233,7 @@ fn main() {
         ),
         ("iters", json::uint(iters as u64)),
         ("hw_threads", json::uint(hw as u64)),
+        ("degenerate_single_core", json::boolean(hw == 1)),
         (
             "threads",
             json::array(threads.iter().map(|&t| json::uint(t as u64)).collect()),

@@ -10,7 +10,8 @@
 //!
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
 //! fig18 fig19 fig20 fig21 fig22 table4 fig24 figure24 fig25a fig25b
-//! fig26 replacement nonpowerlaw preprocessing extensions engines sweep`
+//! fig26 replacement nonpowerlaw preprocessing extensions engines sweep
+//! serve_demo`
 //! (`figure24` is the scheduler-axis extension of `fig24`, executed in
 //! the end-to-end multi-PE mode: all four engines × rr/lpt/ws/ca cluster
 //! scheduling × 1–16 PEs with `exec=e2e`, dispatched through the batch
@@ -111,6 +112,7 @@ fn main() {
         "extensions",
         "engines",
         "sweep",
+        "serve_demo",
     ];
     if ids.len() == 1 && ids[0] == "all" {
         ids = all_ids.iter().map(|s| s.to_string()).collect();
@@ -154,6 +156,7 @@ fn main() {
             "extensions" => extensions(&mut ctx),
             "engines" => engines(&ctx, &mut service),
             "sweep" => sweep(&ctx, &mut service),
+            "serve_demo" => serve_demo(&ctx, &out_dir),
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (known: {})",
@@ -312,7 +315,9 @@ fn sweep(ctx: &Context, service: &mut BatchService) -> Table {
                 .into(),
                 cell::count(r.total_cycles()),
                 cell::mib(r.dram_bytes()),
-                format!("{:.1}", result.wall_ms),
+                result
+                    .wall_ms
+                    .map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}")),
             ]),
             Err(e) => t.row(&[
                 result.dataset.into(),
@@ -332,6 +337,114 @@ fn sweep(ctx: &Context, service: &mut BatchService) -> Table {
         stats.preparations_run,
         service.pooled_sessions()
     );
+    t
+}
+
+/// The always-on serving demo: drives an `AsyncService` over a small
+/// mixed fleet — priority classes, a repeated query, a failing job —
+/// through **two service lifetimes** sharing one on-disk `ResultStore`
+/// under `<out>/store`. The first lifetime computes and persists; the
+/// second must run **zero** simulations, serving every report from disk
+/// bit-identically (the process exits non-zero otherwise, which makes
+/// this the CI smoke assertion for the store).
+fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
+    use grow_core::registry::ENGINE_NAMES;
+    use grow_core::PartitionStrategy;
+    use grow_serve::{AsyncConfig, AsyncService, JobSpec, Priority, ResultStore, Ticket};
+
+    let spec = ctx.spec(0);
+    let mut jobs: Vec<(JobSpec, Priority)> = Vec::new();
+    for name in ENGINE_NAMES {
+        let strategy = if name == "grow" {
+            PartitionStrategy::multilevel_default()
+        } else {
+            PartitionStrategy::None
+        };
+        jobs.push((
+            JobSpec::new(spec, ctx.seed, name).with_strategy(strategy),
+            Priority::Normal,
+        ));
+    }
+    // A repeated query (a cache hit within the lifetime), an interactive
+    // high-priority configuration, and a bad job that must fail alone.
+    jobs.push((jobs[0].0.clone(), Priority::Low));
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "grow")
+            .with_strategy(PartitionStrategy::multilevel_default())
+            .with_override("runahead", "8"),
+        Priority::High,
+    ));
+    jobs.push((JobSpec::new(spec, ctx.seed, "npu"), Priority::Normal));
+
+    let store_dir = out_dir.join("store");
+    let mut t = Table::new(
+        "serve_demo",
+        &["lifetime", "engine", "priority", "status", "sim ms"],
+    );
+    let mut first_reports: Vec<Option<grow_core::RunReport>> = Vec::new();
+    for lifetime in 1..=2u32 {
+        let store = ResultStore::open(&store_dir).expect("open result store");
+        let service = AsyncService::start(
+            grow_serve::BatchService::new().with_store(store),
+            AsyncConfig {
+                queue_capacity: 64,
+                session_capacity: Some(4),
+            },
+        );
+        let tickets: Vec<Ticket> = jobs
+            .iter()
+            .map(|(job, priority)| {
+                service
+                    .submit_with(job.clone(), *priority)
+                    .expect("fleet fits the admission bound")
+            })
+            .collect();
+        let results: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let batch = service.finish();
+        let stats = batch.stats();
+        eprintln!(
+            "[run] serve_demo lifetime {lifetime}: {} simulations, {} store hits, \
+             {} cache hits, {} failed",
+            stats.simulations_run, stats.store_hits, stats.cache_hits, stats.jobs_failed
+        );
+        for ((job, priority), r) in jobs.iter().zip(&results) {
+            let status = match (&r.outcome, r.cache_hit) {
+                (Err(e), _) => format!("error: {e}"),
+                (Ok(_), true) => "ok (served)".into(),
+                (Ok(_), false) => "ok (computed)".into(),
+            };
+            t.row(&[
+                lifetime.to_string(),
+                job.engine.clone(),
+                format!("{priority:?}"),
+                status,
+                r.wall_ms
+                    .map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}")),
+            ]);
+        }
+        if lifetime == 1 {
+            first_reports = results.iter().map(|r| r.report().cloned()).collect();
+        } else {
+            // The store contract, asserted end to end: a fresh process
+            // lifetime serves the whole fleet from disk, bit-identically.
+            if stats.simulations_run != 0 {
+                eprintln!(
+                    "error: serve_demo lifetime 2 ran {} simulations; every job \
+                     should have been served from the on-disk store",
+                    stats.simulations_run
+                );
+                std::process::exit(1);
+            }
+            let identical = results
+                .iter()
+                .zip(&first_reports)
+                .all(|(r, first)| r.report() == first.as_ref());
+            if !identical {
+                eprintln!("error: serve_demo store round-trip was not bit-identical");
+                std::process::exit(1);
+            }
+        }
+    }
     t
 }
 

@@ -210,6 +210,11 @@ pub mod json {
         v.to_string()
     }
 
+    /// Renders a boolean.
+    pub fn boolean(v: bool) -> String {
+        if v { "true" } else { "false" }.to_string()
+    }
+
     /// Renders a finite number (JSON has no NaN/inf; those become `null`).
     pub fn number(v: f64) -> String {
         if v.is_finite() {

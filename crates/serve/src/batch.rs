@@ -31,6 +31,7 @@ use grow_model::DatasetSpec;
 use grow_sim::exec::{parallel_map, with_mode, ExecMode};
 
 use crate::session::{SimSession, DEFAULT_HDN_ID_ENTRIES};
+use crate::store::ResultStore;
 
 /// One simulation job, as pure data: everything needed to reproduce a
 /// single engine run. Sweep definitions are lists of these.
@@ -151,22 +152,34 @@ impl JobSpec {
         // Overrides apply in order with last-wins semantics (matching
         // `engine_from_overrides`), so the key must too: reduce to one
         // value per key first, then sort for order independence.
-        // Malformed specs keep their raw text — those jobs fail anyway,
-        // and identical failures may share a key.
+        //
+        // Malformed specs can never configure an engine, so they must not
+        // participate in the `key=value` namespace: a raw `"runahead"`
+        // folded into the same last-wins slot as a valid `runahead=4`
+        // would hand a failing job the key of a runnable one — with a
+        // persistent result store attached, that is a cache-poisoning
+        // bug. They are kept in their own list, Debug-escaped with a `!`
+        // prefix, which no runnable configuration's rendering can produce
+        // (registry keys are plain identifiers).
         let mut effective: Vec<(String, String)> = Vec::new();
+        let mut malformed: Vec<String> = Vec::new();
         for spec in &self.overrides {
-            let (key, value) =
-                registry::parse_override(spec).unwrap_or_else(|_| (spec.clone(), String::new()));
-            match effective.iter_mut().find(|(k, _)| *k == key) {
-                Some(slot) => slot.1 = value,
-                None => effective.push((key, value)),
+            match registry::parse_override(spec) {
+                Ok((key, value)) => match effective.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => slot.1 = value,
+                    None => effective.push((key, value)),
+                },
+                Err(_) => malformed.push(format!("!{spec:?}")),
             }
         }
         effective.sort();
-        let overrides: Vec<String> = effective
+        malformed.sort();
+        malformed.dedup();
+        let mut overrides: Vec<String> = effective
             .into_iter()
             .map(|(k, v)| format!("{k}={v}"))
             .collect();
+        overrides.extend(malformed);
         JobKey(format!(
             "{engine}|{:?}|[{}]|{}",
             self.strategy,
@@ -219,9 +232,10 @@ pub struct JobResult {
     /// True when the report was served from the result cache (a duplicate
     /// of an earlier job, or computed by a previous batch).
     pub cache_hit: bool,
-    /// Wall-clock time of this job's simulation in milliseconds (0 for
-    /// cache hits and failed jobs).
-    pub wall_ms: f64,
+    /// Wall-clock time of this job's simulation in milliseconds; `None`
+    /// when no simulation ran for this job (cache and store hits, failed
+    /// jobs), so a sub-millisecond run is never mistaken for a hit.
+    pub wall_ms: Option<f64>,
 }
 
 impl JobResult {
@@ -246,14 +260,34 @@ pub struct ServiceStats {
     pub sessions_created: u64,
     /// (workload, strategy) preparations executed.
     pub preparations_run: u64,
+    /// Distinct job keys served from the on-disk [`ResultStore`] instead
+    /// of a fresh simulation (counted once per load; the per-job hits are
+    /// in [`cache_hits`](Self::cache_hits)).
+    pub store_hits: u64,
+    /// Pooled sessions dropped by the LRU capacity bound.
+    pub sessions_evicted: u64,
 }
 
 /// The batch simulation service: session pool + result cache + worker
 /// fan-out. See the [module docs](self) for the execution phases.
+///
+/// Two optional attachments turn it into a long-lived server core (the
+/// configuration [`AsyncService`](crate::AsyncService) runs on):
+///
+/// * a [`ResultStore`] ([`with_store`](Self::with_store)) makes the
+///   report cache survive process restarts;
+/// * a session capacity
+///   ([`with_session_capacity`](Self::with_session_capacity)) bounds the
+///   otherwise unbounded session pool with least-recently-used eviction.
 #[derive(Debug, Default)]
 pub struct BatchService {
     sessions: HashMap<String, SimSession>,
+    /// LRU bookkeeping: tick of each pooled session's last batch use.
+    session_last_use: HashMap<String, u64>,
+    session_clock: u64,
+    session_capacity: Option<usize>,
     reports: HashMap<JobKey, RunReport>,
+    store: Option<ResultStore>,
     stats: ServiceStats,
 }
 
@@ -286,10 +320,67 @@ impl BatchService {
         self.sessions.get(&job.session_key())
     }
 
-    /// Drops the session pool and the result cache; counters are kept.
+    /// Attaches a persistent on-disk result store: cache misses probe the
+    /// store before simulating, and every newly computed report is
+    /// persisted, so repeated queries are hits across process restarts.
+    /// Failed jobs are never persisted — they have no report.
+    pub fn with_store(mut self, store: ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches (or replaces) the persistent result store. See
+    /// [`with_store`](Self::with_store).
+    pub fn set_store(&mut self, store: ResultStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Bounds the session pool to `capacity` workload recipes: after each
+    /// batch, least-recently-used sessions beyond the bound are dropped
+    /// (and re-instantiated on demand if the workload returns). The
+    /// default is unbounded — the historical behavior, fine for sweeps,
+    /// wrong for an always-on service.
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.set_session_capacity(Some(capacity));
+        self
+    }
+
+    /// Sets or removes the session-pool bound, evicting immediately if
+    /// the pool is already over the new capacity.
+    pub fn set_session_capacity(&mut self, capacity: Option<usize>) {
+        self.session_capacity = capacity;
+        self.evict_sessions();
+    }
+
+    /// The session-pool bound (`None` = unbounded).
+    pub fn session_capacity(&self) -> Option<usize> {
+        self.session_capacity
+    }
+
+    /// Drops the in-memory session pool, result cache, and LRU
+    /// bookkeeping. Deliberately does **not** reset the cumulative
+    /// [`ServiceStats`] — the counters describe the service's lifetime,
+    /// not its current caches (use [`reset_stats`](Self::reset_stats) for
+    /// that) — and does not touch the attached on-disk store: after a
+    /// clear, previously computed keys are recomputed, or re-served from
+    /// the store if one is attached.
     pub fn clear(&mut self) {
         self.sessions.clear();
+        self.session_last_use.clear();
+        self.session_clock = 0;
         self.reports.clear();
+    }
+
+    /// Zeroes the cumulative counters without touching the session pool,
+    /// the result cache, or the store — the complement of
+    /// [`clear`](Self::clear).
+    pub fn reset_stats(&mut self) {
+        self.stats = ServiceStats::default();
     }
 
     /// Runs a single job (a batch of one).
@@ -312,6 +403,27 @@ impl BatchService {
             .iter()
             .map(|job| build_engine(job).map(|_| ()))
             .collect();
+
+        // Phase 1.5: probe the on-disk store for every validated key the
+        // in-memory cache cannot serve — once per distinct key. A hit
+        // enters the report cache and the job is served like any other
+        // cache hit; a corrupt entry is quarantined by the store and the
+        // job simply computes.
+        if let Some(mut store) = self.store.take() {
+            let mut probed: HashSet<&JobKey> = HashSet::new();
+            for i in 0..jobs.len() {
+                if validations[i].is_ok()
+                    && !self.reports.contains_key(&keys[i])
+                    && probed.insert(&keys[i])
+                {
+                    if let Some(report) = store.load(&keys[i]) {
+                        self.reports.insert(keys[i].clone(), report);
+                        self.stats.store_hits += 1;
+                    }
+                }
+            }
+            self.store = Some(store);
+        }
 
         // Phase 2: the compute set — the first occurrence of every key
         // the report cache cannot already serve.
@@ -413,19 +525,28 @@ impl BatchService {
         let mut wall_by_index: HashMap<usize, f64> = HashMap::new();
         for (i, report, wall_ms) in computed {
             wall_by_index.insert(i, wall_ms);
+            // Only freshly computed reports of validated jobs reach this
+            // point, so a failed job can never be persisted. A store write
+            // error costs persistence, not the batch.
+            if let Some(store) = self.store.as_mut() {
+                if let Err(e) = store.persist(&keys[i], &report) {
+                    eprintln!("warning: result store write failed for {}: {e}", keys[i]);
+                }
+            }
             self.reports.insert(keys[i].clone(), report);
         }
 
         // Phase 5: results in submission order, duplicates and repeats
         // served from the cache.
-        jobs.iter()
+        let results = jobs
+            .iter()
             .zip(validations)
             .enumerate()
             .map(|(index, (job, validation))| {
                 let (outcome, cache_hit, wall_ms) = match validation {
                     Err(e) => {
                         self.stats.jobs_failed += 1;
-                        (Err(e), false, 0.0)
+                        (Err(e), false, None)
                     }
                     Ok(()) => {
                         let wall_ms = wall_by_index.get(&index).copied();
@@ -437,7 +558,7 @@ impl BatchService {
                             .get(&keys[index])
                             .expect("computed in phase 4 or cached earlier")
                             .clone();
-                        (Ok(report), wall_ms.is_none(), wall_ms.unwrap_or(0.0))
+                        (Ok(report), wall_ms.is_none(), wall_ms)
                     }
                 };
                 JobResult {
@@ -450,7 +571,41 @@ impl BatchService {
                     wall_ms,
                 }
             })
-            .collect()
+            .collect();
+
+        // Touch this batch's pooled sessions in submission order, then
+        // enforce the LRU capacity bound.
+        for job in jobs {
+            let session_key = job.session_key();
+            if self.sessions.contains_key(&session_key) {
+                self.session_clock += 1;
+                self.session_last_use
+                    .insert(session_key, self.session_clock);
+            }
+        }
+        self.evict_sessions();
+        results
+    }
+
+    /// Drops least-recently-used sessions until the pool fits the
+    /// capacity bound. Ties (sessions never touched by a batch) break by
+    /// key string so eviction is deterministic.
+    fn evict_sessions(&mut self) {
+        let Some(capacity) = self.session_capacity else {
+            return;
+        };
+        while self.sessions.len() > capacity {
+            let victim = self
+                .sessions
+                .keys()
+                .map(|k| (self.session_last_use.get(k).copied().unwrap_or(0), k))
+                .min()
+                .map(|(_, k)| k.clone())
+                .expect("pool is over capacity, so non-empty");
+            self.sessions.remove(&victim);
+            self.session_last_use.remove(&victim);
+            self.stats.sessions_evicted += 1;
+        }
     }
 }
 
@@ -568,6 +723,114 @@ mod tests {
                 > results[0].report().unwrap().total_cycles(),
             "the two orderings must not share a cached report"
         );
+    }
+
+    #[test]
+    fn malformed_override_specs_never_share_a_runnable_key() {
+        // Regression: the key used to fold a malformed spec into the
+        // valid last-wins slot, so this failing job had the same key as
+        // the clean `runahead=4` job — a cache-poisoning hazard once
+        // reports persist across restarts.
+        let clean = JobSpec::new(spec(), 7, "grow").with_override("runahead", "4");
+        let poisoned = JobSpec::new(spec(), 7, "grow")
+            .with_override_spec("runahead")
+            .with_override("runahead", "4");
+        assert_ne!(clean.key(), poisoned.key());
+        // Regression: a malformed `x=` rendered as `x==`, identical to
+        // the well-formed spec `x==` (key `x`, value `=`).
+        assert_ne!(
+            JobSpec::new(spec(), 7, "grow")
+                .with_override_spec("x=")
+                .key(),
+            JobSpec::new(spec(), 7, "grow")
+                .with_override_spec("x==")
+                .key(),
+        );
+        // Distinct malformed texts keep distinct keys; identical ones
+        // (identical failures) share one.
+        let foo = JobSpec::new(spec(), 7, "grow").with_override_spec("foo");
+        assert_ne!(
+            foo.key(),
+            JobSpec::new(spec(), 7, "grow")
+                .with_override_spec("foo=")
+                .key(),
+        );
+        assert_eq!(
+            foo.key(),
+            JobSpec::new(spec(), 7, "grow")
+                .with_override_spec("foo")
+                .key(),
+        );
+
+        // And behaviorally: the failing job must not hand the clean job
+        // a cache hit (or vice versa).
+        let mut service = BatchService::new();
+        let results = service.run_batch(&[poisoned, clean]);
+        assert!(results[0].outcome.is_err());
+        assert!(results[1].outcome.is_ok());
+        assert!(!results[1].cache_hit, "clean job really computed");
+        assert_eq!(service.stats().simulations_run, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters_and_reset_stats_zeroes_them() {
+        let mut service = BatchService::new();
+        let job = JobSpec::new(spec(), 3, "gcnax");
+        let first = service.run_one(&job);
+        assert!(first.wall_ms.is_some(), "fresh simulation is timed");
+        assert_eq!(service.stats().simulations_run, 1);
+
+        service.clear();
+        assert_eq!(service.pooled_sessions(), 0);
+        assert_eq!(service.cached_reports(), 0);
+        assert_eq!(
+            service.stats().simulations_run,
+            1,
+            "clear keeps the cumulative counters"
+        );
+
+        // Clear-then-rerun really recomputes — bit-identically.
+        let again = service.run_one(&job);
+        assert!(!again.cache_hit);
+        assert!(again.wall_ms.is_some());
+        assert_eq!(service.stats().simulations_run, 2);
+        assert_eq!(again.report(), first.report());
+
+        // A cache hit is distinguishable from a fast run by wall_ms.
+        let hit = service.run_one(&job);
+        assert!(hit.cache_hit);
+        assert_eq!(hit.wall_ms, None);
+
+        service.reset_stats();
+        assert_eq!(service.stats(), ServiceStats::default());
+        assert_eq!(
+            service.cached_reports(),
+            1,
+            "reset_stats leaves the caches alone"
+        );
+    }
+
+    #[test]
+    fn session_pool_evicts_least_recently_used() {
+        let mut service = BatchService::new().with_session_capacity(2);
+        let a = JobSpec::new(spec(), 1, "gcnax");
+        let b = JobSpec::new(spec(), 2, "gcnax");
+        let c = JobSpec::new(spec(), 3, "gcnax");
+        service.run_one(&a);
+        service.run_one(&b);
+        assert_eq!(service.pooled_sessions(), 2);
+        // Touch a's workload again, then admit c: b is now the LRU victim.
+        service.run_one(&a.clone().with_override("dram_gbps", "8"));
+        service.run_one(&c);
+        assert_eq!(service.pooled_sessions(), 2);
+        assert!(service.session_for(&a).is_some(), "recently used survives");
+        assert!(service.session_for(&b).is_none(), "LRU session evicted");
+        assert!(service.session_for(&c).is_some());
+        assert_eq!(service.stats().sessions_evicted, 1);
+        // An evicted workload is simply re-instantiated on demand.
+        service.run_one(&b.clone().with_override("dram_gbps", "8"));
+        assert_eq!(service.stats().sessions_created, 4);
+        assert_eq!(service.stats().sessions_evicted, 2);
     }
 
     #[test]

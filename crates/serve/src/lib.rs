@@ -1,21 +1,33 @@
-//! The serving layer: batch simulation over the engine registry.
+//! The serving layer: batch and always-on simulation over the engine
+//! registry.
 //!
-//! Two pieces live here:
+//! Four pieces live here:
 //!
 //! * [`session::SimSession`] — one workload, memoized preprocessing, and
 //!   name-based engine dispatch (the single-workload front door);
 //! * [`batch::BatchService`] — a queue-of-[`batch::JobSpec`]s service on
 //!   top of it: jobs are pure data (dataset spec + seed + engine name +
 //!   partition strategy + `key=value` overrides), shared preparation is
-//!   deduplicated through a keyed session pool, simulations fan across
-//!   worker threads via `grow_sim::exec::parallel_map`, and completed
-//!   reports are cached by job key. Results come back in submission order
-//!   with per-job timing and error status; a bad engine name or an invalid
-//!   override fails that job, never the batch.
+//!   deduplicated through a keyed session pool (optionally LRU-bounded),
+//!   simulations fan across worker threads via
+//!   `grow_sim::exec::parallel_map`, and completed reports are cached by
+//!   job key. Results come back in submission order with per-job timing
+//!   and error status; a bad engine name or an invalid override fails
+//!   that job, never the batch.
+//! * [`store::ResultStore`] — the on-disk report cache (`results/store/`
+//!   by convention): completed reports persist per canonical job key and
+//!   round-trip bit-identically, so repeated queries are cache hits
+//!   across process restarts; corrupt entries are quarantined, never
+//!   served.
+//! * [`service::AsyncService`] — the always-on front end: submissions at
+//!   any time, a [`service::Ticket`] back immediately, each result
+//!   streamed on completion, with priority classes and admission control
+//!   in front of the `BatchService` core.
 //!
 //! Because every engine's parallel cluster path is bit-identical to its
 //! serial path, so is the whole service: a batch run under `GROW_SERIAL=1`
-//! returns exactly the reports of a multi-threaded run.
+//! returns exactly the reports of a multi-threaded run — and draining the
+//! async service returns exactly the reports of `run_batch`.
 //!
 //! ```
 //! use grow_core::PartitionStrategy;
@@ -40,9 +52,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod service;
 pub mod session;
+pub mod store;
 
 pub use batch::{
     grid_jobs, scheduler_grid_jobs, BatchService, JobKey, JobResult, JobSpec, ServiceStats,
 };
+pub use service::{AsyncConfig, AsyncService, Priority, SubmitError, Ticket};
 pub use session::SimSession;
+pub use store::{ResultStore, StoreStats};

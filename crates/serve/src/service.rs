@@ -1,0 +1,484 @@
+//! [`AsyncService`] — the always-on, asynchronous front end of the
+//! serving layer.
+//!
+//! [`BatchService`] is synchronous and batch-scoped: callers assemble a
+//! job list, block through `run_batch`, and get every result at once. An
+//! always-on deployment needs the opposite shape — submissions arriving
+//! at any time, an immediate [`Ticket`] per submission, and each
+//! [`JobResult`] delivered the moment its job completes. `AsyncService`
+//! provides that shape on plain `std` (threads + `mpsc` + `Condvar`; the
+//! workspace builds without crates.io, so there is no tokio), layered on
+//! the same `BatchService` internals:
+//!
+//! * **Priority classes + admission control.** Submissions enter one of
+//!   three FIFO queues ([`Priority::High`]/[`Priority::Normal`]/
+//!   [`Priority::Low`]); the worker always drains the highest non-empty
+//!   class. The pending set is bounded by
+//!   [`AsyncConfig::queue_capacity`]; a submission over the bound is
+//!   rejected immediately with [`SubmitError::QueueFull`] — back-pressure
+//!   by refusal, never by blocking the submitter.
+//! * **Bounded session pool.** [`AsyncConfig::session_capacity`] forwards
+//!   to [`BatchService::with_session_capacity`]'s LRU bound, so an
+//!   always-on process does not accumulate one pooled workload per
+//!   distinct recipe it ever saw.
+//! * **Persistent results.** Attach a
+//!   [`ResultStore`](crate::ResultStore) to the inner `BatchService` and
+//!   repeated queries are served across process restarts without running
+//!   a simulation.
+//!
+//! **Bit-identity contract.** The worker processes one job at a time, so
+//! each simulation keeps its full inner cluster fan-out through
+//! [`parallel_map`](grow_sim::exec::parallel_map) — exactly the one-level
+//! rule `run_batch` applies, taken to the single-job grain. Reports are
+//! bit-identical between serial and parallel execution by the simulator's
+//! determinism contract, so draining an `AsyncService` yields reports
+//! byte-for-byte equal to `BatchService::run_batch` over the same jobs,
+//! under both `GROW_SERIAL=1` and any thread count. The worker thread
+//! replays the spawning thread's `with_mode`/`with_workers` overrides via
+//! [`ExecContext`], so scoped test overrides apply to async runs too.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use grow_sim::exec::ExecContext;
+
+use crate::batch::{BatchService, JobResult, JobSpec, ServiceStats};
+
+/// Scheduling class of a submission: the worker always serves the
+/// highest non-empty class, FIFO within a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Served before everything else (interactive queries).
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Served only when nothing else waits (background sweeps).
+    Low,
+}
+
+impl Priority {
+    /// Queue slot of this class (0 = served first).
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Configuration of an [`AsyncService`].
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Maximum number of admitted-but-uncompleted jobs (queued plus in
+    /// flight); a submission over the bound is rejected with
+    /// [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// LRU bound for the inner session pool (`None` keeps whatever the
+    /// wrapped [`BatchService`] was configured with).
+    pub session_capacity: Option<usize>,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            queue_capacity: 1024,
+            session_capacity: None,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending set is at capacity; resubmit after draining tickets.
+    QueueFull {
+        /// The configured [`AsyncConfig::queue_capacity`].
+        capacity: usize,
+        /// Admitted-but-uncompleted jobs at rejection time.
+        pending: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity, pending } => write!(
+                f,
+                "pending queue full ({pending} of {capacity} slots in use)"
+            ),
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A claim on one submitted job's eventual [`JobResult`], returned
+/// immediately by [`AsyncService::submit`]. The result is delivered the
+/// moment the job completes, independent of every other submission.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: Receiver<JobResult>,
+}
+
+impl Ticket {
+    /// The submission id (also stamped into the delivered
+    /// [`JobResult::index`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was dropped (not
+    /// [`finish`](AsyncService::finish)ed) before the job ran.
+    pub fn wait(self) -> JobResult {
+        self.rx
+            .recv()
+            .expect("service dropped before completing this job")
+    }
+
+    /// Returns the result if the job has already completed, without
+    /// blocking. At most one result is ever delivered per ticket: after
+    /// this returns `Some`, [`wait`](Self::wait) would panic.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One admitted submission parked in the priority queues.
+struct Submission {
+    id: u64,
+    job: JobSpec,
+    tx: Sender<JobResult>,
+}
+
+/// The queues and lifecycle flags shared between submitters and the
+/// worker thread.
+struct QueueState {
+    /// One FIFO per [`Priority`], indexed by [`Priority::index`].
+    queues: [VecDeque<Submission>; 3],
+    /// Admitted-but-uncompleted jobs (queued plus in flight).
+    pending: usize,
+    /// Set by [`AsyncService::finish`]: stop after draining the queues.
+    stopping: bool,
+    /// Set by `Drop`: stop now, discarding queued submissions.
+    abort: bool,
+}
+
+impl QueueState {
+    /// Pops the oldest submission of the highest non-empty class.
+    fn pop(&mut self) -> Option<Submission> {
+        self.queues.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().expect("queue state poisoned")
+    }
+}
+
+/// The always-on asynchronous serving front end. See the
+/// [module docs](self) for the design and the bit-identity contract.
+///
+/// ```
+/// use grow_model::DatasetKey;
+/// use grow_serve::{AsyncConfig, AsyncService, BatchService, JobSpec};
+///
+/// let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+/// let spec = DatasetKey::Cora.spec().scaled_to(300);
+/// let ticket = service.submit(JobSpec::new(spec, 42, "grow")).unwrap();
+/// let result = ticket.wait();
+/// assert!(result.report().is_some());
+/// let batch = service.finish(); // drain + recover the inner BatchService
+/// assert_eq!(batch.stats().simulations_run, 1);
+/// ```
+pub struct AsyncService {
+    shared: Arc<Shared>,
+    service: Option<Arc<Mutex<BatchService>>>,
+    completions: Arc<Mutex<Vec<u64>>>,
+    worker: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl fmt::Debug for AsyncService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncService")
+            .field("capacity", &self.capacity)
+            .field("pending", &self.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AsyncService {
+    /// Spawns the worker thread and starts accepting submissions. The
+    /// wrapped `service` brings its caches, counters, and any attached
+    /// [`ResultStore`](crate::ResultStore) with it.
+    pub fn start(mut service: BatchService, config: AsyncConfig) -> Self {
+        if config.session_capacity.is_some() {
+            service.set_session_capacity(config.session_capacity);
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                pending: 0,
+                stopping: false,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let service = Arc::new(Mutex::new(service));
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        // The worker replays this thread's execution overrides, so a
+        // `with_mode(ExecMode::Serial, ..)` scope around the service
+        // applies to async runs exactly as it would to `run_batch`.
+        let ctx = ExecContext::capture();
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let service = Arc::clone(&service);
+            let completions = Arc::clone(&completions);
+            std::thread::Builder::new()
+                .name("grow-serve-worker".to_string())
+                .spawn(move || ctx.scope(|| worker_loop(&shared, &service, &completions)))
+                .expect("spawn serving worker")
+        };
+        AsyncService {
+            shared,
+            service: Some(service),
+            completions,
+            worker: Some(worker),
+            next_id: AtomicU64::new(0),
+            capacity: config.queue_capacity.max(1),
+        }
+    }
+
+    /// Submits one job at [`Priority::Normal`]; returns its [`Ticket`]
+    /// immediately (never blocks on compute).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] over the admission bound,
+    /// [`SubmitError::ShuttingDown`] after [`finish`](Self::finish) began.
+    pub fn submit(&self, job: JobSpec) -> Result<Ticket, SubmitError> {
+        self.submit_with(job, Priority::Normal)
+    }
+
+    /// [`submit`](Self::submit) with an explicit [`Priority`] class.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn submit_with(&self, job: JobSpec, priority: Priority) -> Result<Ticket, SubmitError> {
+        let mut st = self.shared.lock();
+        if st.stopping {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.pending >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+                pending: st.pending,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        st.queues[priority.index()].push_back(Submission { id, job, tx });
+        st.pending += 1;
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Admitted-but-uncompleted jobs right now (queued plus in flight).
+    pub fn pending(&self) -> usize {
+        self.shared.lock().pending
+    }
+
+    /// The admission bound ([`AsyncConfig::queue_capacity`]).
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Submission ids in completion order — the service's observable
+    /// processing sequence (priority classes reorder it relative to
+    /// submission order).
+    pub fn completed_ids(&self) -> Vec<u64> {
+        self.completions
+            .lock()
+            .expect("completion log poisoned")
+            .clone()
+    }
+
+    /// Cumulative counters of the inner [`BatchService`]. Blocks while a
+    /// simulation is in flight (the worker holds the service for the
+    /// duration of each job).
+    pub fn stats(&self) -> ServiceStats {
+        self.inner().lock().expect("service poisoned").stats()
+    }
+
+    /// Drains every queued submission, stops the worker, and returns the
+    /// inner [`BatchService`] — with its warmed caches and counters — for
+    /// inspection or synchronous reuse.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the worker thread.
+    pub fn finish(mut self) -> BatchService {
+        {
+            let mut st = self.shared.lock();
+            st.stopping = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let service = self.service.take().expect("finish runs once");
+        let Ok(service) = Arc::try_unwrap(service) else {
+            unreachable!("worker has exited, so the service has one owner");
+        };
+        service.into_inner().expect("service poisoned")
+    }
+
+    fn inner(&self) -> &Mutex<BatchService> {
+        self.service.as_ref().expect("service present until finish")
+    }
+}
+
+impl Drop for AsyncService {
+    fn drop(&mut self) {
+        // `finish` already joined the worker; otherwise stop it promptly,
+        // discarding queued submissions (their tickets' senders drop, so
+        // a blocked `Ticket::wait` panics rather than hanging forever).
+        if let Some(worker) = self.worker.take() {
+            {
+                let mut st = self.shared.lock();
+                st.stopping = true;
+                st.abort = true;
+            }
+            self.shared.cv.notify_all();
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: pop the highest-priority submission, run it as a batch of
+/// one (full inner fan-out — the one-level rule at the single-job grain),
+/// deliver the result, repeat until stopped.
+fn worker_loop(shared: &Shared, service: &Mutex<BatchService>, completions: &Mutex<Vec<u64>>) {
+    loop {
+        let submission = {
+            let mut st = shared.lock();
+            loop {
+                if st.abort {
+                    return;
+                }
+                if let Some(submission) = st.pop() {
+                    break submission;
+                }
+                if st.stopping {
+                    return;
+                }
+                st = shared.cv.wait(st).expect("queue state poisoned");
+            }
+        };
+        let mut result = service
+            .lock()
+            .expect("service poisoned")
+            .run_one(&submission.job);
+        // `run_one` numbers within its one-job batch; the submission id is
+        // the meaningful index at this layer.
+        result.index = submission.id as usize;
+        completions
+            .lock()
+            .expect("completion log poisoned")
+            .push(submission.id);
+        {
+            let mut st = shared.lock();
+            st.pending -= 1;
+        }
+        shared.cv.notify_all();
+        // The ticket may be gone (dropped without waiting); fine.
+        let _ = submission.tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submission(id: u64) -> Submission {
+        let (tx, _rx) = mpsc::channel();
+        Submission {
+            id,
+            job: JobSpec::new(
+                grow_model::DatasetKey::Cora.spec().scaled_to(300),
+                id,
+                "grow",
+            ),
+            tx,
+        }
+    }
+
+    #[test]
+    fn queue_pops_priority_classes_in_order() {
+        let mut state = QueueState {
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            pending: 0,
+            stopping: false,
+            abort: false,
+        };
+        state.queues[Priority::Low.index()].push_back(submission(0));
+        state.queues[Priority::Normal.index()].push_back(submission(1));
+        state.queues[Priority::High.index()].push_back(submission(2));
+        state.queues[Priority::High.index()].push_back(submission(3));
+        state.queues[Priority::Normal.index()].push_back(submission(4));
+        let order: Vec<u64> = std::iter::from_fn(|| state.pop()).map(|s| s.id).collect();
+        assert_eq!(order, [2, 3, 1, 4, 0], "High FIFO, then Normal, then Low");
+    }
+
+    #[test]
+    fn submit_after_finish_flag_is_rejected() {
+        let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+        {
+            let mut st = service.shared.lock();
+            st.stopping = true;
+        }
+        let spec = grow_model::DatasetKey::Cora.spec().scaled_to(300);
+        assert_eq!(
+            service.submit(JobSpec::new(spec, 1, "grow")).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn submit_error_messages_name_the_bound() {
+        let e = SubmitError::QueueFull {
+            capacity: 4,
+            pending: 4,
+        };
+        assert_eq!(e.to_string(), "pending queue full (4 of 4 slots in use)");
+        assert_eq!(
+            SubmitError::ShuttingDown.to_string(),
+            "service is shutting down"
+        );
+    }
+}

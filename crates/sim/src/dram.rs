@@ -171,6 +171,15 @@ impl TrafficStats {
         }
     }
 
+    /// Accounts `requests` already-completed transfers of `class` moving
+    /// `fetched` bytes over the channel, of which `useful` were asked for.
+    /// This is the bulk form the serving layer's result store uses to
+    /// reconstruct a report's traffic accounting from its serialized
+    /// counters; the channel model itself records through [`Dram`].
+    pub fn record_bulk(&mut self, class: TrafficClass, useful: u64, fetched: u64, requests: u64) {
+        self.record_n(class, useful, fetched, requests);
+    }
+
     /// Merges another stats block into this one (used by multi-phase runs).
     pub fn merge(&mut self, other: &TrafficStats) {
         for i in 0..7 {

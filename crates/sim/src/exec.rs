@@ -94,6 +94,40 @@ pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// A snapshot of the calling thread's execution overrides ([`with_mode`] /
+/// [`with_workers`]), for replaying them on another thread.
+///
+/// The overrides are thread-local by design, but a service that accepts
+/// work on one thread and simulates on a dedicated worker thread (the
+/// async serving front end) must execute *as if* on the submitting
+/// thread, or `with_mode(ExecMode::Serial, ..)` around the service would
+/// silently not apply. Capture on the controlling thread, then wrap the
+/// worker's processing in [`ExecContext::scope`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext {
+    mode: u8,
+    workers: usize,
+}
+
+impl ExecContext {
+    /// Captures the current thread's override state (including "no
+    /// override set", which leaves environment resolution intact).
+    pub fn capture() -> ExecContext {
+        ExecContext {
+            mode: MODE_OVERRIDE.get(),
+            workers: WORKERS_OVERRIDE.get(),
+        }
+    }
+
+    /// Runs `f` with this snapshot's overrides in effect on the current
+    /// thread, restoring the previous state afterwards (also on panic).
+    pub fn scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _mode = Restore(&MODE_OVERRIDE, MODE_OVERRIDE.replace(self.mode));
+        let _workers = Restore(&WORKERS_OVERRIDE, WORKERS_OVERRIDE.replace(self.workers));
+        f()
+    }
+}
+
 /// Worker-thread count for `tasks` tasks: an explicit override
 /// ([`with_workers`] or `GROW_THREADS`) wins — including oversubscription
 /// — otherwise the hardware thread count, never more than the task count.

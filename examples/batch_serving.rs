@@ -58,13 +58,15 @@ fn main() {
     for r in &results {
         match &r.outcome {
             Ok(report) => println!(
-                "{:>3}  {:<8} {:<10} {:>14} {:>10.1} {:>9.1}  {}",
+                "{:>3}  {:<8} {:<10} {:>14} {:>10.1} {:>9}  {}",
                 r.index,
                 r.dataset,
                 r.engine,
                 report.total_cycles(),
                 report.dram_bytes() as f64 / (1 << 20) as f64,
-                r.wall_ms,
+                // None = no simulation ran (a cache hit is not a 0.0 ms run).
+                r.wall_ms
+                    .map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}")),
                 if r.cache_hit { "ok (cached)" } else { "ok" },
             ),
             Err(e) => println!(

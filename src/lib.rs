@@ -19,7 +19,7 @@
 //! | [`energy`] | `grow-energy` | Horowitz/CACTI-style energy model, Table IV area model |
 //! | [`model`] | `grow-model` | Table I dataset registry, feature synthesis, functional GCN |
 //! | [`accel`] | `grow-core` | the four accelerator models, preprocessing, multi-PE scheduling + execution models (`exec=post_hoc\|e2e`), experiments |
-//! | [`serve`] | `grow-serve` | `SimSession` + the batch simulation service (job queue, session pool, result cache) |
+//! | [`serve`] | `grow-serve` | `SimSession`, the batch simulation service, the async always-on front end, and the on-disk result store |
 //!
 //! plus [`session`], the single-workload entry point: a [`SimSession`]
 //! (`session::SimSession`) instantiates a workload once, memoizes its
@@ -38,7 +38,11 @@
 //! strategy + `key=value` overrides), shared preparation is deduplicated
 //! through a keyed session pool, completed reports are cached by job key,
 //! and results return in submission order with per-job status — see
-//! [`serve::BatchService`] and `examples/batch_serving.rs`.
+//! [`serve::BatchService`] and `examples/batch_serving.rs`. For always-on
+//! deployments, [`serve::AsyncService`] accepts submissions at any time
+//! behind priority classes and admission control, streams each result on
+//! completion, and — with a [`serve::ResultStore`] attached — serves
+//! repeated queries from disk across process restarts, bit-identically.
 //!
 //! # Quickstart
 //!

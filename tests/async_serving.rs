@@ -1,0 +1,332 @@
+//! Acceptance tests for the always-on serving front end and the on-disk
+//! result store.
+//!
+//! The load-bearing properties:
+//!
+//! * draining an `AsyncService` over the mixed fleet yields outcomes
+//!   **bit-identical** to `BatchService::run_batch`, under a forced-serial
+//!   scope and an oversubscribed 8-worker scope (each CI leg additionally
+//!   runs the whole file under `GROW_SERIAL=1` or parallel);
+//! * a *restarted* service pointed at the same store directory serves the
+//!   entire fleet from disk — zero simulations in its lifetime — with the
+//!   exact reports of the first lifetime;
+//! * corrupt, truncated, or wrong-key store entries are quarantined and
+//!   recomputed, never served;
+//! * admission control rejects over-capacity submissions with a reason,
+//!   and priority classes reorder completion.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use grow::accel::PartitionStrategy;
+use grow::model::DatasetKey;
+use grow::serve::{
+    AsyncConfig, AsyncService, BatchService, JobResult, JobSpec, Priority, ResultStore,
+    SubmitError, Ticket,
+};
+use grow::sim::exec::{with_mode, with_workers, ExecMode};
+
+/// Oversubscribed worker count (the in-code equivalent of
+/// `GROW_THREADS=8`), so threads genuinely interleave even on small CI
+/// machines.
+const WORKERS: usize = 8;
+
+/// A fresh, collision-free store directory per test.
+fn temp_store_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "grow-async-serving-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The mixed 18-job fleet of `tests/batch_serving.rs`: 2 datasets x 4
+/// engines x 2 partition strategies, an override variant, a multi-PE
+/// scheduler variant, and one invalid job.
+fn mixed_jobs() -> Vec<JobSpec> {
+    let cora = DatasetKey::Cora.spec().scaled_to(600);
+    let pubmed = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategies = [
+        PartitionStrategy::None,
+        PartitionStrategy::Multilevel { cluster_nodes: 150 },
+    ];
+    let mut jobs = Vec::new();
+    for spec in [cora, pubmed] {
+        for engine in ["grow", "gcnax", "matraptor", "gamma"] {
+            for strategy in strategies {
+                jobs.push(JobSpec::new(spec, 21, engine).with_strategy(strategy));
+            }
+        }
+    }
+    jobs.push(
+        JobSpec::new(cora, 21, "grow")
+            .with_strategy(strategies[1])
+            .with_override("hdn_cache_kb", "64")
+            .with_override("runahead", "4"),
+    );
+    jobs.push(
+        JobSpec::new(cora, 21, "grow")
+            .with_strategy(strategies[1])
+            .with_override("scheduler", "ws")
+            .with_override("pes", "8"),
+    );
+    // The intentionally invalid job: fails alone, not the fleet.
+    jobs.push(JobSpec::new(pubmed, 21, "npu"));
+    jobs
+}
+
+/// Submits every job, waits every ticket (submission order), returns the
+/// drained results and the recovered inner service.
+fn drain(service: AsyncService, jobs: &[JobSpec]) -> (Vec<JobResult>, BatchService) {
+    let tickets: Vec<Ticket> = jobs
+        .iter()
+        .map(|job| service.submit(job.clone()).expect("under the bound"))
+        .collect();
+    let results: Vec<JobResult> = tickets.into_iter().map(Ticket::wait).collect();
+    (results, service.finish())
+}
+
+fn assert_same_outcomes(sync: &[JobResult], asynchronous: &[JobResult]) {
+    assert_eq!(sync.len(), asynchronous.len());
+    for (s, a) in sync.iter().zip(asynchronous) {
+        assert_eq!(
+            s.outcome, a.outcome,
+            "job {} ({} on {}) diverged between run_batch and async drain",
+            s.index, s.engine, s.dataset
+        );
+        assert_eq!(s.key, a.key);
+    }
+}
+
+#[test]
+fn async_drain_is_bit_identical_to_run_batch() {
+    let jobs = mixed_jobs();
+    let both = |jobs: &[JobSpec]| {
+        let sync = BatchService::new().run_batch(jobs);
+        let (asynchronous, batch) = drain(
+            AsyncService::start(BatchService::new(), AsyncConfig::default()),
+            jobs,
+        );
+        assert_eq!(batch.stats().simulations_run, jobs.len() as u64 - 1);
+        (sync, asynchronous)
+    };
+
+    // The worker thread inherits the caller's scoped overrides, so both
+    // execution shapes run under each mode.
+    let (sync_serial, async_serial) = with_mode(ExecMode::Serial, || both(&jobs));
+    let (sync_parallel, async_parallel) = with_workers(WORKERS, || both(&jobs));
+
+    assert_same_outcomes(&sync_serial, &async_serial);
+    assert_same_outcomes(&sync_parallel, &async_parallel);
+    assert_same_outcomes(&async_serial, &async_parallel);
+
+    // Async results carry the submission id as their index, in order.
+    for (i, r) in async_parallel.iter().enumerate() {
+        assert_eq!(r.index, i);
+    }
+}
+
+#[test]
+fn restarted_service_serves_the_fleet_from_disk() {
+    let jobs = mixed_jobs();
+    let dir = temp_store_dir();
+
+    // Lifetime 1: compute everything, persisting each report.
+    let store = ResultStore::open(&dir).expect("open store");
+    let (first, batch) = drain(
+        AsyncService::start(
+            BatchService::new().with_store(store),
+            AsyncConfig::default(),
+        ),
+        &jobs,
+    );
+    let stats = batch.stats();
+    assert_eq!(stats.simulations_run, jobs.len() as u64 - 1);
+    assert_eq!(stats.store_hits, 0);
+    let store = batch.store().expect("store attached");
+    assert_eq!(
+        store.stats().persisted,
+        jobs.len() as u64 - 1,
+        "every computed report persisted; the failed job never does"
+    );
+    assert_eq!(store.len(), jobs.len() - 1);
+
+    // Lifetime 2: a *fresh* service on the same directory — the entire
+    // fleet must be served from disk, bit-identically, without running a
+    // single simulation.
+    let store = ResultStore::open(&dir).expect("reopen store");
+    let (second, batch) = drain(
+        AsyncService::start(
+            BatchService::new().with_store(store),
+            AsyncConfig::default(),
+        ),
+        &jobs,
+    );
+    let stats = batch.stats();
+    assert_eq!(stats.simulations_run, 0, "second lifetime computes nothing");
+    assert_eq!(stats.store_hits, jobs.len() as u64 - 1);
+    assert_eq!(stats.sessions_created, 0, "no workload even instantiated");
+    for (f, s) in first.iter().zip(&second) {
+        assert_eq!(f.outcome, s.outcome, "store round-trip must be exact");
+        if s.outcome.is_ok() {
+            assert!(s.cache_hit, "store hits are cache hits");
+            assert_eq!(s.wall_ms, None, "no simulation ran");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_store_entries_are_quarantined_not_served() {
+    let dir = temp_store_dir();
+    let mut store = ResultStore::open(&dir).expect("open store");
+    let spec = DatasetKey::Cora.spec().scaled_to(300);
+    let job = JobSpec::new(spec, 9, "grow");
+    let key = job.key();
+    let report = BatchService::new()
+        .run_one(&job)
+        .outcome
+        .expect("valid job");
+    store.persist(&key, &report).expect("persist");
+
+    // The round trip is exact before any tampering.
+    assert_eq!(store.load(&key), Some(report.clone()));
+    assert_eq!(store.stats().hits, 1);
+
+    // A truncated entry (torn write survived a crash) is quarantined.
+    let path = store.entry_path(&key);
+    let text = std::fs::read_to_string(&path).expect("entry exists");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+    assert_eq!(store.load(&key), None, "truncated entry never served");
+    assert_eq!(store.stats().quarantined, 1);
+    assert!(store.is_empty(), "quarantined files are not live entries");
+
+    // Foreign bytes under the right name are quarantined too.
+    std::fs::write(&path, "grow-store v1\nkey nonsense\n").expect("write");
+    assert_eq!(store.load(&key), None);
+    assert_eq!(store.stats().quarantined, 2);
+
+    // An entry copied under another key's file name fails key
+    // verification — a hash collision or a mis-filed entry is never
+    // trusted.
+    store.persist(&key, &report).expect("persist again");
+    let other = JobSpec::new(spec, 10, "grow").key();
+    std::fs::copy(store.entry_path(&key), store.entry_path(&other)).expect("copy");
+    assert_eq!(store.load(&other), None, "wrong-key entry never served");
+
+    // The serving path recomputes after quarantine instead of failing:
+    // the original key's entry is intact, the mis-filed one is gone.
+    let mut service = BatchService::new().with_store(store);
+    let served = service.run_one(&job);
+    assert!(served.cache_hit, "intact entry still serves");
+    assert_eq!(served.outcome.expect("served"), report);
+    assert_eq!(service.stats().simulations_run, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_control_rejects_over_capacity_submissions() {
+    let spec = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let service = AsyncService::start(
+        BatchService::new(),
+        AsyncConfig {
+            queue_capacity: 2,
+            session_capacity: None,
+        },
+    );
+    assert_eq!(service.queue_capacity(), 2);
+    // Two admitted jobs fill the pending set (a job stays pending until
+    // it completes, and these take milliseconds to simulate).
+    let t1 = service
+        .submit(JobSpec::new(spec, 1, "grow").with_strategy(strategy))
+        .expect("first admitted");
+    let t2 = service
+        .submit(JobSpec::new(spec, 2, "gcnax"))
+        .expect("second admitted");
+    match service.submit(JobSpec::new(spec, 3, "gamma")) {
+        Err(SubmitError::QueueFull { capacity, pending }) => {
+            assert_eq!(capacity, 2);
+            assert!(pending >= 1, "rejection reports the pending load");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // Draining frees capacity; the resubmission is admitted and runs.
+    assert!(t1.wait().outcome.is_ok());
+    assert!(t2.wait().outcome.is_ok());
+    let t3 = service
+        .submit(JobSpec::new(spec, 3, "gamma"))
+        .expect("admitted after drain");
+    assert!(t3.wait().outcome.is_ok());
+    let batch = service.finish();
+    assert_eq!(batch.stats().simulations_run, 3);
+}
+
+#[test]
+fn priority_classes_reorder_completion() {
+    // The Low submission lands before the High one, so FIFO service would
+    // complete Low first; the class order must complete High first. The
+    // scenario is timing-sensitive in one narrow way — if the worker goes
+    // idle in the microseconds between the two submits it picks Low
+    // simply because nothing else is queued — so a racy run (possible on
+    // an oversubscribed CI box) is retried; a genuine FIFO regression
+    // fails every attempt deterministically.
+    let spec = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let mut last_order = Vec::new();
+    for attempt in 0..3 {
+        let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+        // The first submission occupies the worker for several
+        // milliseconds while the Low and High submissions land.
+        let occupy = service
+            .submit(JobSpec::new(spec, 50, "grow").with_strategy(strategy))
+            .expect("admitted");
+        let low = service
+            .submit_with(JobSpec::new(spec, 51, "gcnax"), Priority::Low)
+            .expect("admitted");
+        let high = service
+            .submit_with(JobSpec::new(spec, 52, "matraptor"), Priority::High)
+            .expect("admitted");
+        let (low_id, high_id) = (low.id(), high.id());
+        assert!(occupy.wait().outcome.is_ok());
+        assert!(low.wait().outcome.is_ok());
+        assert!(high.wait().outcome.is_ok());
+        let order = service.completed_ids();
+        service.finish();
+        let pos = |id| order.iter().position(|&c| c == id).expect("completed");
+        if pos(high_id) < pos(low_id) {
+            return;
+        }
+        last_order = order;
+        eprintln!("attempt {attempt}: worker went idle between submits; retrying");
+    }
+    panic!("High never overtook Low in the completion sequence: {last_order:?}");
+}
+
+#[test]
+fn async_config_bounds_the_session_pool() {
+    let service = AsyncService::start(
+        BatchService::new(),
+        AsyncConfig {
+            queue_capacity: 16,
+            session_capacity: Some(1),
+        },
+    );
+    for seed in 0..3u64 {
+        let job = JobSpec::new(DatasetKey::Cora.spec().scaled_to(300), seed, "gcnax");
+        assert!(service
+            .submit(job)
+            .expect("admitted")
+            .wait()
+            .outcome
+            .is_ok());
+    }
+    let batch = service.finish();
+    assert_eq!(batch.pooled_sessions(), 1, "pool bounded by the config");
+    assert_eq!(batch.session_capacity(), Some(1));
+    assert_eq!(batch.stats().sessions_created, 3);
+    assert_eq!(batch.stats().sessions_evicted, 2);
+}
