@@ -4,9 +4,14 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--seed N] [--datasets a,b,c] [--max-nodes N] [--full] [--out DIR] <ids...>
+//! experiments [--seed N] [--datasets a,b,c] [--max-nodes N] [--full]
+//!             [--channels N] [--banks N] [--out DIR] <ids...>
 //! experiments all
 //! ```
+//!
+//! `--channels`/`--banks` select the banked memory topology for the
+//! end-to-end experiments (`figure24`); the default `1 1` is the uniform
+//! fluid pipe.
 //!
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
 //! fig18 fig19 fig20 fig21 fig22 table4 fig24 figure24 fig25a fig25b
@@ -46,6 +51,8 @@ fn main() {
     let mut keys: Vec<DatasetKey> = DatasetKey::ALL.to_vec();
     let mut max_nodes: Option<usize> = None;
     let mut full = false;
+    let mut channels = 1usize;
+    let mut banks = 1usize;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
 
@@ -73,6 +80,13 @@ fn main() {
                 )
             }
             "--full" => full = true,
+            "--channels" => {
+                channels = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--channels N")
+            }
+            "--banks" => banks = it.next().and_then(|v| v.parse().ok()).expect("--banks N"),
             "--out" => out_dir = PathBuf::from(it.next().expect("--out DIR")),
             "--help" | "-h" => {
                 eprintln!("see crate docs: experiments [flags] <ids...> | all");
@@ -121,6 +135,8 @@ fn main() {
     let mut ctx = Context::new(keys, seed);
     ctx.max_nodes = max_nodes;
     ctx.full_scale = full;
+    ctx.channels = channels.max(1);
+    ctx.banks = banks.max(1);
     // One batch service for the whole invocation: the registry-driven
     // experiments share pooled sessions and cached reports (running
     // `engines sweep` prepares each workload once, not twice).
@@ -976,11 +992,17 @@ fn figure24(ctx: &Context, service: &mut BatchService, out_dir: &std::path::Path
                 &pe_counts,
             )
             .into_iter()
-            .map(|job| job.with_exec_model(ExecModelKind::EndToEnd)),
+            .map(|job| {
+                job.with_exec_model(ExecModelKind::EndToEnd)
+                    .with_channels(ctx.channels)
+                    .with_banks(ctx.banks)
+            }),
         );
     }
     eprintln!(
-        "[run] figure24 (exec=e2e): {} datasets x {} engines x {} PE counts x {} schedulers = {} jobs",
+        "[run] figure24 (exec=e2e, channels={} banks={}): {} datasets x {} engines x {} PE counts x {} schedulers = {} jobs",
+        ctx.channels,
+        ctx.banks,
         specs.len(),
         ENGINE_NAMES.len(),
         pe_counts.len(),
@@ -1082,6 +1104,8 @@ fn figure24(ctx: &Context, service: &mut BatchService, out_dir: &std::path::Path
         ("source", grow_bench::json::string("experiments")),
         ("exec", grow_bench::json::string("e2e")),
         ("seed", grow_bench::json::uint(ctx.seed)),
+        ("channels", grow_bench::json::uint(ctx.channels as u64)),
+        ("banks", grow_bench::json::uint(ctx.banks as u64)),
         ("rows", grow_bench::json::array(json_rows)),
     ]);
     if let Err(e) = std::fs::create_dir_all(out_dir)

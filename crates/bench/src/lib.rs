@@ -329,6 +329,12 @@ pub struct Context {
     pub max_nodes: Option<usize>,
     /// Use the paper's unscaled node counts.
     pub full_scale: bool,
+    /// Banked-memory channel count for the e2e experiments (`channels=`
+    /// override; 1 = the uniform fluid pipe).
+    pub channels: usize,
+    /// Per-channel bank count for the e2e experiments (`banks=`
+    /// override).
+    pub banks: usize,
     evals: Vec<Option<DatasetEval>>,
 }
 
@@ -341,6 +347,8 @@ impl Context {
             seed,
             max_nodes: None,
             full_scale: false,
+            channels: 1,
+            banks: 1,
             evals: vec![None; n],
         }
     }

@@ -14,9 +14,14 @@
 //! * [`ExecModelKind::EndToEnd`] (`exec=e2e`) — `pes=N` is a real
 //!   execution mode: each phase's clusters are dispatched through the
 //!   configured [`Scheduler`](crate::schedule::Scheduler) onto `N`
-//!   virtual PEs that contend for the shared memory channel under
-//!   water-filling bandwidth sharing ([`multi_pe::simulate_e2e`]), and the
-//!   resulting makespan *is* the phase's cycle count. Combination and
+//!   virtual PEs that contend for the shared memory system under
+//!   water-filling bandwidth sharing ([`multi_pe::simulate_e2e`]) — with a
+//!   non-default channel/bank topology
+//!   ([`MemTopology`](grow_sim::MemTopology), registry keys `channels=` /
+//!   `banks=`) the banked contention model
+//!   ([`multi_pe::simulate_e2e_banked`]) adds per-request bank-conflict
+//!   stalls on top — and the resulting makespan *is* the phase's cycle
+//!   count. Combination and
 //!   aggregation timelines compose with inter-phase (and inter-layer)
 //!   sync barriers: a phase's cluster fan-out starts only after the
 //!   previous phase — and any serial prologue — has fully drained. Each
@@ -79,7 +84,7 @@ impl ExecModelKind {
 }
 
 /// One engine run's execution model: the configured multi-PE arrangement
-/// plus the per-PE bandwidth share, built once per
+/// plus the memory-system parameters, built once per
 /// [`Accelerator::run`](crate::Accelerator::run) and threaded through the
 /// [`pipeline`](crate::pipeline) so every phase composes its cluster
 /// fragments the same way.
@@ -87,17 +92,38 @@ impl ExecModelKind {
 pub struct ExecModel {
     cfg: MultiPeConfig,
     per_pe_bytes_per_cycle: f64,
+    dram: grow_sim::DramConfig,
 }
 
 impl ExecModel {
     /// Builds the execution model for one run: `cfg` names the PE count,
-    /// scheduler, and model kind; `per_pe_bytes_per_cycle` is each PE's
-    /// average share of the channel (total bandwidth scales with `pes`,
-    /// per Section VII-F).
+    /// scheduler, model kind, and channel/bank topology;
+    /// `per_pe_bytes_per_cycle` is each PE's average share of the channel
+    /// (total bandwidth scales with `pes`, per Section VII-F). Request
+    /// granularity and per-request overhead — the banked contention
+    /// parameters — take the Table III defaults; engines that carry a
+    /// full [`DramConfig`](grow_sim::DramConfig) should use
+    /// [`ExecModel::with_dram`] so registry overrides of those knobs
+    /// reach the contention model too.
     pub fn new(cfg: MultiPeConfig, per_pe_bytes_per_cycle: f64) -> Self {
+        ExecModel::with_dram(
+            cfg,
+            grow_sim::DramConfig {
+                bytes_per_cycle: per_pe_bytes_per_cycle,
+                ..grow_sim::DramConfig::default()
+            },
+        )
+    }
+
+    /// Builds the execution model from an engine's full DRAM
+    /// configuration: the per-PE bandwidth share is
+    /// `dram.bytes_per_cycle`, and the banked contention model reuses the
+    /// engine's `access_granularity` and `request_overhead_cycles`.
+    pub fn with_dram(cfg: MultiPeConfig, dram: grow_sim::DramConfig) -> Self {
         ExecModel {
             cfg,
-            per_pe_bytes_per_cycle,
+            per_pe_bytes_per_cycle: dram.bytes_per_cycle,
+            dram,
         }
     }
 
@@ -137,11 +163,13 @@ impl ExecModel {
             merged.absorb_sequential(partial);
         }
         if self.cfg.exec == ExecModelKind::EndToEnd {
-            let run = multi_pe::simulate_e2e(
+            let run = multi_pe::simulate_e2e_banked(
                 &merged.cluster_profiles,
                 self.cfg.pes,
                 self.per_pe_bytes_per_cycle,
                 self.cfg.scheduler,
+                &self.dram,
+                self.cfg.topology,
             );
             if self.cfg.pes > 1 {
                 merged.cycles = run.makespan.round() as u64;
@@ -219,6 +247,7 @@ mod tests {
                 pes,
                 scheduler: SchedulerKind::RoundRobin,
                 exec: kind,
+                ..MultiPeConfig::default()
             },
             32.0,
         )
@@ -296,6 +325,35 @@ mod tests {
         assert_eq!(pe.per_pe_busy.len(), 4);
         let busy: f64 = pe.per_pe_busy.iter().sum();
         assert!((busy - pe.cluster_time).abs() / busy < 1e-9, "conservation");
+    }
+
+    #[test]
+    fn banked_topology_reaches_the_composition() {
+        use grow_sim::MemTopology;
+        // Memory-bound fragments all homed on one banked channel: the
+        // composed phase must stretch past the idealized uniform pipe.
+        let parts = || (0..16).map(|_| fragment(1000, 10, 4000)).collect();
+        let uniform = model(ExecModelKind::EndToEnd, 4).compose(PhaseKind::Aggregation, parts());
+        let banked_cfg = MultiPeConfig {
+            pes: 4,
+            scheduler: SchedulerKind::RoundRobin,
+            exec: ExecModelKind::EndToEnd,
+            topology: MemTopology::new(1, 4),
+        };
+        let banked = ExecModel::new(banked_cfg, 32.0).compose(PhaseKind::Aggregation, parts());
+        assert!(
+            banked.cycles > uniform.cycles,
+            "banked {} vs uniform {}",
+            banked.cycles,
+            uniform.cycles
+        );
+        // The default topology is the uniform pipe, bit for bit.
+        let default_cfg = MultiPeConfig {
+            topology: MemTopology::default(),
+            ..banked_cfg
+        };
+        let defaulted = ExecModel::new(default_cfg, 32.0).compose(PhaseKind::Aggregation, parts());
+        assert_eq!(defaulted, uniform);
     }
 
     #[test]

@@ -122,11 +122,8 @@ pub fn run_with_aggregation(
     // GIN/GAT added phase work above; re-finalize through the engine's
     // execution model so the summary always describes the report it is
     // attached to (under either exec model).
-    crate::exec_model::ExecModel::new(
-        engine.config().multi_pe,
-        engine.config().dram.bytes_per_cycle,
-    )
-    .finalize(&mut report);
+    crate::exec_model::ExecModel::with_dram(engine.config().multi_pe, engine.config().dram)
+        .finalize(&mut report);
     report
 }
 

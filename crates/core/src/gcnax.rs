@@ -518,7 +518,7 @@ impl Accelerator for GcnaxEngine {
                     .map(|_| OnceLock::new())
                     .collect()
             });
-        let model = ExecModel::new(self.config.multi_pe, self.config.dram.bytes_per_cycle);
+        let model = ExecModel::with_dram(self.config.multi_pe, self.config.dram);
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_phase(
                 &model,
@@ -725,7 +725,7 @@ mod tests {
         let pattern_view = RowMajorSparse::Pattern(&pattern);
         let arena = ScratchArena::new();
         let plans = ScratchArena::new();
-        let model = ExecModel::new(cfg.multi_pe, cfg.dram.bytes_per_cycle);
+        let model = ExecModel::with_dram(cfg.multi_pe, cfg.dram);
         let a = engine.run_phase(
             &model,
             PhaseKind::Combination,

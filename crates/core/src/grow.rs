@@ -885,7 +885,7 @@ impl Accelerator for GrowEngine {
                     .map(|_| OnceLock::new())
                     .collect()
             });
-        let model = ExecModel::new(self.config.multi_pe, self.config.dram.bytes_per_cycle);
+        let model = ExecModel::with_dram(self.config.multi_pe, self.config.dram);
         let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
             combination: self.run_combination(
                 &model,

@@ -22,6 +22,8 @@
 //! calibrated variant the end-to-end execution model
 //! ([`crate::exec_model`]) composes phase cycle counts with.
 
+use grow_sim::{DramConfig, MemTopology};
+
 use crate::schedule::{Scheduler, SchedulerKind};
 use crate::ClusterProfile;
 
@@ -63,10 +65,14 @@ impl MultiPeRun {
 
     /// Load-imbalance ratio: busiest PE over mean PE busy time. 1.0 means
     /// perfectly balanced; `pes` means one PE did all the work. Defined as
-    /// 1.0 for an empty run.
+    /// 1.0 for an empty run *and* for a degenerate run whose busy total is
+    /// zero or non-finite (a non-empty fleet of zero-cycle clusters must
+    /// not divide by 0.0 into a NaN).
     pub fn imbalance(&self) -> f64 {
         let total = self.busy_total();
-        if total <= 0.0 || self.per_pe_busy.is_empty() {
+        // The NaN check matters: a poisoned busy vector would otherwise
+        // sail through `<= 0.0` and propagate NaN out of the division.
+        if total.is_nan() || total <= 0.0 || self.per_pe_busy.is_empty() {
             return 1.0;
         }
         let max = self.per_pe_busy.iter().cloned().fold(0.0f64, f64::max);
@@ -160,6 +166,180 @@ pub fn simulate_e2e(
         scheduler.scheduler().as_ref(),
         true,
     )
+}
+
+/// [`simulate_e2e`] against a banked multi-channel memory system: clusters
+/// interleave across `topology.channels` by index, and each memory-active
+/// task pays a per-request bank-conflict stall proportional to how many
+/// other memory-active tasks share its home channel (amortized over
+/// `topology.banks`; the per-request cost reuses
+/// [`DramConfig::request_overhead_cycles`], see
+/// [`MemTopology::conflict_penalty_per_byte`]). The calibration residue is
+/// unchanged, so with one PE no two tasks are ever co-resident, no stall
+/// accrues, and the run still reproduces the detailed sequential
+/// composition bit-identically.
+///
+/// The uniform `1x1` topology short-circuits to [`simulate_e2e`]'s exact
+/// legacy path — `channels=1 banks=1` is *defined* as the idealized shared
+/// pipe the committed e2e golden snapshots model, so those bytes are
+/// reproduced by construction.
+///
+/// Schedulers are built through
+/// [`Scheduler::dispatcher_banked`](crate::schedule::Scheduler::dispatcher_banked),
+/// so channel-affinity-aware policies (`ca`) see the topology while the
+/// oblivious ones dispatch exactly as they do on the uniform pipe.
+///
+/// # Panics
+///
+/// Panics if `pes == 0` or the bandwidth is not positive.
+pub fn simulate_e2e_banked(
+    profiles: &[ClusterProfile],
+    pes: usize,
+    per_pe_bytes_per_cycle: f64,
+    scheduler: SchedulerKind,
+    dram: &DramConfig,
+    topology: MemTopology,
+) -> MultiPeRun {
+    if topology.is_uniform() {
+        return simulate_e2e(profiles, pes, per_pe_bytes_per_cycle, scheduler);
+    }
+    simulate_fluid_banked(
+        profiles,
+        pes,
+        per_pe_bytes_per_cycle,
+        scheduler.scheduler().as_ref(),
+        dram,
+        topology,
+    )
+}
+
+/// The banked variant of [`simulate_fluid`], always calibrated (`e2e`).
+/// Same event loop and water-filling; the only additions are the home
+/// channels and the co-residency-dependent conflict stall folded into each
+/// task's memory time. Conflict terms are piecewise-constant between
+/// completion events (the live set only changes there), so the
+/// minimum-completion event stepping stays exact.
+fn simulate_fluid_banked(
+    profiles: &[ClusterProfile],
+    pes: usize,
+    per_pe_bytes_per_cycle: f64,
+    scheduler: &dyn Scheduler,
+    dram: &DramConfig,
+    topology: MemTopology,
+) -> MultiPeRun {
+    assert!(pes > 0, "at least one PE");
+    assert!(per_pe_bytes_per_cycle > 0.0, "bandwidth must be positive");
+    let total_bw = pes as f64 * per_pe_bytes_per_cycle;
+    let mut dispatch = scheduler.dispatcher_banked(profiles, pes, per_pe_bytes_per_cycle, topology);
+
+    struct Task {
+        idx: usize,
+        c: f64,
+        m: f64,
+        s: f64,
+        w: f64,
+        channel: usize,
+    }
+    let spawn = |i: usize| {
+        let c = profiles[i].compute_cycles as f64;
+        let m = profiles[i].mem_bytes as f64;
+        // Calibration residue, identical to the uniform e2e path: the
+        // detailed timeline beyond the overlap model's fair-share estimate.
+        let s = (profiles[i].cycles as f64 - c.max(m / per_pe_bytes_per_cycle)).max(0.0);
+        Task {
+            idx: i,
+            c,
+            m,
+            s,
+            w: 1.0,
+            channel: topology.home_channel(i),
+        }
+    };
+    let mut active: Vec<Option<Task>> = (0..pes).map(|p| dispatch.next(p).map(spawn)).collect();
+    let mut busy = vec![0.0f64; pes];
+    let mut cluster_cycles = vec![0.0f64; profiles.len()];
+
+    let mut t = 0.0f64;
+    loop {
+        let live: Vec<usize> = (0..pes).filter(|&p| active[p].is_some()).collect();
+        if live.is_empty() {
+            break;
+        }
+        // Memory-active co-residency per channel: how many live tasks with
+        // traffic are homed on each channel right now.
+        let mut channel_load = vec![0usize; topology.channels];
+        for &p in &live {
+            let task = active[p].as_ref().expect("live");
+            if task.m > 0.0 {
+                channel_load[task.channel] += 1;
+            }
+        }
+
+        // Water-fill the aggregate bandwidth, exactly as on the uniform
+        // pipe (address interleaving lets any stream draw on the whole
+        // channel array; conflicts, not peak bandwidth, are per-channel).
+        let mut order: Vec<(f64, usize)> = live
+            .iter()
+            .map(|&p| {
+                let task = active[p].as_ref().expect("live");
+                let demand = if task.c <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    task.m / task.c
+                };
+                (demand, p)
+            })
+            .collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite-ish demands"));
+        let mut alloc = vec![0.0f64; pes];
+        let mut remaining = total_bw;
+        let mut left = order.len();
+        for &(demand, p) in &order {
+            let share = remaining / left as f64;
+            let a = demand.min(share);
+            alloc[p] = a;
+            remaining -= a;
+            left -= 1;
+        }
+
+        let mut dt = f64::INFINITY;
+        let mut rates = vec![0.0f64; pes];
+        for &p in &live {
+            let task = active[p].as_ref().expect("live");
+            let mem_time = if task.m <= 0.0 {
+                0.0
+            } else if alloc[p] <= 0.0 {
+                f64::INFINITY
+            } else {
+                // Transfer time plus the expected bank-conflict stall for
+                // sharing the home channel with `load - 1` other
+                // memory-active tasks.
+                let co_residents = channel_load[task.channel] - 1;
+                task.m / alloc[p] + task.m * topology.conflict_penalty_per_byte(dram, co_residents)
+            };
+            let duration = (task.c.max(mem_time) + task.s).max(1e-9);
+            rates[p] = 1.0 / duration;
+            dt = dt.min(task.w / rates[p]);
+        }
+
+        t += dt;
+        for &p in &live {
+            busy[p] += dt;
+            let task = active[p].as_mut().expect("live");
+            cluster_cycles[task.idx] += dt;
+            task.w -= rates[p] * dt;
+            if task.w <= 1e-9 {
+                active[p] = dispatch.next(p).map(spawn);
+            }
+        }
+    }
+    MultiPeRun {
+        scheduler: scheduler.name(),
+        pes,
+        makespan: t,
+        per_pe_busy: busy,
+        cluster_cycles,
+    }
 }
 
 fn simulate_fluid(
@@ -449,6 +629,143 @@ mod tests {
             rr.makespan
         );
         assert!(ws.imbalance() < rr.imbalance());
+    }
+
+    #[test]
+    fn imbalance_is_one_for_zero_busy_totals_and_nan() {
+        // Regression: a non-empty fleet of zero-cycle clusters has a 0.0
+        // busy total; `max * len / total` must not produce NaN.
+        let zero = MultiPeRun {
+            scheduler: "rr",
+            pes: 4,
+            makespan: 0.0,
+            per_pe_busy: vec![0.0; 4],
+            cluster_cycles: vec![],
+        };
+        assert_eq!(zero.imbalance(), 1.0);
+        assert!(!zero.imbalance().is_nan());
+        // A poisoned busy vector must not propagate NaN either.
+        let poisoned = MultiPeRun {
+            per_pe_busy: vec![f64::NAN, 1.0],
+            ..zero
+        };
+        assert_eq!(poisoned.imbalance(), 1.0);
+    }
+
+    fn calibrated(c: u64, m: u64, bw: f64) -> ClusterProfile {
+        // A plausible detailed timeline: overlap estimate + 10% residue.
+        ClusterProfile {
+            compute_cycles: c,
+            mem_bytes: m,
+            cycles: ((c as f64).max(m as f64 / bw) * 1.1) as u64,
+        }
+    }
+
+    #[test]
+    fn banked_uniform_topology_is_bit_identical_to_the_fluid_pipe() {
+        let profiles: Vec<ClusterProfile> = (0..32)
+            .map(|i| calibrated(50 + 13 * i, 40 * (i % 7), 4.0))
+            .collect();
+        let dram = DramConfig::default();
+        for pes in [1usize, 3, 8] {
+            for kind in SchedulerKind::ALL {
+                let fluid = simulate_e2e(&profiles, pes, 4.0, kind);
+                let banked =
+                    simulate_e2e_banked(&profiles, pes, 4.0, kind, &dram, MemTopology::default());
+                assert_eq!(fluid, banked, "pes={pes} scheduler={}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_stretch_contended_memory_phases() {
+        // Memory-bound tasks all homed on one channel: the banked model
+        // must charge conflict stalls the idealized pipe does not.
+        let profiles: Vec<ClusterProfile> = (0..16).map(|_| calibrated(10, 4000, 4.0)).collect();
+        let dram = DramConfig::default();
+        let ideal = simulate_e2e(&profiles, 4, 4.0, SchedulerKind::RoundRobin);
+        let banked = simulate_e2e_banked(
+            &profiles,
+            4,
+            4.0,
+            SchedulerKind::RoundRobin,
+            &dram,
+            MemTopology::new(1, 8),
+        );
+        assert!(
+            banked.makespan > ideal.makespan,
+            "banked {} vs ideal {}",
+            banked.makespan,
+            ideal.makespan
+        );
+        // With one PE nothing is ever co-resident: no stall, identical run.
+        let solo_ideal = simulate_e2e(&profiles, 1, 4.0, SchedulerKind::RoundRobin);
+        let solo_banked = simulate_e2e_banked(
+            &profiles,
+            1,
+            4.0,
+            SchedulerKind::RoundRobin,
+            &dram,
+            MemTopology::new(1, 8),
+        );
+        assert_eq!(solo_ideal, solo_banked);
+    }
+
+    #[test]
+    fn more_channels_and_more_banks_never_slower() {
+        let profiles = crate::schedule::power_law_profiles(96, 11);
+        let dram = DramConfig::default();
+        for kind in [SchedulerKind::RoundRobin, SchedulerKind::ContentionAware] {
+            let mut prev = f64::INFINITY;
+            for channels in [1usize, 2, 4, 8, 16] {
+                let run = simulate_e2e_banked(
+                    &profiles,
+                    8,
+                    4.0,
+                    kind,
+                    &dram,
+                    MemTopology::new(channels, 8),
+                );
+                assert!(
+                    run.makespan <= prev * (1.0 + 1e-9),
+                    "{}: channels={channels} slower ({} > {prev})",
+                    kind.name(),
+                    run.makespan
+                );
+                prev = run.makespan;
+            }
+            let mut prev = f64::INFINITY;
+            for banks in [1usize, 2, 4, 8] {
+                let run =
+                    simulate_e2e_banked(&profiles, 8, 4.0, kind, &dram, MemTopology::new(4, banks));
+                assert!(
+                    run.makespan <= prev * (1.0 + 1e-9),
+                    "{}: banks={banks} slower ({} > {prev})",
+                    kind.name(),
+                    run.makespan
+                );
+                prev = run.makespan;
+            }
+        }
+    }
+
+    #[test]
+    fn busy_cycle_conservation_holds_under_banking() {
+        let profiles = crate::schedule::power_law_profiles(64, 5);
+        let run = simulate_e2e_banked(
+            &profiles,
+            4,
+            4.0,
+            SchedulerKind::ContentionAware,
+            &DramConfig::default(),
+            MemTopology::new(4, 8),
+        );
+        let busy = run.busy_total();
+        let cluster: f64 = run.cluster_cycles.iter().sum();
+        assert!((busy - cluster).abs() / busy.max(1.0) < 1e-9);
+        for &b in &run.per_pe_busy {
+            assert!(b <= run.makespan * (1.0 + 1e-9));
+        }
     }
 
     #[test]

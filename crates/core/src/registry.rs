@@ -129,24 +129,28 @@ fn apply_dram_key(dram: &mut DramConfig, key: &str, value: &str) -> Result<bool,
 }
 
 /// Applies the multi-PE keys shared by every engine (`pes=N`,
-/// `scheduler=rr|lpt|ws|ca`, `exec=post_hoc|e2e`); returns `true` if
-/// `key` was one of them.
+/// `scheduler=rr|lpt|ws|ca`, `exec=post_hoc|e2e`, and the banked-memory
+/// topology `channels=N` / `banks=N`); returns `true` if `key` was one of
+/// them.
 fn apply_schedule_key(
     cfg: &mut MultiPeConfig,
     key: &str,
     value: &str,
 ) -> Result<bool, RegistryError> {
-    match key {
-        "pes" => {
-            let pes: usize = parse(key, value)?;
-            if pes == 0 {
-                return Err(RegistryError::InvalidValue {
-                    key: key.to_string(),
-                    value: value.to_string(),
-                });
-            }
-            cfg.pes = pes;
+    let positive = |key: &str, value: &str| -> Result<usize, RegistryError> {
+        let n: usize = parse(key, value)?;
+        if n == 0 {
+            return Err(RegistryError::InvalidValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            });
         }
+        Ok(n)
+    };
+    match key {
+        "pes" => cfg.pes = positive(key, value)?,
+        "channels" => cfg.topology.channels = positive(key, value)?,
+        "banks" => cfg.topology.banks = positive(key, value)?,
         "scheduler" => {
             cfg.scheduler = SchedulerKind::parse(value)
                 .ok_or_else(|| RegistryError::UnknownScheduler(value.to_string()))?;
@@ -565,6 +569,43 @@ mod tests {
                 },
                 "{bad_pes}"
             );
+        }
+    }
+
+    #[test]
+    fn every_engine_accepts_banked_topology_keys() {
+        let p = prepared();
+        for name in ENGINE_NAMES {
+            let report = engine_from_overrides(
+                name,
+                &[
+                    ("exec", "e2e"),
+                    ("pes", "4"),
+                    ("channels", "4"),
+                    ("banks", "8"),
+                ],
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .run(&p);
+            assert!(report.multi_pe_breakdown().is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn banked_topology_overrides_are_validated() {
+        for key in ["channels", "banks"] {
+            for bad in ["0", "-3", "many"] {
+                assert_eq!(
+                    engine_from_overrides("grow", &[(key, bad)])
+                        .err()
+                        .expect("must fail"),
+                    RegistryError::InvalidValue {
+                        key: key.into(),
+                        value: bad.into()
+                    },
+                    "{key}={bad}"
+                );
+            }
         }
     }
 

@@ -97,10 +97,12 @@ impl PhasePeBusy {
     }
 
     /// Load-imbalance ratio of this phase: busiest PE over mean PE busy
-    /// time (1.0 for an empty or perfectly balanced phase).
+    /// time (1.0 for an empty or perfectly balanced phase, and for a
+    /// degenerate phase whose busy total is zero or non-finite — never
+    /// NaN).
     pub fn imbalance(&self) -> f64 {
         let total: f64 = self.per_pe_busy.iter().sum();
-        if total <= 0.0 || self.per_pe_busy.is_empty() {
+        if total.is_nan() || total <= 0.0 || self.per_pe_busy.is_empty() {
             return 1.0;
         }
         let max = self.per_pe_busy.iter().cloned().fold(0.0f64, f64::max);
@@ -289,6 +291,13 @@ impl RunReport {
 
     /// Activity counts for the energy model (Figure 22), with the engine's
     /// total SRAM capacity supplied by the caller.
+    ///
+    /// For a multi-PE end-to-end run (`exec=e2e`, `pes > 1`) the per-phase
+    /// [`PhasePeBusy`] breakdowns are folded into the fleet PE-cycle
+    /// counters, so leakage charges every PE — busy *or idle* — for the
+    /// full phase makespan rather than the single reference timeline.
+    /// Single-PE and post-hoc runs leave those counters zero and the
+    /// energy estimate is bit-identical to the pre-fleet behavior.
     pub fn activity(&self, sram_kb: f64) -> ActivityCounts {
         let mut a = ActivityCounts {
             sram_kb,
@@ -306,6 +315,18 @@ impl RunReport {
         // accumulator write), the usual vector-MAC bookkeeping.
         a.rf_accesses = 3 * a.mac_ops;
         a.cycles = self.total_cycles();
+        if let Some(breakdown) = self.multi_pe_breakdown() {
+            if breakdown.pes > 1 {
+                for layer in &breakdown.layers {
+                    for pe in [&layer.combination, &layer.aggregation] {
+                        let busy: f64 = pe.per_pe_busy.iter().sum();
+                        let fleet = pe.makespan * breakdown.pes as f64;
+                        a.pe_busy_cycles += busy.round() as u64;
+                        a.pe_idle_cycles += (fleet - busy).max(0.0).round() as u64;
+                    }
+                }
+            }
+        }
         a
     }
 

@@ -34,6 +34,8 @@
 
 use std::collections::VecDeque;
 
+use grow_sim::MemTopology;
+
 use crate::multi_pe;
 use crate::{ClusterProfile, MultiPeSummary, RunReport};
 
@@ -117,6 +119,29 @@ pub trait Scheduler: Send + Sync {
         pes: usize,
         per_pe_bytes_per_cycle: f64,
     ) -> Box<dyn Dispatcher>;
+
+    /// Creates the dispatch state for one *banked-memory* simulation (see
+    /// [`MemTopology`]): like [`Scheduler::dispatcher`], but the policy is
+    /// told how clusters map onto memory channels, so it can order each
+    /// PE's work by channel affinity (prefetch-friendly sequences that
+    /// avoid dispatching two memory-bound clusters onto the same channel
+    /// at once).
+    ///
+    /// The default implementation ignores the topology and defers to
+    /// [`Scheduler::dispatcher`] — topology-oblivious policies (`rr`,
+    /// `lpt`, `ws`) dispatch identically with or without banking, which
+    /// is exactly what makes the contention delta attributable to the
+    /// channel-affinity-aware policies (`ca`).
+    fn dispatcher_banked(
+        &self,
+        profiles: &[ClusterProfile],
+        pes: usize,
+        per_pe_bytes_per_cycle: f64,
+        topology: MemTopology,
+    ) -> Box<dyn Dispatcher> {
+        let _ = topology;
+        self.dispatcher(profiles, pes, per_pe_bytes_per_cycle)
+    }
 }
 
 /// Per-simulation dispatch state created by a [`Scheduler`].
@@ -329,25 +354,7 @@ impl Scheduler for ContentionAware {
         pes: usize,
         per_pe_bytes_per_cycle: f64,
     ) -> Box<dyn Dispatcher> {
-        let weight: Vec<f64> = profiles
-            .iter()
-            .map(|p| standalone_cycles(p, per_pe_bytes_per_cycle))
-            .collect();
-        // Memory-bound: the cluster wants more than its fair bandwidth
-        // share while computing (demand mem_bytes/compute_cycles > B).
-        let is_mem = |p: &ClusterProfile| {
-            p.mem_bytes as f64 > p.compute_cycles as f64 * per_pe_bytes_per_cycle
-        };
-        let mut mem: Vec<usize> = (0..profiles.len())
-            .filter(|&i| is_mem(&profiles[i]))
-            .collect();
-        let mut compute: Vec<usize> = (0..profiles.len())
-            .filter(|&i| !is_mem(&profiles[i]))
-            .collect();
-        // Heaviest first within each class; stable sort keeps ascending
-        // cluster index on equal estimates.
-        mem.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite estimates"));
-        compute.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite estimates"));
+        let (mem, compute, weight) = classed_pools(profiles, per_pe_bytes_per_cycle);
         Box::new(ClassedQueues {
             mem: mem.into(),
             compute: compute.into(),
@@ -355,13 +362,153 @@ impl Scheduler for ContentionAware {
             running: vec![None; pes],
         })
     }
+
+    /// The banked extension: class balancing as in the uniform dispatcher,
+    /// plus PE-local channel-affinity ordering within the memory-bound
+    /// pool — each dispatch prefers a cluster whose home channel no other
+    /// in-flight memory-bound cluster is using (spreading the fleet across
+    /// the channels), and among equally-conflicted candidates one homed on
+    /// the PE's previous channel (prefetch-friendly row reuse).
+    fn dispatcher_banked(
+        &self,
+        profiles: &[ClusterProfile],
+        pes: usize,
+        per_pe_bytes_per_cycle: f64,
+        topology: MemTopology,
+    ) -> Box<dyn Dispatcher> {
+        let (mem, compute, weight) = classed_pools(profiles, per_pe_bytes_per_cycle);
+        let home: Vec<usize> = (0..profiles.len())
+            .map(|i| topology.home_channel(i))
+            .collect();
+        Box::new(AffinityClassedQueues {
+            mem: mem.into(),
+            compute: compute.into(),
+            weight,
+            home,
+            running: vec![None; pes],
+            last_channel: vec![None; pes],
+        })
+    }
+}
+
+/// Splits the clusters into the heaviest-first memory-bound and
+/// compute-bound pools `ca` balances between (shared by the uniform and
+/// banked dispatchers; the classification and ordering are identical).
+fn classed_pools(
+    profiles: &[ClusterProfile],
+    per_pe_bytes_per_cycle: f64,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let weight: Vec<f64> = profiles
+        .iter()
+        .map(|p| standalone_cycles(p, per_pe_bytes_per_cycle))
+        .collect();
+    // Memory-bound: the cluster wants more than its fair bandwidth
+    // share while computing (demand mem_bytes/compute_cycles > B).
+    let is_mem =
+        |p: &ClusterProfile| p.mem_bytes as f64 > p.compute_cycles as f64 * per_pe_bytes_per_cycle;
+    let mut mem: Vec<usize> = (0..profiles.len())
+        .filter(|&i| is_mem(&profiles[i]))
+        .collect();
+    let mut compute: Vec<usize> = (0..profiles.len())
+        .filter(|&i| !is_mem(&profiles[i]))
+        .collect();
+    // Heaviest first within each class; stable sort keeps ascending
+    // cluster index on equal estimates.
+    mem.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite estimates"));
+    compute.sort_by(|&a, &b| weight[b].partial_cmp(&weight[a]).expect("finite estimates"));
+    (mem, compute, weight)
+}
+
+/// [`ClassedQueues`] with channel affinity: tracks which memory channel
+/// every in-flight cluster is homed on and steers each memory-bound
+/// dispatch toward an un-contended channel (see
+/// [`ContentionAware::dispatcher_banked`]). Deterministic: selection is a
+/// pure function of queue state, with ties broken by queue position.
+struct AffinityClassedQueues {
+    /// Pending memory-bound clusters, heaviest-first (ties by index).
+    mem: VecDeque<usize>,
+    /// Pending compute-bound clusters, heaviest-first (ties by index).
+    compute: VecDeque<usize>,
+    /// Standalone cycle estimate per cluster (head-to-head tie-breaks).
+    weight: Vec<f64>,
+    /// Home channel per cluster (address interleaving).
+    home: Vec<usize>,
+    /// Class and home channel of each PE's in-execution cluster
+    /// (`Some((true, ch))` = memory-bound on channel `ch`).
+    running: Vec<Option<(bool, usize)>>,
+    /// Home channel of each PE's previous cluster, for prefetch-friendly
+    /// same-channel sequencing when conflicts tie.
+    last_channel: Vec<Option<usize>>,
+}
+
+impl Dispatcher for AffinityClassedQueues {
+    fn next(&mut self, pe: usize) -> Option<usize> {
+        // The PE asking has just finished (or not started) its cluster.
+        self.running[pe] = None;
+        let mem_running = self
+            .running
+            .iter()
+            .flatten()
+            .filter(|&&(is_mem, _)| is_mem)
+            .count();
+        let compute_running = self.running.iter().flatten().count() - mem_running;
+        let pick_mem = match (self.mem.front(), self.compute.front()) {
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+            (Some(&m), Some(&c)) => {
+                if mem_running != compute_running {
+                    // Top up the under-represented class.
+                    mem_running < compute_running
+                } else {
+                    // Balanced mix: drain the heavier head first
+                    // (LPT-style), ties toward the memory-bound side so
+                    // transfers start as early as possible.
+                    self.weight[m] >= self.weight[c]
+                }
+            }
+        };
+        let next = if pick_mem {
+            // Channel-affinity selection: fewest in-flight memory-bound
+            // co-residents on the candidate's home channel wins; among
+            // equals, the PE's previous channel (row-buffer reuse), then
+            // the heaviest-first queue position.
+            let conflicts = |cluster: usize| {
+                self.running
+                    .iter()
+                    .flatten()
+                    .filter(|&&(is_mem, ch)| is_mem && ch == self.home[cluster])
+                    .count()
+            };
+            let best = self
+                .mem
+                .iter()
+                .enumerate()
+                .min_by_key(|&(pos, &cluster)| {
+                    let affinity_miss =
+                        usize::from(self.last_channel[pe] != Some(self.home[cluster]));
+                    (conflicts(cluster), affinity_miss, pos)
+                })
+                .map(|(pos, _)| pos)
+                .expect("front checked non-empty");
+            self.mem.remove(best)
+        } else {
+            self.compute.pop_front()
+        };
+        if let Some(cluster) = next {
+            self.running[pe] = Some((pick_mem, self.home[cluster]));
+            self.last_channel[pe] = Some(self.home[cluster]);
+        }
+        next
+    }
 }
 
 /// Multi-PE execution settings carried by every engine configuration: how
-/// many PEs the run targets, which scheduler assigns clusters to them, and
+/// many PEs the run targets, which scheduler assigns clusters to them,
 /// which execution model turns the per-cluster timelines into cycle
-/// counts. Registry overrides: `pes=N`, `scheduler=rr|lpt|ws|ca`,
-/// `exec=post_hoc|e2e`.
+/// counts, and how the shared memory system is organized into channels
+/// and banks. Registry overrides: `pes=N`, `scheduler=rr|lpt|ws|ca`,
+/// `exec=post_hoc|e2e`, `channels=N`, `banks=N`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MultiPeConfig {
     /// Processing engines (memory bandwidth scales proportionally).
@@ -372,6 +519,11 @@ pub struct MultiPeConfig {
     /// Execution model: post-hoc projection (default) or end-to-end
     /// multi-PE composition (see [`crate::exec_model`]).
     pub exec: crate::exec_model::ExecModelKind,
+    /// Channel/bank organization the end-to-end model contends on. The
+    /// default `1x1` is the legacy idealized shared pipe (conflict
+    /// modeling off); any other topology enables banked contention.
+    /// Ignored by the post-hoc projection.
+    pub topology: MemTopology,
 }
 
 impl Default for MultiPeConfig {
@@ -380,6 +532,7 @@ impl Default for MultiPeConfig {
             pes: 1,
             scheduler: SchedulerKind::RoundRobin,
             exec: crate::exec_model::ExecModelKind::PostHoc,
+            topology: MemTopology::default(),
         }
     }
 }

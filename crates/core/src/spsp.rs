@@ -122,7 +122,7 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
                 .map(|_| OnceLock::new())
                 .collect()
         });
-    let model = ExecModel::new(params.multi_pe, params.dram.bytes_per_cycle);
+    let model = ExecModel::with_dram(params.multi_pe, params.dram);
     let mut report = pipeline::run_layers(params.name, workload, |layer| LayerReport {
         combination: run_phase(
             params,

@@ -17,6 +17,17 @@ pub struct ActivityCounts {
     pub dram_bytes: u64,
     /// Execution time in cycles (1 GHz clock), for leakage.
     pub cycles: u64,
+    /// PE-cycles the multi-PE fleet spent executing clusters, summed over
+    /// every PE (an end-to-end `pes=N` run reports up to `N * cycles`).
+    /// Zero for single-PE and post-hoc runs.
+    pub pe_busy_cycles: u64,
+    /// PE-cycles the fleet sat idle inside phase makespans (powered but
+    /// waiting for work or a phase barrier). Together with
+    /// [`ActivityCounts::pe_busy_cycles`] this is the fleet's total
+    /// powered time, which leakage charges in full: an idle PE leaks for
+    /// the whole makespan. Zero for single-PE and post-hoc runs, which
+    /// fall back to [`ActivityCounts::cycles`].
+    pub pe_idle_cycles: u64,
     /// Total on-chip SRAM capacity in KB, for leakage.
     pub sram_kb: f64,
 }
@@ -133,7 +144,16 @@ impl EnergyModel {
         let sram_pj = self.sram_access_pj(self.sram_fit_kb);
         let sram = (counts.sram_reads_8b + counts.sram_writes_8b) as f64 * sram_pj * PJ;
         let dram = counts.dram_bytes as f64 * 8.0 * self.dram_pj_per_bit * PJ;
-        let seconds = counts.cycles as f64 / self.clock_hz;
+        // Leakage charges the fleet's full powered time when the run
+        // reports per-PE accounting (every PE leaks for the whole
+        // makespan, idle or not); otherwise the single reference timeline.
+        let fleet_cycles = counts.pe_busy_cycles + counts.pe_idle_cycles;
+        let leak_cycles = if fleet_cycles > 0 {
+            fleet_cycles
+        } else {
+            counts.cycles
+        };
+        let seconds = leak_cycles as f64 / self.clock_hz;
         let leak_w = (counts.sram_kb * self.sram_leak_mw_per_kb + self.logic_leak_mw) * 1e-3;
         let leakage = leak_w * seconds;
         EnergyBreakdown {
@@ -159,6 +179,7 @@ mod tests {
             dram_bytes: 10_000,
             cycles: 1_000_000,
             sram_kb: 538.0,
+            ..ActivityCounts::default()
         }
     }
 
@@ -216,8 +237,38 @@ mod tests {
             dram_bytes: 4_000_000,
             cycles: 2_000_000,
             sram_kb: 538.0,
+            ..ActivityCounts::default()
         };
         let e = m.estimate(&c);
         assert!(e.dram > e.mac + e.rf, "{e}");
+    }
+
+    #[test]
+    fn idle_pes_pay_leakage_for_the_full_makespan() {
+        // A 4-PE fleet over a 1M-cycle makespan with 2.5M busy PE-cycles:
+        // leakage must charge all 4M powered PE-cycles, not the 1M
+        // reference timeline the legacy single-PE accounting saw.
+        let m = EnergyModel::default();
+        let mut c = counts();
+        let single = m.estimate(&c);
+        c.pe_busy_cycles = 2_500_000;
+        c.pe_idle_cycles = 1_500_000;
+        let fleet = m.estimate(&c);
+        assert!((fleet.leakage / single.leakage - 4.0).abs() < 1e-12);
+        // Dynamic categories are activity-based and unchanged.
+        assert_eq!(fleet.mac, single.mac);
+        assert_eq!(fleet.dram, single.dram);
+    }
+
+    #[test]
+    fn zero_fleet_counters_keep_the_legacy_leakage() {
+        let m = EnergyModel::default();
+        let c = counts();
+        assert_eq!(c.pe_busy_cycles, 0);
+        assert_eq!(c.pe_idle_cycles, 0);
+        let e = m.estimate(&c);
+        let leak_w = (c.sram_kb * m.sram_leak_mw_per_kb + m.logic_leak_mw) * 1e-3;
+        let expected = leak_w * c.cycles as f64 / m.clock_hz;
+        assert!((e.leakage - expected).abs() < 1e-18);
     }
 }

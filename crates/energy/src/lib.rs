@@ -29,6 +29,7 @@
 //!     dram_bytes: 64_000_000,
 //!     cycles: 1_000_000,
 //!     sram_kb: 538.0,
+//!     ..ActivityCounts::default()
 //! };
 //! let e = model.estimate(&counts);
 //! assert!(e.dram > e.mac, "SpDeGEMM is memory-dominated");

@@ -118,6 +118,22 @@ impl JobSpec {
         self.with_override("exec", exec.name())
     }
 
+    /// Sets the banked-memory channel count (the `channels=` override):
+    /// clusters are address-interleaved across channels by index, and
+    /// memory-bound clusters co-resident on a channel pay a bank-conflict
+    /// stall. `channels=1 banks=1` (the default) is the uniform fluid pipe
+    /// and reproduces pre-banking reports bit-for-bit.
+    pub fn with_channels(self, channels: usize) -> Self {
+        self.with_override("channels", &channels.to_string())
+    }
+
+    /// Sets the per-channel bank count (the `banks=` override): more banks
+    /// amortize the per-request conflict overhead of co-resident
+    /// memory-bound clusters. See [`JobSpec::with_channels`].
+    pub fn with_banks(self, banks: usize) -> Self {
+        self.with_override("banks", &banks.to_string())
+    }
+
     /// Sets the intra-cluster row-range sharding threshold (the
     /// `shard_rows=` override, GROW only): clusters larger than the
     /// threshold split their probe-plan pass across worker threads.

@@ -193,8 +193,21 @@ impl ResultStore {
     }
 
     fn quarantine(&mut self, path: &Path) {
-        let mut target = path.as_os_str().to_owned();
-        target.push(".corrupt");
+        // Each corruption of the same key gets its own quarantine file
+        // (`.corrupt`, `.corrupt.1`, ...): renaming over an earlier
+        // quarantine would silently destroy the evidence it preserves.
+        let mut target = {
+            let mut t = path.as_os_str().to_owned();
+            t.push(".corrupt");
+            PathBuf::from(t)
+        };
+        let mut suffix = 0u32;
+        while target.exists() {
+            suffix += 1;
+            let mut t = path.as_os_str().to_owned();
+            t.push(format!(".corrupt.{suffix}"));
+            target = PathBuf::from(t);
+        }
         if fs::rename(path, &target).is_ok() {
             self.stats.quarantined += 1;
         }

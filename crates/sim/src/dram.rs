@@ -59,6 +59,78 @@ impl Default for DramConfig {
     }
 }
 
+/// Channel/bank organization of the off-chip memory system, used by the
+/// end-to-end multi-PE model (`exec=e2e`) to replace the single shared
+/// fluid pipe with banked channels.
+///
+/// Addresses interleave across `channels` at cluster granularity (cluster
+/// `i`'s dominant traffic lands on channel `i % channels`), and within a
+/// channel concurrent request streams conflict on its `banks` banks: each
+/// co-resident memory-active stream adds an expected
+/// `request_overhead_cycles * (k - 1) / banks` stall per request (the
+/// row-activation cost of ping-ponging rows between `k` streams, amortized
+/// over the bank count — the same `request_overhead_cycles` machinery the
+/// detailed single-channel FIFO charges for scattered accesses).
+///
+/// The default `1x1` topology is the legacy idealized shared pipe:
+/// conflict modeling is off and the fluid model is bit-identical to the
+/// pre-banked code (the golden e2e snapshots are committed against it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemTopology {
+    /// Independent memory channels the aggregate bandwidth is spread over.
+    pub channels: usize,
+    /// Banks per channel; conflicts amortize over this count.
+    pub banks: usize,
+}
+
+impl Default for MemTopology {
+    fn default() -> Self {
+        MemTopology {
+            channels: 1,
+            banks: 1,
+        }
+    }
+}
+
+impl MemTopology {
+    /// Builds a topology; both counts must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `banks == 0`.
+    pub fn new(channels: usize, banks: usize) -> Self {
+        assert!(channels > 0, "at least one channel");
+        assert!(banks > 0, "at least one bank");
+        MemTopology { channels, banks }
+    }
+
+    /// `true` for the legacy `1x1` idealized shared pipe, where conflict
+    /// modeling is disabled and the fluid model runs its original path.
+    pub fn is_uniform(&self) -> bool {
+        self.channels == 1 && self.banks == 1
+    }
+
+    /// Home channel of cluster `idx` under address interleaving.
+    pub fn home_channel(&self, idx: usize) -> usize {
+        idx % self.channels
+    }
+
+    /// Expected extra channel-occupancy cycles *per byte* for a stream
+    /// sharing its home channel with `co_residents` other memory-active
+    /// streams: one request per `access_granularity` bytes, each paying
+    /// `request_overhead_cycles * co_residents / banks` of expected
+    /// bank-conflict serialization. Zero when the stream has the channel
+    /// to itself.
+    pub fn conflict_penalty_per_byte(&self, dram: &DramConfig, co_residents: usize) -> f64 {
+        if co_residents == 0 {
+            return 0.0;
+        }
+        let per_request =
+            dram.request_overhead_cycles as f64 * co_residents as f64 / self.banks as f64;
+        per_request / dram.access_granularity.max(1) as f64
+    }
+}
+
 /// Category of an off-chip transfer, used to break down traffic the way the
 /// paper's figures do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -395,6 +467,43 @@ impl Dram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn topology_default_is_the_uniform_pipe() {
+        let t = MemTopology::default();
+        assert!(t.is_uniform());
+        assert_eq!(t, MemTopology::new(1, 1));
+        assert!(!MemTopology::new(2, 1).is_uniform());
+        assert!(!MemTopology::new(1, 8).is_uniform());
+    }
+
+    #[test]
+    fn home_channel_interleaves() {
+        let t = MemTopology::new(4, 8);
+        assert_eq!(t.home_channel(0), 0);
+        assert_eq!(t.home_channel(5), 1);
+        assert_eq!(t.home_channel(7), 3);
+    }
+
+    #[test]
+    fn conflict_penalty_amortizes_over_banks() {
+        let dram = DramConfig::default(); // 12-cycle overhead, 64 B grain
+        let t8 = MemTopology::new(4, 8);
+        let t16 = MemTopology::new(4, 16);
+        assert_eq!(t8.conflict_penalty_per_byte(&dram, 0), 0.0, "alone: free");
+        let p8 = t8.conflict_penalty_per_byte(&dram, 3);
+        let p16 = t16.conflict_penalty_per_byte(&dram, 3);
+        assert!((p8 - 12.0 * 3.0 / 8.0 / 64.0).abs() < 1e-12, "{p8}");
+        assert!((p8 / p16 - 2.0).abs() < 1e-12, "doubling banks halves it");
+        // More co-residents, more stall.
+        assert!(t8.conflict_penalty_per_byte(&dram, 5) > p8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_is_rejected() {
+        let _ = MemTopology::new(0, 8);
+    }
 
     #[test]
     fn read_rounds_to_granularity() {

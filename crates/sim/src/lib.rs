@@ -52,7 +52,7 @@ pub mod scratch;
 
 pub use cache::{CacheStats, LruRowCache, PinnedRowCache};
 pub use compute::MacArray;
-pub use dram::{Dram, DramConfig, TrafficClass, TrafficStats};
+pub use dram::{Dram, DramConfig, MemTopology, TrafficClass, TrafficStats};
 pub use exec::{bounded_pipeline, bounded_pipeline_seq, parallel_map, ExecMode};
 pub use runahead::{IssueOutcome, RunaheadTables, Waiter};
 pub use scratch::{ScratchArena, ScratchGuard};

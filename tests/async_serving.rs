@@ -228,6 +228,104 @@ fn corrupt_store_entries_are_quarantined_not_served() {
 }
 
 #[test]
+fn repeated_corruption_of_one_key_preserves_every_quarantine_file() {
+    // Two successive corruptions of the same entry must yield two
+    // *distinct* quarantine files: renaming over the first `.corrupt`
+    // would silently destroy the evidence it exists to preserve.
+    let dir = temp_store_dir();
+    let mut store = ResultStore::open(&dir).expect("open store");
+    let spec = DatasetKey::Cora.spec().scaled_to(300);
+    let job = JobSpec::new(spec, 11, "grow");
+    let key = job.key();
+    let report = BatchService::new()
+        .run_one(&job)
+        .outcome
+        .expect("valid job");
+
+    let path = store.entry_path(&key);
+    store.persist(&key, &report).expect("persist");
+    std::fs::write(&path, "grow-store v1\nfirst corruption\n").expect("write");
+    assert_eq!(store.load(&key), None);
+    store.persist(&key, &report).expect("persist again");
+    std::fs::write(&path, "grow-store v1\nsecond corruption\n").expect("write");
+    assert_eq!(store.load(&key), None);
+    assert_eq!(store.stats().quarantined, 2);
+
+    let quarantined: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".corrupt"))
+        .collect();
+    assert_eq!(
+        quarantined.len(),
+        2,
+        "each corruption keeps its own file: {quarantined:?}"
+    );
+    let bodies: Vec<String> = quarantined
+        .iter()
+        .map(|name| std::fs::read_to_string(dir.join(name)).expect("read quarantine"))
+        .collect();
+    assert!(
+        bodies.iter().any(|b| b.contains("first corruption"))
+            && bodies.iter().any(|b| b.contains("second corruption")),
+        "both corrupted payloads survive for inspection"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_ticket_does_not_wedge_the_worker() {
+    // A caller that abandons its Ticket before completion must not panic
+    // or wedge the worker thread on the dead result channel: subsequent
+    // submissions still run and complete normally.
+    let spec = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+    let abandoned = service
+        .submit(JobSpec::new(spec, 60, "grow").with_strategy(strategy))
+        .expect("admitted");
+    let abandoned_id = abandoned.id();
+    drop(abandoned);
+    let kept = service
+        .submit(JobSpec::new(spec, 61, "gcnax"))
+        .expect("admitted");
+    assert!(kept.wait().outcome.is_ok(), "worker survived the dead rx");
+    let completed = service.completed_ids();
+    let batch = service.finish();
+    assert!(
+        completed.contains(&abandoned_id),
+        "the abandoned job still ran to completion: {completed:?}"
+    );
+    assert_eq!(batch.stats().simulations_run, 2);
+}
+
+#[test]
+fn finish_with_undrained_tickets_returns_the_warmed_service() {
+    // finish() must drain the queue and hand back the warmed BatchService
+    // even when tickets are still alive and unwaited at shutdown.
+    let spec = DatasetKey::Cora.spec().scaled_to(300);
+    let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+    let tickets: Vec<Ticket> = (0..3u64)
+        .map(|seed| {
+            service
+                .submit(JobSpec::new(spec, seed, "gcnax"))
+                .expect("admitted")
+        })
+        .collect();
+    let batch = service.finish();
+    assert_eq!(
+        batch.stats().simulations_run,
+        3,
+        "finish drains the queue before joining the worker"
+    );
+    // The undrained tickets still resolve from the completed results.
+    for t in tickets {
+        assert!(t.wait().outcome.is_ok());
+    }
+}
+
+#[test]
 fn admission_control_rejects_over_capacity_submissions() {
     let spec = DatasetKey::Pubmed.spec().scaled_to(900);
     let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
