@@ -16,7 +16,7 @@
 //! Experiment ids: `table1 fig2 fig3 fig5 fig6 fig7 fig11 fig14 fig17
 //! fig18 fig19 fig20 fig21 fig22 table4 fig24 figure24 fig25a fig25b
 //! fig26 replacement nonpowerlaw preprocessing extensions engines sweep
-//! serve_demo`
+//! serve_demo chaos`
 //! (`figure24` is the scheduler-axis extension of `fig24`, executed in
 //! the end-to-end multi-PE mode: all four engines × rr/lpt/ws/ca cluster
 //! scheduling × 1–16 PEs with `exec=e2e`, dispatched through the batch
@@ -127,6 +127,7 @@ fn main() {
         "engines",
         "sweep",
         "serve_demo",
+        "chaos",
     ];
     if ids.len() == 1 && ids[0] == "all" {
         ids = all_ids.iter().map(|s| s.to_string()).collect();
@@ -173,6 +174,7 @@ fn main() {
             "engines" => engines(&ctx, &mut service),
             "sweep" => sweep(&ctx, &mut service),
             "serve_demo" => serve_demo(&ctx, &out_dir),
+            "chaos" => chaos(&ctx, &out_dir),
             other => {
                 eprintln!(
                     "unknown experiment '{other}' (known: {})",
@@ -415,7 +417,10 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
                     .expect("fleet fits the admission bound")
             })
             .collect();
-        let results: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        let results: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("serving worker alive"))
+            .collect();
         let batch = service.finish();
         let stats = batch.stats();
         eprintln!(
@@ -461,6 +466,252 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
             }
         }
     }
+    t
+}
+
+/// The supervised-serving chaos soak (the robustness CI smoke): an
+/// 18-job mixed fleet runs once fault-free as the baseline, then three
+/// more rounds under a cycling grid of transient `fault=` injections
+/// (DRAM issue, plan/replay hand-off, store read/write — both `error`
+/// and `panic` actions). Every ticket must resolve, the worker must
+/// never die, every post-retry report must be bit-identical to the
+/// fault-free baseline, at least 50 faults must actually have fired,
+/// and the store scrubber must reclaim the torn writes the
+/// `store_write` faults left behind. Any violation exits non-zero.
+fn chaos(ctx: &Context, out_dir: &std::path::Path) -> Table {
+    use grow_core::registry::ENGINE_NAMES;
+    use grow_core::PartitionStrategy;
+    use grow_serve::{AsyncConfig, AsyncService, JobSpec, Priority, ResultStore, Ticket};
+    use grow_sim::fault;
+
+    // Transient specs only: every `attempts` bound sits below the
+    // default retry budget (3), `store_write` faults are warning-only,
+    // and a `store_read` fault degrades to a cache miss — so each
+    // faulted job still retries to a fault-free final attempt. The
+    // permanent shapes (`store_read:panic`, the `worker` kill site) are
+    // covered by `tests/fault_injection.rs`, not the identity soak.
+    const FAULT_GRID: [&str; 9] = [
+        "dram:error:1:2",
+        "dram:panic:1:2",
+        "exec:error:1:2",
+        "exec:panic:1:2",
+        "dram:error:2:2",
+        "exec:error:2:2",
+        "dram:panic:2:2+store_write:error:1",
+        "store_write:panic:1",
+        "store_read:error:1+store_write:error:1",
+    ];
+    const ROUNDS: u32 = 3;
+
+    let spec = ctx.spec(0);
+    let multilevel = PartitionStrategy::multilevel_default();
+    let mut jobs: Vec<(JobSpec, Priority)> = Vec::new();
+    for name in ENGINE_NAMES {
+        for strategy in [PartitionStrategy::None, multilevel] {
+            jobs.push((
+                JobSpec::new(spec, ctx.seed, name).with_strategy(strategy),
+                Priority::Normal,
+            ));
+        }
+        jobs.push((
+            JobSpec::new(spec, ctx.seed, name).with_override("shard_rows", "64"),
+            Priority::Low,
+        ));
+    }
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "grow")
+            .with_strategy(multilevel)
+            .with_scheduler(grow_core::SchedulerKind::WorkStealing)
+            .with_pes(8),
+        Priority::High,
+    ));
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "grow")
+            .with_strategy(multilevel)
+            .with_override("runahead", "8"),
+        Priority::High,
+    ));
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "grow")
+            .with_strategy(multilevel)
+            .with_override("hdn_cache_kb", "64"),
+        Priority::Normal,
+    ));
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "grow").with_override("exec", "e2e"),
+        Priority::Normal,
+    ));
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "gcnax").with_override("exec", "e2e"),
+        Priority::Low,
+    ));
+    jobs.push((
+        JobSpec::new(spec, ctx.seed, "gamma").with_pes(4),
+        Priority::Normal,
+    ));
+    assert_eq!(jobs.len(), 18, "the chaos fleet is 18 jobs");
+
+    // A fresh store every invocation: stale entries from a previous run
+    // would turn injection rounds into store hits and starve the soak.
+    let store_dir = out_dir.join("chaos_store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let mut t = Table::new(
+        "chaos",
+        &[
+            "round",
+            "faults",
+            "ok",
+            "retries",
+            "panics",
+            "injected",
+            "identical",
+        ],
+    );
+    // Dozens of injected panics are caught and retried below; the
+    // default hook would flood stderr with a backtrace for each one, so
+    // filter them out — genuine panics still print through the saved
+    // hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload.downcast_ref::<fault::SimFault>().is_some()
+            || payload
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.starts_with("injected "))
+            || payload
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("injected "));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let injected_before = fault::injected_total();
+    let mut baseline: Vec<Option<grow_core::RunReport>> = Vec::new();
+    for round in 0..=ROUNDS {
+        // Round 0 is the fault-free baseline; later rounds cycle each
+        // job through the grid (offset by round, so every job sees
+        // three different fault shapes across the soak).
+        let round_jobs: Vec<(JobSpec, Priority)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (job, priority))| {
+                let job = if round == 0 {
+                    job.clone()
+                } else {
+                    let spec_text = FAULT_GRID[(i + round as usize - 1) % FAULT_GRID.len()];
+                    job.clone().with_fault(spec_text)
+                };
+                (job, *priority)
+            })
+            .collect();
+
+        let store = ResultStore::open(&store_dir).expect("open chaos store");
+        let service = AsyncService::start(
+            grow_serve::BatchService::new().with_store(store),
+            AsyncConfig {
+                queue_capacity: 64,
+                session_capacity: Some(4),
+            },
+        );
+        let tickets: Vec<Ticket> = round_jobs
+            .iter()
+            .map(|(job, priority)| {
+                service
+                    .submit_with(job.clone(), *priority)
+                    .expect("fleet fits the admission bound")
+            })
+            .collect();
+        let mut results = Vec::new();
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(result) => results.push(result),
+                Err(e) => {
+                    eprintln!("error: chaos round {round}: wedged ticket ({e})");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let (batch, report) = service.finish_report();
+        if report.worker_panicked || !report.casualties.is_empty() {
+            eprintln!(
+                "error: chaos round {round}: worker died ({} casualties)",
+                report.casualties.len()
+            );
+            std::process::exit(1);
+        }
+        let stats = batch.stats();
+        let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+        if ok != results.len() {
+            for r in &results {
+                if let Err(e) = &r.outcome {
+                    eprintln!(
+                        "error: chaos round {round}: job {} ({}) failed: {e}",
+                        r.index, r.engine,
+                    );
+                }
+            }
+            std::process::exit(1);
+        }
+        let identical = if round == 0 {
+            baseline = results.iter().map(|r| r.report().cloned()).collect();
+            true
+        } else {
+            results
+                .iter()
+                .zip(&baseline)
+                .all(|(r, first)| r.report() == first.as_ref())
+        };
+        if !identical {
+            eprintln!("error: chaos round {round}: post-retry reports diverged from baseline");
+            std::process::exit(1);
+        }
+        t.row(&[
+            round.to_string(),
+            if round == 0 {
+                "off".into()
+            } else {
+                "grid".into()
+            },
+            format!("{ok}/{}", results.len()),
+            stats.retries.to_string(),
+            stats.panics_caught.to_string(),
+            (fault::injected_total() - injected_before).to_string(),
+            "yes".into(),
+        ]);
+    }
+
+    let _ = std::panic::take_hook();
+
+    let injected = fault::injected_total() - injected_before;
+    if injected < 50 {
+        eprintln!("error: chaos soak injected only {injected} faults (floor: 50)");
+        std::process::exit(1);
+    }
+
+    // The scrubber reclaims what the torn writes left behind: every
+    // `store_write` fault orphaned a `*.tmp<pid>` file next to the
+    // entries. After the scrub the store is all live entries again.
+    let mut store = ResultStore::open(&store_dir).expect("reopen chaos store");
+    let scrub = store.scrub().expect("scrub chaos store");
+    eprintln!(
+        "[run] chaos scrub: {} live, {} quarantined, {} tmp removed, {} skipped \
+         ({injected} faults injected over {ROUNDS} rounds)",
+        scrub.live, scrub.quarantined, scrub.tmp_removed, scrub.skipped
+    );
+    if scrub.tmp_removed == 0 {
+        eprintln!("error: chaos scrub found no orphaned tmp files; store_write faults misfired");
+        std::process::exit(1);
+    }
+    t.row(&[
+        "scrub".into(),
+        "-".into(),
+        format!("{} live", scrub.live),
+        "-".into(),
+        "-".into(),
+        format!("{} tmp", scrub.tmp_removed),
+        "yes".into(),
+    ]);
     t
 }
 

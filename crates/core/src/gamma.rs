@@ -9,7 +9,7 @@
 //! high-radix merger still occupies the pipeline (at half a MAC op per
 //! contribution — it is pipelined, unlike MatRaptor's sorting queues).
 
-use grow_sim::DramConfig;
+use grow_sim::{DramConfig, FaultPlan};
 
 use crate::plan::ShardRows;
 use crate::spsp::{run_spsp, spsp_engine, SpSpParams};
@@ -33,6 +33,9 @@ pub struct GammaConfig {
     pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
+    /// Deterministic fault-injection plan (the uniform `fault=` override;
+    /// off by default).
+    pub fault: FaultPlan,
 }
 
 impl Default for GammaConfig {
@@ -44,6 +47,7 @@ impl Default for GammaConfig {
             merge_factor: 0.5,
             shard_rows: ShardRows::Off,
             multi_pe: crate::schedule::MultiPeConfig::default(),
+            fault: FaultPlan::OFF,
         }
     }
 }
@@ -75,6 +79,7 @@ impl GammaEngine {
             sram_kb: self.config.fiber_cache_bytes as f64 / 1024.0 + 32.0,
             shard_rows: self.config.shard_rows,
             multi_pe: self.config.multi_pe,
+            fault: self.config.fault,
         }
     }
 }

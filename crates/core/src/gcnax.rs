@@ -20,7 +20,9 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::OnceLock;
 
-use grow_sim::{Cycle, DramConfig, ScratchArena, TrafficClass, ELEMENT_BYTES, INDEX_BYTES};
+use grow_sim::{
+    Cycle, DramConfig, FaultPlan, ScratchArena, TrafficClass, ELEMENT_BYTES, INDEX_BYTES,
+};
 use grow_sparse::RowMajorSparse;
 
 use crate::exec_model::ExecModel;
@@ -139,6 +141,9 @@ pub struct GcnaxConfig {
     pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
+    /// Deterministic fault-injection plan (the uniform `fault=` override;
+    /// off by default).
+    pub fault: FaultPlan,
 }
 
 impl Default for GcnaxConfig {
@@ -154,6 +159,7 @@ impl Default for GcnaxConfig {
             dram: DramConfig::default(),
             shard_rows: ShardRows::Off,
             multi_pe: crate::schedule::MultiPeConfig::default(),
+            fault: FaultPlan::OFF,
         }
     }
 }
@@ -519,29 +525,31 @@ impl Accelerator for GcnaxEngine {
                     .collect()
             });
         let model = ExecModel::with_dram(self.config.multi_pe, self.config.dram);
-        let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
-            combination: self.run_phase(
-                &model,
-                PhaseKind::Combination,
-                &layer.x.view(),
-                layer.f_out,
-                &workload.clusters,
-                &scratch,
-                &plan_pool,
-                spec,
-                None,
-            ),
-            aggregation: self.run_phase(
-                &model,
-                PhaseKind::Aggregation,
-                &adjacency,
-                layer.f_out,
-                &workload.clusters,
-                &scratch,
-                &plan_pool,
-                spec,
-                agg_store.as_deref(),
-            ),
+        let mut report = pipeline::run_layers(self.name(), workload, self.config.fault, |layer| {
+            LayerReport {
+                combination: self.run_phase(
+                    &model,
+                    PhaseKind::Combination,
+                    &layer.x.view(),
+                    layer.f_out,
+                    &workload.clusters,
+                    &scratch,
+                    &plan_pool,
+                    spec,
+                    None,
+                ),
+                aggregation: self.run_phase(
+                    &model,
+                    PhaseKind::Aggregation,
+                    &adjacency,
+                    layer.f_out,
+                    &workload.clusters,
+                    &scratch,
+                    &plan_pool,
+                    spec,
+                    agg_store.as_deref(),
+                ),
+            }
         });
         model.finalize(&mut report);
         report

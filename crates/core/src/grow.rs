@@ -45,8 +45,9 @@ use std::ops::Range;
 use std::sync::OnceLock;
 
 use grow_sim::{
-    CacheStats, Cycle, Dram, DramConfig, IssueOutcome, LruRowCache, MacArray, PinnedRowCache,
-    RunaheadTables, ScratchArena, TrafficClass, Waiter, ELEMENT_BYTES, HDN_ID_BYTES, INDEX_BYTES,
+    CacheStats, Cycle, Dram, DramConfig, FaultPlan, IssueOutcome, LruRowCache, MacArray,
+    PinnedRowCache, RunaheadTables, ScratchArena, TrafficClass, Waiter, ELEMENT_BYTES,
+    HDN_ID_BYTES, INDEX_BYTES,
 };
 use grow_sparse::{CsrPattern, RowMajorSparse};
 
@@ -104,6 +105,10 @@ pub struct GrowConfig {
     pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
+    /// Deterministic fault-injection plan (the uniform `fault=` override;
+    /// [`FaultPlan::OFF`] — the default — leaves reports bit-identical to
+    /// a build without fault support).
+    pub fault: FaultPlan,
 }
 
 impl Default for GrowConfig {
@@ -122,6 +127,7 @@ impl Default for GrowConfig {
             replacement: ReplacementPolicy::Pinned,
             shard_rows: ShardRows::Off,
             multi_pe: crate::schedule::MultiPeConfig::default(),
+            fault: FaultPlan::OFF,
         }
     }
 }
@@ -886,21 +892,23 @@ impl Accelerator for GrowEngine {
                     .collect()
             });
         let model = ExecModel::with_dram(self.config.multi_pe, self.config.dram);
-        let mut report = pipeline::run_layers(self.name(), workload, |layer| LayerReport {
-            combination: self.run_combination(
-                &model,
-                &layer.x.view(),
-                layer.f_out,
-                &workload.clusters,
-            ),
-            aggregation: self.run_aggregation(
-                &model,
-                workload,
-                layer.f_out,
-                &scratch,
-                &shard_pool,
-                plan_store.as_deref(),
-            ),
+        let mut report = pipeline::run_layers(self.name(), workload, self.config.fault, |layer| {
+            LayerReport {
+                combination: self.run_combination(
+                    &model,
+                    &layer.x.view(),
+                    layer.f_out,
+                    &workload.clusters,
+                ),
+                aggregation: self.run_aggregation(
+                    &model,
+                    workload,
+                    layer.f_out,
+                    &scratch,
+                    &shard_pool,
+                    plan_store.as_deref(),
+                ),
+            }
         });
         model.finalize(&mut report);
         report

@@ -8,7 +8,7 @@
 //! per `X` non-zero), CSR-compressed RHS adds 50% metadata bytes, and
 //! sorting-queue-based partial-sum merging occupies the pipeline.
 
-use grow_sim::DramConfig;
+use grow_sim::{DramConfig, FaultPlan};
 
 use crate::plan::ShardRows;
 use crate::spsp::{run_spsp, spsp_engine, SpSpParams};
@@ -28,6 +28,9 @@ pub struct MatRaptorConfig {
     pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
+    /// Deterministic fault-injection plan (the uniform `fault=` override;
+    /// off by default).
+    pub fault: FaultPlan,
 }
 
 impl Default for MatRaptorConfig {
@@ -38,6 +41,7 @@ impl Default for MatRaptorConfig {
             merge_factor: 1.0,
             shard_rows: ShardRows::Off,
             multi_pe: crate::schedule::MultiPeConfig::default(),
+            fault: FaultPlan::OFF,
         }
     }
 }
@@ -71,6 +75,7 @@ impl MatRaptorEngine {
             sram_kb: 64.0,
             shard_rows: self.config.shard_rows,
             multi_pe: self.config.multi_pe,
+            fault: self.config.fault,
         }
     }
 }

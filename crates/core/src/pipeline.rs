@@ -33,7 +33,7 @@
 
 use std::ops::Range;
 
-use grow_sim::{exec, Cycle, Dram, DramConfig, MacArray};
+use grow_sim::{exec, fault, Cycle, Dram, DramConfig, FaultPlan, MacArray};
 pub use grow_sim::{ScratchArena, ScratchGuard};
 
 pub use crate::exec_model::{ExecModel, ExecModelKind};
@@ -120,7 +120,13 @@ pub fn run_clusters<F>(
 where
     F: Fn(usize, Range<usize>) -> PhaseReport + Sync,
 {
-    model.compose(kind, exec::parallel_map(clusters.to_vec(), sim))
+    let partials = exec::parallel_map(clusters.to_vec(), |ci, cluster| {
+        // Cooperative cancellation point: cheap, and placed at the cluster
+        // boundary so a cancelled job never produces a partial report.
+        fault::check_cancel();
+        sim(ci, cluster)
+    });
+    model.compose(kind, partials)
 }
 
 /// Like [`run_clusters`], but hands each cluster simulation a reusable
@@ -147,6 +153,7 @@ where
     F: Fn(&mut S, usize, Range<usize>) -> PhaseReport + Sync,
 {
     let partials = exec::parallel_map(clusters.to_vec(), |ci, cluster| {
+        fault::check_cancel();
         let mut scratch = arena.checkout();
         sim(&mut scratch, ci, cluster)
     });
@@ -155,19 +162,37 @@ where
 
 /// The per-layer loop shared by every engine: maps each GCN layer to its
 /// combination + aggregation reports and assembles the [`RunReport`].
-pub fn run_layers<F>(engine: &'static str, workload: &PreparedWorkload, layer_fn: F) -> RunReport
+///
+/// Arms `fault_plan` (the engine config's `fault=` plan) on the calling
+/// thread for the duration of the run — [`grow_sim::fault`] sites inside
+/// the simulation consult it — and checks for cooperative cancellation at
+/// every layer boundary. The default [`FaultPlan::OFF`] makes both a
+/// no-op, leaving reports bit-identical to a build without fault support.
+pub fn run_layers<F>(
+    engine: &'static str,
+    workload: &PreparedWorkload,
+    fault_plan: FaultPlan,
+    mut layer_fn: F,
+) -> RunReport
 where
     F: FnMut(&grow_model::LayerWorkload) -> LayerReport,
 {
-    RunReport {
+    fault::with_plan(fault_plan, || RunReport {
         engine,
-        layers: workload.layers.iter().map(layer_fn).collect(),
+        layers: workload
+            .layers
+            .iter()
+            .map(|layer| {
+                fault::check_cancel();
+                layer_fn(layer)
+            })
+            .collect(),
         // Engines finalize the report through their ExecModel afterwards
         // (see `crate::exec_model::ExecModel::finalize`), which attaches
         // the multi-PE summary and records the model that ran.
         multi_pe: None,
         exec: ExecModelKind::PostHoc.name(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@
 
 use std::fmt;
 
-use grow_sim::DramConfig;
+use grow_sim::{DramConfig, FaultPlan};
 
 use crate::exec_model::{ExecModelKind, EXEC_MODEL_NAMES};
 use crate::schedule::{MultiPeConfig, SchedulerKind, SCHEDULER_NAMES};
@@ -181,12 +181,28 @@ fn apply_shard_key(shard: &mut ShardRows, key: &str, value: &str) -> Result<bool
     Ok(true)
 }
 
+/// Applies the `fault=off|spec[+spec..]` deterministic fault-injection
+/// key shared by every engine (spec grammar:
+/// `site:action[:nth[:attempts]]`, see [`grow_sim::fault::FaultPlan`]);
+/// returns `true` if `key` was it.
+fn apply_fault_key(fault: &mut FaultPlan, key: &str, value: &str) -> Result<bool, RegistryError> {
+    if key != "fault" {
+        return Ok(false);
+    }
+    *fault = FaultPlan::parse(value).map_err(|_| RegistryError::InvalidValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    })?;
+    Ok(true)
+}
+
 fn grow_from(overrides: &[(&str, &str)]) -> Result<GrowEngine, RegistryError> {
     let mut cfg = GrowConfig::default();
     for &(key, value) in overrides {
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
             || apply_shard_key(&mut cfg.shard_rows, key, value)?
+            || apply_fault_key(&mut cfg.fault, key, value)?
         {
             continue;
         }
@@ -229,6 +245,7 @@ fn gcnax_from(overrides: &[(&str, &str)]) -> Result<GcnaxEngine, RegistryError> 
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
             || apply_shard_key(&mut cfg.shard_rows, key, value)?
+            || apply_fault_key(&mut cfg.fault, key, value)?
         {
             continue;
         }
@@ -255,6 +272,7 @@ fn matraptor_from(overrides: &[(&str, &str)]) -> Result<MatRaptorEngine, Registr
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
             || apply_shard_key(&mut cfg.shard_rows, key, value)?
+            || apply_fault_key(&mut cfg.fault, key, value)?
         {
             continue;
         }
@@ -278,6 +296,7 @@ fn gamma_from(overrides: &[(&str, &str)]) -> Result<GammaEngine, RegistryError> 
         if apply_dram_key(&mut cfg.dram, key, value)?
             || apply_schedule_key(&mut cfg.multi_pe, key, value)?
             || apply_shard_key(&mut cfg.shard_rows, key, value)?
+            || apply_fault_key(&mut cfg.fault, key, value)?
         {
             continue;
         }

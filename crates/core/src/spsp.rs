@@ -28,7 +28,9 @@
 use std::ops::Range;
 use std::sync::OnceLock;
 
-use grow_sim::{CacheStats, DramConfig, LruRowCache, ScratchArena, TrafficClass, INDEX_BYTES};
+use grow_sim::{
+    CacheStats, DramConfig, FaultPlan, LruRowCache, ScratchArena, TrafficClass, INDEX_BYTES,
+};
 use grow_sparse::RowMajorSparse;
 
 use crate::exec_model::ExecModel;
@@ -101,6 +103,9 @@ pub(crate) struct SpSpParams {
     pub shard_rows: ShardRows,
     /// Multi-PE projection (Figure 24): PE count and cluster scheduler.
     pub multi_pe: crate::schedule::MultiPeConfig,
+    /// Deterministic fault-injection plan (the uniform `fault=` override;
+    /// off by default).
+    pub fault: FaultPlan,
 }
 
 pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunReport {
@@ -123,32 +128,33 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
                 .collect()
         });
     let model = ExecModel::with_dram(params.multi_pe, params.dram);
-    let mut report = pipeline::run_layers(params.name, workload, |layer| LayerReport {
-        combination: run_phase(
-            params,
-            &model,
-            PhaseKind::Combination,
-            &layer.x.view(),
-            layer.f_out,
-            &workload.clusters,
-            &scratch,
-            &plan_pool,
-            spec,
-            None,
-        ),
-        aggregation: run_phase(
-            params,
-            &model,
-            PhaseKind::Aggregation,
-            &adjacency,
-            layer.f_out,
-            &workload.clusters,
-            &scratch,
-            &plan_pool,
-            spec,
-            agg_store.as_deref(),
-        ),
-    });
+    let mut report =
+        pipeline::run_layers(params.name, workload, params.fault, |layer| LayerReport {
+            combination: run_phase(
+                params,
+                &model,
+                PhaseKind::Combination,
+                &layer.x.view(),
+                layer.f_out,
+                &workload.clusters,
+                &scratch,
+                &plan_pool,
+                spec,
+                None,
+            ),
+            aggregation: run_phase(
+                params,
+                &model,
+                PhaseKind::Aggregation,
+                &adjacency,
+                layer.f_out,
+                &workload.clusters,
+                &scratch,
+                &plan_pool,
+                spec,
+                agg_store.as_deref(),
+            ),
+        });
     model.finalize(&mut report);
     report
 }

@@ -19,8 +19,10 @@
 //!    [`grow_sim::exec::parallel_map`], so batch results are bit-identical
 //!    between `GROW_SERIAL=1` and any thread count.
 
+use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use grow_core::registry::{self, RegistryError};
@@ -29,6 +31,7 @@ use grow_core::{
 };
 use grow_model::DatasetSpec;
 use grow_sim::exec::{parallel_map, with_mode, ExecMode};
+use grow_sim::fault::{self, CancelReason, FaultPlan, FaultSite, SimFault};
 
 use crate::session::{SimSession, DEFAULT_HDN_ID_ENTRIES};
 use crate::store::ResultStore;
@@ -157,6 +160,16 @@ impl JobSpec {
         self
     }
 
+    /// Sets the deterministic fault-injection plan (the uniform `fault=`
+    /// override; see [`grow_sim::fault::FaultPlan::parse`] for the
+    /// `site:action[:nth[:attempts]]` grammar). A malformed spec fails the
+    /// job at validation time like any other bad override. The plan
+    /// participates in the job key — a faulted job never shares a cached
+    /// report with its fault-free twin.
+    pub fn with_fault(self, spec: &str) -> Self {
+        self.with_override("fault", spec)
+    }
+
     /// The job's canonical cache key: engine name normalized through the
     /// registry, overrides reduced to their *effective* configuration,
     /// workload recipe serialized. Two jobs with equal keys produce
@@ -224,6 +237,13 @@ impl JobKey {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Rebuilds a key from its canonical string form (store entries carry
+    /// the key they were persisted under; the scrubber re-derives entry
+    /// paths from it).
+    pub(crate) fn from_raw(raw: String) -> JobKey {
+        JobKey(raw)
+    }
 }
 
 impl fmt::Display for JobKey {
@@ -243,8 +263,8 @@ pub struct JobResult {
     pub dataset: &'static str,
     /// Engine name as submitted.
     pub engine: String,
-    /// The report, or the [`RegistryError`] that failed this job.
-    pub outcome: Result<RunReport, RegistryError>,
+    /// The report, or the [`JobError`] that failed this job.
+    pub outcome: Result<RunReport, JobError>,
     /// True when the report was served from the result cache (a duplicate
     /// of an earlier job, or computed by a previous batch).
     pub cache_hit: bool,
@@ -258,6 +278,110 @@ impl JobResult {
     /// The report, if the job succeeded.
     pub fn report(&self) -> Option<&RunReport> {
         self.outcome.as_ref().ok()
+    }
+}
+
+/// Why a job failed. Validation failures surface the underlying
+/// [`RegistryError`]; everything else is a supervised execution failure —
+/// the job's panic or injected fault was caught, classified, and (when
+/// transient) retried under the service's [`RetryPolicy`] before landing
+/// here. A failed job never poisons the batch: every other job still runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job never ran: unknown engine, malformed or unknown override.
+    Invalid(RegistryError),
+    /// The simulation panicked (a genuine bug or an injected `panic`
+    /// action) on every permitted attempt.
+    Panicked {
+        /// The final attempt's panic message.
+        message: String,
+        /// Attempts consumed (1 = no retry budget was available).
+        attempts: u64,
+    },
+    /// A deterministic injected fault ([`SimFault::Injected`]) persisted
+    /// through every permitted attempt.
+    Injected {
+        /// The injection site that tripped on the final attempt.
+        site: FaultSite,
+        /// Attempts consumed.
+        attempts: u64,
+    },
+    /// The job was cancelled cooperatively (explicit request or deadline).
+    /// Never retried: cancellation is a command, not a fault.
+    Cancelled {
+        /// What tripped the cancellation.
+        reason: CancelReason,
+    },
+    /// The result store panicked while serving this job's key (injected
+    /// `store_read:panic` or a real corruption bug). Permanent for the
+    /// batch — recompute after a [`ResultStore::scrub`].
+    StoreCorrupt {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// True for failures worth retrying (panics and injected faults);
+    /// false for permanent ones (validation, cancellation, store
+    /// corruption).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Panicked { .. } | JobError::Injected { .. })
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Invalid(e) => write!(f, "invalid job: {e}"),
+            JobError::Panicked { message, attempts } => {
+                write!(f, "job panicked after {attempts} attempt(s): {message}")
+            }
+            JobError::Injected { site, attempts } => {
+                write!(
+                    f,
+                    "injected fault at site '{site}' after {attempts} attempt(s)"
+                )
+            }
+            JobError::Cancelled { reason } => write!(f, "job cancelled: {reason}"),
+            JobError::StoreCorrupt { message } => {
+                write!(f, "result store corrupt for this key: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<RegistryError> for JobError {
+    fn from(e: RegistryError) -> Self {
+        JobError::Invalid(e)
+    }
+}
+
+/// Deterministic retry budget for supervised job execution: a failed
+/// attempt whose error [`is_transient`](JobError::is_transient) re-runs
+/// immediately (backoff is counted in retry slots, not wall-clock time, so
+/// serial and parallel legs retry identically) up to `max_attempts` total
+/// attempts per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (clamped to >= 1).
+    pub max_attempts: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, failures are final.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three total attempts — enough to outlast any single-spec injected
+    /// fault with `attempts <= 2`.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3 }
     }
 }
 
@@ -282,6 +406,15 @@ pub struct ServiceStats {
     pub store_hits: u64,
     /// Pooled sessions dropped by the LRU capacity bound.
     pub sessions_evicted: u64,
+    /// Extra simulation attempts consumed by the retry policy (a job that
+    /// succeeds on attempt 3 adds 2 here).
+    pub retries: u64,
+    /// Unwinds caught by the job supervisor: injected faults, injected
+    /// panics, genuine bugs, and store panics. The service itself never
+    /// unwinds past a job.
+    pub panics_caught: u64,
+    /// Jobs whose final outcome was [`JobError::Cancelled`].
+    pub jobs_cancelled: u64,
 }
 
 /// The batch simulation service: session pool + result cache + worker
@@ -304,6 +437,7 @@ pub struct BatchService {
     session_capacity: Option<usize>,
     reports: HashMap<JobKey, RunReport>,
     store: Option<ResultStore>,
+    retry: RetryPolicy,
     stats: ServiceStats,
 }
 
@@ -378,6 +512,23 @@ impl BatchService {
         self.session_capacity
     }
 
+    /// Sets the supervised-execution retry budget (default: 3 total
+    /// attempts per job).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the retry budget in place.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The supervised-execution retry budget.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Drops the in-memory session pool, result cache, and LRU
     /// bookkeeping. Deliberately does **not** reset the cumulative
     /// [`ServiceStats`] — the counters describe the service's lifetime,
@@ -424,17 +575,38 @@ impl BatchService {
         // in-memory cache cannot serve — once per distinct key. A hit
         // enters the report cache and the job is served like any other
         // cache hit; a corrupt entry is quarantined by the store and the
-        // job simply computes.
+        // job simply computes. The probe runs supervised under the job's
+        // own fault plan: a store *panic* (injected `store_read:panic`, or
+        // a real bug) fails that key cleanly as [`JobError::StoreCorrupt`]
+        // instead of unwinding the batch — permanent, no retry, because a
+        // corrupt store will not heal by re-reading it.
+        let mut store_failed: HashMap<JobKey, JobError> = HashMap::new();
         if let Some(mut store) = self.store.take() {
-            let mut probed: HashSet<&JobKey> = HashSet::new();
+            let mut probed: HashSet<JobKey> = HashSet::new();
             for i in 0..jobs.len() {
                 if validations[i].is_ok()
                     && !self.reports.contains_key(&keys[i])
-                    && probed.insert(&keys[i])
+                    && probed.insert(keys[i].clone())
                 {
-                    if let Some(report) = store.load(&keys[i]) {
-                        self.reports.insert(keys[i].clone(), report);
-                        self.stats.store_hits += 1;
+                    let plan = job_fault_plan(&jobs[i]);
+                    let loaded = catch_unwind(AssertUnwindSafe(|| {
+                        fault::with_plan(plan, || store.load(&keys[i]))
+                    }));
+                    match loaded {
+                        Ok(Some(report)) => {
+                            self.reports.insert(keys[i].clone(), report);
+                            self.stats.store_hits += 1;
+                        }
+                        Ok(None) => {}
+                        Err(payload) => {
+                            self.stats.panics_caught += 1;
+                            store_failed.insert(
+                                keys[i].clone(),
+                                JobError::StoreCorrupt {
+                                    message: panic_message(payload.as_ref()),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -442,12 +614,14 @@ impl BatchService {
         }
 
         // Phase 2: the compute set — the first occurrence of every key
-        // the report cache cannot already serve.
+        // the report cache cannot already serve. Keys the store probe
+        // failed are excluded: their verdict is already in.
         let mut claimed: HashSet<&JobKey> = HashSet::new();
         let to_compute: Vec<usize> = (0..jobs.len())
             .filter(|&i| {
                 validations[i].is_ok()
                     && !self.reports.contains_key(&keys[i])
+                    && !store_failed.contains_key(&keys[i])
                     && claimed.insert(&keys[i])
             })
             .collect();
@@ -514,15 +688,29 @@ impl BatchService {
             self.sessions.insert(key, session);
         }
 
-        // Phase 4: fan the simulations across worker threads. Sessions
-        // are read-only here; each worker rebuilds its (validated) engine
-        // and runs it against the shared prepared workload.
+        // Phase 4: fan the simulations across worker threads, each job
+        // supervised. Sessions are read-only here; each worker rebuilds
+        // its (validated) engine and runs it against the shared prepared
+        // workload under `catch_unwind`: a panic — injected or genuine —
+        // is classified into a [`JobError`] and, when transient, retried
+        // up to the policy's budget. The attempt number is published
+        // through the fault context so an injected fault with
+        // `attempts=N` stops firing on attempt N+1, making the retried
+        // run bit-identical to a fault-free one.
         let sessions = &self.sessions;
         // Same one-level rule as phase 3: with several jobs in flight the
         // job grain saturates the cores, so each engine's internal
         // cluster fan-out is forced serial; a lone job keeps it.
         let fan_jobs = to_compute.len() > 1;
-        let computed: Vec<(usize, RunReport, f64)> = parallel_map(to_compute, |_, i| {
+        let max_attempts = self.retry.max_attempts.max(1);
+        struct JobRun {
+            index: usize,
+            outcome: Result<RunReport, JobError>,
+            wall_ms: f64,
+            retries: u64,
+            caught: u64,
+        }
+        let computed: Vec<JobRun> = parallel_map(to_compute, |_, i| {
             let job = &jobs[i];
             let started = Instant::now();
             let engine = build_engine(job).expect("validated in phase 1");
@@ -530,41 +718,116 @@ impl BatchService {
                 .get(&job.session_key())
                 .and_then(|s| s.get_prepared(job.strategy))
                 .expect("prepared in phase 3");
-            let report = if fan_jobs {
-                with_mode(ExecMode::Serial, || engine.run(prepared))
-            } else {
-                engine.run(prepared)
+            let mut retries = 0u64;
+            let mut caught = 0u64;
+            let mut attempt = 1u64;
+            let outcome = loop {
+                // A cancelled ticket stops consuming attempts before the
+                // next run, not just at the engine's own check points.
+                if let Some(reason) = fault::cancel_state() {
+                    break Err(JobError::Cancelled { reason });
+                }
+                let run = fault::with_attempt(attempt, || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if fan_jobs {
+                            with_mode(ExecMode::Serial, || engine.run(prepared))
+                        } else {
+                            engine.run(prepared)
+                        }
+                    }))
+                });
+                match run {
+                    Ok(report) => break Ok(report),
+                    Err(payload) => {
+                        caught += 1;
+                        let err = classify_unwind(payload, attempt);
+                        if err.is_transient() && attempt < max_attempts {
+                            attempt += 1;
+                            retries += 1;
+                            continue;
+                        }
+                        break Err(err);
+                    }
+                }
             };
-            (i, report, started.elapsed().as_secs_f64() * 1e3)
+            JobRun {
+                index: i,
+                outcome,
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                retries,
+                caught,
+            }
         });
         self.stats.simulations_run += computed.len() as u64;
         let mut wall_by_index: HashMap<usize, f64> = HashMap::new();
-        for (i, report, wall_ms) in computed {
-            wall_by_index.insert(i, wall_ms);
-            // Only freshly computed reports of validated jobs reach this
-            // point, so a failed job can never be persisted. A store write
-            // error costs persistence, not the batch.
-            if let Some(store) = self.store.as_mut() {
-                if let Err(e) = store.persist(&keys[i], &report) {
-                    eprintln!("warning: result store write failed for {}: {e}", keys[i]);
+        let mut failed: HashMap<JobKey, JobError> = HashMap::new();
+        for run in computed {
+            self.stats.retries += run.retries;
+            self.stats.panics_caught += run.caught;
+            match run.outcome {
+                Ok(report) => {
+                    wall_by_index.insert(run.index, run.wall_ms);
+                    // Only freshly computed reports of validated jobs
+                    // reach this point, so a failed job can never be
+                    // persisted. A store write failure — error return or
+                    // panic, both injectable at the `store_write` site —
+                    // costs persistence, not the batch.
+                    if let Some(store) = self.store.as_mut() {
+                        let plan = job_fault_plan(&jobs[run.index]);
+                        let persisted = catch_unwind(AssertUnwindSafe(|| {
+                            fault::with_plan(plan, || store.persist(&keys[run.index], &report))
+                        }));
+                        match persisted {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => eprintln!(
+                                "warning: result store write failed for {}: {e}",
+                                keys[run.index]
+                            ),
+                            Err(payload) => {
+                                self.stats.panics_caught += 1;
+                                eprintln!(
+                                    "warning: result store write panicked for {}: {}",
+                                    keys[run.index],
+                                    panic_message(payload.as_ref())
+                                );
+                            }
+                        }
+                    }
+                    self.reports.insert(keys[run.index].clone(), report);
+                }
+                Err(e) => {
+                    // Duplicates of a failed key share the error; it never
+                    // enters the report cache or the store, so a later
+                    // batch (or a bigger retry budget) recomputes it.
+                    failed.insert(keys[run.index].clone(), e);
                 }
             }
-            self.reports.insert(keys[i].clone(), report);
         }
 
         // Phase 5: results in submission order, duplicates and repeats
-        // served from the cache.
+        // served from the cache; failures resolved in precedence order —
+        // validation, then store corruption, then supervised execution.
         let results = jobs
             .iter()
             .zip(validations)
             .enumerate()
             .map(|(index, (job, validation))| {
-                let (outcome, cache_hit, wall_ms) = match validation {
-                    Err(e) => {
+                let failure = match validation {
+                    Err(e) => Some(JobError::Invalid(e)),
+                    Ok(()) => store_failed
+                        .get(&keys[index])
+                        .or_else(|| failed.get(&keys[index]))
+                        .cloned(),
+                };
+                let (outcome, cache_hit, wall_ms) = match failure {
+                    Some(e) => {
                         self.stats.jobs_failed += 1;
+                        if matches!(e, JobError::Cancelled { .. }) {
+                            self.stats.jobs_cancelled += 1;
+                        }
                         (Err(e), false, None)
                     }
-                    Ok(()) => {
+                    None => {
                         let wall_ms = wall_by_index.get(&index).copied();
                         if wall_ms.is_none() {
                             self.stats.cache_hits += 1;
@@ -633,6 +896,52 @@ fn build_engine(job: &JobSpec) -> Result<Box<dyn Accelerator>, RegistryError> {
         .map(|(k, v)| (k.as_str(), v.as_str()))
         .collect();
     registry::engine_from_overrides(&job.engine, &borrowed)
+}
+
+/// The job's effective fault plan, parsed from its `fault=` override with
+/// the registry's last-wins semantics. `OFF` for jobs without one — and
+/// for unparseable ones, which never get this far (they fail validation).
+pub(crate) fn job_fault_plan(job: &JobSpec) -> FaultPlan {
+    let mut plan = FaultPlan::OFF;
+    for spec in &job.overrides {
+        if let Ok((key, value)) = registry::parse_override(spec) {
+            if key == "fault" {
+                if let Ok(parsed) = FaultPlan::parse(&value) {
+                    plan = parsed;
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// Classifies a caught unwind payload into a [`JobError`]: injected
+/// faults and cooperative cancellations travel as typed [`SimFault`]
+/// payloads; anything else is a genuine panic whose message is preserved.
+fn classify_unwind(payload: Box<dyn Any + Send>, attempts: u64) -> JobError {
+    match payload.downcast::<SimFault>() {
+        Ok(fault) => match *fault {
+            SimFault::Injected { site, .. } => JobError::Injected { site, attempts },
+            SimFault::Cancelled { reason } => JobError::Cancelled { reason },
+        },
+        Err(payload) => JobError::Panicked {
+            message: panic_message(payload.as_ref()),
+            attempts,
+        },
+    }
+}
+
+/// Best-effort human-readable form of a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(fault) = payload.downcast_ref::<SimFault>() {
+        fault.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The full dataset × engine × partition grid as a job list — the
@@ -901,27 +1210,29 @@ mod tests {
         assert!(results[0].outcome.is_ok());
         assert_eq!(
             results[1].outcome,
-            Err(RegistryError::UnknownEngine("npu".into()))
+            Err(JobError::Invalid(RegistryError::UnknownEngine(
+                "npu".into()
+            )))
         );
         assert_eq!(
             results[2].outcome,
-            Err(RegistryError::MalformedOverride {
+            Err(JobError::Invalid(RegistryError::MalformedOverride {
                 spec: "runahead".into()
-            })
+            }))
         );
         assert_eq!(
             results[3].outcome,
-            Err(RegistryError::InvalidValue {
+            Err(JobError::Invalid(RegistryError::InvalidValue {
                 key: "runahead".into(),
                 value: "many".into()
-            })
+            }))
         );
         assert_eq!(
             results[4].outcome,
-            Err(RegistryError::UnknownKey {
+            Err(JobError::Invalid(RegistryError::UnknownKey {
                 engine: "gcnax",
                 key: "runahead".into()
-            })
+            }))
         );
         assert!(results[5].outcome.is_ok(), "later jobs unaffected");
         assert_eq!(service.stats().jobs_failed, 4);
@@ -1032,5 +1343,100 @@ mod tests {
             .run_with("grow", &[("runahead", "4")], strategy)
             .unwrap();
         assert_eq!(result.outcome.unwrap(), direct);
+    }
+
+    #[test]
+    fn injected_faults_retry_to_a_bit_identical_report() {
+        let mut service = BatchService::new();
+        let clean = JobSpec::new(spec(), 3, "grow");
+        let baseline = service.run_one(&clean).outcome.unwrap();
+        for fault_spec in [
+            "dram:error:1:2",
+            "dram:panic:1",
+            "exec:error:1",
+            "exec:panic:1:2",
+        ] {
+            let result = service.run_one(&clean.clone().with_fault(fault_spec));
+            let report = result
+                .outcome
+                .unwrap_or_else(|e| panic!("{fault_spec}: {e}"));
+            assert_eq!(report, baseline, "{fault_spec}");
+            assert!(!result.cache_hit, "{fault_spec} really recomputed");
+        }
+        assert!(service.stats().retries > 0, "transient faults retried");
+        assert!(service.stats().panics_caught > 0, "unwinds were caught");
+        assert_eq!(service.stats().jobs_failed, 0, "every retry succeeded");
+    }
+
+    #[test]
+    fn permanent_injected_faults_fail_cleanly_and_are_not_cached() {
+        let mut service = BatchService::new();
+        let job = JobSpec::new(spec(), 3, "gcnax").with_fault("dram:error:1:99");
+        let first = service.run_one(&job);
+        assert_eq!(
+            first.outcome,
+            Err(JobError::Injected {
+                site: FaultSite::DramIssue,
+                attempts: 3
+            }),
+            "retry budget exhausted on a fault outlasting it"
+        );
+        assert_eq!(first.wall_ms, None, "failed jobs report no timing");
+        assert_eq!(service.stats().jobs_failed, 1);
+        assert_eq!(service.stats().retries, 2);
+        // The failure is not cached: a later batch really re-attempts.
+        let again = service.run_one(&job);
+        assert!(again.outcome.is_err());
+        assert!(!again.cache_hit);
+        assert_eq!(service.stats().simulations_run, 2);
+        // A no-retry policy fails on the first attempt.
+        service.set_retry_policy(RetryPolicy::none());
+        assert_eq!(
+            service.run_one(&job).outcome,
+            Err(JobError::Injected {
+                site: FaultSite::DramIssue,
+                attempts: 1
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_failing_jobs_share_the_error_without_extra_runs() {
+        let mut service = BatchService::new();
+        let job = JobSpec::new(spec(), 3, "gamma").with_fault("dram:panic:1:99");
+        let results = service.run_batch(&[job.clone(), job.clone()]);
+        assert_eq!(service.stats().simulations_run, 1, "one run per key");
+        assert_eq!(results[0].outcome, results[1].outcome);
+        assert!(
+            matches!(results[0].outcome, Err(JobError::Panicked { .. })),
+            "injected panics surface as Panicked, not Injected"
+        );
+        assert_eq!(service.stats().jobs_failed, 2, "both submissions failed");
+    }
+
+    #[test]
+    fn malformed_fault_specs_fail_validation() {
+        let mut service = BatchService::new();
+        let result = service.run_one(&JobSpec::new(spec(), 3, "grow").with_fault("dram:boom"));
+        assert_eq!(
+            result.outcome,
+            Err(JobError::Invalid(RegistryError::InvalidValue {
+                key: "fault".into(),
+                value: "dram:boom".into()
+            }))
+        );
+        assert_eq!(service.stats().simulations_run, 0);
+    }
+
+    #[test]
+    fn fault_override_participates_in_the_job_key() {
+        let clean = JobSpec::new(spec(), 3, "grow");
+        let faulted = clean.clone().with_fault("dram:error:1");
+        assert_ne!(clean.key(), faulted.key());
+        assert_eq!(job_fault_plan(&clean), FaultPlan::OFF);
+        assert_eq!(
+            job_fault_plan(&faulted),
+            FaultPlan::parse("dram:error:1").unwrap()
+        );
     }
 }

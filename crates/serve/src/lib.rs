@@ -24,6 +24,17 @@
 //!   streamed on completion, with priority classes and admission control
 //!   in front of the `BatchService` core.
 //!
+//! The layer is *supervised*: every job runs under `catch_unwind` with a
+//! bounded, deterministic retry budget ([`batch::RetryPolicy`]), so a
+//! panicking or fault-injected job (the uniform `fault=` override, see
+//! [`grow_sim::fault`]) fails alone as a structured [`batch::JobError`] —
+//! never the batch, never the worker. Tickets expose cooperative
+//! cancellation and per-job deadlines; a worker death (the injected
+//! `worker` fault site) surfaces to waiters as
+//! [`service::WaitError::ServiceDead`] with a casualty list from
+//! [`service::AsyncService::finish_report`], and
+//! [`store::ResultStore::scrub`] audits the on-disk cache back to health.
+//!
 //! Because every engine's parallel cluster path is bit-identical to its
 //! serial path, so is the whole service: a batch run under `GROW_SERIAL=1`
 //! returns exactly the reports of a multi-threaded run — and draining the
@@ -57,8 +68,11 @@ pub mod session;
 pub mod store;
 
 pub use batch::{
-    grid_jobs, scheduler_grid_jobs, BatchService, JobKey, JobResult, JobSpec, ServiceStats,
+    grid_jobs, scheduler_grid_jobs, BatchService, JobError, JobKey, JobResult, JobSpec,
+    RetryPolicy, ServiceStats,
 };
-pub use service::{AsyncConfig, AsyncService, Priority, SubmitError, Ticket};
+pub use service::{
+    AsyncConfig, AsyncService, FinishReport, Priority, SubmitError, Ticket, WaitError,
+};
 pub use session::SimSession;
-pub use store::{ResultStore, StoreStats};
+pub use store::{ResultStore, ScrubReport, StoreStats};

@@ -37,16 +37,19 @@
 //! replays the spawning thread's `with_mode`/`with_workers` overrides via
 //! [`ExecContext`], so scoped test overrides apply to async runs too.
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use grow_sim::exec::ExecContext;
+use grow_sim::fault::{self, CancelToken, FaultSite};
 
-use crate::batch::{BatchService, JobResult, JobSpec, ServiceStats};
+use crate::batch::{job_fault_plan, BatchService, JobResult, JobSpec, ServiceStats};
 
 /// Scheduling class of a submission: the worker always serves the
 /// highest non-empty class, FIFO within a class.
@@ -105,6 +108,11 @@ pub enum SubmitError {
     },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// The worker thread died (an injected worker kill or a supervision
+    /// escape); no new work can run. Call
+    /// [`finish_report`](AsyncService::finish_report) for the casualty
+    /// list.
+    ServiceDead,
 }
 
 impl fmt::Display for SubmitError {
@@ -115,11 +123,45 @@ impl fmt::Display for SubmitError {
                 "pending queue full ({pending} of {capacity} slots in use)"
             ),
             SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+            SubmitError::ServiceDead => f.write_str("service worker died"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why a [`Ticket`] will never deliver a result: the worker thread died
+/// (or the service was dropped) with the job still outstanding. Surfaced
+/// as an error — never a panic or a hang — so submitters always observe a
+/// worker death as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The result channel disconnected with no result delivered.
+    ServiceDead,
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::ServiceDead => {
+                f.write_str("service died before delivering this job's result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+/// Shutdown summary returned by [`AsyncService::finish_report`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FinishReport {
+    /// True when the worker thread exited by panic rather than by
+    /// draining its queues.
+    pub worker_panicked: bool,
+    /// Submission ids whose results were never delivered because the
+    /// worker died: the job it was running plus everything still queued.
+    pub casualties: Vec<u64>,
+}
 
 /// A claim on one submitted job's eventual [`JobResult`], returned
 /// immediately by [`AsyncService::submit`]. The result is delivered the
@@ -128,6 +170,7 @@ impl std::error::Error for SubmitError {}
 pub struct Ticket {
     id: u64,
     rx: Receiver<JobResult>,
+    cancel: Arc<CancelToken>,
 }
 
 impl Ticket {
@@ -137,23 +180,41 @@ impl Ticket {
         self.id
     }
 
+    /// Requests cooperative cancellation of this job. The engine checks
+    /// the token at cluster and layer boundaries; a job caught in flight
+    /// completes as [`JobError::Cancelled`](crate::JobError::Cancelled).
+    /// A job that already completed (or is served from cache) still
+    /// delivers its report — cancellation never corrupts a finished
+    /// result, it only stops future work.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
     /// Blocks until the job completes and returns its result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the service was dropped (not
-    /// [`finish`](AsyncService::finish)ed) before the job ran.
-    pub fn wait(self) -> JobResult {
-        self.rx
-            .recv()
-            .expect("service dropped before completing this job")
+    /// [`WaitError::ServiceDead`] when the worker died (or the service
+    /// was dropped) before delivering this job's result — never a panic,
+    /// never a hang.
+    pub fn wait(self) -> Result<JobResult, WaitError> {
+        self.rx.recv().map_err(|_| WaitError::ServiceDead)
     }
 
     /// Returns the result if the job has already completed, without
     /// blocking. At most one result is ever delivered per ticket: after
-    /// this returns `Some`, [`wait`](Self::wait) would panic.
-    pub fn try_wait(&self) -> Option<JobResult> {
-        self.rx.try_recv().ok()
+    /// this returns `Ok(Some(..))`, [`wait`](Self::wait) would error.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::ServiceDead`] when the channel disconnected with no
+    /// result delivered.
+    pub fn try_wait(&self) -> Result<Option<JobResult>, WaitError> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(Some(result)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(WaitError::ServiceDead),
+        }
     }
 }
 
@@ -162,6 +223,7 @@ struct Submission {
     id: u64,
     job: JobSpec,
     tx: Sender<JobResult>,
+    cancel: Arc<CancelToken>,
 }
 
 /// The queues and lifecycle flags shared between submitters and the
@@ -175,6 +237,12 @@ struct QueueState {
     stopping: bool,
     /// Set by `Drop`: stop now, discarding queued submissions.
     abort: bool,
+    /// Set by the worker's death guard: the worker exited by panic and
+    /// will never serve another job.
+    worker_dead: bool,
+    /// Submission ids orphaned by a worker death (the in-flight job plus
+    /// everything queued behind it).
+    casualties: Vec<u64>,
 }
 
 impl QueueState {
@@ -190,8 +258,13 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the queue state, recovering from poison: a worker that died
+    /// mid-update leaves consistent-enough state (counters are fixed up
+    /// by the death guard), and submitters must keep observing the death
+    /// as data ([`SubmitError::ServiceDead`]), never as a propagated
+    /// panic.
     fn lock(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock().expect("queue state poisoned")
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -205,7 +278,7 @@ impl Shared {
 /// let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
 /// let spec = DatasetKey::Cora.spec().scaled_to(300);
 /// let ticket = service.submit(JobSpec::new(spec, 42, "grow")).unwrap();
-/// let result = ticket.wait();
+/// let result = ticket.wait().expect("worker alive");
 /// assert!(result.report().is_some());
 /// let batch = service.finish(); // drain + recover the inner BatchService
 /// assert_eq!(batch.stats().simulations_run, 1);
@@ -242,6 +315,8 @@ impl AsyncService {
                 pending: 0,
                 stopping: false,
                 abort: false,
+                worker_dead: false,
+                casualties: Vec::new(),
             }),
             cv: Condvar::new(),
         });
@@ -287,7 +362,43 @@ impl AsyncService {
     ///
     /// See [`submit`](Self::submit).
     pub fn submit_with(&self, job: JobSpec, priority: Priority) -> Result<Ticket, SubmitError> {
+        self.submit_inner(job, priority, CancelToken::new())
+    }
+
+    /// [`submit_with`](Self::submit_with) plus a per-job deadline: a job
+    /// still running `timeout` after submission cancels cooperatively at
+    /// its next cluster/layer boundary and completes as
+    /// [`JobError::Cancelled`](crate::JobError::Cancelled). The deadline
+    /// only decides *whether* a job completes, never what a completed
+    /// report contains, so determinism of delivered reports is untouched.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        job: JobSpec,
+        priority: Priority,
+        timeout: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(
+            job,
+            priority,
+            CancelToken::with_deadline(Instant::now() + timeout),
+        )
+    }
+
+    fn submit_inner(
+        &self,
+        job: JobSpec,
+        priority: Priority,
+        cancel: CancelToken,
+    ) -> Result<Ticket, SubmitError> {
+        let cancel = Arc::new(cancel);
         let mut st = self.shared.lock();
+        if st.worker_dead {
+            return Err(SubmitError::ServiceDead);
+        }
         if st.stopping {
             return Err(SubmitError::ShuttingDown);
         }
@@ -299,11 +410,16 @@ impl AsyncService {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
-        st.queues[priority.index()].push_back(Submission { id, job, tx });
+        st.queues[priority.index()].push_back(Submission {
+            id,
+            job,
+            tx,
+            cancel: Arc::clone(&cancel),
+        });
         st.pending += 1;
         drop(st);
         self.shared.cv.notify_all();
-        Ok(Ticket { id, rx })
+        Ok(Ticket { id, rx, cancel })
     }
 
     /// Admitted-but-uncompleted jobs right now (queued plus in flight).
@@ -322,40 +438,70 @@ impl AsyncService {
     pub fn completed_ids(&self) -> Vec<u64> {
         self.completions
             .lock()
-            .expect("completion log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    /// True when the worker thread died; every outstanding ticket will
+    /// resolve to [`WaitError::ServiceDead`] and new submissions are
+    /// rejected with [`SubmitError::ServiceDead`].
+    pub fn worker_dead(&self) -> bool {
+        self.shared.lock().worker_dead
+    }
+
+    /// Submission ids orphaned by a worker death so far (empty while the
+    /// worker is healthy). The authoritative list at shutdown is
+    /// [`finish_report`](Self::finish_report)'s.
+    pub fn casualties(&self) -> Vec<u64> {
+        self.shared.lock().casualties.clone()
     }
 
     /// Cumulative counters of the inner [`BatchService`]. Blocks while a
     /// simulation is in flight (the worker holds the service for the
     /// duration of each job).
     pub fn stats(&self) -> ServiceStats {
-        self.inner().lock().expect("service poisoned").stats()
+        self.inner()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
     /// Drains every queued submission, stops the worker, and returns the
     /// inner [`BatchService`] — with its warmed caches and counters — for
-    /// inspection or synchronous reuse.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from the worker thread.
-    pub fn finish(mut self) -> BatchService {
+    /// inspection or synchronous reuse. A worker death is absorbed, not
+    /// propagated (see [`finish_report`](Self::finish_report) for the
+    /// casualty list).
+    pub fn finish(self) -> BatchService {
+        self.finish_report().0
+    }
+
+    /// [`finish`](Self::finish) plus the shutdown summary: whether the
+    /// worker exited by panic, and which submission ids lost their
+    /// results to it. A clean shutdown reports `worker_panicked: false`
+    /// and no casualties.
+    pub fn finish_report(mut self) -> (BatchService, FinishReport) {
         {
             let mut st = self.shared.lock();
             st.stopping = true;
         }
         self.shared.cv.notify_all();
-        if let Some(worker) = self.worker.take() {
-            if let Err(panic) = worker.join() {
-                std::panic::resume_unwind(panic);
-            }
-        }
+        let worker_panicked = match self.worker.take() {
+            Some(worker) => worker.join().is_err(),
+            None => false,
+        };
+        let casualties = self.shared.lock().casualties.clone();
         let service = self.service.take().expect("finish runs once");
         let Ok(service) = Arc::try_unwrap(service) else {
             unreachable!("worker has exited, so the service has one owner");
         };
-        service.into_inner().expect("service poisoned")
+        let service = service.into_inner().unwrap_or_else(PoisonError::into_inner);
+        (
+            service,
+            FinishReport {
+                worker_panicked,
+                casualties,
+            },
+        )
     }
 
     fn inner(&self) -> &Mutex<BatchService> {
@@ -380,36 +526,108 @@ impl Drop for AsyncService {
     }
 }
 
+/// Arms the worker thread against its own death: dropped during an
+/// unwind, it marks the service dead, records the in-flight job and every
+/// queued submission as casualties, fixes the pending count, and wakes
+/// every waiter — whose tickets then observe a disconnected channel
+/// ([`WaitError::ServiceDead`]) because the submissions (and their
+/// senders) are dropped here. Disarmed on the worker's clean exits.
+struct WorkerGuard<'a> {
+    shared: &'a Shared,
+    /// The submission being processed right now, if any. The guard
+    /// *owns* it so that during an unwind its sender cannot drop before
+    /// the death is recorded below — a waiter woken by the disconnect
+    /// must already observe `worker_dead`, or it could race one more
+    /// submission into a dying service.
+    current: RefCell<Option<Submission>>,
+    armed: Cell<bool>,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed.get() {
+            return;
+        }
+        // Collect the casualties' submissions and drop them only after
+        // the lock is released and `worker_dead` is visible: their
+        // senders dropping is what wakes the waiters.
+        let mut dead: Vec<Submission> = Vec::new();
+        let mut st = self.shared.lock();
+        st.worker_dead = true;
+        if let Some(submission) = self.current.borrow_mut().take() {
+            st.casualties.push(submission.id);
+            st.pending = st.pending.saturating_sub(1);
+            dead.push(submission);
+        }
+        while let Some(submission) = st.pop() {
+            st.casualties.push(submission.id);
+            st.pending = st.pending.saturating_sub(1);
+            dead.push(submission);
+        }
+        drop(st);
+        self.shared.cv.notify_all();
+        drop(dead);
+    }
+}
+
 /// The worker: pop the highest-priority submission, run it as a batch of
-/// one (full inner fan-out — the one-level rule at the single-job grain),
-/// deliver the result, repeat until stopped.
+/// one (full inner fan-out — the one-level rule at the single-job grain)
+/// with the ticket's cancel token armed, deliver the result, repeat until
+/// stopped. `run_one` supervises each job, so a job panic — injected or
+/// genuine — becomes a [`JobError`](crate::JobError), never a worker
+/// death; the only deliberate hole is the `worker` fault site below,
+/// which kills the worker itself to exercise the death guard.
 fn worker_loop(shared: &Shared, service: &Mutex<BatchService>, completions: &Mutex<Vec<u64>>) {
+    let guard = WorkerGuard {
+        shared,
+        current: RefCell::new(None),
+        armed: Cell::new(true),
+    };
     loop {
         let submission = {
             let mut st = shared.lock();
             loop {
                 if st.abort {
+                    guard.armed.set(false);
                     return;
                 }
                 if let Some(submission) = st.pop() {
                     break submission;
                 }
                 if st.stopping {
+                    guard.armed.set(false);
                     return;
                 }
-                st = shared.cv.wait(st).expect("queue state poisoned");
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let mut result = service
-            .lock()
-            .expect("service poisoned")
-            .run_one(&submission.job);
+        // Park the submission in the guard: on an unwind the guard — not
+        // the unwinding stack frame — drops it, after recording the death.
+        guard.current.replace(Some(submission));
+        let current = guard.current.borrow();
+        let submission = current.as_ref().expect("parked above");
+        // The 'worker' fault site: a supervisor kill that escapes the
+        // per-job supervision on purpose — the submission drops with the
+        // unwind, so its waiter sees ServiceDead, and the guard converts
+        // the death into casualty bookkeeping instead of a poisoned hang.
+        if job_fault_plan(&submission.job)
+            .action_at(FaultSite::Worker, 1, 1)
+            .is_some()
+        {
+            panic!("injected worker kill (fault site 'worker')");
+        }
+        let mut result = {
+            let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+            fault::with_cancel(Some(Arc::clone(&submission.cancel)), || {
+                svc.run_one(&submission.job)
+            })
+        };
         // `run_one` numbers within its one-job batch; the submission id is
         // the meaningful index at this layer.
         result.index = submission.id as usize;
         completions
             .lock()
-            .expect("completion log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(submission.id);
         {
             let mut st = shared.lock();
@@ -418,6 +636,8 @@ fn worker_loop(shared: &Shared, service: &Mutex<BatchService>, completions: &Mut
         shared.cv.notify_all();
         // The ticket may be gone (dropped without waiting); fine.
         let _ = submission.tx.send(result);
+        drop(current);
+        guard.current.replace(None);
     }
 }
 
@@ -435,6 +655,7 @@ mod tests {
                 "grow",
             ),
             tx,
+            cancel: Arc::new(CancelToken::new()),
         }
     }
 
@@ -445,6 +666,8 @@ mod tests {
             pending: 0,
             stopping: false,
             abort: false,
+            worker_dead: false,
+            casualties: Vec::new(),
         };
         state.queues[Priority::Low.index()].push_back(submission(0));
         state.queues[Priority::Normal.index()].push_back(submission(1));

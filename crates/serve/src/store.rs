@@ -31,6 +31,7 @@ use grow_core::{
     ClusterProfile, LayerReport, MultiPeSummary, PhaseKind, PhasePeBusy, PhaseReport, RunReport,
     SchedulerKind,
 };
+use grow_sim::fault::{self, FaultSite};
 use grow_sim::{CacheStats, TrafficClass, TrafficStats};
 
 use crate::batch::JobKey;
@@ -54,6 +55,22 @@ pub struct StoreStats {
     pub persisted: u64,
     /// Unreadable/corrupt entries renamed to `*.corrupt` and skipped.
     pub quarantined: u64,
+}
+
+/// Outcome of a full-store audit — see [`ResultStore::scrub`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Entries that parsed, named this build's registry, and live at the
+    /// path their embedded key hashes to.
+    pub live: u64,
+    /// Entries quarantined by this scrub (renamed to `*.corrupt`).
+    pub quarantined: u64,
+    /// Orphaned temporary files removed — the residue of a writer that
+    /// died between `write` and `rename`.
+    pub tmp_removed: u64,
+    /// Other files left untouched (earlier `*.corrupt` evidence,
+    /// subdirectories, foreign files).
+    pub skipped: u64,
 }
 
 /// An on-disk [`RunReport`] cache keyed by canonical [`JobKey`]. See the
@@ -138,6 +155,15 @@ impl ResultStore {
                 return None;
             }
         };
+        // The 'store_read' fault injection site: an injected error makes
+        // this entry read as corrupt (quarantine + miss, the job simply
+        // recomputes); an injected panic unwinds into the caller's
+        // supervisor, which fails the job as StoreCorrupt.
+        if fault::check_scoped(FaultSite::StoreRead).is_err() {
+            self.quarantine(&path);
+            self.stats.misses += 1;
+            return None;
+        }
         match parse_entry(&text, key) {
             Ok(report) => {
                 self.stats.hits += 1;
@@ -164,6 +190,13 @@ impl ResultStore {
         let path = self.entry_path(key);
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
         fs::write(&tmp, render_entry(key, report))?;
+        // The 'store_write' fault injection site, deliberately placed
+        // between write and rename: both the injected error and the
+        // injected panic leave the temporary file orphaned — the exact
+        // residue of a writer crashing mid-persist, which scrub() removes.
+        if let Err(e) = fault::check_scoped(FaultSite::StoreWrite) {
+            return Err(io::Error::other(e.to_string()));
+        }
         match fs::rename(&tmp, &path) {
             Ok(()) => {
                 self.stats.persisted += 1;
@@ -190,6 +223,62 @@ impl ResultStore {
             }
         }
         Ok(())
+    }
+
+    /// Audits the whole store directory and repairs what it can:
+    ///
+    /// * every live `*.report` entry is parsed and its embedded key is
+    ///   re-hashed — an entry that is unreadable, malformed, or filed
+    ///   under the wrong name (bit rot, a foreign tool, a hash mismatch)
+    ///   is quarantined exactly like a failed load;
+    /// * orphaned `*.tmpNNN` files — the residue of a writer that died
+    ///   between `write` and `rename` — are deleted;
+    /// * everything else (earlier `*.corrupt` evidence, subdirectories)
+    ///   is left untouched and counted as skipped.
+    ///
+    /// Deliberately *not* a fault injection point: scrub is the recovery
+    /// protocol, so it must work on a store whose jobs are configured to
+    /// fail. Directory order is sorted, so repeated scrubs of the same
+    /// tree report identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first filesystem error from listing the directory or
+    /// removing a temporary file; quarantine failures are not errors (the
+    /// entry is simply counted and retried on the next scrub).
+    pub fn scrub(&mut self) -> io::Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        paths.sort();
+        for path in paths {
+            if !path.is_file() {
+                report.skipped += 1;
+                continue;
+            }
+            let ext = path.extension().and_then(|x| x.to_str()).unwrap_or("");
+            if ext.starts_with("tmp") {
+                fs::remove_file(&path)?;
+                report.tmp_removed += 1;
+            } else if ext == ENTRY_EXT {
+                let verified = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|text| parse_entry_any(&text).ok())
+                    .is_some_and(|(key, _)| self.entry_path(&key) == path);
+                if verified {
+                    report.live += 1;
+                } else {
+                    self.quarantine(&path);
+                    report.quarantined += 1;
+                }
+            } else {
+                report.skipped += 1;
+            }
+        }
+        Ok(report)
     }
 
     fn quarantine(&mut self, path: &Path) {
@@ -342,15 +431,23 @@ struct Malformed;
 type ParseResult<T> = Result<T, Malformed>;
 
 fn parse_entry(text: &str, expect_key: &JobKey) -> ParseResult<RunReport> {
+    let (key, report) = parse_entry_any(text)?;
+    if key.as_str() != expect_key.as_str() {
+        return Err(Malformed);
+    }
+    Ok(report)
+}
+
+/// Parses an entry without an expected key — the scrubber's view, which
+/// discovers each entry's identity from the `key` line and re-verifies
+/// the filename against it.
+fn parse_entry_any(text: &str) -> ParseResult<(JobKey, RunReport)> {
     let mut lines = text.lines();
     if lines.next() != Some(FORMAT_HEADER) {
         return Err(Malformed);
     }
     let key_line = lines.next().ok_or(Malformed)?;
     let key = key_line.strip_prefix("key ").ok_or(Malformed)?;
-    if key != expect_key.as_str() {
-        return Err(Malformed);
-    }
     let engine_line = lines.next().ok_or(Malformed)?;
     let engine_name = engine_line.strip_prefix("engine ").ok_or(Malformed)?;
     // Resolve the persisted label to the registry's 'static name — an
@@ -387,12 +484,15 @@ fn parse_entry(text: &str, expect_key: &JobKey) -> ParseResult<RunReport> {
     if lines.next().is_some() {
         return Err(Malformed); // trailing garbage
     }
-    Ok(RunReport {
-        engine,
-        layers,
-        multi_pe,
-        exec,
-    })
+    Ok((
+        JobKey::from_raw(key.to_string()),
+        RunReport {
+            engine,
+            layers,
+            multi_pe,
+            exec,
+        },
+    ))
 }
 
 fn parse_multi_pe(line: &str) -> ParseResult<Option<MultiPeSummary>> {

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::fault::{self, FaultSite};
 use crate::Cycle;
 
 /// Off-chip memory channel parameters.
@@ -305,6 +306,10 @@ pub struct Dram {
     /// Time at which the channel finishes its last accepted transfer.
     channel_free: f64,
     stats: TrafficStats,
+    /// 1-based count of transfer issues, consulted by the `dram` fault
+    /// injection site. Per-instance (each cluster simulation owns its own
+    /// channel), so serial and parallel legs inject at the same transfer.
+    fault_ops: u64,
 }
 
 impl Dram {
@@ -323,6 +328,7 @@ impl Dram {
             config,
             channel_free: 0.0,
             stats: TrafficStats::new(),
+            fault_ops: 0,
         }
     }
 
@@ -377,6 +383,8 @@ impl Dram {
         if count == 0 {
             return now;
         }
+        self.fault_ops += 1;
+        fault::trip_at(FaultSite::DramIssue, self.fault_ops);
         let fetched_each =
             useful_each.div_ceil(self.config.access_granularity) * self.config.access_granularity;
         self.stats
@@ -436,6 +444,8 @@ impl Dram {
         is_read: bool,
         overhead: Cycle,
     ) -> Cycle {
+        self.fault_ops += 1;
+        fault::trip_at(FaultSite::DramIssue, self.fault_ops);
         self.stats.record(class, useful, fetched);
         let start = self.channel_free.max(now as f64);
         let end = start + fetched as f64 / self.config.bytes_per_cycle + overhead as f64;

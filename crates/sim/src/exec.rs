@@ -23,9 +23,13 @@
 //!   thread count oversubscribe, which the determinism tests use to
 //!   exercise real interleaving even on single-core machines).
 
+use std::any::Any;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+use crate::fault::{self, FaultContext, FaultSite};
 
 /// How [`parallel_map`] executes its tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,25 +185,54 @@ where
 
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panics: Vec<Mutex<Option<Box<dyn Any + Send>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let fault_ctx = FaultContext::capture();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each slot is taken exactly once");
-                let r = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(r);
+            scope.spawn(|| {
+                fault_ctx.scope(|| loop {
+                    if panicked.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("each slot is taken exactly once");
+                    // Capture the payload instead of letting the scope
+                    // replace it with "a scoped thread panicked": the serve
+                    // supervisor downcasts payloads (e.g. `SimFault`) to
+                    // classify failures.
+                    match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                        Ok(r) => *results[i].lock().expect("result slot poisoned") = Some(r),
+                        Err(payload) => {
+                            *panics[i].lock().expect("panic slot poisoned") = Some(payload);
+                            panicked.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                })
             });
         }
     });
+
+    // Re-raise the lowest-index panic. Indices are claimed in increasing
+    // order and a claimed task always runs, so the lowest recorded index is
+    // the lowest panicking task overall — exactly where the serial leg
+    // fails first.
+    for slot in &panics {
+        if let Some(payload) = slot.lock().expect("panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+    }
 
     results
         .into_iter()
@@ -286,6 +319,7 @@ where
     if workers <= 1 || n <= 1 {
         for (i, item) in items.into_iter().enumerate() {
             let r = produce(i, item);
+            fault::trip_at(FaultSite::ExecHandoff, i as u64 + 1);
             consume(i, r);
         }
         return;
@@ -300,40 +334,55 @@ where
         dead: false,
     });
     let cv = Condvar::new();
+    let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+    let fault_ctx = FaultContext::capture();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = {
-                    let mut st = state.lock().expect("pipeline state poisoned");
-                    loop {
-                        if st.dead || st.next >= n {
+            scope.spawn(|| {
+                fault_ctx.scope(|| loop {
+                    let i = {
+                        let mut st = state.lock().expect("pipeline state poisoned");
+                        loop {
+                            if st.dead || st.next >= n {
+                                return;
+                            }
+                            if st.next < st.consumed + depth {
+                                break;
+                            }
+                            st = cv.wait(st).expect("pipeline state poisoned");
+                        }
+                        let i = st.next;
+                        st.next += 1;
+                        i
+                    };
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("each slot is taken exactly once");
+                    // Capture the payload (rather than letting the scope
+                    // discard it) so supervisors can downcast `SimFault`,
+                    // and mark the pipeline dead so the consumer stops
+                    // waiting for a result that will never arrive.
+                    match catch_unwind(AssertUnwindSafe(|| produce(i, item))) {
+                        Ok(r) => {
+                            let mut st = state.lock().expect("pipeline state poisoned");
+                            st.ready[i] = Some(r);
+                            cv.notify_all();
+                        }
+                        Err(payload) => {
+                            panics
+                                .lock()
+                                .expect("panic list poisoned")
+                                .push((i, payload));
+                            let mut st = state.lock().expect("pipeline state poisoned");
+                            st.dead = true;
+                            cv.notify_all();
                             return;
                         }
-                        if st.next < st.consumed + depth {
-                            break;
-                        }
-                        st = cv.wait(st).expect("pipeline state poisoned");
                     }
-                    let i = st.next;
-                    st.next += 1;
-                    i
-                };
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each slot is taken exactly once");
-                let poison = PipePoison {
-                    state: &state,
-                    cv: &cv,
-                    armed: true,
-                };
-                let r = produce(i, item);
-                poison.disarm();
-                let mut st = state.lock().expect("pipeline state poisoned");
-                st.ready[i] = Some(r);
-                cv.notify_all();
+                })
             });
         }
 
@@ -355,17 +404,31 @@ where
                         break r;
                     }
                     if st.dead {
-                        // A producer panicked; joining the scope below
-                        // re-raises it.
+                        // A producer panicked; the payload is re-raised
+                        // after the scope joins.
                         return;
                     }
                     st = cv.wait(st).expect("pipeline state poisoned");
                 }
             };
+            fault::trip_at(FaultSite::ExecHandoff, i as u64 + 1);
             consume(i, r);
         }
         poison.disarm();
     });
+
+    resume_lowest(panics);
+}
+
+/// Re-raises the lowest-index captured producer panic, if any. Producers
+/// claim indices in increasing order and a claimed item always runs, so
+/// the lowest recorded index is where the serial leg would fail first.
+fn resume_lowest(panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>>) {
+    let mut recorded = panics.into_inner().expect("panic list poisoned");
+    recorded.sort_by_key(|(i, _)| *i);
+    if let Some((_, payload)) = recorded.into_iter().next() {
+        resume_unwind(payload);
+    }
 }
 
 /// Like [`bounded_pipeline`] but with a *stateful* producer: `produce`
@@ -397,6 +460,7 @@ where
     if workers <= 1 || n <= 1 {
         for (i, item) in items.into_iter().enumerate() {
             let r = produce(i, item);
+            fault::trip_at(FaultSite::ExecHandoff, i as u64 + 1);
             consume(i, r);
         }
         return;
@@ -410,33 +474,44 @@ where
         dead: false,
     });
     let cv = Condvar::new();
+    let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+    let fault_ctx = FaultContext::capture();
 
     std::thread::scope(|scope| {
         scope.spawn(|| {
-            for (i, item) in items.into_iter().enumerate() {
-                {
-                    let mut st = state.lock().expect("pipeline state poisoned");
-                    loop {
-                        if st.dead {
+            fault_ctx.scope(|| {
+                for (i, item) in items.into_iter().enumerate() {
+                    {
+                        let mut st = state.lock().expect("pipeline state poisoned");
+                        loop {
+                            if st.dead {
+                                return;
+                            }
+                            if i < st.consumed + depth {
+                                break;
+                            }
+                            st = cv.wait(st).expect("pipeline state poisoned");
+                        }
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| produce(i, item))) {
+                        Ok(r) => {
+                            let mut st = state.lock().expect("pipeline state poisoned");
+                            st.ready[i] = Some(r);
+                            cv.notify_all();
+                        }
+                        Err(payload) => {
+                            panics
+                                .lock()
+                                .expect("panic list poisoned")
+                                .push((i, payload));
+                            let mut st = state.lock().expect("pipeline state poisoned");
+                            st.dead = true;
+                            cv.notify_all();
                             return;
                         }
-                        if i < st.consumed + depth {
-                            break;
-                        }
-                        st = cv.wait(st).expect("pipeline state poisoned");
                     }
                 }
-                let poison = PipePoison {
-                    state: &state,
-                    cv: &cv,
-                    armed: true,
-                };
-                let r = produce(i, item);
-                poison.disarm();
-                let mut st = state.lock().expect("pipeline state poisoned");
-                st.ready[i] = Some(r);
-                cv.notify_all();
-            }
+            })
         });
 
         let poison = PipePoison {
@@ -459,10 +534,13 @@ where
                     st = cv.wait(st).expect("pipeline state poisoned");
                 }
             };
+            fault::trip_at(FaultSite::ExecHandoff, i as u64 + 1);
             consume(i, r);
         }
         poison.disarm();
     });
+
+    resume_lowest(panics);
 }
 
 #[cfg(test)]

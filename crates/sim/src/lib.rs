@@ -21,6 +21,9 @@
 //!   (Section V-D, Figures 15/16);
 //! * [`exec`] — the deterministic parallel execution harness the engines
 //!   use to fan independent per-cluster simulations across threads;
+//! * [`fault`] — deterministic, count-based fault injection and
+//!   cooperative cancellation threaded through the hot layers, so the
+//!   serving stack's failure paths are testable without real crashes;
 //! * [`scratch`] — checkout/return pools ([`ScratchArena`]) that let those
 //!   workers recycle per-cluster state (caches, tables, plan buffers)
 //!   instead of reallocating it for every cluster.
@@ -48,12 +51,16 @@ mod dram;
 mod runahead;
 
 pub mod exec;
+pub mod fault;
 pub mod scratch;
 
 pub use cache::{CacheStats, LruRowCache, PinnedRowCache};
 pub use compute::MacArray;
 pub use dram::{Dram, DramConfig, MemTopology, TrafficClass, TrafficStats};
 pub use exec::{bounded_pipeline, bounded_pipeline_seq, parallel_map, ExecMode};
+pub use fault::{
+    CancelReason, CancelToken, FaultAction, FaultPlan, FaultSite, FaultSpec, SimFault,
+};
 pub use runahead::{IssueOutcome, RunaheadTables, Waiter};
 pub use scratch::{ScratchArena, ScratchGuard};
 

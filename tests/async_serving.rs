@@ -83,7 +83,10 @@ fn drain(service: AsyncService, jobs: &[JobSpec]) -> (Vec<JobResult>, BatchServi
         .iter()
         .map(|job| service.submit(job.clone()).expect("under the bound"))
         .collect();
-    let results: Vec<JobResult> = tickets.into_iter().map(Ticket::wait).collect();
+    let results: Vec<JobResult> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("worker alive"))
+        .collect();
     (results, service.finish())
 }
 
@@ -290,7 +293,10 @@ fn dropped_ticket_does_not_wedge_the_worker() {
     let kept = service
         .submit(JobSpec::new(spec, 61, "gcnax"))
         .expect("admitted");
-    assert!(kept.wait().outcome.is_ok(), "worker survived the dead rx");
+    assert!(
+        kept.wait().expect("worker alive").outcome.is_ok(),
+        "worker survived the dead rx"
+    );
     let completed = service.completed_ids();
     let batch = service.finish();
     assert!(
@@ -321,7 +327,7 @@ fn finish_with_undrained_tickets_returns_the_warmed_service() {
     );
     // The undrained tickets still resolve from the completed results.
     for t in tickets {
-        assert!(t.wait().outcome.is_ok());
+        assert!(t.wait().expect("worker alive").outcome.is_ok());
     }
 }
 
@@ -353,12 +359,12 @@ fn admission_control_rejects_over_capacity_submissions() {
         other => panic!("expected QueueFull, got {other:?}"),
     }
     // Draining frees capacity; the resubmission is admitted and runs.
-    assert!(t1.wait().outcome.is_ok());
-    assert!(t2.wait().outcome.is_ok());
+    assert!(t1.wait().expect("worker alive").outcome.is_ok());
+    assert!(t2.wait().expect("worker alive").outcome.is_ok());
     let t3 = service
         .submit(JobSpec::new(spec, 3, "gamma"))
         .expect("admitted after drain");
-    assert!(t3.wait().outcome.is_ok());
+    assert!(t3.wait().expect("worker alive").outcome.is_ok());
     let batch = service.finish();
     assert_eq!(batch.stats().simulations_run, 3);
 }
@@ -389,9 +395,9 @@ fn priority_classes_reorder_completion() {
             .submit_with(JobSpec::new(spec, 52, "matraptor"), Priority::High)
             .expect("admitted");
         let (low_id, high_id) = (low.id(), high.id());
-        assert!(occupy.wait().outcome.is_ok());
-        assert!(low.wait().outcome.is_ok());
-        assert!(high.wait().outcome.is_ok());
+        assert!(occupy.wait().expect("worker alive").outcome.is_ok());
+        assert!(low.wait().expect("worker alive").outcome.is_ok());
+        assert!(high.wait().expect("worker alive").outcome.is_ok());
         let order = service.completed_ids();
         service.finish();
         let pos = |id| order.iter().position(|&c| c == id).expect("completed");
@@ -419,6 +425,7 @@ fn async_config_bounds_the_session_pool() {
             .submit(job)
             .expect("admitted")
             .wait()
+            .expect("worker alive")
             .outcome
             .is_ok());
     }

@@ -12,7 +12,7 @@
 use grow::accel::registry::RegistryError;
 use grow::accel::{PartitionStrategy, SchedulerKind};
 use grow::model::DatasetKey;
-use grow::serve::{scheduler_grid_jobs, BatchService, JobResult, JobSpec};
+use grow::serve::{scheduler_grid_jobs, BatchService, JobError, JobResult, JobSpec};
 use grow::sim::exec::{with_mode, with_workers, ExecMode};
 
 /// Oversubscribed worker count (the in-code equivalent of
@@ -56,7 +56,7 @@ fn mixed_jobs() -> Vec<JobSpec> {
     jobs
 }
 
-fn outcomes(results: &[JobResult]) -> Vec<&Result<grow::accel::RunReport, RegistryError>> {
+fn outcomes(results: &[JobResult]) -> Vec<&Result<grow::accel::RunReport, JobError>> {
     results.iter().map(|r| &r.outcome).collect()
 }
 
@@ -87,7 +87,9 @@ fn mixed_batch_is_bit_identical_serial_vs_parallel() {
     assert_eq!(failures, [jobs.len() - 1]);
     assert_eq!(
         serial.last().unwrap().outcome,
-        Err(RegistryError::UnknownEngine("npu".into()))
+        Err(JobError::Invalid(RegistryError::UnknownEngine(
+            "npu".into()
+        )))
     );
 }
 
@@ -186,7 +188,9 @@ fn scheduler_axis_flows_through_the_batch_service() {
     let results = with_workers(WORKERS, || service.run_batch(&jobs));
     assert_eq!(
         results.last().unwrap().outcome,
-        Err(RegistryError::UnknownScheduler("bogus".into()))
+        Err(JobError::Invalid(RegistryError::UnknownScheduler(
+            "bogus".into()
+        )))
     );
     assert_eq!(service.stats().jobs_failed, 1);
     assert_eq!(service.stats().simulations_run, 8, "the grid all ran");

@@ -1,0 +1,440 @@
+//! The fault-injection battery: every engine × injection site yields a
+//! clean [`JobError`] or a successfully retried result — never a hung
+//! ticket, never a dead batch, never a divergent report.
+//!
+//! The properties under test:
+//!
+//! * a *transient* fault (its `attempts` bound below the retry budget)
+//!   retries to a report **bit-identical** to the fault-free baseline,
+//!   on every engine, at both hot sites (`dram`, `exec`), with both
+//!   actions (`error`, `panic`);
+//! * a *permanent* fault fails alone with the structured error matching
+//!   its action ([`JobError::Injected`] / [`JobError::Panicked`]);
+//! * injection is deterministic: a faulted fleet is bit-identical
+//!   between `GROW_SERIAL=1`-style forced-serial and oversubscribed
+//!   parallel execution;
+//! * the store sites degrade gracefully: a torn write (`store_write`
+//!   fault) orphans a tmp file that [`ResultStore::scrub`] reclaims, a
+//!   `store_read` error quarantines and recomputes, a `store_read`
+//!   panic fails that job as [`JobError::StoreCorrupt`];
+//! * cancellation is cooperative and clean: a pre-cancelled scope or an
+//!   expired deadline yields [`JobError::Cancelled`], cached results
+//!   still deliver, and nothing is retried;
+//! * a worker kill (the `worker` site) never surfaces as a panic to
+//!   submitters: waiters get [`WaitError::ServiceDead`], later submits
+//!   get [`SubmitError::ServiceDead`], and the shutdown report lists
+//!   the casualties.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use grow::accel::registry;
+use grow::model::DatasetKey;
+use grow::serve::{
+    AsyncConfig, AsyncService, BatchService, JobError, JobSpec, ResultStore, SubmitError, WaitError,
+};
+use grow::sim::exec::{with_mode, with_workers, ExecMode};
+use grow::sim::fault::{self, CancelReason, CancelToken, FaultSite};
+
+fn spec() -> grow::model::DatasetSpec {
+    DatasetKey::Cora.spec().scaled_to(300)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "grow_fault_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Installs (once, process-wide) a panic hook that silences *injected*
+/// panics only — they are caught and retried by the supervisor, and
+/// their backtraces would otherwise flood the test output. Genuine
+/// panics (including test assertion failures) still print normally.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload.downcast_ref::<fault::SimFault>().is_some()
+                || payload
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.starts_with("injected "))
+                || payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("injected "));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn every_engine_and_site_retries_transient_faults_to_the_baseline() {
+    quiet_injected_panics();
+    let mut service = BatchService::new();
+    for engine in registry::ENGINE_NAMES {
+        let baseline = service
+            .run_one(&JobSpec::new(spec(), 7, engine))
+            .outcome
+            .expect("fault-free baseline");
+        for site in ["dram", "exec"] {
+            for action in ["error", "panic"] {
+                // attempts=2 < the default retry budget of 3: the
+                // fault fires on attempts 1 and 2, attempt 3 runs
+                // fault-free and must reproduce the baseline.
+                let fault = format!("{site}:{action}:1:2");
+                let result = service.run_one(&JobSpec::new(spec(), 7, engine).with_fault(&fault));
+                let report = result
+                    .outcome
+                    .unwrap_or_else(|e| panic!("{engine} {fault}: {e}"));
+                assert_eq!(report, baseline, "{engine} {fault}");
+                assert!(!result.cache_hit, "{engine} {fault} genuinely re-ran");
+            }
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs_failed, 0);
+    assert!(stats.retries >= 32, "2 retries x 16 faulted jobs");
+    assert!(stats.panics_caught >= 16, "panic actions were caught");
+}
+
+#[test]
+fn permanent_faults_fail_alone_with_the_matching_error() {
+    quiet_injected_panics();
+    let mut service = BatchService::new();
+    for engine in registry::ENGINE_NAMES {
+        // attempts=99 >= the budget: every attempt fires, the job
+        // fails cleanly after exhausting its 3 attempts.
+        let injected =
+            service.run_one(&JobSpec::new(spec(), 7, engine).with_fault("dram:error:1:99"));
+        assert_eq!(
+            injected.outcome,
+            Err(JobError::Injected {
+                site: FaultSite::DramIssue,
+                attempts: 3,
+            }),
+            "{engine}"
+        );
+        let panicked =
+            service.run_one(&JobSpec::new(spec(), 7, engine).with_fault("exec:panic:1:99"));
+        match panicked.outcome {
+            Err(JobError::Panicked { attempts: 3, .. }) => {}
+            other => panic!("{engine}: expected a caught panic, got {other:?}"),
+        }
+    }
+    // A failing job is never cached: the same spec re-fails afresh.
+    let before = service.stats().simulations_run;
+    let again = service.run_one(&JobSpec::new(spec(), 7, "grow").with_fault("dram:error:1:99"));
+    assert!(again.outcome.is_err());
+    assert!(service.stats().simulations_run > before);
+}
+
+#[test]
+fn faulted_fleets_are_bit_identical_serial_vs_parallel() {
+    quiet_injected_panics();
+    // A mixed fleet where most jobs carry a transient fault; the
+    // retried outcomes (and the one permanent failure) must not
+    // depend on the execution mode.
+    let mut jobs = Vec::new();
+    for (i, engine) in registry::ENGINE_NAMES.iter().enumerate() {
+        jobs.push(JobSpec::new(spec(), 7, engine));
+        jobs.push(JobSpec::new(spec(), 7, engine).with_fault("dram:error:1:2"));
+        jobs.push(
+            JobSpec::new(spec(), 7, engine)
+                .with_fault(["exec:panic:1:2", "dram:panic:2:1", "exec:error:2:2"][i % 3]),
+        );
+    }
+    jobs.push(JobSpec::new(spec(), 7, "grow").with_fault("exec:error:1:99"));
+
+    let serial = with_mode(ExecMode::Serial, || BatchService::new().run_batch(&jobs));
+    let parallel = with_workers(8, || BatchService::new().run_batch(&jobs));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.outcome, p.outcome, "job {} diverged", s.index);
+    }
+    // The faulted copies converged to their fault-free twins.
+    for chunk in serial.chunks(3).take(4) {
+        let base = chunk[0].outcome.as_ref().expect("fault-free job");
+        assert_eq!(chunk[1].outcome.as_ref().expect("transient"), base);
+        assert_eq!(chunk[2].outcome.as_ref().expect("transient"), base);
+    }
+    assert!(serial.last().unwrap().outcome.is_err(), "permanent fault");
+}
+
+#[test]
+fn torn_writes_orphan_a_tmp_file_that_scrub_reclaims() {
+    let dir = temp_dir("torn");
+    let store = ResultStore::open(&dir).expect("open store");
+    let mut service = BatchService::new().with_store(store);
+    // The store_write fault fires between the tmp write and the atomic
+    // rename — exactly a crash mid-persist. The job itself succeeds.
+    let result =
+        service.run_one(&JobSpec::new(spec(), 7, "grow").with_fault("store_write:error:1"));
+    assert!(
+        result.outcome.is_ok(),
+        "a torn write is a warning, not a failure"
+    );
+
+    let tmp_files = |dir: &std::path::Path| -> usize {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        e.path()
+                            .extension()
+                            .and_then(|x| x.to_str())
+                            .is_some_and(|x| x.starts_with("tmp"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    assert_eq!(tmp_files(&dir), 1, "the torn write left its tmp behind");
+
+    let mut store = ResultStore::open(&dir).expect("reopen store");
+    let scrub = store.scrub().expect("scrub");
+    assert_eq!(scrub.tmp_removed, 1);
+    assert_eq!(scrub.quarantined, 0);
+    assert_eq!(tmp_files(&dir), 0, "scrub reclaimed the orphan");
+    // A second scrub is a no-op: the store is healthy.
+    assert_eq!(store.scrub().expect("rescrub").tmp_removed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_read_faults_quarantine_gracefully_or_fail_as_corrupt() {
+    quiet_injected_panics();
+    let dir = temp_dir("read");
+    // First lifetime persists the entry under the faulted job's own
+    // key (the fault override participates in the key, and a
+    // store_read fault cannot fire on a cache miss).
+    let job = JobSpec::new(spec(), 7, "gcnax").with_fault("store_read:error:1:99");
+    let store = ResultStore::open(&dir).expect("open store");
+    let baseline = BatchService::new()
+        .with_store(store)
+        .run_one(&job)
+        .outcome
+        .expect("first run computes");
+
+    // Second lifetime hits the entry; the read fault degrades it to
+    // a quarantine + miss and the job recomputes bit-identically.
+    let store = ResultStore::open(&dir).expect("reopen store");
+    let mut service = BatchService::new().with_store(store);
+    let retried = service.run_one(&job);
+    assert_eq!(retried.outcome.as_ref(), Ok(&baseline));
+    assert!(
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e
+                .path()
+                .extension()
+                .and_then(|x| x.to_str())
+                .is_some_and(|x| x.starts_with("corrupt"))),
+        "the unreadable entry was quarantined, not deleted"
+    );
+
+    // A store_read *panic* is the unrecoverable shape: the probe
+    // panics, the supervisor catches it, and that job alone fails
+    // as StoreCorrupt.
+    let panic_job = JobSpec::new(spec(), 7, "gcnax").with_fault("store_read:panic:1:99");
+    let store = ResultStore::open(&dir).expect("reopen store");
+    let mut service = BatchService::new().with_store(store);
+    assert!(
+        service.run_one(&panic_job).outcome.is_ok(),
+        "miss: computes"
+    );
+    let store = ResultStore::open(&dir).expect("reopen store");
+    let mut service = BatchService::new().with_store(store);
+    match service.run_one(&panic_job).outcome {
+        Err(JobError::StoreCorrupt { .. }) => {}
+        other => panic!("expected StoreCorrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancellation_is_cooperative_and_never_retried() {
+    // A pre-cancelled scope: the supervisor refuses to even start the
+    // attempt, and the job reports Cancelled with zero retries.
+    let token = Arc::new(CancelToken::new());
+    token.cancel();
+    let mut service = BatchService::new();
+    let result = fault::with_cancel(Some(Arc::clone(&token)), || {
+        service.run_one(&JobSpec::new(spec(), 7, "grow"))
+    });
+    assert_eq!(
+        result.outcome,
+        Err(JobError::Cancelled {
+            reason: CancelReason::Requested,
+        })
+    );
+    let stats = service.stats();
+    assert_eq!(stats.jobs_cancelled, 1);
+    assert_eq!(stats.retries, 0, "cancellation is not a transient fault");
+
+    // End to end: an already-expired deadline cancels deterministically
+    // before the worker starts the attempt.
+    let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+    let expired = service
+        .submit_with_deadline(
+            JobSpec::new(spec(), 7, "gamma"),
+            grow::serve::Priority::Normal,
+            Duration::ZERO,
+        )
+        .expect("admitted");
+    let result = expired.wait().expect("worker alive");
+    assert_eq!(
+        result.outcome,
+        Err(JobError::Cancelled {
+            reason: CancelReason::DeadlineExceeded,
+        })
+    );
+
+    // A completed result still delivers to a cancelled submitter: the
+    // cache (warmed by a prior run) wins over the expired deadline.
+    let warm = service
+        .submit(JobSpec::new(spec(), 7, "grow"))
+        .expect("admitted");
+    let baseline = warm.wait().expect("worker alive").outcome.expect("runs");
+    let cached = service
+        .submit_with_deadline(
+            JobSpec::new(spec(), 7, "grow"),
+            grow::serve::Priority::Normal,
+            Duration::ZERO,
+        )
+        .expect("admitted");
+    let result = cached.wait().expect("worker alive");
+    assert_eq!(
+        result.outcome,
+        Ok(baseline),
+        "cancellation never un-completes"
+    );
+    assert!(result.cache_hit);
+    service.finish();
+}
+
+#[test]
+fn ticket_cancel_is_race_free_and_clean() {
+    // Ticket::cancel races the worker by design; the property is that
+    // the outcome is always one of exactly two clean shapes — a
+    // completed report or a Cancelled error — never a hang or a panic.
+    let service = AsyncService::start(BatchService::new(), AsyncConfig::default());
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            service
+                .submit(JobSpec::new(spec(), 7, registry::ENGINE_NAMES[i % 4]))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in &tickets[1..] {
+        ticket.cancel();
+    }
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.wait().expect("worker alive");
+        match (i, result.outcome) {
+            (0, Ok(_)) => {}
+            (0, other) => panic!("uncancelled job failed: {other:?}"),
+            (
+                _,
+                Ok(_)
+                | Err(JobError::Cancelled {
+                    reason: CancelReason::Requested,
+                }),
+            ) => {}
+            (_, other) => panic!("cancelled job {i}: unexpected {other:?}"),
+        }
+    }
+    service.finish();
+}
+
+#[test]
+fn worker_kill_surfaces_as_service_dead_never_a_panic() {
+    quiet_injected_panics();
+    let service = AsyncService::start(
+        BatchService::new(),
+        AsyncConfig {
+            queue_capacity: 16,
+            session_capacity: None,
+        },
+    );
+    // One healthy job, then the kill, then a bystander that may be
+    // queued behind it (or rejected outright if the worker is
+    // already dead — both are clean).
+    let healthy = service
+        .submit(JobSpec::new(spec(), 7, "grow"))
+        .expect("admitted");
+    let victim = service
+        .submit(JobSpec::new(spec(), 7, "gcnax").with_fault("worker:panic:1"))
+        .expect("admitted");
+    let victim_id = victim.id();
+    let bystander = service.submit(JobSpec::new(spec(), 7, "gamma"));
+
+    assert_eq!(victim.wait().err(), Some(WaitError::ServiceDead));
+    match bystander {
+        Ok(ticket) => {
+            // try_wait is a non-blocking snapshot: "still pending" is
+            // legal for the instant the dying worker is still unwinding,
+            // but it must never panic — and the blocking wait must then
+            // observe the death.
+            match ticket.try_wait() {
+                Ok(None) | Err(WaitError::ServiceDead) => {}
+                other => panic!("bystander try_wait: unexpected {other:?}"),
+            }
+            assert_eq!(ticket.wait().err(), Some(WaitError::ServiceDead));
+        }
+        Err(SubmitError::ServiceDead) => {}
+        Err(other) => panic!("unexpected submit error: {other}"),
+    }
+    // The healthy job either completed before the kill or died with
+    // the worker — never a poisoned panic out of wait().
+    match healthy.wait() {
+        Ok(result) => assert!(result.outcome.is_ok()),
+        Err(WaitError::ServiceDead) => {}
+    }
+
+    // The dead service stays inert and non-panicking.
+    assert!(service.worker_dead());
+    assert_eq!(
+        service.submit(JobSpec::new(spec(), 7, "grow")).err(),
+        Some(SubmitError::ServiceDead)
+    );
+    let _ = service.completed_ids();
+    let _ = service.stats();
+    assert!(service.casualties().contains(&victim_id));
+
+    let (_, report) = service.finish_report();
+    assert!(report.worker_panicked);
+    assert!(report.casualties.contains(&victim_id));
+}
+
+#[test]
+fn seeded_plans_are_reproducible() {
+    // The chaos generator is pure in its seed: the same seed yields the
+    // same plan, different seeds explore different shapes.
+    let sites = [FaultSite::DramIssue, FaultSite::ExecHandoff];
+    let a = fault::FaultPlan::seeded(9, &sites, 4, 2);
+    let b = fault::FaultPlan::seeded(9, &sites, 4, 2);
+    assert_eq!(a.render(), b.render());
+    let distinct: std::collections::HashSet<String> = (0..32)
+        .map(|s| fault::FaultPlan::seeded(s, &sites, 4, 2).render())
+        .collect();
+    assert!(distinct.len() > 4, "seeds explore the grid");
+    // And every generated plan round-trips through the spec grammar.
+    for seed in 0..32 {
+        let plan = fault::FaultPlan::seeded(seed, &sites, 4, 2);
+        assert_eq!(
+            fault::FaultPlan::parse(&plan.render())
+                .expect("round-trip")
+                .render(),
+            plan.render()
+        );
+    }
+}

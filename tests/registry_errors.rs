@@ -6,7 +6,7 @@
 use grow::accel::registry::{self, RegistryError};
 use grow::accel::PartitionStrategy;
 use grow::model::DatasetKey;
-use grow::serve::{BatchService, JobSpec};
+use grow::serve::{BatchService, JobError, JobSpec};
 use grow::session::SimSession;
 
 fn spec() -> grow::model::DatasetSpec {
@@ -44,7 +44,10 @@ fn unknown_engine_is_an_error_everywhere() {
     );
 
     let result = BatchService::new().run_one(&JobSpec::new(spec(), 1, "npu"));
-    assert_eq!(result.outcome.err(), Some(expected.clone()));
+    assert_eq!(
+        result.outcome.err(),
+        Some(JobError::Invalid(expected.clone()))
+    );
     // The message names the valid engines, so the error is actionable.
     let message = expected.to_string();
     for name in registry::ENGINE_NAMES {
@@ -71,7 +74,10 @@ fn unknown_key_and_invalid_value_are_reported_not_panicked() {
     );
     let via_batch = BatchService::new()
         .run_one(&JobSpec::new(spec(), 2, "matraptor").with_override("runahead", "4"));
-    assert_eq!(via_batch.outcome.err(), Some(unknown_key));
+    assert_eq!(
+        via_batch.outcome.err(),
+        Some(JobError::Invalid(unknown_key))
+    );
 
     let invalid_value = RegistryError::InvalidValue {
         key: "mac_lanes".into(),
@@ -83,7 +89,10 @@ fn unknown_key_and_invalid_value_are_reported_not_panicked() {
     );
     let via_batch = BatchService::new()
         .run_one(&JobSpec::new(spec(), 2, "gamma").with_override("mac_lanes", "lots"));
-    assert_eq!(via_batch.outcome.err(), Some(invalid_value));
+    assert_eq!(
+        via_batch.outcome.err(),
+        Some(JobError::Invalid(invalid_value))
+    );
 }
 
 #[test]
@@ -98,7 +107,9 @@ fn malformed_override_specs_are_rejected() {
             BatchService::new().run_one(&JobSpec::new(spec(), 3, "grow").with_override_spec(bad));
         assert_eq!(
             result.outcome.err(),
-            Some(RegistryError::MalformedOverride { spec: bad.into() }),
+            Some(JobError::Invalid(RegistryError::MalformedOverride {
+                spec: bad.into()
+            })),
             "{bad:?}"
         );
     }
@@ -142,7 +153,7 @@ fn unknown_scheduler_is_an_error_everywhere() {
         JobSpec::new(spec(), 4, "grow").with_override("scheduler", "lpt"),
     ]);
     assert!(results[0].outcome.is_ok());
-    assert_eq!(results[1].outcome, Err(expected.clone()));
+    assert_eq!(results[1].outcome, Err(JobError::Invalid(expected.clone())));
     assert!(results[2].outcome.is_ok(), "later jobs unaffected");
     assert_eq!(service.stats().jobs_failed, 1);
     assert_eq!(service.stats().simulations_run, 2);
@@ -187,7 +198,7 @@ fn unknown_exec_model_is_an_error_everywhere() {
         JobSpec::new(spec(), 4, "grow").with_override("exec", "post_hoc"),
     ]);
     assert!(results[0].outcome.is_ok());
-    assert_eq!(results[1].outcome, Err(expected.clone()));
+    assert_eq!(results[1].outcome, Err(JobError::Invalid(expected.clone())));
     assert!(results[2].outcome.is_ok(), "later jobs unaffected");
 
     // The message names the valid models, so the error is actionable.
@@ -235,6 +246,71 @@ fn shard_rows_is_uniform_across_engines() {
 }
 
 #[test]
+fn fault_is_uniform_across_engines() {
+    // `fault=spec` is a shared key like `shard_rows`: every engine
+    // accepts it, a disarmed plan (`off`, or an ordinal that never
+    // fires) leaves the report bit-identical to the baseline, and a
+    // malformed spec surfaces as InvalidValue{key:"fault"} — not
+    // UnknownKey — everywhere.
+    let workload = spec().instantiate(11);
+    let prepared = grow::accel::prepare(&workload, PartitionStrategy::None, 4096);
+    for engine in registry::ENGINE_NAMES {
+        let base = registry::run_named(engine, &prepared).unwrap();
+        // `off`/`none` and a never-firing ordinal are all report-neutral.
+        for value in ["off", "none", "dram:error:9999999"] {
+            let faulted = registry::engine_from_overrides(engine, &[("fault", value)])
+                .unwrap_or_else(|e| panic!("{engine} fault={value}: {e}"))
+                .run(&prepared);
+            assert_eq!(base, faulted, "{engine} fault={value}");
+        }
+        // A full multi-spec plan parses on every engine (validation is
+        // engine-independent; firing behaviour is exercised elsewhere).
+        assert!(
+            registry::engine_from_overrides(engine, &[("fault", "dram:error:1:2+exec:panic:3")])
+                .is_ok(),
+            "{engine}"
+        );
+        for bad in [
+            "dram:boom",
+            "bogus:error",
+            "dram",
+            "dram:error:0",
+            "dram:error:1:2:3",
+            "",
+        ] {
+            assert_eq!(
+                registry::engine_from_overrides(engine, &[("fault", bad)]).err(),
+                Some(RegistryError::InvalidValue {
+                    key: "fault".into(),
+                    value: bad.into(),
+                }),
+                "{engine} fault={bad:?}"
+            );
+        }
+    }
+
+    // Through the batch service: a malformed fault spec fails validation
+    // before any simulation runs, on every engine.
+    let mut service = BatchService::new();
+    let jobs: Vec<JobSpec> = registry::ENGINE_NAMES
+        .iter()
+        .map(|engine| JobSpec::new(spec(), 11, engine).with_fault("dram:sideways"))
+        .collect();
+    let results = service.run_batch(&jobs);
+    for (result, engine) in results.iter().zip(registry::ENGINE_NAMES) {
+        assert_eq!(
+            result.outcome.clone().err(),
+            Some(JobError::Invalid(RegistryError::InvalidValue {
+                key: "fault".into(),
+                value: "dram:sideways".into(),
+            })),
+            "{engine}"
+        );
+    }
+    assert_eq!(service.stats().simulations_run, 0, "validation is phase 1");
+}
+
+#[test]
 fn zero_pes_is_an_invalid_value_not_a_panic() {
     let expected = RegistryError::InvalidValue {
         key: "pes".into(),
@@ -246,7 +322,7 @@ fn zero_pes_is_an_invalid_value_not_a_panic() {
     );
     let result =
         BatchService::new().run_one(&JobSpec::new(spec(), 5, "grow").with_override("pes", "0"));
-    assert_eq!(result.outcome.err(), Some(expected));
+    assert_eq!(result.outcome.err(), Some(JobError::Invalid(expected)));
 }
 
 #[test]
