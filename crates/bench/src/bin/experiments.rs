@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! experiments [--seed N] [--datasets a,b,c] [--max-nodes N] [--full]
-//!             [--channels N] [--banks N] [--out DIR] <ids...>
+//!             [--channels N] [--banks N] [--workers N] [--out DIR] <ids...>
 //! experiments all
 //! ```
 //!
@@ -53,6 +53,7 @@ fn main() {
     let mut full = false;
     let mut channels = 1usize;
     let mut banks = 1usize;
+    let mut workers = 1usize;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
 
@@ -87,6 +88,7 @@ fn main() {
                     .expect("--channels N")
             }
             "--banks" => banks = it.next().and_then(|v| v.parse().ok()).expect("--banks N"),
+            "--workers" => workers = it.next().and_then(|v| v.parse().ok()).expect("--workers N"),
             "--out" => out_dir = PathBuf::from(it.next().expect("--out DIR")),
             "--help" | "-h" => {
                 eprintln!("see crate docs: experiments [flags] <ids...> | all");
@@ -138,6 +140,7 @@ fn main() {
     ctx.full_scale = full;
     ctx.channels = channels.max(1);
     ctx.banks = banks.max(1);
+    ctx.workers = workers.max(1);
     // One batch service for the whole invocation: the registry-driven
     // experiments share pooled sessions and cached reports (running
     // `engines sweep` prepares each workload once, not twice).
@@ -358,13 +361,16 @@ fn sweep(ctx: &Context, service: &mut BatchService) -> Table {
     t
 }
 
-/// The always-on serving demo: drives an `AsyncService` over a small
-/// mixed fleet — priority classes, a repeated query, a failing job —
-/// through **two service lifetimes** sharing one on-disk `ResultStore`
-/// under `<out>/store`. The first lifetime computes and persists; the
-/// second must run **zero** simulations, serving every report from disk
-/// bit-identically (the process exits non-zero otherwise, which makes
-/// this the CI smoke assertion for the store).
+/// The always-on serving demo: drives an `AsyncService` (worker-pool
+/// size from `--workers`) over a small mixed fleet — priority classes,
+/// a repeated query, a failing job — through **two service lifetimes**
+/// sharing one on-disk `ResultStore` under `<out>/store`. The first
+/// lifetime computes and persists and must record at least one
+/// cross-job plan-cache hit (two grow configurations share a session,
+/// so the second skips its plan pass); the second lifetime must run
+/// **zero** simulations, serving every report from disk bit-identically
+/// (the process exits non-zero otherwise, which makes this the CI smoke
+/// assertion for the store and the plan cache).
 fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
     use grow_core::registry::ENGINE_NAMES;
     use grow_core::PartitionStrategy;
@@ -394,7 +400,12 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
     ));
     jobs.push((JobSpec::new(spec, ctx.seed, "npu"), Priority::Normal));
 
+    // A fresh store every invocation: a stale store from a previous run
+    // would serve lifetime 1 entirely from disk and starve the
+    // plan-cache assertion below (the two-lifetime persistence contract
+    // lives within one invocation).
     let store_dir = out_dir.join("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
     let mut t = Table::new(
         "serve_demo",
         &["lifetime", "engine", "priority", "status", "sim ms"],
@@ -407,8 +418,10 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
             AsyncConfig {
                 queue_capacity: 64,
                 session_capacity: Some(4),
+                workers: ctx.workers,
             },
         );
+        let started = std::time::Instant::now();
         let tickets: Vec<Ticket> = jobs
             .iter()
             .map(|(job, priority)| {
@@ -421,12 +434,19 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
             .into_iter()
             .map(|t| t.wait().expect("serving worker alive"))
             .collect();
+        let fleet_ms = started.elapsed().as_secs_f64() * 1e3;
         let batch = service.finish();
         let stats = batch.stats();
         eprintln!(
             "[run] serve_demo lifetime {lifetime}: {} simulations, {} store hits, \
-             {} cache hits, {} failed",
-            stats.simulations_run, stats.store_hits, stats.cache_hits, stats.jobs_failed
+             {} cache hits, {} plan-cache hits, {} failed, peak {} in flight, \
+             fleet {fleet_ms:.1} ms",
+            stats.simulations_run,
+            stats.store_hits,
+            stats.cache_hits,
+            stats.plan_cache_hits,
+            stats.jobs_failed,
+            stats.jobs_in_flight_peak
         );
         for ((job, priority), r) in jobs.iter().zip(&results) {
             let status = match (&r.outcome, r.cache_hit) {
@@ -445,6 +465,17 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
         }
         if lifetime == 1 {
             first_reports = results.iter().map(|r| r.report().cloned()).collect();
+            // The cross-job plan cache, asserted end to end: the two
+            // distinct grow configurations share one session and one
+            // engine family, so the second simulation must have skipped
+            // its plan pass.
+            if stats.plan_cache_hits == 0 {
+                eprintln!(
+                    "error: serve_demo lifetime 1 recorded no plan-cache hits; the \
+                     cross-job plan cache is not being shared"
+                );
+                std::process::exit(1);
+            }
         } else {
             // The store contract, asserted end to end: a fresh process
             // lifetime serves the whole fleet from disk, bit-identically.
@@ -472,12 +503,17 @@ fn serve_demo(ctx: &Context, out_dir: &std::path::Path) -> Table {
 /// The supervised-serving chaos soak (the robustness CI smoke): an
 /// 18-job mixed fleet runs once fault-free as the baseline, then three
 /// more rounds under a cycling grid of transient `fault=` injections
-/// (DRAM issue, plan/replay hand-off, store read/write — both `error`
-/// and `panic` actions). Every ticket must resolve, the worker must
-/// never die, every post-retry report must be bit-identical to the
-/// fault-free baseline, at least 50 faults must actually have fired,
-/// and the store scrubber must reclaim the torn writes the
-/// `store_write` faults left behind. Any violation exits non-zero.
+/// (DRAM issue, plan/replay hand-off, scheduler dispatch, store
+/// read/write — both `error` and `panic` actions). Every ticket must
+/// resolve, no pool worker may die, every post-retry report must be
+/// bit-identical to the fault-free baseline, at least 50 faults must
+/// actually have fired, and the store scrubber must reclaim the torn
+/// writes the `store_write` faults left behind. With `--workers` >= 2
+/// the soak adds a pool-degradation phase: a `worker:panic:k` kill
+/// takes out exactly one worker mid-fleet, the service must keep
+/// serving on the survivors, record the casualty, and the re-served
+/// fleet must still match the baseline bit for bit. Any violation
+/// exits non-zero.
 fn chaos(ctx: &Context, out_dir: &std::path::Path) -> Table {
     use grow_core::registry::ENGINE_NAMES;
     use grow_core::PartitionStrategy;
@@ -488,13 +524,18 @@ fn chaos(ctx: &Context, out_dir: &std::path::Path) -> Table {
     // default retry budget (3), `store_write` faults are warning-only,
     // and a `store_read` fault degrades to a cache miss — so each
     // faulted job still retries to a fault-free final attempt. The
-    // permanent shapes (`store_read:panic`, the `worker` kill site) are
-    // covered by `tests/fault_injection.rs`, not the identity soak.
-    const FAULT_GRID: [&str; 9] = [
+    // `sched` site only has trip points in the e2e dispatch loop, so it
+    // fires on the two `exec=e2e` jobs and arms harmlessly elsewhere.
+    // The permanent shapes (`store_read:panic`) are covered by
+    // `tests/fault_injection.rs`, not the identity soak; the `worker`
+    // kill site gets its own degradation phase below.
+    const FAULT_GRID: [&str; 11] = [
         "dram:error:1:2",
         "dram:panic:1:2",
         "exec:error:1:2",
         "exec:panic:1:2",
+        "sched:error:1:2",
+        "sched:panic:1:2",
         "dram:error:2:2",
         "exec:error:2:2",
         "dram:panic:2:2+store_write:error:1",
@@ -612,6 +653,7 @@ fn chaos(ctx: &Context, out_dir: &std::path::Path) -> Table {
             AsyncConfig {
                 queue_capacity: 64,
                 session_capacity: Some(4),
+                workers: ctx.workers,
             },
         );
         let tickets: Vec<Ticket> = round_jobs
@@ -679,6 +721,109 @@ fn chaos(ctx: &Context, out_dir: &std::path::Path) -> Table {
             (fault::injected_total() - injected_before).to_string(),
             "yes".into(),
         ]);
+    }
+
+    // Pool-degradation phase (multi-worker runs only): every fleet job
+    // is poisoned with `worker:panic:k`, which kills exactly pool worker
+    // `k` the moment *it* picks any of them up — every other worker
+    // serves the same jobs unharmed. The service must degrade to the
+    // survivors, record the orphaned submissions as casualties, re-serve
+    // them on resubmission, and still match the fault-free baseline bit
+    // for bit.
+    if ctx.workers >= 2 {
+        let victim = 2usize;
+        let kill_spec = format!("worker:panic:{victim}");
+        let store = ResultStore::open(&store_dir).expect("open chaos store");
+        let service = AsyncService::start(
+            grow_serve::BatchService::new().with_store(store),
+            AsyncConfig {
+                queue_capacity: 64,
+                session_capacity: Some(4),
+                workers: ctx.workers,
+            },
+        );
+        let poisoned: Vec<(JobSpec, Priority)> = jobs
+            .iter()
+            .map(|(job, priority)| (job.clone().with_fault(&kill_spec), *priority))
+            .collect();
+        let tickets: Vec<Ticket> = poisoned
+            .iter()
+            .map(|(job, priority)| {
+                service
+                    .submit_with(job.clone(), *priority)
+                    .expect("fleet fits the admission bound")
+            })
+            .collect();
+        let mut results: Vec<Option<grow_serve::JobResult>> =
+            tickets.into_iter().map(|t| t.wait().ok()).collect();
+        let orphaned = results.iter().filter(|r| r.is_none()).count();
+        // The victim may have sat out the whole drain; feed it poisoned
+        // work until it bites (bounded — this resolves in one or two
+        // pickups in practice).
+        let mut baits = 0usize;
+        let mut bait_casualties = 0usize;
+        while service.workers_alive() == ctx.workers && baits < 100 {
+            baits += 1;
+            let bait = jobs[baits % jobs.len()].0.clone().with_fault(&kill_spec);
+            if service.submit(bait).expect("admitted").wait().is_err() {
+                bait_casualties += 1;
+            }
+        }
+        if service.workers_alive() != ctx.workers - 1 {
+            eprintln!(
+                "error: chaos degradation: expected {} of {} workers alive, saw {}",
+                ctx.workers - 1,
+                ctx.workers,
+                service.workers_alive()
+            );
+            std::process::exit(1);
+        }
+        // Re-serve the orphans on the degraded pool; the victim is dead,
+        // so the kill spec is now inert.
+        for (slot, (job, priority)) in results.iter_mut().zip(&poisoned) {
+            if slot.is_none() {
+                let result = service
+                    .submit_with(job.clone(), *priority)
+                    .expect("degraded pool still admits")
+                    .wait()
+                    .expect("survivors keep serving");
+                *slot = Some(result);
+            }
+        }
+        let (_, report) = service.finish_report();
+        let casualties = orphaned + bait_casualties;
+        if !report.worker_panicked || report.casualties.len() != casualties {
+            eprintln!(
+                "error: chaos degradation: expected a panicked worker with {} casualties, \
+                 saw panicked={} casualties={}",
+                casualties,
+                report.worker_panicked,
+                report.casualties.len()
+            );
+            std::process::exit(1);
+        }
+        let identical = results
+            .iter()
+            .zip(&baseline)
+            .all(|(r, first)| r.as_ref().and_then(|r| r.report()) == first.as_ref());
+        if !identical {
+            eprintln!("error: chaos degradation: degraded-pool reports diverged from baseline");
+            std::process::exit(1);
+        }
+        t.row(&[
+            "degrade".into(),
+            kill_spec,
+            format!("{}/{}", results.len(), results.len()),
+            "-".into(),
+            "-".into(),
+            format!("{casualties} casualties"),
+            "yes".into(),
+        ]);
+        eprintln!(
+            "[run] chaos degradation: worker {victim} of {} killed, {casualties} casualties \
+             re-served on the survivors, reports identical",
+            ctx.workers
+        );
     }
 
     let _ = std::panic::take_hook();

@@ -335,6 +335,9 @@ pub struct Context {
     /// Per-channel bank count for the e2e experiments (`banks=`
     /// override).
     pub banks: usize,
+    /// Worker-pool size for the async-serving experiments
+    /// (`AsyncConfig::workers`; 1 = the historical single-worker drain).
+    pub workers: usize,
     evals: Vec<Option<DatasetEval>>,
 }
 
@@ -349,6 +352,7 @@ impl Context {
             full_scale: false,
             channels: 1,
             banks: 1,
+            workers: 1,
             evals: vec![None; n],
         }
     }

@@ -516,14 +516,32 @@ impl Accelerator for GcnaxEngine {
         // adjacency: count it once at the first layer, replay it at later
         // ones (small workloads only; see `PLAN_REUSE_MAX_OPS`). The
         // combination LHS changes per layer, so no retention there.
-        let agg_store: Option<Vec<OnceLock<GcnaxPlan>>> = (workload.layers.len() > 1
-            && workload.adjacency.nnz() + 2 * workload.adjacency.rows()
-                <= plan::PLAN_REUSE_MAX_OPS)
-            .then(|| {
+        // Inside a serving session pool the slots come from the cross-job
+        // plan cache instead, keyed by the tile grain (the plan depends
+        // on it), so same-tiling jobs skip the count pass entirely.
+        let plan_gate =
+            workload.adjacency.nnz() + 2 * workload.adjacency.rows() <= plan::PLAN_REUSE_MAX_OPS;
+        // Fault-injected runs stay off the shared cache (see the grow
+        // engine): injection counts must not depend on fleet warm state.
+        let shared_plans = match &workload.plan_cache {
+            Some(scope) if plan_gate && self.config.fault.is_off() => {
+                Some(scope.slots::<GcnaxPlan>(
+                    &format!("gcnax:{}x{}", self.config.tile_rows, self.config.tile_cols),
+                    workload.clusters.len(),
+                ))
+            }
+            _ => None,
+        };
+        let local_plans: Option<Vec<OnceLock<GcnaxPlan>>> =
+            (shared_plans.is_none() && plan_gate && workload.layers.len() > 1).then(|| {
                 (0..workload.clusters.len())
                     .map(|_| OnceLock::new())
                     .collect()
             });
+        let agg_store: Option<&[OnceLock<GcnaxPlan>]> = shared_plans
+            .as_deref()
+            .map(Vec::as_slice)
+            .or(local_plans.as_deref());
         let model = ExecModel::with_dram(self.config.multi_pe, self.config.dram);
         let mut report = pipeline::run_layers(self.name(), workload, self.config.fault, |layer| {
             LayerReport {
@@ -547,7 +565,7 @@ impl Accelerator for GcnaxEngine {
                     &scratch,
                     &plan_pool,
                     spec,
-                    agg_store.as_deref(),
+                    agg_store,
                 ),
             }
         });

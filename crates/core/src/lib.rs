@@ -57,7 +57,7 @@ pub use gamma::{GammaConfig, GammaEngine};
 pub use gcnax::{GcnaxConfig, GcnaxEngine};
 pub use grow::{GrowConfig, GrowEngine, ReplacementPolicy};
 pub use matraptor::{MatRaptorConfig, MatRaptorEngine};
-pub use plan::{ShardRows, ShardSpec};
+pub use plan::{PlanCache, PlanCacheScope, ShardRows, ShardSpec};
 pub use prepare::{prepare, PartitionStrategy, PreparedWorkload};
 pub use report::{
     ClusterProfile, LayerPeBusy, LayerReport, MultiPeBreakdown, MultiPeSummary, PhaseKind,

@@ -22,7 +22,7 @@
 //! calibrated variant the end-to-end execution model
 //! ([`crate::exec_model`]) composes phase cycle counts with.
 
-use grow_sim::{DramConfig, MemTopology};
+use grow_sim::{fault, DramConfig, MemTopology};
 
 use crate::schedule::{Scheduler, SchedulerKind};
 use crate::ClusterProfile;
@@ -255,7 +255,18 @@ fn simulate_fluid_banked(
             channel: topology.home_channel(i),
         }
     };
-    let mut active: Vec<Option<Task>> = (0..pes).map(|p| dispatch.next(p).map(spawn)).collect();
+    // The `sched` fault site counts cluster hand-offs to PEs; the whole
+    // dispatch loop runs on one thread, so the ordinal is leg-identical.
+    let mut dispatched: u64 = 0;
+    let mut active: Vec<Option<Task>> = (0..pes)
+        .map(|p| {
+            dispatch.next(p).map(|i| {
+                dispatched += 1;
+                fault::trip_at(fault::FaultSite::Sched, dispatched);
+                spawn(i)
+            })
+        })
+        .collect();
     let mut busy = vec![0.0f64; pes];
     let mut cluster_cycles = vec![0.0f64; profiles.len()];
 
@@ -329,7 +340,11 @@ fn simulate_fluid_banked(
             cluster_cycles[task.idx] += dt;
             task.w -= rates[p] * dt;
             if task.w <= 1e-9 {
-                active[p] = dispatch.next(p).map(spawn);
+                active[p] = dispatch.next(p).map(|i| {
+                    dispatched += 1;
+                    fault::trip_at(fault::FaultSite::Sched, dispatched);
+                    spawn(i)
+                });
             }
         }
     }
@@ -381,7 +396,17 @@ fn simulate_fluid(
             w: 1.0,
         }
     };
-    let mut active: Vec<Option<Task>> = (0..pes).map(|p| dispatch.next(p).map(spawn)).collect();
+    // Same `sched` fault-site accounting as the banked path.
+    let mut dispatched: u64 = 0;
+    let mut active: Vec<Option<Task>> = (0..pes)
+        .map(|p| {
+            dispatch.next(p).map(|i| {
+                dispatched += 1;
+                fault::trip_at(fault::FaultSite::Sched, dispatched);
+                spawn(i)
+            })
+        })
+        .collect();
     let mut busy = vec![0.0f64; pes];
     let mut cluster_cycles = vec![0.0f64; profiles.len()];
 
@@ -443,7 +468,11 @@ fn simulate_fluid(
             cluster_cycles[task.idx] += dt;
             task.w -= rates[p] * dt;
             if task.w <= 1e-9 {
-                active[p] = dispatch.next(p).map(spawn);
+                active[p] = dispatch.next(p).map(|i| {
+                    dispatched += 1;
+                    fault::trip_at(fault::FaultSite::Sched, dispatched);
+                    spawn(i)
+                });
             }
         }
     }

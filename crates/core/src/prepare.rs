@@ -66,6 +66,13 @@ pub struct PreparedWorkload {
     /// Intra-cluster edge fraction achieved by the preprocessing (1.0 when
     /// unpartitioned).
     pub intra_edge_fraction: f64,
+    /// Cross-job plan-cache handle, scoped to this preparation's
+    /// (dataset, partition) identity. `None` outside a serving session
+    /// pool ([`prepare`] leaves it unset): engines then fall back to
+    /// their per-run plan retention. The cache only shortcuts the plan
+    /// pass — replay consumes identical plan data either way, so reports
+    /// are bit-identical with or without it.
+    pub plan_cache: Option<crate::PlanCacheScope>,
 }
 
 impl PreparedWorkload {
@@ -166,6 +173,7 @@ pub fn prepare(
         hdn_lists: lists,
         layers: workload.layers.clone(),
         intra_edge_fraction: intra,
+        plan_cache: None,
     }
 }
 

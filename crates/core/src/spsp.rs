@@ -120,13 +120,29 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
     // count it once at the first layer, replay it at later ones (small
     // workloads only; see `PLAN_REUSE_MAX_OPS`). The combination LHS
     // changes per layer, so no retention there.
-    let agg_store: Option<Vec<OnceLock<CachedRows>>> = (workload.layers.len() > 1
-        && workload.adjacency.nnz() + 2 * workload.adjacency.rows() <= plan::PLAN_REUSE_MAX_OPS)
-        .then(|| {
+    // Inside a serving session pool the slots come from the cross-job
+    // plan cache instead (keyed per engine family; the `CachedRows` mode
+    // tag still guards cache-mode mismatches at replay time).
+    let plan_gate =
+        workload.adjacency.nnz() + 2 * workload.adjacency.rows() <= plan::PLAN_REUSE_MAX_OPS;
+    // Fault-injected runs stay off the shared cache (see the grow
+    // engine): injection counts must not depend on fleet warm state.
+    let shared_plans = match &workload.plan_cache {
+        Some(scope) if plan_gate && params.fault.is_off() => {
+            Some(scope.slots::<CachedRows>(params.name, workload.clusters.len()))
+        }
+        _ => None,
+    };
+    let local_plans: Option<Vec<OnceLock<CachedRows>>> =
+        (shared_plans.is_none() && plan_gate && workload.layers.len() > 1).then(|| {
             (0..workload.clusters.len())
                 .map(|_| OnceLock::new())
                 .collect()
         });
+    let agg_store: Option<&[OnceLock<CachedRows>]> = shared_plans
+        .as_deref()
+        .map(Vec::as_slice)
+        .or(local_plans.as_deref());
     let model = ExecModel::with_dram(params.multi_pe, params.dram);
     let mut report =
         pipeline::run_layers(params.name, workload, params.fault, |layer| LayerReport {
@@ -152,7 +168,7 @@ pub(crate) fn run_spsp(params: &SpSpParams, workload: &PreparedWorkload) -> RunR
                 &scratch,
                 &plan_pool,
                 spec,
-                agg_store.as_deref(),
+                agg_store,
             ),
         });
     model.finalize(&mut report);

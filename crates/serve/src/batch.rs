@@ -23,11 +23,13 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 use grow_core::registry::{self, RegistryError};
 use grow_core::{
-    Accelerator, ExecModelKind, PartitionStrategy, RunReport, SchedulerKind, ShardRows,
+    Accelerator, ExecModelKind, PartitionStrategy, PlanCache, PreparedWorkload, RunReport,
+    SchedulerKind, ShardRows,
 };
 use grow_model::DatasetSpec;
 use grow_sim::exec::{parallel_map, with_mode, ExecMode};
@@ -415,6 +417,13 @@ pub struct ServiceStats {
     pub panics_caught: u64,
     /// Jobs whose final outcome was [`JobError::Cancelled`].
     pub jobs_cancelled: u64,
+    /// Aggregation plans served from the cross-job [`PlanCache`] instead
+    /// of a fresh plan pass (see [`BatchService::plan_cache`]).
+    pub plan_cache_hits: u64,
+    /// Peak number of jobs computing at once — the batch compute-set size
+    /// for [`BatchService::run_batch`], the concurrent-worker high-water
+    /// mark for [`AsyncService`](crate::AsyncService).
+    pub jobs_in_flight_peak: u64,
 }
 
 /// The batch simulation service: session pool + result cache + worker
@@ -439,6 +448,11 @@ pub struct BatchService {
     store: Option<ResultStore>,
     retry: RetryPolicy,
     stats: ServiceStats,
+    /// Cross-job aggregation-plan cache, scoped to the session pool:
+    /// every pooled session stamps its prepared workloads with a scope
+    /// into this cache, so jobs sharing a (workload, strategy, engine
+    /// alignment) prefix skip the plan pass entirely.
+    plan_cache: Arc<PlanCache>,
 }
 
 impl BatchService {
@@ -447,9 +461,13 @@ impl BatchService {
         Self::default()
     }
 
-    /// Cumulative service counters.
+    /// Cumulative service counters. `plan_cache_hits` reads live from the
+    /// shared [`PlanCache`], so hits scored by in-flight jobs are visible
+    /// the moment they land.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.plan_cache_hits = self.plan_cache.hits();
+        stats
     }
 
     /// Number of pooled sessions (distinct workload recipes seen).
@@ -529,8 +547,26 @@ impl BatchService {
         self.retry
     }
 
-    /// Drops the in-memory session pool, result cache, and LRU
-    /// bookkeeping. Deliberately does **not** reset the cumulative
+    /// Replaces the cross-job plan cache with a fresh one bounded to
+    /// `capacity` plan families (default:
+    /// [`PlanCache::DEFAULT_CAPACITY`]). Call before the first batch —
+    /// sessions stamp the cache handle into their prepared workloads, so
+    /// the pool is cleared to keep every stamp pointing at the new cache.
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache = Arc::new(PlanCache::new(capacity));
+        self.sessions.clear();
+        self.session_last_use.clear();
+        self
+    }
+
+    /// The shared cross-job aggregation-plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Drops the in-memory session pool, result cache, cross-job plan
+    /// cache, and LRU bookkeeping. Deliberately does **not** reset the
+    /// cumulative
     /// [`ServiceStats`] — the counters describe the service's lifetime,
     /// not its current caches (use [`reset_stats`](Self::reset_stats) for
     /// that) — and does not touch the attached on-disk store: after a
@@ -541,6 +577,7 @@ impl BatchService {
         self.session_last_use.clear();
         self.session_clock = 0;
         self.reports.clear();
+        self.plan_cache.clear();
     }
 
     /// Zeroes the cumulative counters without touching the session pool,
@@ -548,6 +585,7 @@ impl BatchService {
     /// [`clear`](Self::clear).
     pub fn reset_stats(&mut self) {
         self.stats = ServiceStats::default();
+        self.plan_cache.reset_counters();
     }
 
     /// Runs a single job (a batch of one).
@@ -670,18 +708,28 @@ impl BatchService {
         // a second thread fan-out (hardware_threads^2 CPU-bound threads).
         // A single task keeps the inner fan-out so it still parallelizes.
         let fan_tasks = tasks.len() > 1;
+        let plan_cache = &self.plan_cache;
         let prepared = parallel_map(tasks, |_, task| {
-            let mut session = task.session.unwrap_or_else(|| {
-                let mut s = SimSession::from_spec(task.spec, task.seed);
-                s.set_hdn_id_entries(task.hdn_id_entries);
+            let PrepTask {
+                key,
+                session,
+                spec,
+                seed,
+                hdn_id_entries,
+                strategies,
+            } = task;
+            let mut session = session.unwrap_or_else(|| {
+                let mut s = SimSession::from_spec(spec, seed);
+                s.set_hdn_id_entries(hdn_id_entries);
+                s.set_plan_cache(Arc::clone(plan_cache), key.clone());
                 s
             });
             let newly_prepared = if fan_tasks {
-                with_mode(ExecMode::Serial, || session.prepare_all(&task.strategies))
+                with_mode(ExecMode::Serial, || session.prepare_all(&strategies))
             } else {
-                session.prepare_all(&task.strategies)
+                session.prepare_all(&strategies)
             };
-            (task.key, session, newly_prepared)
+            (key, session, newly_prepared)
         });
         for (key, session, newly_prepared) in prepared {
             self.stats.preparations_run += newly_prepared as u64;
@@ -697,6 +745,7 @@ impl BatchService {
         // through the fault context so an injected fault with
         // `attempts=N` stops firing on attempt N+1, making the retried
         // run bit-identical to a fault-free one.
+        self.note_in_flight(to_compute.len() as u64);
         let sessions = &self.sessions;
         // Same one-level rule as phase 3: with several jobs in flight the
         // job grain saturates the cores, so each engine's internal
@@ -866,6 +915,172 @@ impl BatchService {
         results
     }
 
+    /// Stages one job for supervised execution — the per-job front half
+    /// of [`run_batch`](Self::run_batch), factored out so concurrent
+    /// callers (the [`AsyncService`](crate::AsyncService) worker pool)
+    /// hold the service lock only around cheap bookkeeping. Runs
+    /// validation, the in-memory cache probe, and the supervised store
+    /// probe (before any session is built, so a restarted service serves
+    /// a warm fleet without instantiating workloads). Returns either the
+    /// job's resolved outcome or the validated engine; the caller then
+    /// prepares the session *outside* this lock ([`take_session`] /
+    /// [`adopt_session`]) and computes.
+    ///
+    /// [`take_session`]: Self::take_session
+    /// [`adopt_session`]: Self::adopt_session
+    pub(crate) fn stage(&mut self, job: &JobSpec, key: &JobKey) -> Staged {
+        self.stats.jobs_submitted += 1;
+        let engine = match build_engine(job) {
+            Ok(engine) => engine,
+            Err(e) => {
+                self.stats.jobs_failed += 1;
+                return Staged::Done {
+                    outcome: Err(JobError::Invalid(e)),
+                    cache_hit: false,
+                };
+            }
+        };
+        if let Some(report) = self.reports.get(key) {
+            self.stats.cache_hits += 1;
+            return Staged::Done {
+                outcome: Ok(report.clone()),
+                cache_hit: true,
+            };
+        }
+        if let Some(mut store) = self.store.take() {
+            let plan = job_fault_plan(job);
+            let loaded = catch_unwind(AssertUnwindSafe(|| {
+                fault::with_plan(plan, || store.load(key))
+            }));
+            self.store = Some(store);
+            match loaded {
+                Ok(Some(report)) => {
+                    self.reports.insert(key.clone(), report.clone());
+                    self.stats.store_hits += 1;
+                    self.stats.cache_hits += 1;
+                    return Staged::Done {
+                        outcome: Ok(report),
+                        cache_hit: true,
+                    };
+                }
+                Ok(None) => {}
+                Err(payload) => {
+                    self.stats.panics_caught += 1;
+                    self.stats.jobs_failed += 1;
+                    return Staged::Done {
+                        outcome: Err(JobError::StoreCorrupt {
+                            message: panic_message(payload.as_ref()),
+                        }),
+                        cache_hit: false,
+                    };
+                }
+            }
+        }
+        Staged::NeedsCompute {
+            engine,
+            max_attempts: self.retry.max_attempts.max(1),
+        }
+    }
+
+    /// Takes the pooled session for `session_key` out of the pool so a
+    /// concurrent caller can prepare it outside the service lock (the
+    /// caller serializes same-session takers itself). Returns `None` if
+    /// the workload was never instantiated or was evicted.
+    pub(crate) fn take_session(&mut self, session_key: &str) -> Option<SimSession> {
+        self.sessions.remove(session_key)
+    }
+
+    /// Returns a prepared session to the pool, counting a fresh
+    /// instantiation and the preparations the caller ran while holding
+    /// it. The complement of [`take_session`](Self::take_session).
+    pub(crate) fn adopt_session(
+        &mut self,
+        session_key: String,
+        session: SimSession,
+        created: bool,
+        newly_prepared: usize,
+    ) {
+        if created {
+            self.stats.sessions_created += 1;
+        }
+        self.stats.preparations_run += newly_prepared as u64;
+        self.sessions.insert(session_key, session);
+    }
+
+    /// Shared handle to the cross-job plan cache, for stamping sessions
+    /// instantiated outside the service lock.
+    pub(crate) fn plan_cache_arc(&self) -> Arc<PlanCache> {
+        Arc::clone(&self.plan_cache)
+    }
+
+    /// Commits one computed job — the per-job back half of
+    /// [`run_batch`](Self::run_batch): counter merges, the supervised
+    /// store persist (write failures cost persistence, never the job),
+    /// and the report-cache insert. Returns the job's outcome and its
+    /// wall time (`None` for failures, like [`JobResult::wall_ms`]).
+    pub(crate) fn commit(
+        &mut self,
+        job: &JobSpec,
+        key: &JobKey,
+        run: ComputeOutcome,
+    ) -> (Result<RunReport, JobError>, Option<f64>) {
+        self.stats.simulations_run += 1;
+        self.stats.retries += run.retries;
+        self.stats.panics_caught += run.caught;
+        match run.outcome {
+            Ok(report) => {
+                if let Some(store) = self.store.as_mut() {
+                    let plan = job_fault_plan(job);
+                    let persisted = catch_unwind(AssertUnwindSafe(|| {
+                        fault::with_plan(plan, || store.persist(key, &report))
+                    }));
+                    match persisted {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            eprintln!("warning: result store write failed for {key}: {e}")
+                        }
+                        Err(payload) => {
+                            self.stats.panics_caught += 1;
+                            eprintln!(
+                                "warning: result store write panicked for {key}: {}",
+                                panic_message(payload.as_ref())
+                            );
+                        }
+                    }
+                }
+                self.reports.insert(key.clone(), report.clone());
+                (Ok(report), Some(run.wall_ms))
+            }
+            Err(e) => {
+                self.stats.jobs_failed += 1;
+                if matches!(e, JobError::Cancelled { .. }) {
+                    self.stats.jobs_cancelled += 1;
+                }
+                (Err(e), None)
+            }
+        }
+    }
+
+    /// Marks the job's pooled session as just-used and enforces the LRU
+    /// capacity bound — the per-job form of [`run_batch`]'s batch-tail
+    /// bookkeeping.
+    ///
+    /// [`run_batch`]: Self::run_batch
+    pub(crate) fn touch_session(&mut self, job: &JobSpec) {
+        let session_key = job.session_key();
+        if self.sessions.contains_key(&session_key) {
+            self.session_clock += 1;
+            self.session_last_use
+                .insert(session_key, self.session_clock);
+        }
+        self.evict_sessions();
+    }
+
+    /// Raises the jobs-in-flight high-water mark.
+    pub(crate) fn note_in_flight(&mut self, in_flight: u64) {
+        self.stats.jobs_in_flight_peak = self.stats.jobs_in_flight_peak.max(in_flight);
+    }
+
     /// Drops least-recently-used sessions until the pool fits the
     /// capacity bound. Ties (sessions never touched by a batch) break by
     /// key string so eviction is deterministic.
@@ -885,6 +1100,82 @@ impl BatchService {
             self.session_last_use.remove(&victim);
             self.stats.sessions_evicted += 1;
         }
+    }
+}
+
+/// Outcome of [`BatchService::stage`]: the job is either resolved on the
+/// spot (validation failure, cache or store hit, store corruption) or
+/// validated and waiting on preparation + compute.
+pub(crate) enum Staged {
+    /// Resolved without a simulation.
+    Done {
+        outcome: Result<RunReport, JobError>,
+        cache_hit: bool,
+    },
+    /// Needs a simulation: prepare the session outside the service lock,
+    /// assemble a [`ComputeTask`], run [`compute_supervised`], then
+    /// [`BatchService::commit`] the result.
+    NeedsCompute {
+        engine: Box<dyn Accelerator>,
+        max_attempts: u64,
+    },
+}
+
+/// A self-contained unit of supervised compute: the validated engine and
+/// the shared prepared workload (alive across session eviction via its
+/// `Arc`). Never crosses threads — the worker that staged it runs it.
+pub(crate) struct ComputeTask {
+    pub(crate) engine: Box<dyn Accelerator>,
+    pub(crate) prepared: Arc<PreparedWorkload>,
+    pub(crate) max_attempts: u64,
+}
+
+/// What one supervised compute produced, for [`BatchService::commit`].
+pub(crate) struct ComputeOutcome {
+    outcome: Result<RunReport, JobError>,
+    wall_ms: f64,
+    retries: u64,
+    caught: u64,
+}
+
+/// Runs one staged simulation under the supervision contract of
+/// [`BatchService::run_batch`]'s phase 4: every attempt runs under
+/// `catch_unwind` with the attempt number published through the fault
+/// context, transient failures retry up to the task's budget, and a
+/// cancelled ticket stops consuming attempts at the loop head. The
+/// caller picks the execution mode (the governor's serial forcing or a
+/// lone job's full inner fan-out) by wrapping this call.
+pub(crate) fn compute_supervised(task: &ComputeTask) -> ComputeOutcome {
+    let started = Instant::now();
+    let mut retries = 0u64;
+    let mut caught = 0u64;
+    let mut attempt = 1u64;
+    let outcome = loop {
+        if let Some(reason) = fault::cancel_state() {
+            break Err(JobError::Cancelled { reason });
+        }
+        let run = fault::with_attempt(attempt, || {
+            catch_unwind(AssertUnwindSafe(|| task.engine.run(&task.prepared)))
+        });
+        match run {
+            Ok(report) => break Ok(report),
+            Err(payload) => {
+                caught += 1;
+                let err = classify_unwind(payload, attempt);
+                if err.is_transient() && attempt < task.max_attempts {
+                    attempt += 1;
+                    retries += 1;
+                    continue;
+                }
+                break Err(err);
+            }
+        }
+    };
+    ComputeOutcome {
+        outcome,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        retries,
+        caught,
     }
 }
 

@@ -1,7 +1,7 @@
 //! The serving layer: batch and always-on simulation over the engine
 //! registry.
 //!
-//! Four pieces live here:
+//! Five pieces live here:
 //!
 //! * [`session::SimSession`] — one workload, memoized preprocessing, and
 //!   name-based engine dispatch (the single-workload front door);
@@ -21,8 +21,14 @@
 //!   served.
 //! * [`service::AsyncService`] — the always-on front end: submissions at
 //!   any time, a [`service::Ticket`] back immediately, each result
-//!   streamed on completion, with priority classes and admission control
-//!   in front of the `BatchService` core.
+//!   streamed on completion, with priority classes, admission control,
+//!   and a configurable pool of supervised worker threads
+//!   ([`service::AsyncConfig::workers`]) in front of the `BatchService`
+//!   core.
+//! * [`governor`] — the two-level parallelism governor the worker pool
+//!   consults per picked-up job: outer (cross-job) parallelism when the
+//!   queue is contended, full inner (intra-job) fan-out for a lone job —
+//!   a pure decision, so replays are deterministic.
 //!
 //! The layer is *supervised*: every job runs under `catch_unwind` with a
 //! bounded, deterministic retry budget ([`batch::RetryPolicy`]), so a
@@ -63,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod governor;
 pub mod service;
 pub mod session;
 pub mod store;
@@ -71,6 +78,7 @@ pub use batch::{
     grid_jobs, scheduler_grid_jobs, BatchService, JobError, JobKey, JobResult, JobSpec,
     RetryPolicy, ServiceStats,
 };
+pub use governor::{InnerBudget, QueueSnapshot};
 pub use service::{
     AsyncConfig, AsyncService, FinishReport, Priority, SubmitError, Ticket, WaitError,
 };

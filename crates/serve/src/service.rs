@@ -12,11 +12,24 @@
 //!
 //! * **Priority classes + admission control.** Submissions enter one of
 //!   three FIFO queues ([`Priority::High`]/[`Priority::Normal`]/
-//!   [`Priority::Low`]); the worker always drains the highest non-empty
+//!   [`Priority::Low`]); workers always drain the highest non-empty
 //!   class. The pending set is bounded by
 //!   [`AsyncConfig::queue_capacity`]; a submission over the bound is
 //!   rejected immediately with [`SubmitError::QueueFull`] — back-pressure
 //!   by refusal, never by blocking the submitter.
+//! * **A supervised worker pool.** [`AsyncConfig::workers`] threads
+//!   drain the queues concurrently. Jobs sharing a cache key never run
+//!   at once (the second becomes a cache hit when the first commits —
+//!   still exactly one computation per key), same-workload preparation
+//!   is claimed by one worker and awaited by the rest, and simulations
+//!   run outside the service lock, so distinct jobs overlap end to end.
+//!   The [`governor`](crate::governor) arbitrates the two parallelism
+//!   levels per picked-up job: a contended queue forces the job's inner
+//!   cluster fan-out serial (the `run_batch` one-level rule, applied
+//!   dynamically), a lone job keeps the machine to itself. One killed
+//!   worker (the injected `worker` fault site, whose `nth` selects which
+//!   pool worker dies) records its casualty and the pool degrades to
+//!   N−1; the service only dies with its last worker.
 //! * **Bounded session pool.** [`AsyncConfig::session_capacity`] forwards
 //!   to [`BatchService::with_session_capacity`]'s LRU bound, so an
 //!   always-on process does not accumulate one pooled workload per
@@ -26,19 +39,20 @@
 //!   repeated queries are served across process restarts without running
 //!   a simulation.
 //!
-//! **Bit-identity contract.** The worker processes one job at a time, so
-//! each simulation keeps its full inner cluster fan-out through
-//! [`parallel_map`](grow_sim::exec::parallel_map) — exactly the one-level
-//! rule `run_batch` applies, taken to the single-job grain. Reports are
-//! bit-identical between serial and parallel execution by the simulator's
-//! determinism contract, so draining an `AsyncService` yields reports
-//! byte-for-byte equal to `BatchService::run_batch` over the same jobs,
-//! under both `GROW_SERIAL=1` and any thread count. The worker thread
-//! replays the spawning thread's `with_mode`/`with_workers` overrides via
-//! [`ExecContext`], so scoped test overrides apply to async runs too.
+//! **Bit-identity contract.** Every engine is bit-identical between its
+//! serial and parallel paths, and the governor only narrows execution
+//! (it widens nothing past an enclosing override), so each job's report
+//! is independent of which worker ran it, what else was in flight, and
+//! the inner budget it was granted. Draining an `AsyncService` therefore
+//! yields reports byte-for-byte equal to `BatchService::run_batch` over
+//! the same jobs — at any worker count, under both `GROW_SERIAL=1` and
+//! any thread count. Worker threads replay the spawning thread's
+//! `with_mode`/`with_workers` overrides via [`ExecContext`], so scoped
+//! test overrides apply to async runs too. Only completion *order* is
+//! schedule-dependent; every per-ticket result is deterministic.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
@@ -46,13 +60,19 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use grow_sim::exec::ExecContext;
+use grow_core::PreparedWorkload;
+use grow_sim::exec::{self, ExecContext};
 use grow_sim::fault::{self, CancelToken, FaultSite};
 
-use crate::batch::{job_fault_plan, BatchService, JobResult, JobSpec, ServiceStats};
+use crate::batch::{
+    compute_supervised, job_fault_plan, BatchService, ComputeTask, JobKey, JobResult, JobSpec,
+    ServiceStats, Staged,
+};
+use crate::governor::{self, InnerBudget, QueueSnapshot};
+use crate::session::SimSession;
 
-/// Scheduling class of a submission: the worker always serves the
-/// highest non-empty class, FIFO within a class.
+/// Scheduling class of a submission: workers always serve the highest
+/// non-empty class, FIFO within a class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum Priority {
     /// Served before everything else (interactive queries).
@@ -85,6 +105,11 @@ pub struct AsyncConfig {
     /// LRU bound for the inner session pool (`None` keeps whatever the
     /// wrapped [`BatchService`] was configured with).
     pub session_capacity: Option<usize>,
+    /// Supervised worker threads draining the queues concurrently
+    /// (clamped to >= 1; the default is 1, the historical single-worker
+    /// drain). Reports are bit-identical at every worker count — the
+    /// count only changes wall time and completion order.
+    pub workers: usize,
 }
 
 impl Default for AsyncConfig {
@@ -92,6 +117,7 @@ impl Default for AsyncConfig {
         AsyncConfig {
             queue_capacity: 1024,
             session_capacity: None,
+            workers: 1,
         }
     }
 }
@@ -108,10 +134,11 @@ pub enum SubmitError {
     },
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
-    /// The worker thread died (an injected worker kill or a supervision
-    /// escape); no new work can run. Call
+    /// Every pool worker died (injected worker kills or supervision
+    /// escapes); no new work can run. Call
     /// [`finish_report`](AsyncService::finish_report) for the casualty
-    /// list.
+    /// list. While at least one worker survives, the service keeps
+    /// accepting work on the degraded pool.
     ServiceDead,
 }
 
@@ -130,10 +157,10 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Why a [`Ticket`] will never deliver a result: the worker thread died
-/// (or the service was dropped) with the job still outstanding. Surfaced
-/// as an error — never a panic or a hang — so submitters always observe a
-/// worker death as data.
+/// Why a [`Ticket`] will never deliver a result: the worker processing
+/// the job died (or the service was dropped) with the job still
+/// outstanding. Surfaced as an error — never a panic or a hang — so
+/// submitters always observe a worker death as data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitError {
     /// The result channel disconnected with no result delivered.
@@ -155,11 +182,12 @@ impl std::error::Error for WaitError {}
 /// Shutdown summary returned by [`AsyncService::finish_report`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FinishReport {
-    /// True when the worker thread exited by panic rather than by
+    /// True when at least one pool worker exited by panic rather than by
     /// draining its queues.
     pub worker_panicked: bool,
-    /// Submission ids whose results were never delivered because the
-    /// worker died: the job it was running plus everything still queued.
+    /// Submission ids whose results were never delivered because their
+    /// worker died: each dead worker's in-flight job, plus — only once
+    /// the *last* worker dies — everything still queued.
     pub casualties: Vec<u64>,
 }
 
@@ -194,9 +222,9 @@ impl Ticket {
     ///
     /// # Errors
     ///
-    /// [`WaitError::ServiceDead`] when the worker died (or the service
-    /// was dropped) before delivering this job's result — never a panic,
-    /// never a hang.
+    /// [`WaitError::ServiceDead`] when the processing worker died (or
+    /// the service was dropped) before delivering this job's result —
+    /// never a panic, never a hang.
     pub fn wait(self) -> Result<JobResult, WaitError> {
         self.rx.recv().map_err(|_| WaitError::ServiceDead)
     }
@@ -222,12 +250,16 @@ impl Ticket {
 struct Submission {
     id: u64,
     job: JobSpec,
+    /// The job's canonical cache key, computed once at admission — the
+    /// worker pool's same-key exclusion set and the delivered
+    /// [`JobResult::key`] both use it.
+    key: JobKey,
     tx: Sender<JobResult>,
     cancel: Arc<CancelToken>,
 }
 
 /// The queues and lifecycle flags shared between submitters and the
-/// worker thread.
+/// worker pool.
 struct QueueState {
     /// One FIFO per [`Priority`], indexed by [`Priority::index`].
     queues: [VecDeque<Submission>; 3],
@@ -237,18 +269,45 @@ struct QueueState {
     stopping: bool,
     /// Set by `Drop`: stop now, discarding queued submissions.
     abort: bool,
-    /// Set by the worker's death guard: the worker exited by panic and
-    /// will never serve another job.
-    worker_dead: bool,
-    /// Submission ids orphaned by a worker death (the in-flight job plus
-    /// everything queued behind it).
+    /// Workers still serving. Decremented only by a worker's death
+    /// guard; the service is dead when it reaches zero.
+    workers_alive: usize,
+    /// Submission ids orphaned by worker deaths (each dead worker's
+    /// in-flight job; plus the whole queue once the last worker dies).
     casualties: Vec<u64>,
+    /// Cache keys being computed right now. A queued duplicate of a
+    /// running key is not runnable — it waits and becomes a cache hit
+    /// when the computation commits, preserving exactly-one-computation
+    /// -per-key at any worker count.
+    running: HashSet<JobKey>,
+    /// Session keys being prepared right now. One worker claims a
+    /// workload's preparation; same-session workers wait on the claim
+    /// instead of preparing twice.
+    preparing: HashSet<String>,
 }
 
 impl QueueState {
     /// Pops the oldest submission of the highest non-empty class.
     fn pop(&mut self) -> Option<Submission> {
         self.queues.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Pops the oldest *runnable* submission of the highest non-empty
+    /// class: priority order, skipping submissions whose cache key is
+    /// computing on another worker right now.
+    fn pop_runnable(&mut self) -> Option<Submission> {
+        let running = &self.running;
+        for queue in self.queues.iter_mut() {
+            if let Some(at) = queue.iter().position(|s| !running.contains(&s.key)) {
+                return queue.remove(at);
+            }
+        }
+        None
+    }
+
+    /// Submissions still parked in the queues.
+    fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
     }
 }
 
@@ -287,7 +346,7 @@ pub struct AsyncService {
     shared: Arc<Shared>,
     service: Option<Arc<Mutex<BatchService>>>,
     completions: Arc<Mutex<Vec<u64>>>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     capacity: usize,
 }
@@ -296,50 +355,58 @@ impl fmt::Debug for AsyncService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AsyncService")
             .field("capacity", &self.capacity)
+            .field("workers", &self.workers.len())
             .field("pending", &self.pending())
             .finish_non_exhaustive()
     }
 }
 
 impl AsyncService {
-    /// Spawns the worker thread and starts accepting submissions. The
+    /// Spawns the worker pool and starts accepting submissions. The
     /// wrapped `service` brings its caches, counters, and any attached
     /// [`ResultStore`](crate::ResultStore) with it.
     pub fn start(mut service: BatchService, config: AsyncConfig) -> Self {
         if config.session_capacity.is_some() {
             service.set_session_capacity(config.session_capacity);
         }
+        let worker_total = config.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 pending: 0,
                 stopping: false,
                 abort: false,
-                worker_dead: false,
+                workers_alive: worker_total,
                 casualties: Vec::new(),
+                running: HashSet::new(),
+                preparing: HashSet::new(),
             }),
             cv: Condvar::new(),
         });
         let service = Arc::new(Mutex::new(service));
         let completions = Arc::new(Mutex::new(Vec::new()));
-        // The worker replays this thread's execution overrides, so a
+        // Every worker replays this thread's execution overrides, so a
         // `with_mode(ExecMode::Serial, ..)` scope around the service
         // applies to async runs exactly as it would to `run_batch`.
         let ctx = ExecContext::capture();
-        let worker = {
-            let shared = Arc::clone(&shared);
-            let service = Arc::clone(&service);
-            let completions = Arc::clone(&completions);
-            std::thread::Builder::new()
-                .name("grow-serve-worker".to_string())
-                .spawn(move || ctx.scope(|| worker_loop(&shared, &service, &completions)))
-                .expect("spawn serving worker")
-        };
+        let workers = (1..=worker_total)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let service = Arc::clone(&service);
+                let completions = Arc::clone(&completions);
+                std::thread::Builder::new()
+                    .name(format!("grow-serve-worker-{index}"))
+                    .spawn(move || {
+                        ctx.scope(|| worker_loop(index, &shared, &service, &completions))
+                    })
+                    .expect("spawn serving worker")
+            })
+            .collect();
         AsyncService {
             shared,
             service: Some(service),
             completions,
-            worker: Some(worker),
+            workers,
             next_id: AtomicU64::new(0),
             capacity: config.queue_capacity.max(1),
         }
@@ -395,8 +462,9 @@ impl AsyncService {
         cancel: CancelToken,
     ) -> Result<Ticket, SubmitError> {
         let cancel = Arc::new(cancel);
+        let key = job.key();
         let mut st = self.shared.lock();
-        if st.worker_dead {
+        if st.workers_alive == 0 {
             return Err(SubmitError::ServiceDead);
         }
         if st.stopping {
@@ -413,6 +481,7 @@ impl AsyncService {
         st.queues[priority.index()].push_back(Submission {
             id,
             job,
+            key,
             tx,
             cancel: Arc::clone(&cancel),
         });
@@ -432,9 +501,15 @@ impl AsyncService {
         self.capacity
     }
 
+    /// Pool workers still serving (the spawned count minus deaths).
+    pub fn workers_alive(&self) -> usize {
+        self.shared.lock().workers_alive
+    }
+
     /// Submission ids in completion order — the service's observable
     /// processing sequence (priority classes reorder it relative to
-    /// submission order).
+    /// submission order; with several workers it interleaves by
+    /// completion time).
     pub fn completed_ids(&self) -> Vec<u64> {
         self.completions
             .lock()
@@ -442,23 +517,25 @@ impl AsyncService {
             .clone()
     }
 
-    /// True when the worker thread died; every outstanding ticket will
+    /// True when every pool worker died; every outstanding ticket will
     /// resolve to [`WaitError::ServiceDead`] and new submissions are
-    /// rejected with [`SubmitError::ServiceDead`].
+    /// rejected with [`SubmitError::ServiceDead`]. A partially-degraded
+    /// pool (some deaths, at least one survivor) reports `false` and
+    /// keeps serving.
     pub fn worker_dead(&self) -> bool {
-        self.shared.lock().worker_dead
+        self.shared.lock().workers_alive == 0
     }
 
-    /// Submission ids orphaned by a worker death so far (empty while the
-    /// worker is healthy). The authoritative list at shutdown is
+    /// Submission ids orphaned by worker deaths so far (empty while the
+    /// pool is healthy). The authoritative list at shutdown is
     /// [`finish_report`](Self::finish_report)'s.
     pub fn casualties(&self) -> Vec<u64> {
         self.shared.lock().casualties.clone()
     }
 
-    /// Cumulative counters of the inner [`BatchService`]. Blocks while a
-    /// simulation is in flight (the worker holds the service for the
-    /// duration of each job).
+    /// Cumulative counters of the inner [`BatchService`]. May block
+    /// briefly while a worker holds the service for staging or commit
+    /// bookkeeping (simulations themselves run outside the lock).
     pub fn stats(&self) -> ServiceStats {
         self.inner()
             .lock()
@@ -466,16 +543,16 @@ impl AsyncService {
             .stats()
     }
 
-    /// Drains every queued submission, stops the worker, and returns the
-    /// inner [`BatchService`] — with its warmed caches and counters — for
-    /// inspection or synchronous reuse. A worker death is absorbed, not
-    /// propagated (see [`finish_report`](Self::finish_report) for the
-    /// casualty list).
+    /// Drains every queued submission, stops the worker pool, and
+    /// returns the inner [`BatchService`] — with its warmed caches and
+    /// counters — for inspection or synchronous reuse. Worker deaths are
+    /// absorbed, not propagated (see
+    /// [`finish_report`](Self::finish_report) for the casualty list).
     pub fn finish(self) -> BatchService {
         self.finish_report().0
     }
 
-    /// [`finish`](Self::finish) plus the shutdown summary: whether the
+    /// [`finish`](Self::finish) plus the shutdown summary: whether any
     /// worker exited by panic, and which submission ids lost their
     /// results to it. A clean shutdown reports `worker_panicked: false`
     /// and no casualties.
@@ -485,14 +562,14 @@ impl AsyncService {
             st.stopping = true;
         }
         self.shared.cv.notify_all();
-        let worker_panicked = match self.worker.take() {
-            Some(worker) => worker.join().is_err(),
-            None => false,
-        };
+        let mut worker_panicked = false;
+        for worker in self.workers.drain(..) {
+            worker_panicked |= worker.join().is_err();
+        }
         let casualties = self.shared.lock().casualties.clone();
         let service = self.service.take().expect("finish runs once");
         let Ok(service) = Arc::try_unwrap(service) else {
-            unreachable!("worker has exited, so the service has one owner");
+            unreachable!("workers have exited, so the service has one owner");
         };
         let service = service.into_inner().unwrap_or_else(PoisonError::into_inner);
         (
@@ -511,35 +588,39 @@ impl AsyncService {
 
 impl Drop for AsyncService {
     fn drop(&mut self) {
-        // `finish` already joined the worker; otherwise stop it promptly,
+        // `finish` already joined the pool; otherwise stop it promptly,
         // discarding queued submissions (their tickets' senders drop, so
-        // a blocked `Ticket::wait` panics rather than hanging forever).
-        if let Some(worker) = self.worker.take() {
-            {
-                let mut st = self.shared.lock();
-                st.stopping = true;
-                st.abort = true;
-            }
-            self.shared.cv.notify_all();
+        // a blocked `Ticket::wait` errors rather than hanging forever).
+        if self.workers.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.shared.lock();
+            st.stopping = true;
+            st.abort = true;
+        }
+        self.shared.cv.notify_all();
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-/// Arms the worker thread against its own death: dropped during an
-/// unwind, it marks the service dead, records the in-flight job and every
-/// queued submission as casualties, fixes the pending count, and wakes
-/// every waiter — whose tickets then observe a disconnected channel
-/// ([`WaitError::ServiceDead`]) because the submissions (and their
-/// senders) are dropped here. Disarmed on the worker's clean exits.
+/// Arms a pool worker against its own death: dropped during an unwind,
+/// it decrements the live-worker count, records the in-flight job as a
+/// casualty (dropping its sender so the waiter observes a disconnect,
+/// never a hang), releases any preparation claim so same-session workers
+/// do not wait forever, and — when it was the *last* worker — drains the
+/// whole queue as casualties. Disarmed on the worker's clean exits.
 struct WorkerGuard<'a> {
     shared: &'a Shared,
     /// The submission being processed right now, if any. The guard
     /// *owns* it so that during an unwind its sender cannot drop before
     /// the death is recorded below — a waiter woken by the disconnect
-    /// must already observe `worker_dead`, or it could race one more
-    /// submission into a dying service.
+    /// must already observe the degraded pool state.
     current: RefCell<Option<Submission>>,
+    /// The session key whose preparation this worker has claimed, if any.
+    preparing: RefCell<Option<String>>,
     armed: Cell<bool>,
 }
 
@@ -549,20 +630,26 @@ impl Drop for WorkerGuard<'_> {
             return;
         }
         // Collect the casualties' submissions and drop them only after
-        // the lock is released and `worker_dead` is visible: their
-        // senders dropping is what wakes the waiters.
+        // the lock is released and the death is visible: their senders
+        // dropping is what wakes the waiters.
         let mut dead: Vec<Submission> = Vec::new();
         let mut st = self.shared.lock();
-        st.worker_dead = true;
+        st.workers_alive = st.workers_alive.saturating_sub(1);
         if let Some(submission) = self.current.borrow_mut().take() {
+            st.running.remove(&submission.key);
             st.casualties.push(submission.id);
             st.pending = st.pending.saturating_sub(1);
             dead.push(submission);
         }
-        while let Some(submission) = st.pop() {
-            st.casualties.push(submission.id);
-            st.pending = st.pending.saturating_sub(1);
-            dead.push(submission);
+        if let Some(session_key) = self.preparing.borrow_mut().take() {
+            st.preparing.remove(&session_key);
+        }
+        if st.workers_alive == 0 {
+            while let Some(submission) = st.pop() {
+                st.casualties.push(submission.id);
+                st.pending = st.pending.saturating_sub(1);
+                dead.push(submission);
+            }
         }
         drop(st);
         self.shared.cv.notify_all();
@@ -570,31 +657,48 @@ impl Drop for WorkerGuard<'_> {
     }
 }
 
-/// The worker: pop the highest-priority submission, run it as a batch of
-/// one (full inner fan-out — the one-level rule at the single-job grain)
-/// with the ticket's cancel token armed, deliver the result, repeat until
-/// stopped. `run_one` supervises each job, so a job panic — injected or
-/// genuine — becomes a [`JobError`](crate::JobError), never a worker
-/// death; the only deliberate hole is the `worker` fault site below,
-/// which kills the worker itself to exercise the death guard.
-fn worker_loop(shared: &Shared, service: &Mutex<BatchService>, completions: &Mutex<Vec<u64>>) {
+/// One pool worker (1-based `index` of N): pop the highest-priority
+/// runnable submission, stage it under the service lock, prepare and
+/// simulate outside it under the governor's budget, commit, deliver,
+/// repeat until stopped. Staging and compute are supervised, so a job
+/// panic — injected or genuine — becomes a
+/// [`JobError`](crate::JobError), never a worker death; the only
+/// deliberate hole is the `worker` fault site below, which kills worker
+/// `index` itself (the spec's `nth` selects the victim) to exercise the
+/// death guard and the pool's N−1 degradation.
+fn worker_loop(
+    index: usize,
+    shared: &Shared,
+    service: &Mutex<BatchService>,
+    completions: &Mutex<Vec<u64>>,
+) {
     let guard = WorkerGuard {
         shared,
         current: RefCell::new(None),
+        preparing: RefCell::new(None),
         armed: Cell::new(true),
     };
     loop {
-        let submission = {
+        let (submission, snapshot) = {
             let mut st = shared.lock();
             loop {
                 if st.abort {
                     guard.armed.set(false);
                     return;
                 }
-                if let Some(submission) = st.pop() {
-                    break submission;
+                if let Some(submission) = st.pop_runnable() {
+                    st.running.insert(submission.key.clone());
+                    let snapshot = QueueSnapshot {
+                        queued: st.queued(),
+                        running: st.running.len(),
+                    };
+                    break (submission, snapshot);
                 }
-                if st.stopping {
+                // Drain-to-empty before a clean stop: queued duplicates
+                // of a running key are not runnable *yet*, so the queue
+                // length — not pop_runnable — decides whether work
+                // remains.
+                if st.stopping && st.queued() == 0 {
                     guard.armed.set(false);
                     return;
                 }
@@ -607,30 +711,72 @@ fn worker_loop(shared: &Shared, service: &Mutex<BatchService>, completions: &Mut
         let current = guard.current.borrow();
         let submission = current.as_ref().expect("parked above");
         // The 'worker' fault site: a supervisor kill that escapes the
-        // per-job supervision on purpose — the submission drops with the
-        // unwind, so its waiter sees ServiceDead, and the guard converts
-        // the death into casualty bookkeeping instead of a poisoned hang.
+        // per-job supervision on purpose. The spec's `nth` picks the
+        // victim — worker `index` dies when *it* picks the job up; every
+        // other worker serves the same job unharmed.
         if job_fault_plan(&submission.job)
-            .action_at(FaultSite::Worker, 1, 1)
+            .action_at(FaultSite::Worker, index as u64, 1)
             .is_some()
         {
-            panic!("injected worker kill (fault site 'worker')");
+            panic!("injected worker kill (fault site 'worker', worker {index})");
         }
-        let mut result = {
+        let staged = {
             let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+            svc.note_in_flight(snapshot.running as u64);
             fault::with_cancel(Some(Arc::clone(&submission.cancel)), || {
-                svc.run_one(&submission.job)
+                svc.stage(&submission.job, &submission.key)
             })
         };
-        // `run_one` numbers within its one-job batch; the submission id is
-        // the meaningful index at this layer.
-        result.index = submission.id as usize;
+        let (outcome, cache_hit, wall_ms) = match staged {
+            Staged::Done { outcome, cache_hit } => {
+                let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+                svc.touch_session(&submission.job);
+                (outcome, cache_hit, None)
+            }
+            Staged::NeedsCompute {
+                engine,
+                max_attempts,
+            } => {
+                let budget = governor::inner_budget(
+                    snapshot,
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                    exec::configured_workers(),
+                );
+                let prepared = prepare_for(&guard, shared, service, &submission.job, budget);
+                let task = ComputeTask {
+                    engine,
+                    prepared,
+                    max_attempts,
+                };
+                let run = fault::with_cancel(Some(Arc::clone(&submission.cancel)), || {
+                    budget.apply(|| compute_supervised(&task))
+                });
+                let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+                let (outcome, wall_ms) = svc.commit(&submission.job, &submission.key, run);
+                svc.touch_session(&submission.job);
+                (outcome, false, wall_ms)
+            }
+        };
+        let result = JobResult {
+            // Workers number nothing themselves; the submission id is
+            // the meaningful index at this layer.
+            index: submission.id as usize,
+            key: submission.key.clone(),
+            dataset: submission.job.dataset.key.name(),
+            engine: submission.job.engine.clone(),
+            outcome,
+            cache_hit,
+            wall_ms,
+        };
         completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(submission.id);
         {
             let mut st = shared.lock();
+            st.running.remove(&submission.key);
             st.pending -= 1;
         }
         shared.cv.notify_all();
@@ -641,34 +787,98 @@ fn worker_loop(shared: &Shared, service: &Mutex<BatchService>, completions: &Mut
     }
 }
 
+/// Gets the job's prepared workload, running the expensive preparation
+/// *outside* the service lock so distinct workloads prepare while other
+/// workers simulate. One worker claims a workload's preparation through
+/// the shared `preparing` set; same-session workers wait on the claim
+/// (the session itself leaves the pool for the duration), so each
+/// (workload, strategy) pair is still prepared exactly once. The claim
+/// is parked in the death guard: a worker dying mid-preparation releases
+/// it instead of wedging its peers.
+fn prepare_for(
+    guard: &WorkerGuard<'_>,
+    shared: &Shared,
+    service: &Mutex<BatchService>,
+    job: &JobSpec,
+    budget: InnerBudget,
+) -> Arc<PreparedWorkload> {
+    let session_key = job.session_key();
+    {
+        let mut st = shared.lock();
+        while st.preparing.contains(&session_key) {
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.preparing.insert(session_key.clone());
+    }
+    guard.preparing.replace(Some(session_key.clone()));
+    let (mut session, created) = {
+        let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+        match svc.take_session(&session_key) {
+            Some(session) => (session, false),
+            None => {
+                let mut session = SimSession::from_spec(job.dataset, job.seed);
+                session.set_hdn_id_entries(job.hdn_id_entries);
+                session.set_plan_cache(svc.plan_cache_arc(), session_key.clone());
+                (session, true)
+            }
+        }
+    };
+    // The expensive part — partitioning, relabeling, HDN lists — runs
+    // with no lock held, under the same inner budget as the compute
+    // (memoized strategies make this a no-op lookup).
+    let newly_prepared = budget.apply(|| session.prepare_all(std::slice::from_ref(&job.strategy)));
+    let prepared = session
+        .get_prepared_arc(job.strategy)
+        .expect("just prepared");
+    {
+        let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+        svc.adopt_session(session_key.clone(), session, created, newly_prepared);
+    }
+    {
+        let mut st = shared.lock();
+        st.preparing.remove(&session_key);
+    }
+    guard.preparing.replace(None);
+    shared.cv.notify_all();
+    prepared
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn submission(id: u64) -> Submission {
         let (tx, _rx) = mpsc::channel();
+        let job = JobSpec::new(
+            grow_model::DatasetKey::Cora.spec().scaled_to(300),
+            id,
+            "grow",
+        );
         Submission {
             id,
-            job: JobSpec::new(
-                grow_model::DatasetKey::Cora.spec().scaled_to(300),
-                id,
-                "grow",
-            ),
+            key: job.key(),
+            job,
             tx,
             cancel: Arc::new(CancelToken::new()),
         }
     }
 
-    #[test]
-    fn queue_pops_priority_classes_in_order() {
-        let mut state = QueueState {
+    fn empty_state() -> QueueState {
+        QueueState {
             queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             pending: 0,
             stopping: false,
             abort: false,
-            worker_dead: false,
+            workers_alive: 1,
             casualties: Vec::new(),
-        };
+            running: HashSet::new(),
+            preparing: HashSet::new(),
+        }
+    }
+
+    #[test]
+    fn queue_pops_priority_classes_in_order() {
+        let mut state = empty_state();
         state.queues[Priority::Low.index()].push_back(submission(0));
         state.queues[Priority::Normal.index()].push_back(submission(1));
         state.queues[Priority::High.index()].push_back(submission(2));
@@ -676,6 +886,38 @@ mod tests {
         state.queues[Priority::Normal.index()].push_back(submission(4));
         let order: Vec<u64> = std::iter::from_fn(|| state.pop()).map(|s| s.id).collect();
         assert_eq!(order, [2, 3, 1, 4, 0], "High FIFO, then Normal, then Low");
+    }
+
+    #[test]
+    fn pop_runnable_skips_keys_already_computing() {
+        let mut state = empty_state();
+        let first = submission(0);
+        let duplicate_key = first.key.clone();
+        state.running.insert(first.key.clone());
+        // A queued duplicate of the running key parks; a distinct key
+        // behind it runs.
+        let twin = {
+            let (tx, _rx) = mpsc::channel();
+            Submission {
+                id: 1,
+                job: first.job.clone(),
+                key: duplicate_key.clone(),
+                tx,
+                cancel: Arc::new(CancelToken::new()),
+            }
+        };
+        state.queues[Priority::Normal.index()].push_back(twin);
+        state.queues[Priority::Normal.index()].push_back(submission(2));
+        assert_eq!(state.queued(), 2);
+        let popped = state.pop_runnable().expect("distinct key is runnable");
+        assert_eq!(popped.id, 2, "duplicate of the running key is skipped");
+        assert!(
+            state.pop_runnable().is_none(),
+            "nothing runnable while the twin's key computes"
+        );
+        // Once the computation commits, the parked twin runs.
+        state.running.remove(&duplicate_key);
+        assert_eq!(state.pop_runnable().expect("now runnable").id, 1);
     }
 
     #[test]

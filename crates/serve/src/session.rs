@@ -20,9 +20,12 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use grow_core::registry::{self, RegistryError};
-use grow_core::{prepare, PartitionStrategy, PreparedWorkload, RunReport};
+use grow_core::{
+    prepare, PartitionStrategy, PlanCache, PlanCacheScope, PreparedWorkload, RunReport,
+};
 use grow_model::{DatasetSpec, GcnWorkload};
 use grow_sim::exec::parallel_map;
 
@@ -35,7 +38,8 @@ pub const DEFAULT_HDN_ID_ENTRIES: usize = 4096;
 pub struct SimSession {
     workload: GcnWorkload,
     hdn_id_entries: usize,
-    prepared: HashMap<PartitionStrategy, PreparedWorkload>,
+    prepared: HashMap<PartitionStrategy, Arc<PreparedWorkload>>,
+    plan_cache: Option<(Arc<PlanCache>, String)>,
 }
 
 impl SimSession {
@@ -45,6 +49,7 @@ impl SimSession {
             workload,
             hdn_id_entries: DEFAULT_HDN_ID_ENTRIES,
             prepared: HashMap::new(),
+            plan_cache: None,
         }
     }
 
@@ -67,6 +72,29 @@ impl SimSession {
         self.hdn_id_entries
     }
 
+    /// Attaches a shared cross-job [`PlanCache`]: every workload this
+    /// session prepares from now on carries a [`PlanCacheScope`] keyed
+    /// `"{scope_prefix}|{strategy:?}"`, so engines share layer-invariant
+    /// aggregation plans across jobs hitting the same prepared form.
+    /// Clears any already-prepared workloads so stamps stay consistent.
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>, scope_prefix: String) {
+        self.prepared.clear();
+        self.plan_cache = Some((cache, scope_prefix));
+    }
+
+    /// Stamps the session's plan-cache scope (if any) onto a freshly
+    /// prepared workload and shares it behind an `Arc`, so in-flight
+    /// jobs keep their prepared form alive across session eviction.
+    fn stamp(&self, strategy: PartitionStrategy, mut p: PreparedWorkload) -> Arc<PreparedWorkload> {
+        if let Some((cache, prefix)) = &self.plan_cache {
+            p.plan_cache = Some(PlanCacheScope::new(
+                Arc::clone(cache),
+                format!("{prefix}|{strategy:?}"),
+            ));
+        }
+        Arc::new(p)
+    }
+
     /// The underlying workload.
     pub fn workload(&self) -> &GcnWorkload {
         &self.workload
@@ -80,15 +108,24 @@ impl SimSession {
     /// The prepared form of the workload under `strategy`, running the
     /// software preprocessing stack on first use and memoizing it.
     pub fn prepared(&mut self, strategy: PartitionStrategy) -> &PreparedWorkload {
-        self.prepared
-            .entry(strategy)
-            .or_insert_with(|| prepare(&self.workload, strategy, self.hdn_id_entries))
+        if !self.prepared.contains_key(&strategy) {
+            let p = prepare(&self.workload, strategy, self.hdn_id_entries);
+            self.prepared.insert(strategy, self.stamp(strategy, p));
+        }
+        self.prepared.get(&strategy).expect("just inserted")
     }
 
     /// The already-memoized prepared form for `strategy`, if any — the
     /// read-only lookup the batch service uses after [`Self::prepare_all`].
     pub fn get_prepared(&self, strategy: PartitionStrategy) -> Option<&PreparedWorkload> {
-        self.prepared.get(&strategy)
+        self.prepared.get(&strategy).map(Arc::as_ref)
+    }
+
+    /// Like [`Self::get_prepared`] but returning the shared handle — the
+    /// serving layer clones it so a job can compute outside the session
+    /// lock (and survive eviction of the session mid-flight).
+    pub fn get_prepared_arc(&self, strategy: PartitionStrategy) -> Option<Arc<PreparedWorkload>> {
+        self.prepared.get(&strategy).map(Arc::clone)
     }
 
     /// Prepares every listed strategy that is not memoized yet, fanning
@@ -107,6 +144,7 @@ impl SimSession {
         let prepared = parallel_map(missing.clone(), |_, s| prepare(workload, s, entries));
         let count = missing.len();
         for (s, p) in missing.into_iter().zip(prepared) {
+            let p = self.stamp(s, p);
             self.prepared.insert(s, p);
         }
         count
@@ -256,6 +294,21 @@ mod tests {
                 "{s:?}"
             );
         }
+    }
+
+    #[test]
+    fn plan_cache_scope_is_stamped_on_prepared_workloads() {
+        let mut s = session();
+        assert!(s.prepared(PartitionStrategy::None).plan_cache.is_none());
+        s.set_plan_cache(Arc::new(PlanCache::new(4)), "key".into());
+        assert!(s.prepared.is_empty(), "attachment clears memoized forms");
+        s.prepare_all(&[PartitionStrategy::None]);
+        assert!(s.prepared(PartitionStrategy::None).plan_cache.is_some());
+        let arc = s.get_prepared_arc(PartitionStrategy::None).unwrap();
+        assert!(Arc::ptr_eq(
+            &arc,
+            &s.get_prepared_arc(PartitionStrategy::None).unwrap()
+        ));
     }
 
     #[test]

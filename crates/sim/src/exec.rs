@@ -107,7 +107,7 @@ pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
 /// thread, or `with_mode(ExecMode::Serial, ..)` around the service would
 /// silently not apply. Capture on the controlling thread, then wrap the
 /// worker's processing in [`ExecContext::scope`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecContext {
     mode: u8,
     workers: usize,
@@ -132,17 +132,27 @@ impl ExecContext {
     }
 }
 
-/// Worker-thread count for `tasks` tasks: an explicit override
-/// ([`with_workers`] or `GROW_THREADS`) wins — including oversubscription
-/// — otherwise the hardware thread count, never more than the task count.
-fn worker_count(tasks: usize) -> usize {
-    let explicit = match WORKERS_OVERRIDE.get() {
+/// The explicit worker-count override in effect on the calling thread,
+/// if any: a [`with_workers`] scope wins over `GROW_THREADS` in the
+/// environment; `None` means resolution would fall back to the hardware
+/// thread count. Exposed so schedulers above the fan-out (the serving
+/// layer's parallelism governor) can honor an enclosing override instead
+/// of silently widening past it.
+pub fn configured_workers() -> Option<usize> {
+    match WORKERS_OVERRIDE.get() {
         0 => std::env::var("GROW_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0),
         n => Some(n),
-    };
+    }
+}
+
+/// Worker-thread count for `tasks` tasks: an explicit override
+/// ([`with_workers`] or `GROW_THREADS`) wins — including oversubscription
+/// — otherwise the hardware thread count, never more than the task count.
+fn worker_count(tasks: usize) -> usize {
+    let explicit = configured_workers();
     let hw = || {
         std::thread::available_parallelism()
             .map(|n| n.get())

@@ -5,7 +5,8 @@
 //! crashes are failure paths that are never tested. This module makes
 //! faults a *configuration input*: a [`FaultPlan`] names injection sites
 //! threaded through the hot layers (DRAM transfer issue, plan/replay
-//! chunk hand-off, store read/write, the serving worker itself) and
+//! chunk hand-off, store read/write, the serving worker itself, the
+//! multi-PE scheduler dispatch) and
 //! describes, per site, the op ordinal at which to inject and whether the
 //! site reports an error ([`SimFault`]) or panics outright.
 //!
@@ -67,17 +68,26 @@ pub enum FaultSite {
     StoreWrite,
     /// The serving worker itself: a supervisor-kill checked before a job
     /// runs. Never retried; exists to prove waiters survive worker death.
+    /// The spec's `nth` selects *which* pool worker dies: worker `k` of N
+    /// trips on `worker:…:k` when it picks the job up, so a single spec
+    /// can target any member of a multi-worker pool.
     Worker,
+    /// A multi-PE scheduler dispatch: tripped each time the end-to-end
+    /// model hands a cluster to a processing element. The ordinal is the
+    /// dispatch count within one simulation, identical in serial and
+    /// parallel legs (the whole dispatch loop runs on one thread).
+    Sched,
 }
 
 impl FaultSite {
     /// Every site, in spec-grammar order.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::DramIssue,
         FaultSite::ExecHandoff,
         FaultSite::StoreRead,
         FaultSite::StoreWrite,
         FaultSite::Worker,
+        FaultSite::Sched,
     ];
 
     /// The site's spec-grammar name.
@@ -88,6 +98,7 @@ impl FaultSite {
             FaultSite::StoreRead => "store_read",
             FaultSite::StoreWrite => "store_write",
             FaultSite::Worker => "worker",
+            FaultSite::Sched => "sched",
         }
     }
 
@@ -103,6 +114,7 @@ impl FaultSite {
             FaultSite::StoreRead => 2,
             FaultSite::StoreWrite => 3,
             FaultSite::Worker => 4,
+            FaultSite::Sched => 5,
         }
     }
 }
@@ -352,7 +364,7 @@ impl FaultPlan {
 fn bad_spec(spec: &str, reason: &str) -> FaultParseError {
     FaultParseError(format!(
         "bad fault spec '{spec}' ({reason}; expected site:action[:nth[:attempts]], \
-         sites: dram, exec, store_read, store_write, worker; actions: error, panic)"
+         sites: dram, exec, store_read, store_write, worker, sched; actions: error, panic)"
     ))
 }
 
@@ -478,7 +490,7 @@ thread_local! {
     static ATTEMPT: Cell<u64> = const { Cell::new(1) };
     /// Per-site op counters of the current scope, reset by [`with_plan`]
     /// (used by the single-threaded store sites via [`check_scoped`]).
-    static SCOPED_OPS: Cell<[u64; 5]> = const { Cell::new([0; 5]) };
+    static SCOPED_OPS: Cell<[u64; 6]> = const { Cell::new([0; 6]) };
     /// The cancel token of the current scope ([`with_cancel`]).
     static CANCEL: RefCell<Option<Arc<CancelToken>>> = const { RefCell::new(None) };
 }
@@ -518,7 +530,7 @@ impl Drop for RestoreCancel {
 pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
     let _armed = Restore(&ARMED, ARMED.replace(plan.is_armed()));
     let _plan = Restore(&PLAN, PLAN.replace(plan));
-    let _ops = Restore(&SCOPED_OPS, SCOPED_OPS.replace([0; 5]));
+    let _ops = Restore(&SCOPED_OPS, SCOPED_OPS.replace([0; 6]));
     f()
 }
 
@@ -571,7 +583,7 @@ pub struct FaultContext {
     plan: FaultPlan,
     armed: bool,
     attempt: u64,
-    scoped: [u64; 5],
+    scoped: [u64; 6],
     cancel: Option<Arc<CancelToken>>,
 }
 
@@ -667,6 +679,11 @@ mod tests {
         let plan = FaultPlan::parse("dram:error:3+store_write:panic:1:2").unwrap();
         assert_eq!(plan.render(), "dram:error:3:1+store_write:panic:1:2");
         assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+        let sched = FaultPlan::parse("sched:error:2").unwrap();
+        assert_eq!(
+            sched.action_at(FaultSite::Sched, 2, 1),
+            Some(FaultAction::Error)
+        );
         let shorthand = FaultPlan::parse("exec:panic").unwrap();
         assert_eq!(
             shorthand.specs().next().unwrap(),

@@ -340,6 +340,7 @@ fn admission_control_rejects_over_capacity_submissions() {
         AsyncConfig {
             queue_capacity: 2,
             session_capacity: None,
+            workers: 1,
         },
     );
     assert_eq!(service.queue_capacity(), 2);
@@ -411,12 +412,248 @@ fn priority_classes_reorder_completion() {
 }
 
 #[test]
+fn four_worker_drain_is_bit_identical_to_run_batch() {
+    // The tentpole determinism claim: a 4-worker concurrent drain of the
+    // mixed fleet returns exactly the reports of a synchronous
+    // `run_batch`, under a forced-serial scope and an oversubscribed
+    // parallel scope alike. Only completion order may differ.
+    let jobs = mixed_jobs();
+    let pooled = |jobs: &[JobSpec]| {
+        let (results, batch) = drain(
+            AsyncService::start(
+                BatchService::new(),
+                AsyncConfig {
+                    workers: 4,
+                    ..AsyncConfig::default()
+                },
+            ),
+            jobs,
+        );
+        let stats = batch.stats();
+        assert_eq!(
+            stats.simulations_run,
+            jobs.len() as u64 - 1,
+            "the pool never double-computes a key"
+        );
+        assert!(
+            stats.jobs_in_flight_peak >= 1,
+            "the in-flight high-water mark is recorded"
+        );
+        results
+    };
+
+    let sync_serial = with_mode(ExecMode::Serial, || BatchService::new().run_batch(&jobs));
+    let pooled_serial = with_mode(ExecMode::Serial, || pooled(&jobs));
+    let pooled_parallel = with_workers(WORKERS, || pooled(&jobs));
+
+    assert_same_outcomes(&sync_serial, &pooled_serial);
+    assert_same_outcomes(&sync_serial, &pooled_parallel);
+
+    // Async results carry the submission id as their index, in order.
+    for (i, r) in pooled_parallel.iter().enumerate() {
+        assert_eq!(r.index, i);
+    }
+}
+
+#[test]
+fn duplicate_keys_compute_once_under_a_worker_pool() {
+    // Four same-key submissions on a four-worker pool: the running-set
+    // exclusion must leave exactly one computation; the rest are served
+    // as cache hits the moment it commits.
+    let spec = DatasetKey::Pubmed.spec().scaled_to(900);
+    let job = JobSpec::new(spec, 77, "grow")
+        .with_strategy(PartitionStrategy::Multilevel { cluster_nodes: 150 });
+    let service = AsyncService::start(
+        BatchService::new(),
+        AsyncConfig {
+            workers: 4,
+            ..AsyncConfig::default()
+        },
+    );
+    let tickets: Vec<Ticket> = (0..4)
+        .map(|_| service.submit(job.clone()).expect("admitted"))
+        .collect();
+    let results: Vec<JobResult> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("pool alive"))
+        .collect();
+    let batch = service.finish();
+    assert_eq!(
+        batch.stats().simulations_run,
+        1,
+        "same-key submissions never compute twice"
+    );
+    for r in &results {
+        assert_eq!(
+            r.outcome, results[0].outcome,
+            "every duplicate gets the report"
+        );
+    }
+    assert!(
+        results.iter().filter(|r| r.cache_hit).count() >= 3,
+        "the duplicates are cache hits"
+    );
+}
+
+#[test]
+fn admission_control_holds_under_a_worker_pool() {
+    // QueueFull accounting with several workers: pending counts queued
+    // plus in-flight, so a full pool rejects exactly as a busy single
+    // worker does, and draining frees the capacity back.
+    let spec = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let service = AsyncService::start(
+        BatchService::new(),
+        AsyncConfig {
+            queue_capacity: 3,
+            session_capacity: None,
+            workers: 4,
+        },
+    );
+    let tickets: Vec<Ticket> = (0..3u64)
+        .map(|seed| {
+            service
+                .submit(JobSpec::new(spec, seed, "grow").with_strategy(strategy))
+                .expect("admitted")
+        })
+        .collect();
+    match service.submit(JobSpec::new(spec, 9, "gamma")) {
+        Err(SubmitError::QueueFull { capacity, pending }) => {
+            assert_eq!(capacity, 3);
+            assert!(pending >= 1, "rejection reports the pending load");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    for t in tickets {
+        assert!(t.wait().expect("pool alive").outcome.is_ok());
+    }
+    let t = service
+        .submit(JobSpec::new(spec, 9, "gamma"))
+        .expect("admitted after drain");
+    assert!(t.wait().expect("pool alive").outcome.is_ok());
+    assert_eq!(service.pending(), 0, "accounting returns to zero");
+    let batch = service.finish();
+    assert_eq!(batch.stats().simulations_run, 4);
+}
+
+#[test]
+fn priority_classes_reorder_completion_under_a_worker_pool() {
+    // With every worker occupied, the next free worker must take the
+    // queued High submission before the earlier-queued Low one. Same
+    // narrow timing sensitivity (and the same retry) as the
+    // single-worker variant above.
+    let spec = DatasetKey::Pubmed.spec().scaled_to(900);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let mut last_order = Vec::new();
+    for attempt in 0..3 {
+        let service = AsyncService::start(
+            BatchService::new(),
+            AsyncConfig {
+                workers: 2,
+                ..AsyncConfig::default()
+            },
+        );
+        let occupy: Vec<Ticket> = (0..2u64)
+            .map(|seed| {
+                service
+                    .submit(JobSpec::new(spec, 40 + seed, "grow").with_strategy(strategy))
+                    .expect("admitted")
+            })
+            .collect();
+        let low = service
+            .submit_with(JobSpec::new(spec, 51, "gcnax"), Priority::Low)
+            .expect("admitted");
+        let high = service
+            .submit_with(JobSpec::new(spec, 52, "matraptor"), Priority::High)
+            .expect("admitted");
+        let (low_id, high_id) = (low.id(), high.id());
+        for t in occupy {
+            assert!(t.wait().expect("pool alive").outcome.is_ok());
+        }
+        assert!(low.wait().expect("pool alive").outcome.is_ok());
+        assert!(high.wait().expect("pool alive").outcome.is_ok());
+        let order = service.completed_ids();
+        service.finish();
+        let pos = |id| order.iter().position(|&c| c == id).expect("completed");
+        if pos(high_id) < pos(low_id) {
+            return;
+        }
+        last_order = order;
+        eprintln!("attempt {attempt}: a worker went idle between submits; retrying");
+    }
+    panic!("High never overtook Low on the pool: {last_order:?}");
+}
+
+#[test]
+fn plan_cache_shares_plans_across_jobs_and_stays_bit_identical() {
+    // Three jobs on one session: two grow configurations share the
+    // "grow" plan family (the second must hit), gcnax lives in its own
+    // family. Single-job batches fix the request order, so the counters
+    // are exact in both CI legs.
+    let spec = DatasetKey::Cora.spec().scaled_to(600);
+    let strategy = PartitionStrategy::Multilevel { cluster_nodes: 150 };
+    let grow = JobSpec::new(spec, 33, "grow").with_strategy(strategy);
+    let gcnax = JobSpec::new(spec, 33, "gcnax").with_strategy(strategy);
+    let runahead = grow.clone().with_override("runahead", "8");
+
+    let mut warm = BatchService::new();
+    let warm_grow = warm.run_batch(std::slice::from_ref(&grow));
+    let warm_gcnax = warm.run_batch(std::slice::from_ref(&gcnax));
+    let warm_runahead = warm.run_batch(std::slice::from_ref(&runahead));
+    assert_eq!(
+        warm.stats().plan_cache_hits,
+        1,
+        "the runahead variant replays the shared grow plan"
+    );
+    assert_eq!(warm.plan_cache().misses(), 2, "one entry per plan family");
+    assert_eq!(warm.plan_cache().len(), 2);
+
+    // Cold references: isolated services, nothing shared. The replayed
+    // plan must be indistinguishable from a fresh plan pass.
+    for (warmed, job) in [
+        (&warm_grow, &grow),
+        (&warm_gcnax, &gcnax),
+        (&warm_runahead, &runahead),
+    ] {
+        let cold = BatchService::new().run_batch(std::slice::from_ref(job));
+        assert_eq!(
+            warmed[0].outcome, cold[0].outcome,
+            "{}: shared-plan report diverged from an isolated run",
+            job.engine
+        );
+    }
+
+    // Eviction: with room for one entry, the gcnax insert evicts the
+    // grow plans, so the runahead variant misses where it hit above —
+    // and still computes the identical report.
+    let mut tiny = BatchService::new().with_plan_cache_capacity(1);
+    let tiny_grow = tiny.run_batch(std::slice::from_ref(&grow));
+    tiny.run_batch(std::slice::from_ref(&gcnax));
+    let tiny_runahead = tiny.run_batch(std::slice::from_ref(&runahead));
+    assert_eq!(
+        tiny.stats().plan_cache_hits,
+        0,
+        "capacity 1 evicts before reuse"
+    );
+    assert_eq!(tiny.plan_cache().misses(), 3);
+    assert_eq!(tiny.plan_cache().len(), 1, "the bound holds");
+    assert_eq!(tiny_grow[0].outcome, warm_grow[0].outcome);
+    assert_eq!(tiny_runahead[0].outcome, warm_runahead[0].outcome);
+
+    // reset_stats clears the live counters with the rest.
+    warm.reset_stats();
+    assert_eq!(warm.stats().plan_cache_hits, 0);
+    assert_eq!(warm.plan_cache().misses(), 0);
+}
+
+#[test]
 fn async_config_bounds_the_session_pool() {
     let service = AsyncService::start(
         BatchService::new(),
         AsyncConfig {
             queue_capacity: 16,
             session_capacity: Some(1),
+            workers: 1,
         },
     );
     for seed in 0..3u64 {

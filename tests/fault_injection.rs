@@ -363,6 +363,7 @@ fn worker_kill_surfaces_as_service_dead_never_a_panic() {
         AsyncConfig {
             queue_capacity: 16,
             session_capacity: None,
+            workers: 1,
         },
     );
     // One healthy job, then the kill, then a bystander that may be
@@ -413,6 +414,101 @@ fn worker_kill_surfaces_as_service_dead_never_a_panic() {
     let (_, report) = service.finish_report();
     assert!(report.worker_panicked);
     assert!(report.casualties.contains(&victim_id));
+}
+
+#[test]
+fn sched_faults_on_e2e_jobs_retry_to_the_baseline() {
+    quiet_injected_panics();
+    let mut service = BatchService::new();
+    let e2e = |fault: Option<&str>| {
+        let job = JobSpec::new(spec(), 13, "grow")
+            .with_override("exec", "e2e")
+            .with_override("pes", "4");
+        match fault {
+            Some(f) => job.with_fault(f),
+            None => job,
+        }
+    };
+    let baseline = service
+        .run_one(&e2e(None))
+        .outcome
+        .expect("fault-free baseline");
+    // Transient faults at the scheduler's dispatch hand-offs retry to
+    // the exact baseline, with both actions.
+    for action in ["error", "panic"] {
+        let fault = format!("sched:{action}:1:2");
+        let result = service.run_one(&e2e(Some(&fault)));
+        let report = result.outcome.unwrap_or_else(|e| panic!("{fault}: {e}"));
+        assert_eq!(report, baseline, "{fault}");
+        assert!(!result.cache_hit, "{fault} genuinely re-ran");
+    }
+    // A permanent sched fault (attempts >= the budget) fails the e2e
+    // job alone.
+    let permanent = service.run_one(&e2e(Some("sched:error:1:99")));
+    assert!(
+        matches!(permanent.outcome, Err(JobError::Injected { .. })),
+        "permanent sched fault surfaces structurally: {:?}",
+        permanent.outcome
+    );
+    // Off the e2e path the sched site has no trip points: the fault
+    // arms but never fires, and the report matches the fault-free run.
+    let analytic = JobSpec::new(spec(), 13, "grow");
+    let clean = service.run_one(&analytic).outcome.expect("clean");
+    let armed = service
+        .run_one(&analytic.clone().with_fault("sched:panic:1"))
+        .outcome
+        .expect("site never reached in analytic mode");
+    assert_eq!(clean, armed);
+}
+
+#[test]
+fn one_worker_death_degrades_the_pool_but_not_the_service() {
+    quiet_injected_panics();
+    let workers = 3usize;
+    let service = AsyncService::start(
+        BatchService::new(),
+        AsyncConfig {
+            queue_capacity: 64,
+            session_capacity: None,
+            workers,
+        },
+    );
+    assert_eq!(service.workers_alive(), workers);
+    // `worker:panic:2` kills pool worker 2 and only worker 2 — every
+    // other worker serves the same spec unharmed. Feed poisoned jobs
+    // until the victim picks one up and dies with it (bounded; in
+    // practice the first couple of submissions suffice).
+    let mut orphaned = 0usize;
+    let mut attempts = 0u64;
+    while service.workers_alive() == workers && attempts < 100 {
+        attempts += 1;
+        let bait = JobSpec::new(spec(), 30 + attempts, "gcnax").with_fault("worker:panic:2");
+        if service.submit(bait).expect("admitted").wait().is_err() {
+            orphaned += 1;
+        }
+    }
+    assert_eq!(
+        service.workers_alive(),
+        workers - 1,
+        "exactly the victim died"
+    );
+    assert!(
+        !service.worker_dead(),
+        "a degraded pool is not a dead service"
+    );
+    assert_eq!(service.casualties().len(), orphaned);
+    // The degraded pool keeps serving — including the poisoned spec
+    // itself, now that its designated victim is gone.
+    let after = service
+        .submit(JobSpec::new(spec(), 29, "gcnax").with_fault("worker:panic:2"))
+        .expect("degraded pool still admits")
+        .wait()
+        .expect("a survivor serves it");
+    assert!(after.outcome.is_ok());
+
+    let (_, report) = service.finish_report();
+    assert!(report.worker_panicked, "the death is reported at shutdown");
+    assert_eq!(report.casualties.len(), orphaned);
 }
 
 #[test]
